@@ -1,0 +1,422 @@
+package codesign
+
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation section, plus the DESIGN.md ablations and microbenchmarks
+// of the substrates. Custom metrics report what the paper reports:
+// simulated GFLOPS and simulated seconds (host ns/op measures only how
+// fast the simulator itself runs).
+
+import (
+	"math/rand"
+	"testing"
+
+	"codesign/internal/core"
+	"codesign/internal/cpu"
+	"codesign/internal/exper"
+	"codesign/internal/fpmath"
+	"codesign/internal/machine"
+	"codesign/internal/matrix"
+	"codesign/internal/sim"
+)
+
+// BenchmarkTable1 regenerates Table 1: opLU/opL/opU latencies at b=3000.
+func BenchmarkTable1(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		rows := cpu.Table1(cpu.Opteron22(), 3000)
+		last = rows[0].LatencyS
+	}
+	b.ReportMetric(last, "opLU_s")
+}
+
+// BenchmarkFig5 regenerates Figure 5's optimum point: one 3000×3000
+// block multiplication at bf=1280 on 6 nodes.
+func BenchmarkFig5(b *testing.B) {
+	var lat float64
+	for i := 0; i < b.N; i++ {
+		r, err := core.RunOpMM(machine.XD1(), 3000, 8, 1280)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lat = r.Seconds
+	}
+	b.ReportMetric(lat, "sim_s")
+}
+
+// BenchmarkFig5Sweep runs the full bf sweep of Figure 5.
+func BenchmarkFig5Sweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for bf := 0; bf <= 3000; bf += 600 {
+			if _, err := core.RunOpMM(machine.XD1(), 3000, 8, bf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates Figure 6's optimum point: iteration 0 of
+// the n=30000 factorization at l=3.
+func BenchmarkFig6(b *testing.B) {
+	var lat float64
+	for i := 0; i < b.N; i++ {
+		r, err := core.RunLU(core.LUConfig{N: 30000, B: 3000, BF: 1280, L: 3, Mode: core.Hybrid})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lat = r.IterationSeconds[0]
+	}
+	b.ReportMetric(lat, "iter0_s")
+}
+
+// BenchmarkFig7 regenerates Figure 7's optimum point: one FW iteration
+// at l1=2 (b=256, n=18432).
+func BenchmarkFig7(b *testing.B) {
+	var lat float64
+	for i := 0; i < b.N; i++ {
+		r, err := core.RunFW(core.FWConfig{N: 18432, B: 256, L1: 2, Mode: core.Hybrid})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lat = r.Seconds / float64(len(r.IterationSeconds))
+	}
+	b.ReportMetric(lat, "iter_s")
+}
+
+// BenchmarkFig8 regenerates Figure 8's end point: LU GFLOPS at n/b=10.
+func BenchmarkFig8(b *testing.B) {
+	var g float64
+	for i := 0; i < b.N; i++ {
+		r, err := core.RunLU(core.LUConfig{N: 30000, B: 3000, BF: -1, L: -1, Mode: core.Hybrid})
+		if err != nil {
+			b.Fatal(err)
+		}
+		g = r.GFLOPS
+	}
+	b.ReportMetric(g, "sim_GFLOPS")
+}
+
+// BenchmarkFig9LU regenerates Figure 9's LU bars: hybrid and both
+// baselines.
+func BenchmarkFig9LU(b *testing.B) {
+	metrics := map[string]float64{}
+	for i := 0; i < b.N; i++ {
+		for _, m := range []core.Mode{core.Hybrid, core.ProcessorOnly, core.FPGAOnly} {
+			r, err := core.RunLU(core.LUConfig{N: 30000, B: 3000, BF: -1, L: -1, Mode: m})
+			if err != nil {
+				b.Fatal(err)
+			}
+			metrics[m.String()] = r.GFLOPS
+		}
+	}
+	b.ReportMetric(metrics["hybrid"], "hybrid_GFLOPS")
+	b.ReportMetric(metrics["processor-only"], "cpu_GFLOPS")
+	b.ReportMetric(metrics["fpga-only"], "fpga_GFLOPS")
+}
+
+// BenchmarkFig9FW regenerates Figure 9's Floyd-Warshall bars.
+func BenchmarkFig9FW(b *testing.B) {
+	metrics := map[string]float64{}
+	for i := 0; i < b.N; i++ {
+		for _, m := range []core.Mode{core.Hybrid, core.ProcessorOnly, core.FPGAOnly} {
+			r, err := core.RunFW(core.FWConfig{N: 18432, B: 256, L1: -1, Mode: m})
+			if err != nil {
+				b.Fatal(err)
+			}
+			metrics[m.String()] = r.GFLOPS
+		}
+	}
+	b.ReportMetric(metrics["hybrid"], "hybrid_GFLOPS")
+	b.ReportMetric(metrics["processor-only"], "cpu_GFLOPS")
+	b.ReportMetric(metrics["fpga-only"], "fpga_GFLOPS")
+}
+
+// BenchmarkPrediction regenerates the Section 6.2 accuracy study.
+func BenchmarkPrediction(b *testing.B) {
+	var luRatio, fwRatio float64
+	for i := 0; i < b.N; i++ {
+		lu, err := core.RunLU(core.LUConfig{N: 30000, B: 3000, BF: -1, L: -1, Mode: core.Hybrid})
+		if err != nil {
+			b.Fatal(err)
+		}
+		luRatio = lu.GFLOPS / lu.Prediction.GFLOPS
+		fw, err := core.RunFW(core.FWConfig{N: 18432, B: 256, L1: -1, Mode: core.Hybrid})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fwRatio = fw.GFLOPS / fw.Prediction.GFLOPS
+	}
+	b.ReportMetric(luRatio, "lu_ratio")
+	b.ReportMetric(fwRatio, "fw_ratio")
+}
+
+// --- Ablation benches (DESIGN.md Section 5) ---
+
+// BenchmarkOverlapAblation measures the cost of disabling stripe
+// pipelining in the LU hybrid.
+func BenchmarkOverlapAblation(b *testing.B) {
+	var on, off float64
+	for i := 0; i < b.N; i++ {
+		r1, err := core.RunLU(core.LUConfig{N: 30000, B: 3000, BF: 1280, L: 3, Mode: core.Hybrid})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r2, err := core.RunLU(core.LUConfig{N: 30000, B: 3000, BF: 1280, L: 3, Mode: core.Hybrid, DisableStripeOverlap: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		on, off = r1.Seconds, r2.Seconds
+	}
+	b.ReportMetric(on, "overlap_s")
+	b.ReportMetric(off, "no_overlap_s")
+}
+
+// BenchmarkSplitAblation measures whole-task vs split-task opMM.
+func BenchmarkSplitAblation(b *testing.B) {
+	var split, whole float64
+	for i := 0; i < b.N; i++ {
+		r1, err := core.RunLU(core.LUConfig{N: 30000, B: 3000, BF: 1280, L: 3, Mode: core.Hybrid})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r2, err := core.RunLU(core.LUConfig{N: 30000, B: 3000, BF: 1280, L: 3, Mode: core.Hybrid, WholeTaskOpMM: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		split, whole = r1.GFLOPS, r2.GFLOPS
+	}
+	b.ReportMetric(split, "split_GFLOPS")
+	b.ReportMetric(whole, "whole_GFLOPS")
+}
+
+// BenchmarkAtomicRoutineAblation measures interruptible vs atomic panel
+// routines.
+func BenchmarkAtomicRoutineAblation(b *testing.B) {
+	var atomic, async float64
+	for i := 0; i < b.N; i++ {
+		r1, err := core.RunLU(core.LUConfig{N: 30000, B: 3000, BF: 1280, L: 3, Mode: core.Hybrid})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r2, err := core.RunLU(core.LUConfig{N: 30000, B: 3000, BF: 1280, L: 3, Mode: core.Hybrid, InterruptibleRoutines: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		atomic, async = r1.Seconds, r2.Seconds
+	}
+	b.ReportMetric(atomic, "atomic_s")
+	b.ReportMetric(async, "interruptible_s")
+}
+
+// BenchmarkSolverVsSweep compares the Equation (4) solver against a
+// brute-force bf sweep of the stripe-granular simulation.
+func BenchmarkSolverVsSweep(b *testing.B) {
+	var solver, sweepBest float64
+	for i := 0; i < b.N; i++ {
+		r, err := core.RunOpMM(machine.XD1(), 3000, 8, 1280) // solver's answer
+		if err != nil {
+			b.Fatal(err)
+		}
+		solver = r.Seconds
+		best := 1e18
+		for bf := 0; bf <= 3000; bf += 200 {
+			rr, err := core.RunOpMM(machine.XD1(), 3000, 8, bf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rr.Seconds < best {
+				best = rr.Seconds
+			}
+		}
+		sweepBest = best
+	}
+	b.ReportMetric(solver, "solver_s")
+	b.ReportMetric(sweepBest, "sweep_best_s")
+}
+
+// BenchmarkFunctionalOverhead measures the cost of carrying real data
+// through the simulated machine.
+func BenchmarkFunctionalOverhead(b *testing.B) {
+	b.Run("timing-only", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.RunLU(core.LUConfig{N: 300, B: 60, PEs: 4, BF: -1, L: 2, Mode: core.Hybrid}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("functional", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.RunLU(core.LUConfig{N: 300, B: 60, PEs: 4, BF: -1, L: 2, Mode: core.Hybrid, Functional: true, Seed: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Substrate microbenchmarks ---
+
+// BenchmarkGemmTiled measures the tiled host GEMM kernel.
+func BenchmarkGemmTiled(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := matrix.Random(256, 256, rng)
+	bb := matrix.Random(256, 256, rng)
+	c := matrix.New(256, 256)
+	flops := 2.0 * 256 * 256 * 256
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matrix.Gemm(1, a, bb, 0, c)
+	}
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "host_GFLOPS")
+}
+
+// BenchmarkGemmParallel measures the parallel host GEMM kernel.
+func BenchmarkGemmParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	a := matrix.Random(256, 256, rng)
+	bb := matrix.Random(256, 256, rng)
+	c := matrix.New(256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matrix.GemmParallel(1, a, bb, 0, c, 0)
+	}
+}
+
+// BenchmarkFWKernelHost measures the scalar FW kernel (the paper's 190
+// MFLOPS routine) on the host.
+func BenchmarkFWKernelHost(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	d := matrix.RandomGraph(256, 0.5, rng)
+	flops := 2.0 * 256 * 256 * 256
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		work := d.Clone()
+		matrix.FWKernel(work)
+	}
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e6, "host_MFLOPS")
+}
+
+// BenchmarkFPMathAdd measures the bit-exact adder core.
+func BenchmarkFPMathAdd(b *testing.B) {
+	x := fpmath.Add(0x3FF0000000000001, 0x3CA0000000000000)
+	for i := 0; i < b.N; i++ {
+		x = fpmath.Add(x, 0x3CA0000000000000)
+	}
+	_ = x
+}
+
+// BenchmarkFPMathMul measures the bit-exact multiplier core.
+func BenchmarkFPMathMul(b *testing.B) {
+	x := uint64(0x3FF0000000000001)
+	for i := 0; i < b.N; i++ {
+		x = fpmath.Mul(x, 0x3FF0000000000001)
+	}
+	_ = x
+}
+
+// BenchmarkSimEngine measures raw event throughput of the DES engine.
+func BenchmarkSimEngine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := sim.New()
+		for j := 0; j < 8; j++ {
+			e.Go("p", func(p *sim.Proc) {
+				for k := 0; k < 1000; k++ {
+					p.Wait(1)
+				}
+			})
+		}
+		if err := e.Run(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(8000*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkLUFullSimulation measures host time to simulate the full
+// paper-scale factorization.
+func BenchmarkLUFullSimulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunLU(core.LUConfig{N: 30000, B: 3000, BF: -1, L: -1, Mode: core.Hybrid}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFWFullSimulation measures host time to simulate the n=18432
+// Floyd-Warshall run.
+func BenchmarkFWFullSimulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunFW(core.FWConfig{N: 18432, B: 256, L1: -1, Mode: core.Hybrid}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Extension-application benches ---
+
+// BenchmarkExtensionMM runs the hybrid matrix multiplication extension.
+func BenchmarkExtensionMM(b *testing.B) {
+	var g float64
+	for i := 0; i < b.N; i++ {
+		r, err := core.RunMM(core.MMConfig{N: 6144, BF: -1, Mode: core.Hybrid})
+		if err != nil {
+			b.Fatal(err)
+		}
+		g = r.GFLOPS
+	}
+	b.ReportMetric(g, "sim_GFLOPS")
+}
+
+// BenchmarkExtensionCholesky runs the hybrid Cholesky extension.
+func BenchmarkExtensionCholesky(b *testing.B) {
+	var g float64
+	for i := 0; i < b.N; i++ {
+		r, err := core.RunCholesky(core.CholConfig{N: 30000, B: 3000, BF: -1, L: -1, Mode: core.Hybrid})
+		if err != nil {
+			b.Fatal(err)
+		}
+		g = r.GFLOPS
+	}
+	b.ReportMetric(g, "sim_GFLOPS")
+}
+
+// BenchmarkSensitivitySweep runs the system-parameter sensitivity study.
+func BenchmarkSensitivitySweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exper.Sensitivity(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFPMathSqrt measures the bit-exact square-root core.
+func BenchmarkFPMathSqrt(b *testing.B) {
+	x := uint64(0x4000000000000000)
+	for i := 0; i < b.N; i++ {
+		_ = fpmath.Sqrt(x + uint64(i&1023))
+	}
+}
+
+// BenchmarkExtensionQR runs the hybrid Householder QR extension.
+func BenchmarkExtensionQR(b *testing.B) {
+	var g float64
+	for i := 0; i < b.N; i++ {
+		r, err := core.RunQR(core.QRConfig{N: 30000, B: 3000, BF: -1, Mode: core.Hybrid})
+		if err != nil {
+			b.Fatal(err)
+		}
+		g = r.GFLOPS
+	}
+	b.ReportMetric(g, "sim_GFLOPS")
+}
+
+// BenchmarkExtensionCG runs the hybrid conjugate-gradient extension.
+func BenchmarkExtensionCG(b *testing.B) {
+	var g float64
+	for i := 0; i < b.N; i++ {
+		r, err := core.RunCG(core.CGConfig{N: 512, RowsFPGA: -1, Mode: core.Hybrid, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		g = r.GFLOPS
+	}
+	b.ReportMetric(g, "sim_GFLOPS")
+}

@@ -1,0 +1,107 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section from fresh simulations.
+//
+// Usage:
+//
+//	experiments all                 # every experiment (FW at n=18432)
+//	experiments -full fig9          # Figure 9 with the paper's n=92160
+//	experiments -csv fig5 fig7      # selected experiments as CSV
+//	experiments list                # show what is available
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"codesign/internal/exper"
+)
+
+var experiments = []struct {
+	name string
+	desc string
+	run  func(full bool) (*exper.Table, error)
+}{
+	{"table1", "LU panel routine latencies (b=3000)",
+		func(bool) (*exper.Table, error) { return exper.Table1() }},
+	{"fig5", "block-multiply latency vs bf",
+		func(bool) (*exper.Table, error) { return exper.Fig5() }},
+	{"fig6", "0th LU iteration latency vs l",
+		func(bool) (*exper.Table, error) { return exper.Fig6() }},
+	{"fig7", "FW iteration latency vs l1",
+		func(bool) (*exper.Table, error) { return exper.Fig7() }},
+	{"fig8", "LU GFLOPS vs n/b",
+		func(bool) (*exper.Table, error) { return exper.Fig8() }},
+	{"fig9", "hybrid vs baseline designs",
+		func(full bool) (*exper.Table, error) { return exper.Fig9(full) }},
+	{"predict", "measured vs model-predicted performance",
+		func(full bool) (*exper.Table, error) { return exper.Prediction(full) }},
+	{"ablations", "design-choice ablation studies",
+		func(bool) (*exper.Table, error) { return exper.Ablations() }},
+	{"extensions", "model applied to matmul and Cholesky",
+		func(bool) (*exper.Table, error) { return exper.Extensions() }},
+	{"sensitivity", "LU partition/throughput vs system parameters",
+		func(bool) (*exper.Table, error) { return exper.Sensitivity() }},
+}
+
+func main() {
+	full := flag.Bool("full", false, "use the paper's full FW problem size (n=92160; a long simulation)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	if args[0] == "list" {
+		for _, e := range experiments {
+			fmt.Printf("  %-10s %s\n", e.name, e.desc)
+		}
+		return
+	}
+	var selected []string
+	if args[0] == "all" {
+		for _, e := range experiments {
+			selected = append(selected, e.name)
+		}
+	} else {
+		selected = args
+	}
+	for _, name := range selected {
+		found := false
+		for _, e := range experiments {
+			if e.name != name {
+				continue
+			}
+			found = true
+			t, err := e.run(*full)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			var werr error
+			if *csv {
+				werr = t.WriteCSV(os.Stdout)
+			} else {
+				werr = t.Write(os.Stdout)
+			}
+			if werr != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", werr)
+				os.Exit(1)
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (try 'list')\n", name)
+			os.Exit(2)
+		}
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: experiments [-full] [-csv] {all|list|<name>...}")
+	fmt.Fprintln(os.Stderr, "experiments:")
+	for _, e := range experiments {
+		fmt.Fprintf(os.Stderr, "  %-10s %s\n", e.name, e.desc)
+	}
+}

@@ -1,0 +1,222 @@
+// Command hybridsim runs one co-designed application on a simulated
+// reconfigurable computing system and reports its throughput, workload
+// partition and resource utilization.
+//
+// Usage:
+//
+//	hybridsim -app lu -n 30000 -b 3000                  # paper headline
+//	hybridsim -app fw -n 18432 -b 256 -mode fpga-only   # a baseline
+//	hybridsim -app lu -n 300 -b 60 -pes 4 -functional   # with real data
+//	hybridsim -app fw -machine xt3 -n 6144 -b 256 -pes 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"codesign/internal/core"
+	"codesign/internal/machine"
+	"codesign/internal/trace"
+)
+
+func main() {
+	var (
+		app        = flag.String("app", "lu", "application: lu, fw, mm, chol, qr or cg")
+		mc         = flag.String("machine", "xd1", "machine preset: xd1, xt3, src6, rasc")
+		n          = flag.Int("n", 30000, "problem size")
+		b          = flag.Int("b", 3000, "block size")
+		pes        = flag.Int("pes", 0, "FPGA PE count (0 = largest that fits)")
+		mode       = flag.String("mode", "hybrid", "design: hybrid, processor-only, fpga-only")
+		bf         = flag.Int("bf", -1, "LU: FPGA row share per stripe (-1 = solve Eq. 4)")
+		l          = flag.Int("l", -1, "LU: panel pipeline depth (-1 = solve Eq. 5)")
+		l1         = flag.Int("l1", -1, "FW: processor ops per phase (-1 = solve Eq. 6)")
+		functional = flag.Bool("functional", false, "carry real matrices and verify the result")
+		seed       = flag.Int64("seed", 1, "functional input seed")
+		timeline   = flag.Bool("timeline", false, "print a per-process activity timeline (small runs only)")
+	)
+	flag.Parse()
+
+	if err := run(*app, *mc, *n, *b, *pes, *mode, *bf, *l, *l1, *functional, *seed, *timeline); err != nil {
+		fmt.Fprintln(os.Stderr, "hybridsim:", err)
+		os.Exit(1)
+	}
+}
+
+func machineByName(name string) (machine.Config, error) {
+	switch name {
+	case "xd1":
+		return machine.XD1(), nil
+	case "xt3":
+		return machine.XT3DRC(), nil
+	case "src6":
+		return machine.SRC6(), nil
+	case "rasc":
+		return machine.RASC(), nil
+	default:
+		return machine.Config{}, fmt.Errorf("unknown machine %q", name)
+	}
+}
+
+func modeByName(name string) (core.Mode, error) {
+	switch name {
+	case "hybrid":
+		return core.Hybrid, nil
+	case "processor-only", "cpu":
+		return core.ProcessorOnly, nil
+	case "fpga-only", "fpga":
+		return core.FPGAOnly, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q", name)
+	}
+}
+
+func run(app, mcName string, n, b, pes int, modeName string, bf, l, l1 int, functional bool, seed int64, timeline bool) error {
+	mc, err := machineByName(mcName)
+	if err != nil {
+		return err
+	}
+	md, err := modeByName(modeName)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("machine: %s (%d nodes)\n", mc.Name, mc.Nodes)
+
+	var col *trace.Collector
+	var hook func(float64, string, string)
+	if timeline {
+		col = &trace.Collector{Limit: 2_000_000}
+		hook = func(t float64, proc, action string) {
+			col.Record(t, proc, action)
+		}
+		defer func() {
+			fmt.Println("\nactivity timeline (# = busy):")
+			if err := col.WriteTimeline(os.Stdout, 100, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "hybridsim: timeline:", err)
+			}
+		}()
+	}
+
+	switch app {
+	case "lu":
+		r, err := core.RunLU(core.LUConfig{
+			Machine: mc, N: n, B: b, PEs: pes, BF: bf, L: l,
+			Mode: md, Functional: functional, Seed: seed, Trace: hook,
+		})
+		if err != nil {
+			return err
+		}
+		printLU(r)
+	case "fw":
+		r, err := core.RunFW(core.FWConfig{
+			Machine: mc, N: n, B: b, PEs: pes, L1: l1,
+			Mode: md, Functional: functional, Seed: seed, Trace: hook,
+		})
+		if err != nil {
+			return err
+		}
+		printFW(r)
+	case "mm":
+		r, err := core.RunMM(core.MMConfig{
+			Machine: mc, N: n, PEs: pes, BF: bf,
+			Mode: md, Functional: functional, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		printMM(r)
+	case "qr":
+		r, err := core.RunQR(core.QRConfig{
+			Machine: mc, N: n, B: b, PEs: pes, BF: bf,
+			Mode: md, Functional: functional, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		printQR(r)
+	case "cg":
+		r, err := core.RunCG(core.CGConfig{
+			Machine: mc, N: n, PEs: pes, RowsFPGA: bf,
+			Mode: md, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		printCG(r)
+	case "chol":
+		r, err := core.RunCholesky(core.CholConfig{
+			Machine: mc, N: n, B: b, PEs: pes, BF: bf, L: l,
+			Mode: md, Functional: functional, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		printChol(r)
+	default:
+		return fmt.Errorf("unknown app %q (want lu, fw, mm, chol, qr or cg)", app)
+	}
+	return nil
+}
+
+func printMM(r *core.MMResult) {
+	fmt.Println("application:       hybrid matrix multiplication (Eq. 1)")
+	printCommon(&r.Result)
+	fmt.Printf("partition:         bf=%d bp=%d result rows per stripe (k=%d PEs)\n", r.BF, r.BP, r.K)
+	fmt.Printf("model prediction:  %.3f GFLOPS (measured/predicted = %.1f%%)\n",
+		r.Prediction.GFLOPS, 100*r.GFLOPS/r.Prediction.GFLOPS)
+}
+
+func printQR(r *core.QRResult) {
+	fmt.Println("application:       block Householder QR factorization (extension)")
+	printCommon(&r.Result)
+	fmt.Printf("partition:         bf=%d bp=%d (k=%d PEs)\n", r.BF, r.BP, r.K)
+	fmt.Printf("model prediction:  %.3f GFLOPS (measured/predicted = %.1f%%)\n",
+		r.Prediction.GFLOPS, 100*r.GFLOPS/r.Prediction.GFLOPS)
+}
+
+func printCG(r *core.CGRunResult) {
+	fmt.Println("application:       conjugate gradient (extension, after [9])")
+	printCommon(&r.Result)
+	fmt.Printf("row split:         %d rows to FPGA (SRAM-resident), %d to processor (k=%d MACs)\n",
+		r.RowsFPGA, r.RowsCPU, r.K)
+	fmt.Printf("solve:             %d iterations, converged=%v, SRAM load %.4fs\n",
+		r.Iterations, r.Converged, r.LoadSeconds)
+}
+
+func printChol(r *core.CholResult) {
+	fmt.Println("application:       block Cholesky factorization (extension)")
+	printCommon(&r.Result)
+	fmt.Printf("partition:         bf=%d bp=%d (k=%d PEs), pipeline l=%d\n", r.BF, r.BP, r.K, r.L)
+	fmt.Printf("model prediction:  %.3f GFLOPS (measured/predicted = %.1f%%)\n",
+		r.Prediction.GFLOPS, 100*r.GFLOPS/r.Prediction.GFLOPS)
+}
+
+func printCommon(r *core.Result) {
+	fmt.Printf("design:            %s\n", r.Mode)
+	fmt.Printf("problem:           n=%d b=%d\n", r.N, r.B)
+	fmt.Printf("simulated latency: %.3f s\n", r.Seconds)
+	fmt.Printf("throughput:        %.3f GFLOPS (%.3g flops)\n", r.GFLOPS, r.Flops)
+	fmt.Printf("network traffic:   %.2f GB\n", float64(r.NetworkBytes)/1e9)
+	fmt.Printf("coordinations:     %d register handshakes\n", r.Coordinations)
+	fmt.Printf("utilization:       cpu %.1f%%  fpga %.1f%%\n",
+		100*r.Utilization(r.CPUBusy), 100*r.Utilization(r.FPGABusy))
+	if r.Checked {
+		fmt.Printf("functional check:  max residual %.3g vs sequential reference\n", r.MaxResidual)
+	}
+}
+
+func printLU(r *core.LUResult) {
+	fmt.Println("application:       block LU decomposition")
+	printCommon(&r.Result)
+	fmt.Printf("partition:         bf=%d bp=%d (k=%d PEs), pipeline l=%d\n", r.BF, r.BP, r.K, r.L)
+	fmt.Printf("model prediction:  %.3f GFLOPS (measured/predicted = %.1f%%)\n",
+		r.Prediction.GFLOPS, 100*r.GFLOPS/r.Prediction.GFLOPS)
+}
+
+func printFW(r *core.FWResult) {
+	fmt.Println("application:       blocked Floyd-Warshall (all-pairs shortest paths)")
+	printCommon(&r.Result)
+	fmt.Printf("partition:         l1=%d processor ops, l2=%d FPGA ops per phase (k=%d PEs)\n", r.L1, r.L2, r.K)
+	fmt.Printf("model prediction:  %.3f GFLOPS (measured/predicted = %.1f%%)\n",
+		r.Prediction.GFLOPS, 100*r.GFLOPS/r.Prediction.GFLOPS)
+}

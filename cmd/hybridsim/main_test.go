@@ -1,0 +1,60 @@
+package main
+
+import (
+	"testing"
+
+	"codesign/internal/core"
+)
+
+func TestMachineByName(t *testing.T) {
+	for _, name := range []string{"xd1", "xt3", "src6", "rasc"} {
+		mc, err := machineByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if mc.Nodes < 1 {
+			t.Fatalf("%s: empty config", name)
+		}
+	}
+	if _, err := machineByName("cray-3"); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+}
+
+func TestModeByName(t *testing.T) {
+	cases := map[string]core.Mode{
+		"hybrid": core.Hybrid, "processor-only": core.ProcessorOnly,
+		"cpu": core.ProcessorOnly, "fpga-only": core.FPGAOnly, "fpga": core.FPGAOnly,
+	}
+	for name, want := range cases {
+		got, err := modeByName(name)
+		if err != nil || got != want {
+			t.Fatalf("%s -> %v, %v", name, got, err)
+		}
+	}
+	if _, err := modeByName("turbo"); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+func TestRunAllApps(t *testing.T) {
+	// End-to-end through the CLI's run path at small sizes.
+	for _, app := range []string{"lu", "fw", "mm", "chol", "qr"} {
+		n, b := 120, 20
+		if app == "fw" {
+			n, b = 96, 8
+		}
+		if app == "mm" {
+			n, b = 96, 0
+		}
+		if err := run(app, "xd1", n, b, 4, "hybrid", -1, -1, -1, true, 1, false); err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+	}
+	if err := run("cg", "xd1", 128, 0, 0, "hybrid", -1, -1, -1, false, 1, false); err != nil {
+		t.Fatalf("cg: %v", err)
+	}
+	if err := run("fft", "xd1", 10, 2, 0, "hybrid", -1, -1, -1, false, 1, false); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}

@@ -1,0 +1,167 @@
+// Package codesign is the public API of a full reproduction of
+// "Hardware/Software Co-Design for Matrix Computations on Reconfigurable
+// Computing Systems" (Zhuo & Prasanna, IPDPS 2007).
+//
+// It bundles three layers:
+//
+//   - The design model (Section 4): system parameters, the workload
+//     partition solvers of Equations (1)-(6) and the Section 4.5
+//     performance predictor. See LUModel / FWModel.
+//
+//   - A simulated reconfigurable computing system: p nodes of
+//     processor + FPGA + DRAM + SRAM on a crossbar fabric, driven by a
+//     deterministic discrete-event engine. See MachineXD1 and friends.
+//
+//   - The co-designed applications with their baselines: the paper's
+//     distributed block LU decomposition and blocked Floyd-Warshall
+//     (Section 5), plus the extensions its conclusion calls for —
+//     hybrid matrix multiplication, Cholesky, Householder QR and
+//     conjugate gradient. All run timing-only at paper scale or carry
+//     real matrices (Functional) with results checked against
+//     sequential references. See RunLU / RunFW / RunOpMM / RunMM /
+//     RunCholesky / RunQR / RunCG.
+//
+// Quick start:
+//
+//	res, err := codesign.RunLU(codesign.LUConfig{
+//		N: 30000, B: 3000, BF: -1, L: -1, Mode: codesign.Hybrid,
+//	})
+//	// res.GFLOPS ≈ 18-20 on the simulated XD1 chassis; res.BF == 1280.
+//
+// Every table and figure of the paper's evaluation regenerates through
+// the Experiments facade (see also cmd/experiments).
+package codesign
+
+import (
+	"codesign/internal/core"
+	"codesign/internal/exper"
+	"codesign/internal/machine"
+	"codesign/internal/model"
+)
+
+// Design-variant modes (Figure 9).
+const (
+	Hybrid        = core.Hybrid
+	ProcessorOnly = core.ProcessorOnly
+	FPGAOnly      = core.FPGAOnly
+)
+
+// Re-exported configuration and result types.
+type (
+	// Mode selects hybrid or a baseline design.
+	Mode = core.Mode
+	// LUConfig configures a distributed block LU run.
+	LUConfig = core.LUConfig
+	// LUResult is the outcome of a block LU run.
+	LUResult = core.LUResult
+	// FWConfig configures a distributed Floyd-Warshall run.
+	FWConfig = core.FWConfig
+	// FWResult is the outcome of a Floyd-Warshall run.
+	FWResult = core.FWResult
+	// OpMMResult is the outcome of a stripe-granular single-block
+	// multiplication run (Figure 5).
+	OpMMResult = core.OpMMResult
+	// MMConfig configures a hybrid matrix multiplication run (the
+	// Equation (1) extension application).
+	MMConfig = core.MMConfig
+	// MMResult is the outcome of a hybrid multiplication run.
+	MMResult = core.MMResult
+	// CholConfig configures a hybrid Cholesky factorization run (the
+	// ScaLAPACK-trio extension application).
+	CholConfig = core.CholConfig
+	// CholResult is the outcome of a hybrid Cholesky run.
+	CholResult = core.CholResult
+	// QRConfig configures a hybrid Householder QR factorization run.
+	QRConfig = core.QRConfig
+	// QRResult is the outcome of a hybrid QR run.
+	QRResult = core.QRResult
+	// CGConfig configures a hybrid conjugate-gradient solve.
+	CGConfig = core.CGConfig
+	// CGRunResult is the outcome of a hybrid CG solve.
+	CGRunResult = core.CGRunResult
+	// MachineConfig describes a reconfigurable computing system.
+	MachineConfig = machine.Config
+	// LUModel instantiates the design model for block LU (Eqs. 4-5).
+	LUModel = model.LUParams
+	// FWModel instantiates the design model for Floyd-Warshall (Eq. 6).
+	FWModel = model.FWParams
+	// ModelParams are the raw Section 4.1 system parameters (Eqs. 1-2).
+	ModelParams = model.Params
+	// Prediction is the Section 4.5 performance prediction.
+	Prediction = model.Prediction
+	// ExperimentTable is one regenerated paper table or figure.
+	ExperimentTable = exper.Table
+)
+
+// RunLU simulates the distributed block LU decomposition of Section 5.1
+// on the configured machine and returns measured throughput, the
+// derived partition (bf/bp/l) and the model prediction.
+func RunLU(cfg LUConfig) (*LUResult, error) { return core.RunLU(cfg) }
+
+// RunFW simulates the distributed blocked Floyd-Warshall algorithm of
+// Section 5.2.
+func RunFW(cfg FWConfig) (*FWResult, error) { return core.RunFW(cfg) }
+
+// RunOpMM simulates one b×b block matrix multiplication at stripe
+// granularity with the given FPGA row share (Figure 5's experiment).
+func RunOpMM(mc MachineConfig, b, pes, bf int) (*OpMMResult, error) {
+	return core.RunOpMM(mc, b, pes, bf)
+}
+
+// RunMM simulates hybrid matrix multiplication — the pure Equation (1)
+// case: per-node compute/DMA balance, no network communication.
+func RunMM(cfg MMConfig) (*MMResult, error) { return core.RunMM(cfg) }
+
+// RunCholesky simulates the distributed hybrid Cholesky factorization
+// extension (same co-design engine as LU, half the flops, square-root
+// unit on the panel datapath).
+func RunCholesky(cfg CholConfig) (*CholResult, error) { return core.RunCholesky(cfg) }
+
+// RunQR simulates the distributed hybrid Householder QR factorization
+// extension (panel reflectors broadcast, compact-WY trailing updates
+// split per Equation (4)).
+func RunQR(cfg QRConfig) (*QRResult, error) { return core.RunQR(cfg) }
+
+// RunCG simulates the hybrid conjugate-gradient extension (after the
+// FPGA-augmented CG the paper cites as related work [9]): the operator
+// apply splits row-wise per Equation (1), the FPGA share resident in
+// SRAM; iterates are verified bit-exact against the sequential solver.
+func RunCG(cfg CGConfig) (*CGRunResult, error) { return core.RunCG(cfg) }
+
+// Machine presets (Section 3).
+var (
+	// MachineXD1 is one Cray XD1 chassis: the paper's testbed.
+	MachineXD1 = machine.XD1
+	// MachineXT3DRC is a Cray XT3 partition with DRC Virtex-4 modules.
+	MachineXT3DRC = machine.XT3DRC
+	// MachineSRC6 is an SRC-6 MAPstation cluster.
+	MachineSRC6 = machine.SRC6
+	// MachineRASC is an SGI RASC RC100 system.
+	MachineRASC = machine.RASC
+)
+
+// Experiments regenerates the paper's tables and figures.
+var (
+	// ExperimentTable1 regenerates Table 1 (panel routine latencies).
+	ExperimentTable1 = exper.Table1
+	// ExperimentFig5 regenerates Figure 5 (block-multiply latency vs bf).
+	ExperimentFig5 = exper.Fig5
+	// ExperimentFig6 regenerates Figure 6 (iteration latency vs l).
+	ExperimentFig6 = exper.Fig6
+	// ExperimentFig7 regenerates Figure 7 (FW iteration latency vs l1).
+	ExperimentFig7 = exper.Fig7
+	// ExperimentFig8 regenerates Figure 8 (LU GFLOPS vs n/b).
+	ExperimentFig8 = exper.Fig8
+	// ExperimentFig9 regenerates Figure 9 (hybrid vs baselines).
+	ExperimentFig9 = exper.Fig9
+	// ExperimentPrediction regenerates the Section 6.2 accuracy study.
+	ExperimentPrediction = exper.Prediction
+	// ExperimentAblations runs the DESIGN.md design-choice studies.
+	ExperimentAblations = exper.Ablations
+	// ExperimentExtensions runs the matmul/Cholesky extension study.
+	ExperimentExtensions = exper.Extensions
+	// ExperimentSensitivity sweeps system parameters through the model.
+	ExperimentSensitivity = exper.Sensitivity
+	// AllExperiments regenerates everything.
+	AllExperiments = exper.All
+)

@@ -1,0 +1,68 @@
+// Model a machine that does not exist: start from the Cray XT3 + DRC
+// preset, scale it out, and let the co-design model re-derive the
+// workload partitions before simulating both applications on it.
+//
+// This is the workflow the paper's Section 4 enables: given a new
+// system's parameters (Of, Ff, Op·Fp, Bd, Bn, p), decide the
+// hardware/software split before building anything.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"codesign"
+)
+
+func main() {
+	// A hypothetical 12-node XT3 partition with DRC Virtex-4 modules
+	// and a doubled SeaStar link rate.
+	mc := codesign.MachineXT3DRC()
+	mc.Name = "hypothetical 12-node XT3 + DRC"
+	mc.Nodes = 12
+	mc.Fabric.Nodes = 12
+	mc.Fabric.LinkBandwidth = 8e9
+
+	fmt.Printf("%s:\n", mc.Name)
+
+	// LU: b must be a multiple of p-1 = 11 and of the PE count (the
+	// Virtex-4 LX200 fits 10 matmul PEs, DSP-bound).
+	b := 2200 // 11 * 10 * 20
+	lu, err := codesign.RunLU(codesign.LUConfig{
+		Machine: mc, N: 10 * b, B: b, BF: -1, L: -1, Mode: codesign.Hybrid,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  LU (n=%d, b=%d, k=%d PEs):\n", lu.N, lu.B, lu.K)
+	fmt.Printf("    model partition bf=%d bp=%d, pipeline l=%d\n", lu.BF, lu.BP, lu.L)
+	fmt.Printf("    simulated %.2f GFLOPS (predicted %.2f)\n", lu.GFLOPS, lu.Prediction.GFLOPS)
+
+	luBase, err := codesign.RunLU(codesign.LUConfig{
+		Machine: mc, N: 10 * b, B: b, BF: -1, L: -1, Mode: codesign.ProcessorOnly,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("    speedup over processor-only: %.2fx\n", luBase.Seconds/lu.Seconds)
+
+	// FW: the LX200 fits 24 FW PEs; with b=240 each node owns
+	// n/(b·p) block columns.
+	fw, err := codesign.RunFW(codesign.FWConfig{
+		Machine: mc, N: 240 * 12 * 4, B: 240, PEs: 24, L1: -1, Mode: codesign.Hybrid,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  FW (n=%d, b=%d, k=%d PEs):\n", fw.N, fw.B, fw.K)
+	fmt.Printf("    model split l1=%d l2=%d per phase\n", fw.L1, fw.L2)
+	fmt.Printf("    simulated %.2f GFLOPS (predicted %.2f)\n", fw.GFLOPS, fw.Prediction.GFLOPS)
+
+	fwBase, err := codesign.RunFW(codesign.FWConfig{
+		Machine: mc, N: 240 * 12 * 4, B: 240, PEs: 24, L1: -1, Mode: codesign.ProcessorOnly,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("    speedup over processor-only: %.2fx\n", fwBase.Seconds/fw.Seconds)
+}

@@ -1,0 +1,74 @@
+// Use the design model directly — no simulation — the way Section 4.5
+// prescribes: characterize a system with its parameters, solve the
+// partitions, predict performance; then run the simulator and measure
+// how much of the prediction a real (simulated) schedule achieves.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"codesign"
+)
+
+func main() {
+	// The XD1 parameters of Section 6.1, written down by hand the way
+	// the paper's Table of parameters does.
+	lu := codesign.LUModel{
+		P: 6, B: 3000, K: 8,
+		Ff:         130e6, // placed matmul design clock
+		StripeRate: 2.95e9,
+		LURate:     2.0 / 3.0 * 3000 * 3000 * 3000 / 4.9, // Table 1
+		TrsmRate:   3000 * 3000 * 3000 / 7.1,             // Table 1
+		Bd:         1.04e9, Bn: 2e9, Bw: 8,
+		SRAMBytes: 8 << 20,
+	}
+	bf, bp := lu.SolvePartition()
+	l := lu.SolveL(bf)
+	pred := lu.PredictLU(30000, bf)
+	fmt.Println("LU on Cray XD1 per the design model:")
+	fmt.Printf("  Eq.4: bf=%d, bp=%d (paper: 1280/1720)\n", bf, bp)
+	fmt.Printf("  Eq.5: l=%d (paper: 3)\n", l)
+	fmt.Printf("  Sec 4.5 prediction: %.2f GFLOPS (Ttp=%.0fs, Ttf=%.0fs)\n",
+		pred.GFLOPS, pred.Ttp, pred.Ttf)
+
+	fw := codesign.FWModel{
+		P: 6, B: 256, K: 8,
+		Ff:     120e6,
+		FWRate: 190e6,
+		Bd:     960e6, Bn: 2e9, Bw: 8,
+	}
+	l1, l2 := fw.SolveSplit(18432)
+	fwPred := fw.PredictFW(18432, l1, l2)
+	fmt.Println("Floyd-Warshall on Cray XD1 per the design model:")
+	fmt.Printf("  Eq.6: l1=%d, l2=%d (paper: 2/10)\n", l1, l2)
+	fmt.Printf("  Sec 4.5 prediction: %.2f GFLOPS\n", fwPred.GFLOPS)
+
+	// Now measure: how much of the prediction does the full simulated
+	// schedule achieve? (Paper: 86% for LU, 96% for FW.)
+	luRes, err := codesign.RunLU(codesign.LUConfig{
+		N: 30000, B: 3000, BF: bf, L: l, Mode: codesign.Hybrid,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fwRes, err := codesign.RunFW(codesign.FWConfig{
+		N: 18432, B: 256, L1: l1, Mode: codesign.Hybrid,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Measured against prediction:")
+	fmt.Printf("  LU: %.2f / %.2f GFLOPS = %.0f%% (paper: 86%%)\n",
+		luRes.GFLOPS, pred.GFLOPS, 100*luRes.GFLOPS/pred.GFLOPS)
+	fmt.Printf("  FW: %.2f / %.2f GFLOPS = %.0f%% (paper: 96%%)\n",
+		fwRes.GFLOPS, fwPred.GFLOPS, 100*fwRes.GFLOPS/fwPred.GFLOPS)
+
+	// The generic Equation (1)/(2) splitter on raw parameters.
+	params := codesign.ModelParams{
+		P: 6, Of: 16, Ff: 130e6, OpFp: 3.9e9, Bd: 1.04e9, Bn: 2e9, Bw: 8,
+	}
+	np, nf := params.SplitComm(1e12, 5e9, 1e9)
+	fmt.Printf("Generic Eq.2 split of 1e12 flops (5 GB DMA, 1 GB comm): "+
+		"%.3g to CPU, %.3g to FPGA\n", np, nf)
+}

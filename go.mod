@@ -1,0 +1,3 @@
+module codesign
+
+go 1.22

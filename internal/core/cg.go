@@ -1,0 +1,265 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"codesign/internal/cpu"
+	"codesign/internal/fpga"
+	"codesign/internal/machine"
+	"codesign/internal/matrix"
+	"codesign/internal/sim"
+)
+
+// CGConfig configures a hybrid conjugate-gradient solve — the related
+// work the paper contrasts itself with (Morris et al. [9], an
+// FPGA-augmented CG on an SRC reconfigurable computer) rebuilt with
+// this repository's co-design model. The operator apply (matrix-vector
+// product) is split row-wise between processor and FPGA per Equation
+// (1); the matrix's FPGA share is loaded into on-board SRAM once and
+// streamed from there every iteration, while the O(n) vector kernels
+// stay on the processor. Single node, as in [9].
+type CGConfig struct {
+	// Machine is the system; zero value means one Cray XD1 chassis
+	// (only node 0 is used).
+	Machine machine.Config
+	// N is the system size.
+	N int
+	// Density selects the operator: 0 means dense SPD; otherwise a
+	// sparse SPD matrix with the given off-diagonal density.
+	Density float64
+	// Tol is the relative residual tolerance (default 1e-10).
+	Tol float64
+	// MaxIter caps the iteration count (default n).
+	MaxIter int
+	// PEs is the MV design size; 0 means the largest that fits.
+	PEs int
+	// RowsFPGA is the FPGA's row share; -1 solves the Equation (1)
+	// balance (with the SRAM capacity clamp).
+	RowsFPGA int
+	// Mode selects hybrid or a baseline.
+	Mode Mode
+	// Seed drives input generation. CG is always functional: the
+	// iteration count is a property of the data.
+	Seed int64
+}
+
+// CGRunResult reports a hybrid CG solve.
+type CGRunResult struct {
+	Result
+	RowsFPGA, RowsCPU, K int
+	Iterations           int
+	Converged            bool
+	Residual             float64
+	// LoadSeconds is the one-time cost of staging the FPGA's matrix
+	// share into SRAM over the DRAM path.
+	LoadSeconds float64
+}
+
+// RunCG builds the machine, solves the row split, runs the solve on the
+// simulated node and verifies the iterates against the sequential
+// reference.
+func RunCG(cfg CGConfig) (*CGRunResult, error) {
+	if cfg.Machine.Nodes == 0 {
+		cfg.Machine = machine.XD1()
+	}
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("core: cg needs n > 0")
+	}
+	if cfg.Tol <= 0 {
+		cfg.Tol = 1e-10
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = cfg.N
+	}
+	sys, err := machine.New(cfg.Machine)
+	if err != nil {
+		return nil, err
+	}
+	k := cfg.PEs
+	if k == 0 {
+		k = fpga.MaxPEs(func(k int) fpga.Design { return fpga.NewMV(k) }, cfg.Machine.Device)
+	}
+	design := fpga.NewMV(k)
+	if err := sys.InstallDesign(design); err != nil {
+		return nil, err
+	}
+	node := sys.Nodes[0]
+	accel := node.Accel
+	proc := node.Proc
+
+	// Build the operator and the reference solve.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var op matrix.MulVec
+	var rowWords func(lo, hi int) int // matrix words in rows [lo,hi)
+	if cfg.Density > 0 {
+		sp := matrix.RandomSparseSPD(cfg.N, cfg.Density, rng)
+		op = sp
+		// CSR streams value+column index per non-zero (~1.5 words).
+		rowWords = func(lo, hi int) int { return sp.RangeNNZ(lo, hi) * 3 / 2 }
+	} else {
+		a := matrix.RandomSPD(cfg.N, rng)
+		op = matrix.DenseOp{A: a}
+		rowWords = func(lo, hi int) int { return (hi - lo) * cfg.N }
+	}
+	b := make([]float64, cfg.N)
+	for i := range b {
+		b[i] = 2*rng.Float64() - 1
+	}
+	ref := matrix.CG(op, b, cfg.Tol, cfg.MaxIter)
+
+	// Row split per Equation (1): the FPGA's per-iteration apply time
+	// (SRAM-stream/MAC bound) balances the processor's share plus the
+	// vector kernels it must also run.
+	sramBW := cfg.Machine.SRAMBandwidth
+	if sramBW <= 0 {
+		sramBW = 9.6e9
+	}
+	totalWords := rowWords(0, cfg.N)
+	wordsPerRow := float64(totalWords) / float64(cfg.N)
+	fpgaPerWord := math.Max(1/(float64(k)*accel.Placed.FreqHz), machine.WordBytes/sramBW)
+	cpuPerWord := 2 / proc.Rate(cpu.DGEMV)
+	vecTime := proc.Time(cpu.VectorOp, 10*float64(cfg.N))
+
+	rf := cfg.RowsFPGA
+	switch cfg.Mode {
+	case ProcessorOnly:
+		rf = 0
+	case FPGAOnly:
+		rf = cfg.N
+	default:
+		if rf < 0 {
+			// rf·w·tf = (n-rf)·w·tc + vec  =>  rf = (n·w·tc + vec) / (w·(tf+tc))
+			w := wordsPerRow
+			rfF := (float64(cfg.N)*w*cpuPerWord + vecTime) / (w * (fpgaPerWord + cpuPerWord))
+			rf = int(rfF)
+		}
+	}
+	if rf < 0 || rf > cfg.N {
+		return nil, fmt.Errorf("core: rowsFPGA=%d out of [0,%d]", rf, cfg.N)
+	}
+	// SRAM capacity clamp on the resident share.
+	capWords := int(float64(sys.Nodes[0].SRAM.TotalBytes()) / machine.WordBytes)
+	if rf > 0 && rowWords(0, rf) > capWords {
+		for rf > 0 && rowWords(0, rf) > capWords {
+			rf--
+		}
+	}
+
+	fpgaWords := rowWords(0, rf)
+	fpgaApply := float64(fpgaWords) * fpgaPerWord
+	cpuApply := float64(rowWords(rf, cfg.N)) * cpuPerWord
+
+	// The solve, mirroring matrix.CG step for step with the operator
+	// apply split across the two resources.
+	x := make([]float64, cfg.N)
+	r := make([]float64, cfg.N)
+	copy(r, b)
+	pv := make([]float64, cfg.N)
+	copy(pv, r)
+	q := make([]float64, cfg.N)
+	bnorm := matrix.Norm2(b)
+	rr := matrix.Dot(r, r)
+
+	res := &CGRunResult{RowsFPGA: rf, RowsCPU: cfg.N - rf, K: k}
+	var loadDone float64
+	sys.Eng.Go("cg.cpu", func(pr *sim.Proc) {
+		// One-time SRAM load of the FPGA's matrix share over Bd.
+		if rf > 0 {
+			accel.Run(pr, "cg.load", func(fp *sim.Proc) {
+				accel.Stream(fp, fpgaWords*machine.WordBytes)
+			})
+		}
+		loadDone = pr.Now()
+		if bnorm == 0 {
+			res.Converged = true
+			return
+		}
+		for it := 0; it < cfg.MaxIter; it++ {
+			// q = A·p, split by rows.
+			var done *sim.Signal
+			if rf > 0 {
+				done = accel.Launch(fmt.Sprintf("cg.mv.%d", it), func(fp *sim.Proc) {
+					accel.Compute(fp, fpgaApply*accel.Placed.FreqHz)
+				})
+			}
+			if rf < cfg.N {
+				node.CPUBusy.Use(pr, cpuApply)
+			}
+			applyOpSplit(op, pv, q, rf)
+			if done != nil {
+				accel.AwaitDone(pr, done)
+			}
+			// Vector kernels on the processor.
+			node.ComputeCPU(pr, cpu.VectorOp, 10*float64(cfg.N))
+			alpha := rr / matrix.Dot(pv, q)
+			matrix.Axpy(alpha, pv, x)
+			matrix.Axpy(-alpha, q, r)
+			rrNew := matrix.Dot(r, r)
+			res.Iterations = it + 1
+			if math.Sqrt(rrNew) <= cfg.Tol*bnorm {
+				res.Converged = true
+				rr = rrNew
+				break
+			}
+			beta := rrNew / rr
+			for i := range pv {
+				pv[i] = r[i] + beta*pv[i]
+			}
+			rr = rrNew
+		}
+		res.Residual = math.Sqrt(rr)
+	})
+
+	end, err := sys.Run()
+	if err != nil {
+		return nil, fmt.Errorf("core: cg simulation: %w", err)
+	}
+
+	// Verify against the sequential reference: identical operations in
+	// identical order, so the iterates are bit-identical.
+	var maxDiff float64
+	for i := range x {
+		if d := math.Abs(x[i] - ref.X[i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if res.Iterations != ref.Iterations || res.Converged != ref.Converged {
+		return nil, fmt.Errorf("core: cg diverged from reference: %d/%v vs %d/%v",
+			res.Iterations, res.Converged, ref.Iterations, ref.Converged)
+	}
+
+	applyFlops := 2 * float64(totalWords)
+	if cfg.Density > 0 {
+		applyFlops = 2 * float64(op.(*matrix.CSR).NNZ())
+	}
+	flops := float64(res.Iterations) * (applyFlops + 10*float64(cfg.N))
+	res.Result = Result{
+		App: "cg", Mode: cfg.Mode, N: cfg.N, B: 0,
+		Seconds: end, Flops: flops, GFLOPS: flops / end / 1e9,
+		NetworkBytes:  sys.Fab.Bytes(),
+		Coordinations: collectCoordinations(sys),
+		MaxResidual:   maxDiff,
+		Checked:       true,
+	}
+	res.CPUBusy, res.FPGABusy = collectBusy(sys)
+	res.LoadSeconds = loadDone
+	return res, nil
+}
+
+// applyOpSplit computes q = A·p with rows [0,rf) notionally on the FPGA
+// and the rest on the processor — the arithmetic is identical, so one
+// pass through the row-partitioned kernels suffices.
+func applyOpSplit(op matrix.MulVec, p, q []float64, rf int) {
+	switch o := op.(type) {
+	case matrix.DenseOp:
+		matrix.MatVecRange(o.A, p, q, 0, rf)
+		matrix.MatVecRange(o.A, p, q, rf, len(q))
+	case *matrix.CSR:
+		o.ApplyRange(p, q, 0, rf)
+		o.ApplyRange(p, q, rf, len(q))
+	default:
+		op.Apply(p, q)
+	}
+}

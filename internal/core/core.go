@@ -1,0 +1,110 @@
+// Package core implements the paper's hybrid designs (Section 5): the
+// distributed block LU decomposition and the distributed blocked
+// Floyd-Warshall algorithm, each in three variants — Hybrid (processor +
+// FPGA per the co-design model), ProcessorOnly and FPGAOnly (the two
+// baselines of Section 6.2) — executing on a simulated reconfigurable
+// computing system built by internal/machine.
+//
+// Every run is a discrete-event simulation of the full distributed
+// schedule: panel factorizations, stripe broadcasts, DRAM streaming,
+// FPGA jobs, result scatters and subtractions all occur as events whose
+// durations come from the machine model. With Functional enabled the
+// events also carry real matrices through the real kernels, so the
+// distributed result can be checked against the sequential references
+// in internal/matrix.
+package core
+
+import (
+	"fmt"
+
+	"codesign/internal/machine"
+)
+
+// Mode selects which compute resources a design uses.
+type Mode int
+
+// The design variants compared in Figure 9.
+const (
+	// Hybrid uses both the processor and the FPGA per the design model.
+	Hybrid Mode = iota
+	// ProcessorOnly is the software baseline (FPGAs idle).
+	ProcessorOnly
+	// FPGAOnly is the hardware baseline (processors only orchestrate:
+	// panel factorizations, communication and DMA remain on the CPU,
+	// which cannot be avoided on these systems).
+	FPGAOnly
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Hybrid:
+		return "hybrid"
+	case ProcessorOnly:
+		return "processor-only"
+	case FPGAOnly:
+		return "fpga-only"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Result is the outcome of one simulated run.
+type Result struct {
+	// App is "lu" or "fw".
+	App string
+	// Mode is the design variant.
+	Mode Mode
+	// N and B are the problem and block sizes.
+	N, B int
+	// Seconds is the simulated wall time of the whole application.
+	Seconds float64
+	// GFLOPS is useful work over Seconds.
+	GFLOPS float64
+	// Flops is the useful floating-point work.
+	Flops float64
+	// NetworkBytes is total fabric traffic.
+	NetworkBytes int64
+	// Coordinations is processor<->FPGA handshakes across all nodes.
+	Coordinations int64
+	// CPUBusy and FPGABusy are per-node busy seconds.
+	CPUBusy, FPGABusy []float64
+	// MaxResidual is the largest deviation of the functional result
+	// from the sequential reference (0 when Functional is off).
+	MaxResidual float64
+	// Checked reports whether a functional comparison was performed.
+	Checked bool
+}
+
+// Utilization returns mean busy fraction of the given per-node series.
+func (r *Result) Utilization(busy []float64) float64 {
+	if r.Seconds <= 0 || len(busy) == 0 {
+		return 0
+	}
+	var s float64
+	for _, b := range busy {
+		s += b
+	}
+	return s / (float64(len(busy)) * r.Seconds)
+}
+
+func collectBusy(sys *machine.System) (cpu, fpga []float64) {
+	for _, n := range sys.Nodes {
+		cpu = append(cpu, n.CPUBusy.BusySeconds())
+		if n.Accel != nil {
+			fpga = append(fpga, n.Accel.Array.BusySeconds())
+		} else {
+			fpga = append(fpga, 0)
+		}
+	}
+	return cpu, fpga
+}
+
+func collectCoordinations(sys *machine.System) int64 {
+	var c int64
+	for _, n := range sys.Nodes {
+		if n.Accel != nil {
+			c += n.Accel.Coordinations()
+		}
+	}
+	return c
+}

@@ -1,0 +1,367 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"codesign/internal/cpu"
+	"codesign/internal/dist"
+	"codesign/internal/fpga"
+	"codesign/internal/machine"
+	"codesign/internal/matrix"
+	"codesign/internal/model"
+	"codesign/internal/sim"
+)
+
+// FWConfig configures a distributed blocked Floyd-Warshall run
+// (Section 5.2.3).
+type FWConfig struct {
+	// Machine is the system; zero value means one Cray XD1 chassis.
+	Machine machine.Config
+	// N is the vertex count, B the block size. B·p must divide N and B
+	// must be a multiple of the PE count.
+	N, B int
+	// PEs is the FW design size; 0 means the largest that fits.
+	PEs int
+	// L1 is the processor's whole-task share per phase; -1 solves
+	// Equation (6). L2 is the remainder of n/(b·p). (Baselines force
+	// L1: ProcessorOnly takes all, FPGAOnly none.)
+	L1 int
+	// Mode selects hybrid or a baseline.
+	Mode Mode
+	// Functional carries a real distance matrix through the run and
+	// checks it against the sequential blocked reference.
+	Functional bool
+	// Trace, when non-nil, receives every engine event.
+	Trace func(t float64, proc, action string)
+	// Seed and Density drive functional graph generation.
+	Seed    int64
+	Density float64
+}
+
+// FWResult extends Result with the FW-specific configuration.
+type FWResult struct {
+	Result
+	L1, L2, K        int
+	IterationSeconds []float64
+	Model            model.FWParams
+	Prediction       model.Prediction
+}
+
+// fwBcast is a broadcast token: the diagonal block (phase 0) or an op22
+// result row block (later phases) of iteration t.
+type fwBcast struct {
+	t, ph int
+}
+
+type fwRun struct {
+	cfg     FWConfig
+	sys     *machine.System
+	fp      model.FWParams
+	nb      int
+	cols    dist.ColumnBlocks
+	colsPer int // owned block columns per node (= ops per phase)
+	l1, l2  int
+
+	tp, tf, tmem, tcomm float64
+	blockCycles         float64
+
+	bcast []*sim.Mailbox
+
+	d *matrix.Dense // functional distance matrix
+}
+
+func (fr *fwRun) blk(u, v int) *matrix.Dense {
+	b := fr.cfg.B
+	return fr.d.View(u*b, v*b, b, b)
+}
+
+// owner returns the node owning block column c per the contiguous
+// block-column distribution of Section 5.2.3.
+func (fr *fwRun) owner(c int) int { return fr.cols.Owner(c) }
+
+// RunFW builds the machine, derives the whole-task split from the
+// design model, simulates the distributed computation and returns the
+// measured results.
+func RunFW(cfg FWConfig) (*FWResult, error) {
+	if cfg.Machine.Nodes == 0 {
+		cfg.Machine = machine.XD1()
+	}
+	p := cfg.Machine.Nodes
+	if cfg.N <= 0 || cfg.B <= 0 || cfg.N%(cfg.B*p) != 0 {
+		return nil, fmt.Errorf("core: n=%d must be a multiple of b·p=%d", cfg.N, cfg.B*p)
+	}
+	sys, err := machine.New(cfg.Machine)
+	if err != nil {
+		return nil, err
+	}
+	sys.Eng.Trace = cfg.Trace
+	k := cfg.PEs
+	if k == 0 {
+		k = fpga.MaxPEs(func(k int) fpga.Design { return fpga.NewFW(k) }, cfg.Machine.Device)
+	}
+	if cfg.B%k != 0 {
+		return nil, fmt.Errorf("core: block size %d must be a multiple of k=%d", cfg.B, k)
+	}
+	design := fpga.NewFW(k)
+	if err := sys.InstallDesign(design); err != nil {
+		return nil, err
+	}
+	accel := sys.Nodes[0].Accel
+	proc := sys.Nodes[0].Proc
+
+	fp := model.FWParams{
+		P: p, B: cfg.B, K: k,
+		Ff:        accel.Placed.FreqHz,
+		FWRate:    proc.Rate(cpu.FWKernel),
+		Bd:        accel.DRAM.BandwidthBytes,
+		Bn:        cfg.Machine.Fabric.LinkBandwidth,
+		Bw:        machine.WordBytes,
+		SRAMBytes: sys.Nodes[0].SRAM.TotalBytes() / 2,
+	}
+	if err := fp.Validate(); err != nil {
+		return nil, err
+	}
+
+	fr := &fwRun{cfg: cfg, sys: sys, fp: fp, nb: cfg.N / cfg.B}
+	fr.cols = dist.NewColumnBlocks(fr.nb, p)
+	fr.colsPer = fr.cols.PerNode()
+	fr.tp, fr.tf, fr.tmem, fr.tcomm = fp.BlockTimes()
+	fr.blockCycles = design.Cycles(cfg.B)
+
+	total := fr.colsPer // ops per node per phase = n/(b·p)
+	switch cfg.Mode {
+	case ProcessorOnly:
+		fr.l1, fr.l2 = total, 0
+	case FPGAOnly:
+		fr.l1, fr.l2 = 0, total
+	default:
+		if cfg.L1 >= 0 {
+			if cfg.L1 > total {
+				return nil, fmt.Errorf("core: l1=%d exceeds ops per phase %d", cfg.L1, total)
+			}
+			fr.l1, fr.l2 = cfg.L1, total-cfg.L1
+		} else {
+			fr.l1, fr.l2 = fp.SolveSplit(cfg.N)
+		}
+	}
+
+	var ref *matrix.Dense
+	if cfg.Functional {
+		density := cfg.Density
+		if density <= 0 {
+			density = 0.3
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		fr.d = matrix.RandomGraph(cfg.N, density, rng)
+		ref = fr.d.Clone()
+		matrix.BlockedFloydWarshall(ref, cfg.B)
+	}
+
+	for i := 0; i < p; i++ {
+		fr.bcast = append(fr.bcast, sim.NewMailbox(sys.Eng, fmt.Sprintf("fw.bcast%d", i)))
+	}
+
+	iterEnd := make([]float64, fr.nb)
+	for i := 0; i < p; i++ {
+		node := sys.Nodes[i]
+		me := i
+		sys.Eng.Go(fmt.Sprintf("node%d.cpu", me), func(pr *sim.Proc) {
+			for t := 0; t < fr.nb; t++ {
+				fr.runIteration(pr, node, me, t)
+				if me == 0 {
+					iterEnd[t] = pr.Now()
+				}
+			}
+		})
+	}
+
+	end, err := sys.Run()
+	if err != nil {
+		return nil, fmt.Errorf("core: fw simulation: %w", err)
+	}
+
+	n := float64(cfg.N)
+	flops := 2 * n * n * n
+	cpuBusy, fpgaBusy := collectBusy(sys)
+	res := &FWResult{
+		Result: Result{
+			App: "fw", Mode: cfg.Mode, N: cfg.N, B: cfg.B,
+			Seconds: end, Flops: flops, GFLOPS: flops / end / 1e9,
+			NetworkBytes:  sys.Fab.Bytes(),
+			Coordinations: collectCoordinations(sys),
+			CPUBusy:       cpuBusy, FPGABusy: fpgaBusy,
+		},
+		L1: fr.l1, L2: fr.l2, K: k,
+		Model:      fp,
+		Prediction: fp.PredictFW(cfg.N, fr.l1, fr.l2),
+	}
+	prev := 0.0
+	for _, tEnd := range iterEnd {
+		res.IterationSeconds = append(res.IterationSeconds, tEnd-prev)
+		prev = tEnd
+	}
+	if cfg.Functional && ref != nil {
+		res.Checked = true
+		res.MaxResidual = fr.d.MaxDiff(ref)
+	}
+	return res, nil
+}
+
+// runIteration is iteration t on node me: nb phases, each preceded by a
+// broadcast from the pivot-column owner, each performing this node's
+// n/(b·p) block operations split between processor and FPGA.
+func (fr *fwRun) runIteration(pr *sim.Proc, node *machine.Node, me, t int) {
+	tq := fr.owner(t)
+	nb := fr.nb
+
+	// rowSeq is the broadcast order of op22 row blocks (all rows but t).
+	rowAt := func(ph int) int { // for phases 1..nb-1
+		u := ph - 1
+		if u >= t {
+			u++
+		}
+		return u
+	}
+
+	myCols := make([]int, 0, fr.colsPer)
+	for c := me * fr.colsPer; c < (me+1)*fr.colsPer; c++ {
+		myCols = append(myCols, c)
+	}
+
+	for ph := 0; ph < nb; ph++ {
+		// --- Broadcast for this phase. ---
+		if me == tq {
+			if ph == 0 {
+				// op1 on the diagonal block — on the owner's
+				// processor, except in the FPGA-only baseline.
+				nFPGA := 0
+				if fr.cfg.Mode == FPGAOnly {
+					nFPGA = 1
+				}
+				fr.runOps(pr, node, t, ph, []fwOp{{kind: op1, u: t, v: t}}, nFPGA)
+			}
+			fr.multicast(pr, me, t, ph)
+		} else {
+			m := fr.bcast[me].Get(pr).(fwBcast)
+			if m.t != t || m.ph != ph {
+				panic(fmt.Sprintf("core: node %d expected bcast (%d,%d), got (%d,%d)", me, t, ph, m.t, m.ph))
+			}
+			node.CPUBusy.Use(pr, fr.tcomm) // unpack
+		}
+
+		// --- This phase's block operations. ---
+		// The owner's op22 for the next phase's broadcast goes first
+		// so the whole-task split keeps it in the processor segment.
+		var ops []fwOp
+		if me == tq && ph < nb-1 {
+			ops = append(ops, fwOp{kind: op22, u: rowAt(ph + 1), v: t})
+		}
+		if ph == 0 {
+			for _, q := range myCols {
+				if q != t {
+					ops = append(ops, fwOp{kind: op21, u: t, v: q})
+				}
+			}
+		} else {
+			u := rowAt(ph)
+			for _, q := range myCols {
+				if q != t {
+					ops = append(ops, fwOp{kind: op3, u: u, v: q})
+				}
+			}
+		}
+		nFPGA := fr.l2
+		if nFPGA > len(ops) {
+			nFPGA = len(ops)
+		}
+		fr.runOps(pr, node, t, ph, ops, nFPGA)
+	}
+}
+
+type fwOpKind int
+
+const (
+	op1 fwOpKind = iota
+	op21
+	op22
+	op3
+)
+
+type fwOp struct {
+	kind fwOpKind
+	u, v int
+}
+
+// runOps executes a batch of block operations with the whole-task split:
+// the last nFPGA go to the FPGA (streamed by the processor per
+// Equation 6), the rest run on the processor.
+func (fr *fwRun) runOps(pr *sim.Proc, node *machine.Node, t, ph int, ops []fwOp, nFPGA int) {
+	if len(ops) == 0 {
+		return
+	}
+	if nFPGA > len(ops) {
+		nFPGA = len(ops)
+	}
+	cpuOps := ops[:len(ops)-nFPGA]
+	fpgaOps := ops[len(ops)-nFPGA:]
+
+	var done *sim.Signal
+	if len(fpgaOps) > 0 {
+		a := node.Accel
+		cycles := float64(len(fpgaOps)) * fr.blockCycles
+		lag := fr.tmem // first block's stream exposed
+		done = a.Launch(fmt.Sprintf("fw.fpga.%d.%d.%d", t, ph, node.ID), func(fp *sim.Proc) {
+			fp.Wait(lag)
+			a.Compute(fp, cycles)
+		})
+		// The processor streams the FPGA's operand blocks (Eq. 6
+		// charges l2·Tmem to the processor side).
+		node.CPUBusy.Use(pr, float64(len(fpgaOps))*fr.tmem)
+	}
+	if len(cpuOps) > 0 {
+		node.ComputeCPU(pr, cpu.FWKernel, float64(len(cpuOps))*cpu.FWBlockFlops(fr.cfg.B))
+	}
+	if fr.d != nil {
+		for _, op := range ops {
+			fr.apply(op, t)
+		}
+	}
+	if done != nil {
+		node.Accel.AwaitDone(pr, done)
+	}
+}
+
+// apply runs one block operation functionally.
+func (fr *fwRun) apply(op fwOp, t int) {
+	switch op.kind {
+	case op1:
+		matrix.FWKernel(fr.blk(t, t))
+	case op21:
+		matrix.FWRowUpdate(fr.blk(t, op.v), fr.blk(t, t))
+	case op22:
+		matrix.FWColUpdate(fr.blk(op.u, t), fr.blk(t, t))
+	case op3:
+		matrix.MinPlusGemm(fr.blk(op.u, t), fr.blk(t, op.v), fr.blk(op.u, op.v))
+	}
+}
+
+// multicast broadcasts a b×b block to all other nodes (the phase's
+// pivot data) and delivers the token.
+func (fr *fwRun) multicast(pr *sim.Proc, me, t, ph int) {
+	p := fr.sys.Cfg.Nodes
+	if p == 1 {
+		return
+	}
+	dsts := make([]int, 0, p-1)
+	for i := 0; i < p; i++ {
+		if i != me {
+			dsts = append(dsts, i)
+		}
+	}
+	bytes := fr.cfg.B * fr.cfg.B * machine.WordBytes
+	fr.sys.Fab.Multicast(pr, me, dsts, bytes)
+	for _, d := range dsts {
+		fr.bcast[d].Put(fwBcast{t: t, ph: ph})
+	}
+}

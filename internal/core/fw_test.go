@@ -1,0 +1,228 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"codesign/internal/machine"
+)
+
+// paperFW runs the Section 6.1 Floyd-Warshall configuration (n=18432,
+// b=256 — the size at which the paper derives l1=2, l2=10; throughput
+// is essentially independent of n, as Section 6.2 observes).
+func paperFW(t *testing.T, mode Mode) *FWResult {
+	t.Helper()
+	r, err := RunFW(FWConfig{N: 18432, B: 256, L1: -1, Mode: mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestFWHybridHeadline(t *testing.T) {
+	// Paper Figure 9: 6.6 GFLOPS for the hybrid design.
+	r := paperFW(t, Hybrid)
+	if math.Abs(r.GFLOPS-6.6) > 0.4 {
+		t.Fatalf("hybrid FW = %.2f GFLOPS, paper says 6.6", r.GFLOPS)
+	}
+	if r.L1 != 2 || r.L2 != 10 {
+		t.Fatalf("split l1=%d l2=%d, paper says 2/10", r.L1, r.L2)
+	}
+}
+
+func TestFWSpeedupOverProcessorOnly(t *testing.T) {
+	// Paper: 5.8X over the processor-only baseline.
+	hy := paperFW(t, Hybrid)
+	po := paperFW(t, ProcessorOnly)
+	speedup := po.Seconds / hy.Seconds
+	if math.Abs(speedup-5.8) > 0.5 {
+		t.Fatalf("speedup over processor-only = %.2f, paper says 5.8", speedup)
+	}
+	// Processor-only lands at p × 190 MFLOPS ≈ 1.14 GFLOPS.
+	if math.Abs(po.GFLOPS-1.14) > 0.1 {
+		t.Fatalf("processor-only = %.3f GFLOPS, want ~1.14", po.GFLOPS)
+	}
+}
+
+func TestFWSpeedupOverFPGAOnly(t *testing.T) {
+	// Paper: 1.15X over the FPGA-only baseline.
+	hy := paperFW(t, Hybrid)
+	fo := paperFW(t, FPGAOnly)
+	speedup := fo.Seconds / hy.Seconds
+	if math.Abs(speedup-1.15) > 0.1 {
+		t.Fatalf("speedup over fpga-only = %.2f, paper says 1.15", speedup)
+	}
+}
+
+func TestFWHybridNearSumOfBaselines(t *testing.T) {
+	// Paper: more than 95% of the sum of the baselines.
+	hy := paperFW(t, Hybrid)
+	po := paperFW(t, ProcessorOnly)
+	fo := paperFW(t, FPGAOnly)
+	frac := hy.GFLOPS / (po.GFLOPS + fo.GFLOPS)
+	if frac < 0.92 {
+		t.Fatalf("hybrid/sum = %.3f, paper says > 0.95", frac)
+	}
+}
+
+func TestFWPredictionRatio(t *testing.T) {
+	// Paper: ~96% of the model's prediction.
+	r := paperFW(t, Hybrid)
+	ratio := r.GFLOPS / r.Prediction.GFLOPS
+	if ratio < 0.92 || ratio > 1.0 {
+		t.Fatalf("measured/predicted = %.3f, paper says ~0.96", ratio)
+	}
+}
+
+func TestFWThroughputScaleInvariant(t *testing.T) {
+	// Section 6.2: "the performance of the design for the
+	// Floyd-Warshall algorithm almost remains the same when n
+	// increases" — the CPU/FPGA load ratio is size-independent.
+	small, err := RunFW(FWConfig{N: 9216, B: 256, L1: -1, Mode: Hybrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := paperFW(t, Hybrid)
+	if math.Abs(small.GFLOPS-big.GFLOPS)/big.GFLOPS > 0.06 {
+		t.Fatalf("FW GFLOPS varies with n: %.3f at 9216 vs %.3f at 18432", small.GFLOPS, big.GFLOPS)
+	}
+}
+
+func TestFWIterationLatencyVsL1(t *testing.T) {
+	// Figure 7: latency falls as l1 decreases from 12 to 2, rises at
+	// l1=1; the all-FPGA point (l1=0) beats several hybrid points but
+	// not the optimum.
+	lat := make(map[int]float64)
+	for _, l1 := range []int{0, 1, 2, 3, 4, 6, 8, 10, 12} {
+		r, err := RunFW(FWConfig{N: 18432, B: 256, L1: l1, Mode: Hybrid})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lat[l1] = r.Seconds / float64(len(r.IterationSeconds))
+	}
+	if !(lat[2] < lat[1] && lat[2] < lat[3]) {
+		t.Fatalf("minimum must be at l1=2: %v", lat)
+	}
+	for _, pair := range [][2]int{{3, 4}, {4, 6}, {6, 8}, {8, 10}, {10, 12}} {
+		if lat[pair[0]] >= lat[pair[1]] {
+			t.Fatalf("latency must increase with l1 above optimum: l1=%d %.2f vs l1=%d %.2f",
+				pair[0], lat[pair[0]], pair[1], lat[pair[1]])
+		}
+	}
+	// The paper's observation: FPGA-alone beats some shared points.
+	if !(lat[0] < lat[3] && lat[0] > lat[2]) {
+		t.Fatalf("l1=0 (%.2f) should beat l1=3 (%.2f) but not l1=2 (%.2f)", lat[0], lat[3], lat[2])
+	}
+}
+
+func TestFWFunctionalMatchesReference(t *testing.T) {
+	for _, mode := range []Mode{Hybrid, ProcessorOnly, FPGAOnly} {
+		r, err := RunFW(FWConfig{N: 96, B: 8, PEs: 4, L1: -1, Mode: mode, Functional: true, Seed: 17})
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if !r.Checked {
+			t.Fatalf("%v: functional result not checked", mode)
+		}
+		// The distributed schedule performs the identical block
+		// operations in an order with the identical per-block history,
+		// so the result is bit-exact.
+		if r.MaxResidual != 0 {
+			t.Fatalf("%v: distributed FW deviates from reference by %g", mode, r.MaxResidual)
+		}
+	}
+}
+
+func TestFWFunctionalSparseAndDense(t *testing.T) {
+	for _, density := range []float64{0.05, 0.5, 0.95} {
+		r, err := RunFW(FWConfig{N: 48, B: 8, PEs: 4, L1: 1, Mode: Hybrid, Functional: true, Seed: 23, Density: density})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.MaxResidual != 0 {
+			t.Fatalf("density %g: residual %g", density, r.MaxResidual)
+		}
+	}
+}
+
+func TestFWExplicitSplitHonored(t *testing.T) {
+	r, err := RunFW(FWConfig{N: 18432, B: 256, L1: 5, Mode: Hybrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.L1 != 5 || r.L2 != 7 {
+		t.Fatalf("explicit split ignored: l1=%d l2=%d", r.L1, r.L2)
+	}
+}
+
+func TestFWConfigValidation(t *testing.T) {
+	cases := []FWConfig{
+		{N: 100, B: 8},             // 100 not multiple of 8*6
+		{N: 0, B: 8},               // bad n
+		{N: 96, B: 8, PEs: 3},      // 8 % 3 != 0
+		{N: 96, B: 8, PEs: 9},      // 9 PEs don't fit
+		{N: 18432, B: 256, L1: 13}, // l1 > ops per phase
+	}
+	for i, cfg := range cases {
+		if _, err := RunFW(cfg); err == nil {
+			t.Fatalf("case %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestFWCoordinationCount(t *testing.T) {
+	// Hybrid: every node launches one FPGA batch per phase (l2 > 0),
+	// 2 handshakes each: nb iterations × nb phases × p nodes × 2,
+	// minus the owner's short phases... at minimum it must be large
+	// and exactly reproducible.
+	r1 := paperFW(t, Hybrid)
+	r2 := paperFW(t, Hybrid)
+	if r1.Coordinations != r2.Coordinations {
+		t.Fatal("coordination count not deterministic")
+	}
+	nb := int64(18432 / 256)
+	if r1.Coordinations < nb*nb*6 || r1.Coordinations > nb*nb*6*2+nb*2 {
+		t.Fatalf("coordinations = %d out of plausible range", r1.Coordinations)
+	}
+}
+
+func TestFWUtilization(t *testing.T) {
+	r := paperFW(t, Hybrid)
+	if u := r.Utilization(r.FPGABusy); u < 0.5 {
+		t.Fatalf("hybrid FW FPGA utilization %.2f too low", u)
+	}
+	po := paperFW(t, ProcessorOnly)
+	if po.Utilization(po.FPGABusy) != 0 {
+		t.Fatal("processor-only must not use the FPGA")
+	}
+	if u := po.Utilization(po.CPUBusy); u < 0.9 {
+		t.Fatalf("processor-only CPU utilization %.2f should be ~1", u)
+	}
+}
+
+func TestFWOnOtherMachines(t *testing.T) {
+	for _, mc := range []machine.Config{machine.XT3DRC(), machine.RASC()} {
+		// Larger Virtex-4 parts fit more FW PEs (e.g. 24 on the
+		// LX160); pin k=8 so the 256-block geometry divides evenly.
+		n := 256 * mc.Nodes * 4
+		hy, err := RunFW(FWConfig{Machine: mc, N: n, B: 256, PEs: 8, L1: -1, Mode: Hybrid})
+		if err != nil {
+			t.Fatalf("%s: %v", mc.Name, err)
+		}
+		po, err := RunFW(FWConfig{Machine: mc, N: n, B: 256, PEs: 8, L1: -1, Mode: ProcessorOnly})
+		if err != nil {
+			t.Fatalf("%s: %v", mc.Name, err)
+		}
+		if hy.Seconds >= po.Seconds {
+			t.Fatalf("%s: hybrid %.1fs not faster than processor-only %.1fs", mc.Name, hy.Seconds, po.Seconds)
+		}
+	}
+}
+
+func TestFWDeterministic(t *testing.T) {
+	r1 := paperFW(t, Hybrid)
+	r2 := paperFW(t, Hybrid)
+	if r1.Seconds != r2.Seconds || r1.NetworkBytes != r2.NetworkBytes {
+		t.Fatal("FW simulation not deterministic")
+	}
+}

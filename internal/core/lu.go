@@ -1,0 +1,548 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"codesign/internal/cpu"
+	"codesign/internal/dist"
+	"codesign/internal/fpga"
+	"codesign/internal/machine"
+	"codesign/internal/matrix"
+	"codesign/internal/model"
+	"codesign/internal/sim"
+)
+
+// LUConfig configures a distributed block LU decomposition run
+// (Section 5.1.3).
+type LUConfig struct {
+	// Machine is the system; zero value means one Cray XD1 chassis.
+	Machine machine.Config
+	// N is the matrix size, B the block size. B must divide N and be a
+	// multiple of both the PE count and p-1 (Section 6.1).
+	N, B int
+	// PEs is the matmul design size; 0 means the largest that fits.
+	PEs int
+	// BF is the FPGA row share of each stripe; -1 solves Equation (4).
+	// (Ignored for the baselines: ProcessorOnly forces 0, FPGAOnly B.)
+	BF int
+	// L is the panel pipeline depth of Equation (5); -1 solves it,
+	// 0 disables panel/opMM overlap entirely (operands are sent only
+	// after all panel operations finish).
+	L int
+	// Mode selects hybrid or a baseline.
+	Mode Mode
+	// Functional carries real matrices through the simulated machine
+	// and checks the result against the sequential reference.
+	Functional bool
+	// Seed drives functional input generation.
+	Seed int64
+	// DisableStripeOverlap is the ablation of Section 5.1.3's
+	// pipelining: the FPGA waits for the whole operand transfer of
+	// every stripe instead of only the first.
+	DisableStripeOverlap bool
+	// InterruptibleRoutines is the ablation of the atomic-ACML-routine
+	// effect (Section 6.2): operand sends overlap the panel node's
+	// routines instead of serializing with them.
+	InterruptibleRoutines bool
+	// Trace, when non-nil, receives every engine event (see
+	// internal/trace.Collector.Attach for a ready-made consumer).
+	Trace func(t float64, proc, action string)
+	// WholeTaskOpMM is the ablation of split-task partitioning: instead
+	// of splitting each opMM's rows between processor and FPGA, whole
+	// opMM jobs alternate between the two resources (the strategy the
+	// paper reserves for dependency-heavy tasks, applied where it does
+	// not belong).
+	WholeTaskOpMM bool
+}
+
+// LUResult extends Result with the LU-specific configuration and the
+// per-iteration latencies (Figure 6 reads iteration 0).
+type LUResult struct {
+	Result
+	BF, BP, L, K     int
+	IterationSeconds []float64
+	Model            model.LUParams
+	Prediction       model.Prediction
+}
+
+// luJob is one b×b block multiplication A'_uv = L10_u × U01_v
+// distributed over the p-1 compute nodes.
+type luJob struct {
+	t, u, v int
+	e       *matrix.Dense // functional accumulator (nil when timing-only)
+	arrived int           // result slices delivered to the opMS owner
+}
+
+// luSentinel ends iteration t's job stream for a compute node.
+type luSentinel struct{ t int }
+
+// luIter carries per-iteration coordination state.
+type luIter struct {
+	pending int // opMS operations outstanding
+	done    *sim.Signal
+	bar     *sim.Barrier
+}
+
+// luRun bundles everything the node processes need.
+type luRun struct {
+	cfg     LUConfig
+	sys     *machine.System
+	lp      model.LUParams
+	nb      int
+	bf, bp  int
+	l       int
+	stripes int
+
+	// per-job charge model (seconds / cycles)
+	charge jobCharge
+	// alt, when non-nil, charges odd jobs (whole-task ablation).
+	alt      *jobCharge
+	sendTime float64
+
+	boxes []*sim.Mailbox
+	iters []*luIter
+
+	a *matrix.Dense // functional matrix (nil when timing-only)
+}
+
+func (lr *luRun) blk(u, v int) *matrix.Dense {
+	b := lr.cfg.B
+	return lr.a.View(u*b, v*b, b, b)
+}
+
+// computeNodes lists the nodes that perform opMM in iteration t
+// (everyone but the panel node).
+func (lr *luRun) computeNodes(t int) []int {
+	p := lr.sys.Cfg.Nodes
+	out := make([]int, 0, p-1)
+	for i := 0; i < p; i++ {
+		if i != t%p {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// RunLU builds the machine, derives the partition from the design
+// model, simulates the full distributed factorization and returns the
+// measured results.
+func RunLU(cfg LUConfig) (*LUResult, error) {
+	if cfg.Machine.Nodes == 0 {
+		cfg.Machine = machine.XD1()
+	}
+	p := cfg.Machine.Nodes
+	if p < 2 {
+		return nil, fmt.Errorf("core: LU design needs p >= 2, got %d", p)
+	}
+	if cfg.N <= 0 || cfg.B <= 0 || cfg.N%cfg.B != 0 {
+		return nil, fmt.Errorf("core: block size %d must divide n=%d", cfg.B, cfg.N)
+	}
+	if cfg.B%(p-1) != 0 {
+		return nil, fmt.Errorf("core: block size %d must be a multiple of p-1=%d", cfg.B, p-1)
+	}
+
+	sys, err := machine.New(cfg.Machine)
+	if err != nil {
+		return nil, err
+	}
+	sys.Eng.Trace = cfg.Trace
+	k := cfg.PEs
+	if k == 0 {
+		k = fpga.MaxPEs(func(k int) fpga.Design { return fpga.NewMatMul(k) }, cfg.Machine.Device)
+	}
+	if cfg.B%k != 0 {
+		return nil, fmt.Errorf("core: block size %d must be a multiple of k=%d", cfg.B, k)
+	}
+	if err := sys.InstallDesign(fpga.NewMatMul(k)); err != nil {
+		return nil, err
+	}
+	accel := sys.Nodes[0].Accel
+	proc := sys.Nodes[0].Proc
+
+	lp := model.LUParams{
+		P: p, B: cfg.B, K: k,
+		Ff:         accel.Placed.FreqHz,
+		StripeRate: proc.Rate(cpu.DGEMMStripe),
+		LURate:     proc.Rate(cpu.DGETRF),
+		TrsmRate:   proc.Rate(cpu.DTRSM),
+		Bd:         accel.DRAM.BandwidthBytes,
+		Bn:         cfg.Machine.Fabric.LinkBandwidth,
+		Bw:         machine.WordBytes,
+		SRAMBytes:  sys.Nodes[0].SRAM.TotalBytes() / 2,
+	}
+	if err := lp.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Resolve the partition.
+	bf := cfg.BF
+	switch cfg.Mode {
+	case ProcessorOnly:
+		bf = 0
+	case FPGAOnly:
+		bf = cfg.B
+	default:
+		if bf < 0 {
+			bf, _ = lp.SolvePartition()
+		}
+	}
+	if bf < 0 || bf > cfg.B {
+		return nil, fmt.Errorf("core: bf=%d out of [0,%d]", bf, cfg.B)
+	}
+	l := cfg.L
+	if l < 0 {
+		l = lp.SolveL(bf)
+	}
+
+	lr := &luRun{cfg: cfg, sys: sys, lp: lp, nb: cfg.N / cfg.B, bf: bf, bp: cfg.B - bf, l: l, stripes: cfg.B / k}
+	lr.chargeModel(proc)
+
+	// Functional state and reference.
+	var ref *matrix.Dense
+	if cfg.Functional {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		lr.a = matrix.RandomDiagDominant(cfg.N, rng)
+		ref = lr.a.Clone()
+		if err := matrix.BlockLU(ref, cfg.B); err != nil {
+			return nil, fmt.Errorf("core: reference factorization: %w", err)
+		}
+	}
+
+	// Coordination structures.
+	for i := 0; i < p; i++ {
+		lr.boxes = append(lr.boxes, sim.NewMailbox(sys.Eng, fmt.Sprintf("lu.jobs%d", i)))
+	}
+	for t := 0; t < lr.nb; t++ {
+		rem := lr.nb - 1 - t
+		it := &luIter{
+			pending: rem * rem,
+			done:    sim.NewSignal(sys.Eng, fmt.Sprintf("lu.iter%d.done", t)),
+			bar:     sim.NewBarrier(sys.Eng, fmt.Sprintf("lu.iter%d.bar", t), p),
+		}
+		if it.pending == 0 {
+			it.done.Fire()
+		}
+		lr.iters = append(lr.iters, it)
+	}
+
+	return lr.execute(ref)
+}
+
+// jobCharge is the per-opMM cost model on one compute node.
+type jobCharge struct {
+	cpuRecv, cpuDMA, cpuGemm float64
+	fpgaCycles               float64
+	fpgaLag                  float64
+}
+
+// chargeModel derives the per-job costs from the machine parameters.
+// One job is a whole b×b block multiplication; stripe-level pipelining
+// is aggregated (the stripe-granular view is simulated by RunOpMM for
+// Figure 5) with the first stripe's transfer exposed as FPGA start lag.
+func (lr *luRun) chargeModel(proc *cpu.Processor) {
+	switch lr.cfg.Mode {
+	case ProcessorOnly:
+		lr.charge = lr.chargeForBF(proc, 0)
+	case FPGAOnly:
+		lr.charge = lr.chargeForBF(proc, lr.cfg.B)
+	default:
+		if lr.cfg.WholeTaskOpMM {
+			// Ablation: alternate whole jobs between the resources.
+			lr.charge = lr.chargeForBF(proc, lr.cfg.B)
+			alt := lr.chargeForBF(proc, 0)
+			lr.alt = &alt
+		} else {
+			lr.charge = lr.chargeForBF(proc, lr.bf)
+		}
+	}
+	_, _, _, tcomm := lr.lp.StripeTimes(lr.bf)
+	lr.sendTime = float64(lr.stripes) * tcomm // panel node, per job multicast
+}
+
+// chargeForBF builds the per-job charges for a given row split.
+func (lr *luRun) chargeForBF(proc *cpu.Processor, bf int) jobCharge {
+	b := float64(lr.cfg.B)
+	pm1 := float64(lr.sys.Cfg.Nodes - 1)
+	st := float64(lr.stripes)
+	_, tp, tmem, tcomm := lr.lp.StripeTimes(bf)
+
+	var c jobCharge
+	c.cpuRecv = st * tcomm // message unpack
+	switch {
+	case bf == 0:
+		// All software: one square-ish dgemm at the full library rate;
+		// no DMA, no FPGA.
+		c.cpuGemm = 2 * b * b * b / (pm1 * proc.Rate(cpu.DGEMM))
+	case bf == lr.cfg.B:
+		c.cpuDMA = st * tmem
+		c.fpgaCycles = b * b * b / (float64(lr.lp.K) * pm1)
+	default:
+		c.cpuDMA = st * tmem
+		c.cpuGemm = st * tp
+		c.fpgaCycles = st * float64(bf) * b / pm1 // bf·b/(p-1) cycles per stripe
+	}
+	if c.fpgaCycles > 0 {
+		if lr.cfg.DisableStripeOverlap {
+			c.fpgaLag = st*tcomm + c.cpuDMA
+		} else {
+			c.fpgaLag = tcomm + c.cpuDMA/st // first stripe only
+		}
+	}
+	return c
+}
+
+// chargeFor selects the charge set for a job (whole-task ablation
+// alternates by job parity).
+func (lr *luRun) chargeFor(j *luJob) jobCharge {
+	if lr.alt != nil && (j.u+j.v)%2 == 1 {
+		return *lr.alt
+	}
+	return lr.charge
+}
+
+// execute spawns the node programs, runs the simulation, and assembles
+// the results.
+func (lr *luRun) execute(ref *matrix.Dense) (*LUResult, error) {
+	sys := lr.sys
+	p := sys.Cfg.Nodes
+	iterEnd := make([]float64, lr.nb)
+
+	for i := 0; i < p; i++ {
+		node := sys.Nodes[i]
+		me := i
+		sys.Eng.Go(fmt.Sprintf("node%d.cpu", me), func(pr *sim.Proc) {
+			for t := 0; t < lr.nb; t++ {
+				if me == t%p {
+					lr.runPanel(pr, node, t)
+				} else {
+					lr.runCompute(pr, node, me, t)
+				}
+				it := lr.iters[t]
+				it.done.Wait(pr)
+				it.bar.Arrive(pr)
+				if me == 0 {
+					iterEnd[t] = pr.Now()
+				}
+			}
+		})
+	}
+
+	end, err := sys.Run()
+	if err != nil {
+		return nil, fmt.Errorf("core: lu simulation: %w", err)
+	}
+
+	n := float64(lr.cfg.N)
+	flops := 2.0 / 3.0 * n * n * n
+	cpuBusy, fpgaBusy := collectBusy(sys)
+	res := &LUResult{
+		Result: Result{
+			App: "lu", Mode: lr.cfg.Mode, N: lr.cfg.N, B: lr.cfg.B,
+			Seconds: end, Flops: flops, GFLOPS: flops / end / 1e9,
+			NetworkBytes:  sys.Fab.Bytes(),
+			Coordinations: collectCoordinations(sys),
+			CPUBusy:       cpuBusy, FPGABusy: fpgaBusy,
+		},
+		BF: lr.bf, BP: lr.bp, L: lr.l, K: lr.lp.K,
+		Model:      lr.lp,
+		Prediction: lr.lp.PredictLU(lr.cfg.N, lr.bf),
+	}
+	prev := 0.0
+	for _, t := range iterEnd {
+		res.IterationSeconds = append(res.IterationSeconds, t-prev)
+		prev = t
+	}
+	if lr.cfg.Functional && ref != nil {
+		res.Checked = true
+		res.MaxResidual = lr.a.MaxDiff(ref)
+	}
+	return res, nil
+}
+
+// runPanel is iteration t on the panel node: opLU, then the opL/opU
+// sequence, releasing opMM jobs to the compute nodes l at a time
+// (Equation 5's pipeline).
+func (lr *luRun) runPanel(pr *sim.Proc, node *machine.Node, t int) {
+	cfg := lr.cfg
+	b := cfg.B
+	nb := lr.nb
+
+	// opLU.
+	node.ComputeCPU(pr, cpu.DGETRF, cpu.DgetrfFlops(b))
+	if lr.a != nil {
+		if err := matrix.LU(lr.blk(t, t)); err != nil {
+			panic(fmt.Sprintf("opLU iteration %d: %v", t, err))
+		}
+	}
+
+	var ready []*luJob
+	var inFlight []*sim.Signal
+	send := func(limit int) {
+		for limit != 0 && len(ready) > 0 {
+			j := ready[0]
+			ready = ready[1:]
+			if s := lr.sendJob(pr, node, t, j); s != nil {
+				inFlight = append(inFlight, s)
+			}
+			if limit > 0 {
+				limit--
+			}
+		}
+	}
+
+	for c := t + 1; c < nb; c++ {
+		// opL on block (c, t).
+		node.ComputeCPU(pr, cpu.DTRSM, cpu.DtrsmFlops(b))
+		if lr.a != nil {
+			matrix.TrsmUpperRight(lr.blk(t, t), lr.blk(c, t))
+		}
+		send(lr.l)
+		// opU on block (t, c).
+		node.ComputeCPU(pr, cpu.DTRSM, cpu.DtrsmFlops(b))
+		if lr.a != nil {
+			matrix.TrsmLowerUnitLeft(lr.blk(t, t), lr.blk(t, c))
+		}
+		// Jobs whose operands are now both available: max(u,v) == c.
+		for v := t + 1; v <= c; v++ {
+			ready = append(ready, lr.newJob(t, c, v))
+		}
+		for u := t + 1; u < c; u++ {
+			ready = append(ready, lr.newJob(t, u, c))
+		}
+		send(lr.l)
+	}
+	send(-1) // drain whatever the pipeline did not cover
+	// With asynchronous sends, the sentinel must not overtake job
+	// deliveries still on the wire.
+	for _, s := range inFlight {
+		s.Wait(pr)
+	}
+	for _, dst := range lr.computeNodes(t) {
+		lr.boxes[dst].Put(luSentinel{t: t})
+	}
+}
+
+func (lr *luRun) newJob(t, u, v int) *luJob {
+	j := &luJob{t: t, u: u, v: v}
+	if lr.a != nil {
+		j.e = matrix.New(lr.cfg.B, lr.cfg.B)
+	}
+	return j
+}
+
+// sendJob multicasts one job's operand stripes (2b² words) to the
+// compute nodes and enqueues the job. With InterruptibleRoutines the
+// send proceeds asynchronously (the ablation of the atomic-routine
+// serialization the paper blames for its 86% prediction ratio) and a
+// completion signal is returned so the caller can drain before sending
+// the iteration sentinel.
+func (lr *luRun) sendJob(pr *sim.Proc, node *machine.Node, t int, j *luJob) *sim.Signal {
+	bytes := 2 * lr.cfg.B * lr.cfg.B * machine.WordBytes
+	dsts := lr.computeNodes(t)
+	deliver := func() {
+		for _, dst := range dsts {
+			lr.boxes[dst].Put(j)
+		}
+	}
+	if lr.cfg.InterruptibleRoutines {
+		src := node.ID
+		done := sim.NewSignal(lr.sys.Eng, fmt.Sprintf("lu.sent.%d.%d.%d", t, j.u, j.v))
+		lr.sys.Eng.Go(fmt.Sprintf("lu.send.%d.%d.%d", t, j.u, j.v), func(sp *sim.Proc) {
+			lr.sys.Fab.Multicast(sp, src, dsts, bytes)
+			deliver()
+			done.Fire()
+		})
+		return done
+	}
+	lr.sys.Fab.Multicast(pr, node.ID, dsts, bytes)
+	deliver()
+	return nil
+}
+
+// runCompute is iteration t on a compute node: process the job stream —
+// FPGA share launched first, CPU share meanwhile — then scatter the
+// result slice to the opMS owner.
+func (lr *luRun) runCompute(pr *sim.Proc, node *machine.Node, me, t int) {
+	cn := lr.computeNodes(t)
+	ci := 0
+	for idx, n := range cn {
+		if n == me {
+			ci = idx
+		}
+	}
+	w := lr.cfg.B / (lr.sys.Cfg.Nodes - 1) // result columns per node
+	for {
+		msg := lr.boxes[me].Get(pr)
+		if s, ok := msg.(luSentinel); ok {
+			if s.t != t {
+				panic(fmt.Sprintf("core: node %d got sentinel for iteration %d during %d", me, s.t, t))
+			}
+			return
+		}
+		j := msg.(*luJob)
+		ch := lr.chargeFor(j)
+
+		var done *sim.Signal
+		if ch.fpgaCycles > 0 {
+			a := node.Accel
+			done = a.Launch(fmt.Sprintf("lu.fpga.%d.%d.%d.%d", t, j.u, j.v, me), func(fp *sim.Proc) {
+				fp.Wait(ch.fpgaLag)
+				a.Compute(fp, ch.fpgaCycles)
+			})
+		}
+		// CPU share: unpack the operand messages, stream the FPGA's
+		// operands to it, then run the software half of the multiply.
+		if ch.cpuRecv > 0 {
+			node.CPUBusy.Use(pr, ch.cpuRecv)
+		}
+		if ch.cpuDMA > 0 {
+			node.CPUBusy.Use(pr, ch.cpuDMA)
+		}
+		if ch.cpuGemm > 0 {
+			node.CPUBusy.Use(pr, ch.cpuGemm)
+		}
+		if j.e != nil {
+			// Functional: this node produces its column slice of
+			// E = L10_u × U01_v (both the CPU's bp rows and the
+			// FPGA's bf rows — the arithmetic is identical).
+			eSlice := j.e.View(0, ci*w, lr.cfg.B, w)
+			dSlice := lr.blk(j.t, j.v).View(0, ci*w, lr.cfg.B, w)
+			matrix.Gemm(1, lr.blk(j.u, j.t), dSlice, 0, eSlice)
+		}
+		if done != nil {
+			node.Accel.AwaitDone(pr, done)
+		}
+		lr.forwardResult(pr, me, t, j)
+	}
+}
+
+// forwardResult sends this node's slice of the job result to the opMS
+// owner (t” = max{u,v} in the paper's data distribution) and, once all
+// slices arrive, schedules the subtraction on the owner's processor.
+func (lr *luRun) forwardResult(pr *sim.Proc, me, t int, j *luJob) {
+	p := lr.sys.Cfg.Nodes
+	owner := dist.NewCyclic(lr.nb, p).UpdateOwner(j.u, j.v)
+	sliceBytes := lr.cfg.B * lr.cfg.B / (p - 1) * machine.WordBytes
+	lr.sys.Fab.Transfer(pr, me, owner, sliceBytes)
+	j.arrived++
+	if j.arrived < p-1 {
+		return
+	}
+	// Last slice in: run opMS on the owner's processor.
+	ownerNode := lr.sys.Nodes[owner]
+	it := lr.iters[t]
+	b := lr.cfg.B
+	lr.sys.Eng.Go(fmt.Sprintf("lu.opms.%d.%d.%d", t, j.u, j.v), func(mp *sim.Proc) {
+		unpack := float64(lr.cfg.B*lr.cfg.B*machine.WordBytes) / lr.lp.Bn
+		ownerNode.CPUBusy.Use(mp, unpack)
+		ownerNode.ComputeCPU(mp, cpu.Subtract, cpu.SubtractFlops(b))
+		if j.e != nil {
+			lr.blk(j.u, j.v).Sub(j.e)
+		}
+		it.pending--
+		if it.pending == 0 {
+			it.done.Fire()
+		}
+	})
+}

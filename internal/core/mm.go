@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"codesign/internal/cpu"
+	"codesign/internal/fpga"
+	"codesign/internal/machine"
+	"codesign/internal/matrix"
+	"codesign/internal/model"
+	"codesign/internal/sim"
+)
+
+// MMConfig configures a distributed hybrid matrix multiplication run —
+// the extension application from the authors' earlier hybrid work [22]
+// and the pure Equation (1) case of the design model: C = A·B with the
+// result columns split across nodes and, within each node, the result
+// rows of every k-column stripe split between processor and FPGA. No
+// network communication: operands are resident per node, so the
+// partition balances only compute and DRAM streaming.
+type MMConfig struct {
+	// Machine is the system; zero value means one Cray XD1 chassis.
+	Machine machine.Config
+	// N is the matrix size (multiple of both the PE count and p).
+	N int
+	// PEs is the matmul design size; 0 means the largest that fits.
+	PEs int
+	// BF is the FPGA result-row share per stripe; -1 solves Eq. (1).
+	BF int
+	// Mode selects hybrid or a baseline.
+	Mode Mode
+	// Functional multiplies real matrices and verifies the result.
+	Functional bool
+	// Seed drives functional input generation.
+	Seed int64
+}
+
+// MMResult extends Result with the multiply-specific configuration.
+type MMResult struct {
+	Result
+	BF, BP, K  int
+	Model      model.MMParams
+	Prediction model.Prediction
+}
+
+// RunMM builds the machine and simulates the stripe-pipelined multiply.
+func RunMM(cfg MMConfig) (*MMResult, error) {
+	if cfg.Machine.Nodes == 0 {
+		cfg.Machine = machine.XD1()
+	}
+	p := cfg.Machine.Nodes
+	sys, err := machine.New(cfg.Machine)
+	if err != nil {
+		return nil, err
+	}
+	k := cfg.PEs
+	if k == 0 {
+		k = fpga.MaxPEs(func(k int) fpga.Design { return fpga.NewMatMul(k) }, cfg.Machine.Device)
+	}
+	if cfg.N <= 0 || cfg.N%k != 0 || cfg.N%p != 0 {
+		return nil, fmt.Errorf("core: n=%d must be a positive multiple of k=%d and p=%d", cfg.N, k, p)
+	}
+	if err := sys.InstallDesign(fpga.NewMatMul(k)); err != nil {
+		return nil, err
+	}
+	accel := sys.Nodes[0].Accel
+	proc := sys.Nodes[0].Proc
+
+	mp := model.MMParams{
+		P: p, N: cfg.N, K: k,
+		Ff:         accel.Placed.FreqHz,
+		StripeRate: proc.Rate(cpu.DGEMMStripe),
+		Bd:         accel.DRAM.BandwidthBytes,
+		Bw:         machine.WordBytes,
+		SRAMBytes:  sys.Nodes[0].SRAM.TotalBytes() / 2,
+	}
+	if err := mp.Validate(); err != nil {
+		return nil, err
+	}
+	bf := cfg.BF
+	switch cfg.Mode {
+	case ProcessorOnly:
+		bf = 0
+	case FPGAOnly:
+		bf = cfg.N
+	default:
+		if bf < 0 {
+			bf, _ = mp.SolvePartition()
+		}
+	}
+	if bf < 0 || bf > cfg.N {
+		return nil, fmt.Errorf("core: bf=%d out of [0,%d]", bf, cfg.N)
+	}
+
+	tf, tp, tmem := mp.StripeTimes(bf)
+	stripes := cfg.N / k
+	w := mp.Width()
+	fpgaStripeCycles := float64(bf) * float64(w)
+
+	// Functional state.
+	var a, b, c, ref *matrix.Dense
+	if cfg.Functional {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		a = matrix.Random(cfg.N, cfg.N, rng)
+		b = matrix.Random(cfg.N, cfg.N, rng)
+		c = matrix.New(cfg.N, cfg.N)
+		ref = matrix.Mul(a, b)
+	}
+
+	for i := 0; i < p; i++ {
+		node := sys.Nodes[i]
+		me := i
+		var fpgaDone *sim.Signal
+		fq := sim.NewMailbox(sys.Eng, fmt.Sprintf("mm.fq%d", me))
+		if bf > 0 {
+			acc := node.Accel
+			fpgaDone = acc.Launch(fmt.Sprintf("mm.fpga%d", me), func(fp *sim.Proc) {
+				for s := 0; s < stripes; s++ {
+					fq.Get(fp)
+					acc.Compute(fp, fpgaStripeCycles)
+				}
+			})
+		}
+		sys.Eng.Go(fmt.Sprintf("mm.cpu%d", me), func(pr *sim.Proc) {
+			for s := 0; s < stripes; s++ {
+				if bf > 0 {
+					node.CPUBusy.Use(pr, tmem) // stream the stripe to the FPGA
+					fq.Put(s)
+				}
+				if bf < cfg.N {
+					node.CPUBusy.Use(pr, tp) // software rows of the stripe
+				}
+			}
+			if c != nil {
+				// Functional: this node's w result columns, all rows
+				// (the bf/bp split is the same arithmetic).
+				cols := c.View(0, me*w, cfg.N, w)
+				bCols := b.View(0, me*w, cfg.N, w)
+				matrix.Gemm(1, a, bCols, 0, cols)
+			}
+			if fpgaDone != nil {
+				node.Accel.AwaitDone(pr, fpgaDone)
+			}
+		})
+	}
+
+	end, err := sys.Run()
+	if err != nil {
+		return nil, fmt.Errorf("core: mm simulation: %w", err)
+	}
+	n := float64(cfg.N)
+	flops := 2 * n * n * n
+	cpuBusy, fpgaBusy := collectBusy(sys)
+	res := &MMResult{
+		Result: Result{
+			App: "mm", Mode: cfg.Mode, N: cfg.N, B: k,
+			Seconds: end, Flops: flops, GFLOPS: flops / end / 1e9,
+			NetworkBytes:  sys.Fab.Bytes(),
+			Coordinations: collectCoordinations(sys),
+			CPUBusy:       cpuBusy, FPGABusy: fpgaBusy,
+		},
+		BF: bf, BP: cfg.N - bf, K: k,
+		Model:      mp,
+		Prediction: mp.PredictMM(bf),
+	}
+	_ = tf
+	if cfg.Functional {
+		res.Checked = true
+		res.MaxResidual = c.MaxDiff(ref)
+	}
+	return res, nil
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+
+	"codesign/internal/cpu"
+	"codesign/internal/fpga"
+	"codesign/internal/machine"
+	"codesign/internal/model"
+	"codesign/internal/sim"
+)
+
+// OpMMResult reports the stripe-granular simulation of one b×b block
+// matrix multiplication on the p-1 compute nodes while node 0 streams
+// the operand stripes — the experiment of Figure 5.
+type OpMMResult struct {
+	BF, BP, B, K int
+	// Seconds is the makespan of the whole block multiplication.
+	Seconds float64
+	// StripeTf/Tp/Tmem/Tcomm echo the model's per-stripe times.
+	StripeTf, StripeTp, StripeTmem, StripeTcomm float64
+}
+
+// RunOpMM simulates one b×b block matrix multiplication at stripe
+// granularity: node 0 multicasts each of the b/k column/row stripe
+// pairs in turn; every compute node unpacks the stripe, streams the
+// FPGA's operands to it, runs its software share, and the FPGA array
+// consumes stripes from a double-buffered queue. Pipelining across
+// stripes arises naturally from the resource model.
+func RunOpMM(mc machine.Config, b, pes, bf int) (*OpMMResult, error) {
+	if mc.Nodes == 0 {
+		mc = machine.XD1()
+	}
+	p := mc.Nodes
+	if p < 2 {
+		return nil, fmt.Errorf("core: opMM needs p >= 2")
+	}
+	sys, err := machine.New(mc)
+	if err != nil {
+		return nil, err
+	}
+	k := pes
+	if k == 0 {
+		k = fpga.MaxPEs(func(k int) fpga.Design { return fpga.NewMatMul(k) }, mc.Device)
+	}
+	if b%k != 0 || b%(p-1) != 0 {
+		return nil, fmt.Errorf("core: b=%d must be a multiple of k=%d and p-1=%d", b, k, p-1)
+	}
+	if bf < 0 || bf > b {
+		return nil, fmt.Errorf("core: bf=%d out of [0,%d]", bf, b)
+	}
+	if err := sys.InstallDesign(fpga.NewMatMul(k)); err != nil {
+		return nil, err
+	}
+	accel := sys.Nodes[0].Accel
+	proc := sys.Nodes[0].Proc
+	lp := model.LUParams{
+		P: p, B: b, K: k,
+		Ff:         accel.Placed.FreqHz,
+		StripeRate: proc.Rate(cpu.DGEMMStripe),
+		LURate:     proc.Rate(cpu.DGETRF),
+		TrsmRate:   proc.Rate(cpu.DTRSM),
+		Bd:         accel.DRAM.BandwidthBytes,
+		Bn:         mc.Fabric.LinkBandwidth,
+		Bw:         machine.WordBytes,
+	}
+	tf, tp, tmem, tcomm := lp.StripeTimes(bf)
+	stripes := b / k
+	fpgaStripeCycles := float64(bf) * float64(b) / float64(p-1)
+
+	// Per-node stripe queues: sender -> CPU, CPU -> FPGA.
+	inbox := make([]*sim.Mailbox, p)
+	fpgaQ := make([]*sim.Mailbox, p)
+	for i := 1; i < p; i++ {
+		inbox[i] = sim.NewMailbox(sys.Eng, fmt.Sprintf("opmm.in%d", i))
+		fpgaQ[i] = sim.NewMailbox(sys.Eng, fmt.Sprintf("opmm.fq%d", i))
+	}
+	dsts := make([]int, 0, p-1)
+	for i := 1; i < p; i++ {
+		dsts = append(dsts, i)
+	}
+
+	// Node 0: stream the stripe pairs.
+	stripeBytes := 2 * b * k * machine.WordBytes
+	sys.Eng.Go("opmm.sender", func(pr *sim.Proc) {
+		for s := 0; s < stripes; s++ {
+			sys.Fab.Multicast(pr, 0, dsts, stripeBytes)
+			for _, d := range dsts {
+				inbox[d].Put(s)
+			}
+		}
+	})
+
+	// Compute nodes: CPU pipeline + FPGA array worker.
+	for i := 1; i < p; i++ {
+		node := sys.Nodes[i]
+		me := i
+		var fpgaDone *sim.Signal
+		if bf > 0 {
+			fpgaDone = sim.NewSignal(sys.Eng, fmt.Sprintf("opmm.fdone%d", me))
+			a := node.Accel
+			sys.Eng.Go(fmt.Sprintf("opmm.fpga%d", me), func(fp *sim.Proc) {
+				for s := 0; s < stripes; s++ {
+					fpgaQ[me].Get(fp)
+					a.Compute(fp, fpgaStripeCycles)
+				}
+				fpgaDone.Fire()
+			})
+		}
+		sys.Eng.Go(fmt.Sprintf("opmm.cpu%d", me), func(pr *sim.Proc) {
+			for s := 0; s < stripes; s++ {
+				inbox[me].Get(pr)
+				node.CPUBusy.Use(pr, tcomm) // unpack
+				if bf > 0 {
+					node.CPUBusy.Use(pr, tmem) // stream operands to the FPGA
+					fpgaQ[me].Put(s)
+				}
+				if bf < b {
+					node.CPUBusy.Use(pr, tp) // software share of the stripe
+				}
+			}
+			if fpgaDone != nil {
+				node.Accel.AwaitDone(pr, fpgaDone)
+			}
+		})
+	}
+
+	end, err := sys.Run()
+	if err != nil {
+		return nil, fmt.Errorf("core: opMM simulation: %w", err)
+	}
+	return &OpMMResult{
+		BF: bf, BP: b - bf, B: b, K: k,
+		Seconds:  end,
+		StripeTf: tf, StripeTp: tp, StripeTmem: tmem, StripeTcomm: tcomm,
+	}, nil
+}

@@ -1,0 +1,199 @@
+// Package cpu models the general-purpose processor of a node as the
+// design model sees it: a sustained floating-point rate per kernel class
+// (the paper's Op×Fp), plus the latencies of the vendor-library routines
+// the software side calls (ACML dgemm/dgetrf/dtrsm, and the scalar
+// Floyd-Warshall kernel).
+//
+// The model can be backed by measured constants (the paper's numbers for
+// the 2.2 GHz Opteron) or calibrated against the host by timing the real
+// Go kernels in internal/matrix, which exercises the same code path with
+// live data.
+package cpu
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"codesign/internal/matrix"
+)
+
+// Routine identifies a kernel class with its own sustained rate.
+type Routine string
+
+// Routine classes used by the two applications.
+const (
+	DGEMM Routine = "dgemm" // dense square matrix multiply (large k)
+	// DGEMMStripe is dgemm on a rank-k panel update — the (bp×k)·(k×w)
+	// multiplies of the hybrid opMM pipeline. Rank-k updates are
+	// memory-bandwidth bound and sustain well below square-dgemm rate.
+	DGEMMStripe Routine = "dgemm-stripe"
+	DGETRF      Routine = "dgetrf"   // panel LU factorization (opLU)
+	DTRSM       Routine = "dtrsm"    // triangular solve (opL, opU)
+	FWKernel    Routine = "fw"       // scalar blocked Floyd-Warshall kernel
+	Subtract    Routine = "subtract" // opMS matrix subtraction (memory bound)
+	// DGEMV is dense matrix-vector multiplication (memory-bandwidth
+	// bound; the software half of the CG extension's operator apply).
+	DGEMV Routine = "dgemv"
+	// VectorOp covers the O(n) CG vector kernels (dot, axpy).
+	VectorOp Routine = "vecop"
+)
+
+// Processor is a sustained-rate processor model.
+type Processor struct {
+	// Name identifies the part, e.g. "AMD Opteron 2.2 GHz".
+	Name string
+	// FreqHz is the core clock (Fp).
+	FreqHz float64
+	// Sustained maps each routine class to its sustained FLOP/s
+	// (Op×Fp for that class).
+	Sustained map[Routine]float64
+}
+
+// Opteron22 returns the 2.2 GHz AMD Opteron model with the paper's
+// measured rates: 3.9 GFLOPS dgemm at matrix size 2048 (ACML), the
+// dgetrf/dtrsm rates implied by Table 1 at b = 3000, and 190 MFLOPS for
+// the scalar Floyd-Warshall kernel at b = 256.
+func Opteron22() *Processor {
+	return &Processor{
+		Name:   "AMD Opteron 2.2 GHz",
+		FreqHz: 2.2e9,
+		Sustained: map[Routine]float64{
+			DGEMM: 3.9e9,
+			// Rank-8 panel updates stream the full C panel per 8
+			// accumulated columns and sustain ~76% of square dgemm.
+			DGEMMStripe: 2.95e9,
+			// Table 1: dgetrf on a 3000x3000 block takes 4.9 s;
+			// (2/3)b^3 flops / 4.9 s = 3.67 GFLOPS.
+			DGETRF: 2.0 / 3.0 * 3000 * 3000 * 3000 / 4.9,
+			// Table 1: dtrsm on a 3000-wide panel takes 7.1 s;
+			// b^3 flops / 7.1 s = 3.80 GFLOPS.
+			DTRSM: 3000 * 3000 * 3000 / 7.1,
+			// Section 6.1: 190 MFLOPS sustained for the b = 256
+			// scalar Floyd-Warshall kernel.
+			FWKernel: 190e6,
+			// opMS is memory bound; one subtract per ~two DRAM
+			// accesses at 3.2 GB/s gives roughly 400 MFLOP/s.
+			Subtract: 400e6,
+			// dgemv streams the matrix once per call: ~1.2 GFLOPS on
+			// DDR-era Opterons.
+			DGEMV: 1.2e9,
+			// dot/axpy touch two or three vectors per flop pair.
+			VectorOp: 800e6,
+		},
+	}
+}
+
+// Rate returns the sustained FLOP/s for the routine class; it panics on
+// an unknown class so misconfigured models fail loudly.
+func (p *Processor) Rate(r Routine) float64 {
+	v, ok := p.Sustained[r]
+	if !ok || v <= 0 {
+		panic(fmt.Sprintf("cpu: processor %q has no sustained rate for routine %q", p.Name, r))
+	}
+	return v
+}
+
+// Time returns the modeled execution time of flops floating-point
+// operations of the given routine class.
+func (p *Processor) Time(r Routine, flops float64) float64 {
+	if flops < 0 {
+		panic(fmt.Sprintf("cpu: negative flop count %g", flops))
+	}
+	return flops / p.Rate(r)
+}
+
+// Flops for the standard routines, as functions of the block size.
+
+// DgetrfFlops returns the flop count of an LU panel factorization of a
+// b×b block: (2/3)b³.
+func DgetrfFlops(b int) float64 { n := float64(b); return 2.0 / 3.0 * n * n * n }
+
+// DtrsmFlops returns the flop count of a triangular solve with a b×b
+// factor and b right-hand sides: b³.
+func DtrsmFlops(b int) float64 { n := float64(b); return n * n * n }
+
+// GemmFlops returns the flop count of an m×k by k×n multiply-accumulate:
+// 2mkn.
+func GemmFlops(m, k, n int) float64 { return 2 * float64(m) * float64(k) * float64(n) }
+
+// FWBlockFlops returns the flop count of one b×b Floyd-Warshall block
+// operation: b³ additions plus b³ comparisons (Section 5.2.3).
+func FWBlockFlops(b int) float64 { n := float64(b); return 2 * n * n * n }
+
+// SubtractFlops returns the flop count of an opMS on a b×b block: b².
+func SubtractFlops(b int) float64 { n := float64(b); return n * n }
+
+// Table1Row is one row of the paper's Table 1: the ACML routine used for
+// an LU task and its modeled latency.
+type Table1Row struct {
+	Operation string
+	Routine   string
+	LatencyS  float64
+}
+
+// Table1 reproduces Table 1 for block size b on processor p.
+func Table1(p *Processor, b int) []Table1Row {
+	return []Table1Row{
+		{Operation: "opLU", Routine: "dgetrf", LatencyS: p.Time(DGETRF, DgetrfFlops(b))},
+		{Operation: "opL", Routine: "dtrsm", LatencyS: p.Time(DTRSM, DtrsmFlops(b))},
+		{Operation: "opU", Routine: "dtrsm", LatencyS: p.Time(DTRSM, DtrsmFlops(b))},
+	}
+}
+
+// CalibrationResult reports a measured host rate for a kernel class.
+type CalibrationResult struct {
+	Routine Routine
+	Size    int
+	Seconds float64
+	Flops   float64
+	Rate    float64 // FLOP/s
+}
+
+// CalibrateGEMM measures the host's sustained rate on the package's own
+// parallel GEMM at size n and returns the result. Use it to build a
+// Processor that models the machine the simulation runs on.
+func CalibrateGEMM(n int) CalibrationResult {
+	rng := rand.New(rand.NewSource(1))
+	a := matrix.Random(n, n, rng)
+	b := matrix.Random(n, n, rng)
+	c := matrix.New(n, n)
+	start := time.Now()
+	matrix.GemmParallel(1, a, b, 0, c, 0)
+	dt := time.Since(start).Seconds()
+	fl := GemmFlops(n, n, n)
+	return CalibrationResult{Routine: DGEMM, Size: n, Seconds: dt, Flops: fl, Rate: fl / dt}
+}
+
+// CalibrateFW measures the host's sustained rate on the scalar
+// Floyd-Warshall kernel at block size b.
+func CalibrateFW(b int) CalibrationResult {
+	rng := rand.New(rand.NewSource(2))
+	d := matrix.RandomGraph(b, 0.5, rng)
+	start := time.Now()
+	matrix.FWKernel(d)
+	dt := time.Since(start).Seconds()
+	fl := FWBlockFlops(b)
+	return CalibrationResult{Routine: FWKernel, Size: b, Seconds: dt, Flops: fl, Rate: fl / dt}
+}
+
+// Calibrated returns a Processor whose dgemm and FW rates come from host
+// measurements at the given sizes and whose factorization rates are
+// scaled from the dgemm rate with the paper's measured efficiency ratios
+// (dgetrf at ~94%, dtrsm at ~97% of dgemm).
+func Calibrated(gemmN, fwB int) *Processor {
+	g := CalibrateGEMM(gemmN)
+	f := CalibrateFW(fwB)
+	return &Processor{
+		Name:   "host-calibrated",
+		FreqHz: 0,
+		Sustained: map[Routine]float64{
+			DGEMM:       g.Rate,
+			DGEMMStripe: g.Rate * 0.76,
+			DGETRF:      g.Rate * 0.94,
+			DTRSM:       g.Rate * 0.97,
+			FWKernel:    f.Rate,
+			Subtract:    g.Rate * 0.1,
+		},
+	}
+}

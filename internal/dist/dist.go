@@ -1,0 +1,133 @@
+// Package dist implements the data distributions the paper's designs
+// use: the cyclic block-row/column layout of the LU design (Section
+// 5.1.3, "Initially, P_i stores A_iv and A_ui ...") and the contiguous
+// block-column layout of the Floyd-Warshall design (Section 5.2.3).
+// The distributions answer ownership queries (who stores block (u,v)?),
+// enumerate each node's local blocks, and account storage balance.
+package dist
+
+import "fmt"
+
+// Cyclic is the LU design's distribution over an nb×nb block grid on p
+// nodes: node i stores the blocks of block-row i and block-column i,
+// then row/column i+p, i+2p, ... restricted to the trailing submatrix —
+// equivalently, block (u,v) belongs to the node owning min(u,v) mod p
+// (the cross of rows and columns it anchors).
+type Cyclic struct {
+	NB, P int
+}
+
+// NewCyclic builds the distribution for an nb×nb grid over p nodes.
+func NewCyclic(nb, p int) Cyclic {
+	if nb < 1 || p < 1 {
+		panic(fmt.Sprintf("dist: bad cyclic geometry nb=%d p=%d", nb, p))
+	}
+	return Cyclic{NB: nb, P: p}
+}
+
+// Owner returns the node storing block (u, v).
+func (c Cyclic) Owner(u, v int) int {
+	c.check(u, v)
+	if v < u {
+		u, v = v, u
+	}
+	return u % c.P
+}
+
+// check panics on out-of-range coordinates.
+func (c Cyclic) check(u, v int) {
+	if u < 0 || v < 0 || u >= c.NB || v >= c.NB {
+		panic(fmt.Sprintf("dist: block (%d,%d) outside %dx%d grid", u, v, c.NB, c.NB))
+	}
+}
+
+// PanelOwner returns the node that runs iteration t's panel operations
+// (t' = t mod p, the owner of the diagonal block).
+func (c Cyclic) PanelOwner(t int) int { return t % c.P }
+
+// UpdateOwner returns the node the paper routes opMM results to for the
+// trailing update of block (u, v): t” = max{u, v} (mapped onto the p
+// nodes), per Section 5.1.3.
+func (c Cyclic) UpdateOwner(u, v int) int {
+	c.check(u, v)
+	if v > u {
+		u = v
+	}
+	return u % c.P
+}
+
+// LocalBlocks returns the blocks node i stores, in row-major order.
+func (c Cyclic) LocalBlocks(i int) [][2]int {
+	var out [][2]int
+	for u := 0; u < c.NB; u++ {
+		for v := 0; v < c.NB; v++ {
+			if c.Owner(u, v) == i {
+				out = append(out, [2]int{u, v})
+			}
+		}
+	}
+	return out
+}
+
+// Counts returns the number of blocks stored per node.
+func (c Cyclic) Counts() []int {
+	counts := make([]int, c.P)
+	for u := 0; u < c.NB; u++ {
+		for v := 0; v < c.NB; v++ {
+			counts[c.Owner(u, v)]++
+		}
+	}
+	return counts
+}
+
+// Imbalance returns max/mean of the per-node block counts (1 = perfect).
+func (c Cyclic) Imbalance() float64 {
+	counts := c.Counts()
+	maxC, sum := 0, 0
+	for _, v := range counts {
+		if v > maxC {
+			maxC = v
+		}
+		sum += v
+	}
+	mean := float64(sum) / float64(len(counts))
+	return float64(maxC) / mean
+}
+
+// ColumnBlocks is the Floyd-Warshall design's distribution: node i
+// stores nb/p contiguous block columns (Section 5.2.3: "P_i stores
+// columns in/(bp) ... ((i+1)n/(bp))-1").
+type ColumnBlocks struct {
+	NB, P int
+}
+
+// NewColumnBlocks builds the distribution; p must divide nb.
+func NewColumnBlocks(nb, p int) ColumnBlocks {
+	if nb < 1 || p < 1 || nb%p != 0 {
+		panic(fmt.Sprintf("dist: bad column geometry nb=%d p=%d", nb, p))
+	}
+	return ColumnBlocks{NB: nb, P: p}
+}
+
+// PerNode returns the block columns per node.
+func (d ColumnBlocks) PerNode() int { return d.NB / d.P }
+
+// Owner returns the node storing block column v (and with it every
+// block (u, v)).
+func (d ColumnBlocks) Owner(v int) int {
+	if v < 0 || v >= d.NB {
+		panic(fmt.Sprintf("dist: column %d outside grid of %d", v, d.NB))
+	}
+	return v / d.PerNode()
+}
+
+// Columns returns node i's contiguous column range [lo, hi).
+func (d ColumnBlocks) Columns(i int) (lo, hi int) {
+	if i < 0 || i >= d.P {
+		panic(fmt.Sprintf("dist: node %d outside %d", i, d.P))
+	}
+	return i * d.PerNode(), (i + 1) * d.PerNode()
+}
+
+// PivotOwner returns the node running iteration t's op1/op22 chain.
+func (d ColumnBlocks) PivotOwner(t int) int { return d.Owner(t) }

@@ -1,0 +1,174 @@
+package dist
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCyclicOwnerSymmetric(t *testing.T) {
+	c := NewCyclic(10, 6)
+	for u := 0; u < 10; u++ {
+		for v := 0; v < 10; v++ {
+			if c.Owner(u, v) != c.Owner(v, u) {
+				t.Fatalf("owner not symmetric at (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestCyclicOwnerIsMinModP(t *testing.T) {
+	c := NewCyclic(10, 6)
+	if c.Owner(3, 7) != 3 || c.Owner(7, 3) != 3 {
+		t.Fatal("owner of (3,7) should be 3")
+	}
+	if c.Owner(8, 9) != 8%6 {
+		t.Fatal("owner of (8,9) should be 2")
+	}
+}
+
+func TestCyclicPanelOwner(t *testing.T) {
+	c := NewCyclic(10, 6)
+	for tt := 0; tt < 10; tt++ {
+		if c.PanelOwner(tt) != tt%6 {
+			t.Fatalf("panel owner of %d", tt)
+		}
+		// The panel owner stores the diagonal block.
+		if c.Owner(tt, tt) != c.PanelOwner(tt) {
+			t.Fatalf("diagonal block %d not on the panel node", tt)
+		}
+	}
+}
+
+func TestCyclicPartition(t *testing.T) {
+	// Every block is owned by exactly one node and the local lists
+	// cover the grid.
+	c := NewCyclic(8, 3)
+	seen := map[[2]int]int{}
+	for i := 0; i < 3; i++ {
+		for _, b := range c.LocalBlocks(i) {
+			if prev, dup := seen[b]; dup {
+				t.Fatalf("block %v owned by %d and %d", b, prev, i)
+			}
+			seen[b] = i
+			if c.Owner(b[0], b[1]) != i {
+				t.Fatalf("LocalBlocks disagrees with Owner at %v", b)
+			}
+		}
+	}
+	if len(seen) != 64 {
+		t.Fatalf("covered %d of 64 blocks", len(seen))
+	}
+}
+
+func TestCyclicCountsSum(t *testing.T) {
+	c := NewCyclic(12, 5)
+	sum := 0
+	for _, v := range c.Counts() {
+		sum += v
+	}
+	if sum != 144 {
+		t.Fatalf("counts sum %d", sum)
+	}
+}
+
+func TestCyclicImbalance(t *testing.T) {
+	// With nb a multiple of p the cross layout is near balanced; the
+	// imbalance must stay modest.
+	c := NewCyclic(12, 6)
+	if im := c.Imbalance(); im < 1 || im > 2 {
+		t.Fatalf("imbalance = %v", im)
+	}
+}
+
+func TestQuickCyclicOwnerInRange(t *testing.T) {
+	f := func(raw uint32) bool {
+		nb := int(raw%20) + 1
+		p := int(raw/20%6) + 1
+		c := NewCyclic(nb, p)
+		for u := 0; u < nb; u++ {
+			for v := 0; v < nb; v++ {
+				o := c.Owner(u, v)
+				if o < 0 || o >= p {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCyclicBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCyclic(0, 3)
+}
+
+func TestCyclicOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCyclic(4, 2).Owner(4, 0)
+}
+
+func TestColumnBlocks(t *testing.T) {
+	d := NewColumnBlocks(12, 6)
+	if d.PerNode() != 2 {
+		t.Fatalf("per node = %d", d.PerNode())
+	}
+	for v := 0; v < 12; v++ {
+		want := v / 2
+		if d.Owner(v) != want {
+			t.Fatalf("owner(%d) = %d, want %d", v, d.Owner(v), want)
+		}
+	}
+	lo, hi := d.Columns(3)
+	if lo != 6 || hi != 8 {
+		t.Fatalf("columns(3) = [%d,%d)", lo, hi)
+	}
+	if d.PivotOwner(7) != 3 {
+		t.Fatalf("pivot owner of 7 = %d", d.PivotOwner(7))
+	}
+}
+
+func TestColumnBlocksPaperExample(t *testing.T) {
+	// Figure 4's setting: nb=8, p=4 → 2 columns per node; iteration
+	// t=2's pivot column is owned by node 1.
+	d := NewColumnBlocks(8, 4)
+	if d.PivotOwner(2) != 1 {
+		t.Fatalf("paper example: pivot owner = %d, want 1", d.PivotOwner(2))
+	}
+}
+
+func TestColumnBlocksValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewColumnBlocks(10, 4) // 4 does not divide 10
+}
+
+func TestColumnBlocksOutOfRange(t *testing.T) {
+	d := NewColumnBlocks(8, 4)
+	for _, f := range []func(){
+		func() { d.Owner(8) },
+		func() { d.Columns(4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,213 @@
+package exper
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func mustFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", s, err)
+	}
+	return v
+}
+
+func TestTable1Rows(t *testing.T) {
+	tb, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Modeled latencies must match the paper column to within 2%.
+	for _, r := range tb.Rows {
+		got := mustFloat(t, r[2])
+		want := mustFloat(t, r[3])
+		if got < want*0.98 || got > want*1.02 {
+			t.Fatalf("%s latency %v vs paper %v", r[0], got, want)
+		}
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	tb, err := Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 16 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	best, bestBF := 1e18, -1
+	for _, r := range tb.Rows {
+		lat := mustFloat(t, r[2])
+		if lat < best {
+			best, bestBF = lat, int(mustFloat(t, r[0]))
+		}
+	}
+	if bestBF < 1100 || bestBF > 1400 {
+		t.Fatalf("Fig5 minimum at bf=%d, paper says 1280", bestBF)
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	tb, err := Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := mustFloat(t, tb.Rows[0][1])
+	atOpt := mustFloat(t, tb.Rows[3][1])
+	if atOpt >= first {
+		t.Fatalf("l=3 latency %v not below l=0 %v", atOpt, first)
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	tb, err := Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := map[int]float64{}
+	for _, r := range tb.Rows {
+		lat[int(mustFloat(t, r[0]))] = mustFloat(t, r[2])
+	}
+	if !(lat[2] < lat[1] && lat[2] < lat[3] && lat[2] < lat[12]) {
+		t.Fatalf("Fig7 minimum not at l1=2: %v", lat)
+	}
+}
+
+func TestFig8Monotone(t *testing.T) {
+	tb, err := Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for _, r := range tb.Rows {
+		g := mustFloat(t, r[2])
+		if g <= prev {
+			t.Fatalf("Fig8 not increasing: %v after %v", g, prev)
+		}
+		prev = g
+	}
+}
+
+func TestFig9Winners(t *testing.T) {
+	tb, err := Fig9(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := map[string]float64{}
+	for _, r := range tb.Rows {
+		g[r[0]+"/"+r[1]] = mustFloat(t, r[2])
+	}
+	if !(g["lu/hybrid"] > g["lu/processor-only"] && g["lu/processor-only"] > g["lu/fpga-only"]) {
+		t.Fatalf("LU ordering wrong: %v", g)
+	}
+	if !(g["fw/hybrid"] > g["fw/fpga-only"] && g["fw/fpga-only"] > g["fw/processor-only"]) {
+		t.Fatalf("FW ordering wrong: %v", g)
+	}
+}
+
+func TestPredictionRatios(t *testing.T) {
+	tb, err := Prediction(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tb.Rows {
+		ratio := mustFloat(t, r[3])
+		if ratio <= 0.5 || ratio > 1.0 {
+			t.Fatalf("%s ratio %v out of range", r[0], ratio)
+		}
+	}
+	// FW must overlap better than LU, the paper's key qualitative claim.
+	lu := mustFloat(t, tb.Rows[0][3])
+	fw := mustFloat(t, tb.Rows[1][3])
+	if fw <= lu {
+		t.Fatalf("FW ratio %v should exceed LU ratio %v", fw, lu)
+	}
+}
+
+func TestAblationsTable(t *testing.T) {
+	tb, err := Ablations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	base := mustFloat(t, tb.Rows[0][1])
+	noOverlap := mustFloat(t, tb.Rows[1][1])
+	if noOverlap <= base {
+		t.Fatal("overlap ablation should slow the design")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := tb.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "table1") || !strings.Contains(out, "dgetrf") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+	var csv strings.Builder
+	if err := tb.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "operation,routine") {
+		t.Fatal("csv header missing")
+	}
+}
+
+func TestExtensionsTable(t *testing.T) {
+	tb, err := Extensions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 12 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	g := map[string]float64{}
+	for _, r := range tb.Rows {
+		g[r[0]+"/"+r[1]] = mustFloat(t, r[2])
+	}
+	if !(g["mm/hybrid"] > g["mm/processor-only"] && g["mm/hybrid"] > g["mm/fpga-only"]) {
+		t.Fatalf("mm hybrid must win: %v", g)
+	}
+	if !(g["chol/hybrid"] > g["chol/processor-only"] && g["chol/hybrid"] > g["chol/fpga-only"]) {
+		t.Fatalf("chol hybrid must win: %v", g)
+	}
+}
+
+func TestSensitivityTable(t *testing.T) {
+	tb, err := Sensitivity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf := map[string]float64{}
+	gf := map[string]float64{}
+	for _, r := range tb.Rows {
+		bf[r[0]] = mustFloat(t, r[1])
+		gf[r[0]] = mustFloat(t, r[3])
+	}
+	// Faster CPU pulls rows back from the FPGA; slower CPU pushes more.
+	if !(bf["CPU x2"] < bf["baseline XD1"] && bf["CPU x0.5"] > bf["baseline XD1"]) {
+		t.Fatalf("bf must track CPU power: %v", bf)
+	}
+	// Throughput must track CPU power monotonically.
+	if !(gf["CPU x2"] > gf["baseline XD1"] && gf["CPU x0.5"] < gf["baseline XD1"]) {
+		t.Fatalf("gflops must track CPU power: %v", gf)
+	}
+	// SRAM starvation clamps bf hard.
+	if bf["SRAM 4MB"] >= bf["baseline XD1"] {
+		t.Fatalf("SRAM clamp missing: %v", bf)
+	}
+}

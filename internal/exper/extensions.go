@@ -1,0 +1,112 @@
+package exper
+
+import (
+	"fmt"
+
+	"codesign/internal/core"
+	"codesign/internal/cpu"
+	"codesign/internal/machine"
+)
+
+// Extensions runs the broader-application study the paper's conclusion
+// calls for: the same design model driving hybrid matrix multiplication
+// (the Equation (1) case, from the authors' earlier work [22]) and
+// hybrid Cholesky factorization (the third ScaLAPACK routine [10]).
+func Extensions() (*Table, error) {
+	t := &Table{
+		ID:     "extensions",
+		Title:  "Design model applied beyond the paper: matmul, Cholesky, QR (XD1, GFLOPS)",
+		Header: []string{"app", "design", "gflops", "partition"},
+		Notes: []string{
+			"mm: n=6144 per-node multiply, no communication (pure Eq. 1)",
+			"chol: n=30000, b=3000 — same trailing-update engine as LU at half the flops",
+			"qr: n=30000, b=3000 — Householder panels broadcast, compact-WY updates split by Eq. 4",
+			"cg: n=1024 dense SPD, single node — operator apply split by Eq. 1, FPGA share SRAM-resident",
+		},
+	}
+	for _, m := range []core.Mode{core.Hybrid, core.ProcessorOnly, core.FPGAOnly} {
+		r, err := core.RunMM(core.MMConfig{N: 6144, BF: -1, Mode: m})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{"mm", m.String(), f2(r.GFLOPS),
+			fmt.Sprintf("bf=%d/bp=%d", r.BF, r.BP)})
+	}
+	for _, m := range []core.Mode{core.Hybrid, core.ProcessorOnly, core.FPGAOnly} {
+		r, err := core.RunCholesky(core.CholConfig{N: 30000, B: 3000, BF: -1, L: -1, Mode: m})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{"chol", m.String(), f2(r.GFLOPS),
+			fmt.Sprintf("bf=%d/l=%d", r.BF, r.L)})
+	}
+	for _, m := range []core.Mode{core.Hybrid, core.ProcessorOnly, core.FPGAOnly} {
+		r, err := core.RunQR(core.QRConfig{N: 30000, B: 3000, BF: -1, Mode: m})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{"qr", m.String(), f2(r.GFLOPS),
+			fmt.Sprintf("bf=%d", r.BF)})
+	}
+	for _, m := range []core.Mode{core.Hybrid, core.ProcessorOnly, core.FPGAOnly} {
+		r, err := core.RunCG(core.CGConfig{N: 1024, RowsFPGA: -1, Mode: m, Seed: 1})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{"cg", m.String(), f2(r.GFLOPS),
+			fmt.Sprintf("rf=%d/%d iters=%d", r.RowsFPGA, r.N, r.Iterations)})
+	}
+	return t, nil
+}
+
+// scaledProcessor returns an Opteron model with every sustained rate
+// multiplied by f.
+func scaledProcessor(f float64) func() *cpu.Processor {
+	return func() *cpu.Processor {
+		p := cpu.Opteron22()
+		for k, v := range p.Sustained {
+			p.Sustained[k] = v * f
+		}
+		p.Name = fmt.Sprintf("%s x%.2g", p.Name, f)
+		return p
+	}
+}
+
+// Sensitivity sweeps the system parameters the model exposes — network
+// bandwidth Bn and processor power Op·Fp — and reports how the solved
+// LU partition and the hybrid throughput respond. This is the
+// "performance prediction for a given application" use of the model
+// (Section 4.5) turned into an experiment.
+func Sensitivity() (*Table, error) {
+	t := &Table{
+		ID:     "sensitivity",
+		Title:  "LU hybrid sensitivity to system parameters (n=30000, b=3000)",
+		Header: []string{"variant", "bf", "l", "gflops", "pred_gflops"},
+		Notes: []string{
+			"faster network: more of each stripe's time budget goes to compute",
+			"faster processor: Eq. 4 shifts rows from the FPGA to the CPU",
+		},
+	}
+	type variant struct {
+		name string
+		mut  func(*machine.Config)
+	}
+	for _, v := range []variant{
+		{"baseline XD1", func(*machine.Config) {}},
+		{"Bn x0.25", func(c *machine.Config) { c.Fabric.LinkBandwidth /= 4 }},
+		{"Bn x4", func(c *machine.Config) { c.Fabric.LinkBandwidth *= 4 }},
+		{"CPU x0.5", func(c *machine.Config) { c.Processor = scaledProcessor(0.5) }},
+		{"CPU x2", func(c *machine.Config) { c.Processor = scaledProcessor(2) }},
+		{"SRAM 4MB", func(c *machine.Config) { c.SRAMBankBytes = 1 << 20 }},
+	} {
+		mc := machine.XD1()
+		v.mut(&mc)
+		r, err := core.RunLU(core.LUConfig{Machine: mc, N: 30000, B: 3000, BF: -1, L: -1, Mode: core.Hybrid})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", v.name, err)
+		}
+		t.Rows = append(t.Rows, []string{v.name, fmt.Sprint(r.BF), fmt.Sprint(r.L),
+			f2(r.GFLOPS), f2(r.Prediction.GFLOPS)})
+	}
+	return t, nil
+}

@@ -1,0 +1,151 @@
+// Package fabric models the interconnect of a reconfigurable computing
+// system: a non-blocking crossbar switching fabric (as in the Cray XD1
+// chassis) with per-node links of fixed bandwidth. Contention arises
+// only at the endpoints — a node's egress and ingress links — which the
+// package serializes with FIFO resources in virtual time.
+package fabric
+
+import (
+	"fmt"
+
+	"codesign/internal/sim"
+)
+
+// Config describes the interconnect.
+type Config struct {
+	// Nodes is the number of endpoints.
+	Nodes int
+	// LinkBandwidth is the bandwidth of one link in bytes per second
+	// (the paper's Bn; 2 GB/s per XD1 RapidArray link).
+	LinkBandwidth float64
+	// LinksPerNode is the number of full-duplex links each node has to
+	// the crossbar (2 on XD1). Concurrent transfers to/from one node
+	// can use distinct links.
+	LinksPerNode int
+	// Latency is the per-message launch latency in seconds.
+	Latency float64
+}
+
+func (c Config) validate() error {
+	if c.Nodes < 1 {
+		return fmt.Errorf("fabric: need at least one node, got %d", c.Nodes)
+	}
+	if c.LinkBandwidth <= 0 {
+		return fmt.Errorf("fabric: non-positive link bandwidth %g", c.LinkBandwidth)
+	}
+	if c.LinksPerNode < 1 {
+		return fmt.Errorf("fabric: need at least one link per node, got %d", c.LinksPerNode)
+	}
+	if c.Latency < 0 {
+		return fmt.Errorf("fabric: negative latency %g", c.Latency)
+	}
+	return nil
+}
+
+// Fabric is a crossbar interconnect living inside a simulation engine.
+type Fabric struct {
+	cfg     Config
+	eng     *sim.Engine
+	egress  []*sim.Resource
+	ingress []*sim.Resource
+
+	// statistics
+	messages int64
+	bytes    int64
+}
+
+// New builds the interconnect in engine e.
+func New(e *sim.Engine, cfg Config) (*Fabric, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	f := &Fabric{cfg: cfg, eng: e}
+	for i := 0; i < cfg.Nodes; i++ {
+		f.egress = append(f.egress, sim.NewResource(e, fmt.Sprintf("egress%d", i), cfg.LinksPerNode))
+		f.ingress = append(f.ingress, sim.NewResource(e, fmt.Sprintf("ingress%d", i), cfg.LinksPerNode))
+	}
+	return f, nil
+}
+
+// Config returns the fabric configuration.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// Nodes returns the endpoint count.
+func (f *Fabric) Nodes() int { return f.cfg.Nodes }
+
+// TransferTime returns the unloaded wire time for a message of the given
+// size: latency + bytes/bandwidth.
+func (f *Fabric) TransferTime(bytes int) float64 {
+	return f.cfg.Latency + float64(bytes)/f.cfg.LinkBandwidth
+}
+
+// Transfer moves bytes from src to dst, blocking the calling process for
+// the wire time plus any endpoint-link queueing. Transfers between the
+// same pair serialize only when all of the node's links are busy
+// (non-blocking crossbar). Local transfers (src == dst) are free.
+func (f *Fabric) Transfer(p *sim.Proc, src, dst, bytes int) {
+	f.checkNode(src)
+	f.checkNode(dst)
+	if bytes < 0 {
+		panic(fmt.Sprintf("fabric: negative message size %d", bytes))
+	}
+	f.messages++
+	f.bytes += int64(bytes)
+	if src == dst {
+		return
+	}
+	// Hold one egress link at the source and one ingress link at the
+	// destination for the duration of the wire time. Egress is always
+	// acquired first; ingress holders never wait on egress, so the
+	// two-resource hold cannot deadlock.
+	f.egress[src].Acquire(p)
+	f.ingress[dst].Acquire(p)
+	p.Wait(f.TransferTime(bytes))
+	f.ingress[dst].Release()
+	f.egress[src].Release()
+}
+
+// Multicast sends bytes from src toward every node in dsts, holding one
+// egress link for a single wire time (the crossbar replicates the
+// stream, as RapidArray-class fabrics do — this is the cost model
+// behind Equation 5, which charges the panel node one Tcomm per stripe
+// regardless of the receiver count). Receivers are not charged ingress;
+// they are blocked waiting for the payload anyway.
+func (f *Fabric) Multicast(p *sim.Proc, src int, dsts []int, bytes int) {
+	f.checkNode(src)
+	if bytes < 0 {
+		panic(fmt.Sprintf("fabric: negative message size %d", bytes))
+	}
+	if len(dsts) == 0 {
+		return
+	}
+	f.messages++
+	f.bytes += int64(bytes) * int64(len(dsts))
+	f.egress[src].Acquire(p)
+	p.Wait(f.TransferTime(bytes))
+	f.egress[src].Release()
+}
+
+// Messages returns the number of transfers initiated.
+func (f *Fabric) Messages() int64 { return f.messages }
+
+// Bytes returns the total payload bytes transferred (including local).
+func (f *Fabric) Bytes() int64 { return f.bytes }
+
+// EgressBusySeconds returns cumulative egress-link busy time of node i.
+func (f *Fabric) EgressBusySeconds(i int) float64 {
+	f.checkNode(i)
+	return f.egress[i].BusySeconds()
+}
+
+// IngressBusySeconds returns cumulative ingress-link busy time of node i.
+func (f *Fabric) IngressBusySeconds(i int) float64 {
+	f.checkNode(i)
+	return f.ingress[i].BusySeconds()
+}
+
+func (f *Fabric) checkNode(i int) {
+	if i < 0 || i >= f.cfg.Nodes {
+		panic(fmt.Sprintf("fabric: node %d out of range [0,%d)", i, f.cfg.Nodes))
+	}
+}

@@ -1,0 +1,240 @@
+package fabric
+
+import (
+	"math"
+	"testing"
+
+	"codesign/internal/sim"
+)
+
+func newTestFabric(t *testing.T, e *sim.Engine, cfg Config) *Fabric {
+	t.Helper()
+	f, err := New(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestConfigValidation(t *testing.T) {
+	e := sim.New()
+	bad := []Config{
+		{Nodes: 0, LinkBandwidth: 1, LinksPerNode: 1},
+		{Nodes: 2, LinkBandwidth: 0, LinksPerNode: 1},
+		{Nodes: 2, LinkBandwidth: 1, LinksPerNode: 0},
+		{Nodes: 2, LinkBandwidth: 1, LinksPerNode: 1, Latency: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(e, cfg); err == nil {
+			t.Fatalf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	e := sim.New()
+	f := newTestFabric(t, e, Config{Nodes: 2, LinkBandwidth: 1000, LinksPerNode: 1, Latency: 0.5})
+	if got := f.TransferTime(2000); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("TransferTime = %v, want 2.5", got)
+	}
+}
+
+func TestSingleTransferLatency(t *testing.T) {
+	e := sim.New()
+	f := newTestFabric(t, e, Config{Nodes: 2, LinkBandwidth: 100, LinksPerNode: 1})
+	var done float64
+	e.Go("tx", func(p *sim.Proc) {
+		f.Transfer(p, 0, 1, 250)
+		done = p.Now()
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(done-2.5) > 1e-12 {
+		t.Fatalf("transfer finished at %v, want 2.5", done)
+	}
+}
+
+func TestLocalTransferFree(t *testing.T) {
+	e := sim.New()
+	f := newTestFabric(t, e, Config{Nodes: 2, LinkBandwidth: 1, LinksPerNode: 1})
+	e.Go("tx", func(p *sim.Proc) {
+		f.Transfer(p, 1, 1, 1<<30)
+		if p.Now() != 0 {
+			t.Errorf("local transfer took %v", p.Now())
+		}
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEgressContentionSerializes(t *testing.T) {
+	// Two simultaneous sends from node 0 over a single link serialize.
+	e := sim.New()
+	f := newTestFabric(t, e, Config{Nodes: 3, LinkBandwidth: 100, LinksPerNode: 1})
+	var t1, t2 float64
+	e.Go("a", func(p *sim.Proc) { f.Transfer(p, 0, 1, 100); t1 = p.Now() })
+	e.Go("b", func(p *sim.Proc) { f.Transfer(p, 0, 2, 100); t2 = p.Now() })
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if t1 != 1 || t2 != 2 {
+		t.Fatalf("serialized finishes = %v, %v; want 1, 2", t1, t2)
+	}
+}
+
+func TestTwoLinksAllowParallelism(t *testing.T) {
+	e := sim.New()
+	f := newTestFabric(t, e, Config{Nodes: 3, LinkBandwidth: 100, LinksPerNode: 2})
+	var t1, t2 float64
+	e.Go("a", func(p *sim.Proc) { f.Transfer(p, 0, 1, 100); t1 = p.Now() })
+	e.Go("b", func(p *sim.Proc) { f.Transfer(p, 0, 2, 100); t2 = p.Now() })
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if t1 != 1 || t2 != 1 {
+		t.Fatalf("parallel finishes = %v, %v; want 1, 1", t1, t2)
+	}
+}
+
+func TestCrossbarNonBlocking(t *testing.T) {
+	// Disjoint pairs (0->1, 2->3) never contend.
+	e := sim.New()
+	f := newTestFabric(t, e, Config{Nodes: 4, LinkBandwidth: 100, LinksPerNode: 1})
+	var t1, t2 float64
+	e.Go("a", func(p *sim.Proc) { f.Transfer(p, 0, 1, 100); t1 = p.Now() })
+	e.Go("b", func(p *sim.Proc) { f.Transfer(p, 2, 3, 100); t2 = p.Now() })
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if t1 != 1 || t2 != 1 {
+		t.Fatalf("disjoint transfers = %v, %v; want 1, 1", t1, t2)
+	}
+}
+
+func TestIngressContention(t *testing.T) {
+	// Two senders targeting the same destination serialize at ingress.
+	e := sim.New()
+	f := newTestFabric(t, e, Config{Nodes: 3, LinkBandwidth: 100, LinksPerNode: 1})
+	var t1, t2 float64
+	e.Go("a", func(p *sim.Proc) { f.Transfer(p, 0, 2, 100); t1 = p.Now() })
+	e.Go("b", func(p *sim.Proc) { f.Transfer(p, 1, 2, 100); t2 = p.Now() })
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if t1 != 1 || t2 != 2 {
+		t.Fatalf("ingress-serialized finishes = %v, %v; want 1, 2", t1, t2)
+	}
+}
+
+func TestStats(t *testing.T) {
+	e := sim.New()
+	f := newTestFabric(t, e, Config{Nodes: 2, LinkBandwidth: 100, LinksPerNode: 1})
+	e.Go("a", func(p *sim.Proc) {
+		f.Transfer(p, 0, 1, 100)
+		f.Transfer(p, 0, 1, 50)
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if f.Messages() != 2 || f.Bytes() != 150 {
+		t.Fatalf("stats: %d msgs %d bytes", f.Messages(), f.Bytes())
+	}
+	if got := f.EgressBusySeconds(0); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("egress busy %v, want 1.5", got)
+	}
+	if got := f.IngressBusySeconds(1); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("ingress busy %v, want 1.5", got)
+	}
+}
+
+func TestBadNodePanics(t *testing.T) {
+	e := sim.New()
+	f := newTestFabric(t, e, Config{Nodes: 2, LinkBandwidth: 1, LinksPerNode: 1})
+	e.Go("a", func(p *sim.Proc) { f.Transfer(p, 0, 5, 1) })
+	if err := e.Run(0); err == nil {
+		t.Fatal("expected panic for out-of-range node")
+	}
+}
+
+func TestMulticastChargesSenderOnce(t *testing.T) {
+	e := sim.New()
+	f := newTestFabric(t, e, Config{Nodes: 4, LinkBandwidth: 100, LinksPerNode: 1})
+	e.Go("tx", func(p *sim.Proc) {
+		f.Multicast(p, 0, []int{1, 2, 3}, 100)
+		if p.Now() != 1 { // one wire time, not three
+			t.Errorf("multicast took %v, want 1", p.Now())
+		}
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	// Wire traffic counts per destination.
+	if f.Bytes() != 300 {
+		t.Fatalf("bytes = %d, want 300", f.Bytes())
+	}
+	if f.Messages() != 1 {
+		t.Fatalf("messages = %d, want 1", f.Messages())
+	}
+}
+
+func TestMulticastEmptyDsts(t *testing.T) {
+	e := sim.New()
+	f := newTestFabric(t, e, Config{Nodes: 2, LinkBandwidth: 1, LinksPerNode: 1})
+	e.Go("tx", func(p *sim.Proc) {
+		f.Multicast(p, 0, nil, 1<<20)
+		if p.Now() != 0 {
+			t.Errorf("empty multicast took %v", p.Now())
+		}
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if f.Messages() != 0 {
+		t.Fatal("empty multicast counted")
+	}
+}
+
+func TestMulticastContendsWithUnicast(t *testing.T) {
+	// A multicast and a unicast from the same node share its one
+	// egress link and serialize.
+	e := sim.New()
+	f := newTestFabric(t, e, Config{Nodes: 3, LinkBandwidth: 100, LinksPerNode: 1})
+	var t1, t2 float64
+	e.Go("a", func(p *sim.Proc) { f.Multicast(p, 0, []int{1, 2}, 100); t1 = p.Now() })
+	e.Go("b", func(p *sim.Proc) { f.Transfer(p, 0, 1, 100); t2 = p.Now() })
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if t1 != 1 || t2 != 2 {
+		t.Fatalf("serialization: multicast %v, transfer %v; want 1, 2", t1, t2)
+	}
+}
+
+func TestMulticastNegativeBytesPanics(t *testing.T) {
+	e := sim.New()
+	f := newTestFabric(t, e, Config{Nodes: 2, LinkBandwidth: 1, LinksPerNode: 1})
+	e.Go("a", func(p *sim.Proc) { f.Multicast(p, 0, []int{1}, -1) })
+	if err := e.Run(0); err == nil {
+		t.Fatal("expected panic propagation")
+	}
+}
+
+func TestTransferNegativeBytesPanics(t *testing.T) {
+	e := sim.New()
+	f := newTestFabric(t, e, Config{Nodes: 2, LinkBandwidth: 1, LinksPerNode: 1})
+	e.Go("a", func(p *sim.Proc) { f.Transfer(p, 0, 1, -5) })
+	if err := e.Run(0); err == nil {
+		t.Fatal("expected panic propagation")
+	}
+}
+
+func TestConfigAccessors(t *testing.T) {
+	e := sim.New()
+	cfg := Config{Nodes: 3, LinkBandwidth: 42, LinksPerNode: 2, Latency: 0.1}
+	f := newTestFabric(t, e, cfg)
+	if f.Config() != cfg || f.Nodes() != 3 {
+		t.Fatal("accessors")
+	}
+}

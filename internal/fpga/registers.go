@@ -1,0 +1,49 @@
+package fpga
+
+import "codesign/internal/sim"
+
+// Registers model the control/status registers of Section 4.4: the
+// processor writes a command to start the FPGA and polls a status
+// register for completion. Register access latency is negligible
+// against task latency (per the paper) and is charged as zero; the
+// number of coordinations is counted so designs can report their
+// coordination frequency.
+type Registers struct {
+	start *sim.Mailbox
+	done  *sim.Mailbox
+	// coordinations counts start+done handshakes (2 per task batch).
+	coordinations int64
+}
+
+// NewRegisters creates the register file inside engine e.
+func NewRegisters(e *sim.Engine, name string) *Registers {
+	return &Registers{
+		start: sim.NewMailbox(e, name+".start"),
+		done:  sim.NewMailbox(e, name+".done"),
+	}
+}
+
+// Start is called by the processor: it writes the command register,
+// launching the FPGA on cmd.
+func (r *Registers) Start(cmd any) {
+	r.coordinations++
+	r.start.Put(cmd)
+}
+
+// AwaitStart is called by the FPGA controller process: it blocks until
+// the processor writes the command register.
+func (r *Registers) AwaitStart(p *sim.Proc) any { return r.start.Get(p) }
+
+// Done is called by the FPGA controller when the command completes,
+// setting the status register.
+func (r *Registers) Done(result any) { r.done.Put(result) }
+
+// AwaitDone is called by the processor: it blocks until the status
+// register shows completion.
+func (r *Registers) AwaitDone(p *sim.Proc) any {
+	r.coordinations++
+	return r.done.Get(p)
+}
+
+// Coordinations returns the number of register handshakes so far.
+func (r *Registers) Coordinations() int64 { return r.coordinations }

@@ -1,0 +1,269 @@
+// Package fpmath implements bit-exact IEEE-754 binary64 (double
+// precision) addition and multiplication using only integer arithmetic,
+// mirroring the custom floating-point cores the paper's FPGA designs use
+// ("our own 64-bit floating-point adders and multipliers that comply
+// with IEEE-754 standard", Govindu et al. [8]).
+//
+// The operations round to nearest, ties to even, and handle subnormals,
+// signed zeros, infinities and NaN. Because Go's float64 arithmetic is
+// also IEEE-754 with the same rounding, the property tests can prove the
+// "hardware" datapath computes exactly what the host computes — which is
+// what lets the simulated FPGA carry real data through real kernels.
+//
+// Pipeline metadata (stage counts, achievable frequency) for the cores
+// lives in core.go and feeds the FPGA timing model.
+package fpmath
+
+import (
+	"math"
+	"math/bits"
+)
+
+const (
+	expBits  = 11
+	fracBits = 52
+	expMask  = 1<<expBits - 1
+	fracMask = uint64(1)<<fracBits - 1
+	signBit  = uint64(1) << 63
+	bias     = 1023
+
+	// QNaNBits is the canonical quiet NaN produced by the cores.
+	QNaNBits = uint64(0x7FF8000000000000)
+	// InfBits is +Inf without a sign.
+	InfBits = uint64(0x7FF0000000000000)
+)
+
+func unpack(x uint64) (sign uint64, exp int, frac uint64) {
+	return x & signBit, int(x>>fracBits) & expMask, x & fracMask
+}
+
+func isNaN(exp int, frac uint64) bool  { return exp == expMask && frac != 0 }
+func isInf(exp int, frac uint64) bool  { return exp == expMask && frac == 0 }
+func isZero(exp int, frac uint64) bool { return exp == 0 && frac == 0 }
+
+// normSig returns the significand with the implicit bit at position 52
+// and the adjusted exponent, normalizing subnormal inputs (for which the
+// returned exponent may be <= 0). The represented value is
+// m * 2^(e - bias - 52).
+func normSig(exp int, frac uint64) (m uint64, e int) {
+	if exp != 0 {
+		return frac | 1<<fracBits, exp
+	}
+	// Subnormal: shift the fraction up until bit 52 is set.
+	shift := bits.LeadingZeros64(frac) - (63 - fracBits)
+	return frac << shift, 1 - shift
+}
+
+// rshiftSticky shifts the 128-bit value hi:lo right by s >= 1 and
+// returns the shifted value (which must fit in 64 bits), the guard bit
+// (the highest bit shifted out) and the sticky bit (OR of all lower
+// shifted-out bits).
+func rshiftSticky(hi, lo uint64, s uint) (out uint64, guard, sticky bool) {
+	switch {
+	case s == 0:
+		return lo, false, false
+	case s < 64:
+		out = hi<<(64-s) | lo>>s
+		guard = lo>>(s-1)&1 == 1
+		sticky = lo<<(65-s) != 0 // bits 0..s-2
+		return out, guard, sticky
+	case s == 64:
+		return hi, lo>>63 == 1, lo<<1 != 0
+	case s < 128:
+		t := s - 64
+		out = hi >> t
+		guard = hi>>(t-1)&1 == 1
+		sticky = hi<<(65-t) != 0 || lo != 0
+		return out, guard, sticky
+	case s == 128:
+		return 0, hi>>63 == 1, hi<<1 != 0 || lo != 0
+	default:
+		return 0, false, hi != 0 || lo != 0
+	}
+}
+
+// roundPack rounds the significand m (with guard/sticky) to nearest-even
+// and packs sign, biased exponent er (0 for subnormal) and m into IEEE
+// bits. Rounding carries that push m across a binade or from subnormal
+// to normal are handled by integer carry into the exponent field.
+func roundPack(sign uint64, er int, m uint64, guard, sticky bool) uint64 {
+	if guard && (sticky || m&1 == 1) {
+		m++
+	}
+	if er >= expMask {
+		return sign | InfBits
+	}
+	// For normals m holds the implicit bit; subtracting it and adding
+	// er<<52 lets a carry from rounding bump the exponent naturally.
+	if er > 0 {
+		return sign + uint64(er)<<fracBits + (m - 1<<fracBits)
+	}
+	// Subnormal (or rounds up into the smallest normal).
+	return sign + m
+}
+
+// Mul returns the IEEE-754 binary64 product of the operands given and
+// returned as raw bit patterns.
+func Mul(a, b uint64) uint64 {
+	sa, ea, fa := unpack(a)
+	sb, eb, fb := unpack(b)
+	sign := (sa ^ sb) & signBit
+
+	switch {
+	case isNaN(ea, fa) || isNaN(eb, fb):
+		return QNaNBits
+	case isInf(ea, fa):
+		if isZero(eb, fb) {
+			return QNaNBits // Inf * 0
+		}
+		return sign | InfBits
+	case isInf(eb, fb):
+		if isZero(ea, fa) {
+			return QNaNBits
+		}
+		return sign | InfBits
+	case isZero(ea, fa) || isZero(eb, fb):
+		return sign
+	}
+
+	ma, ea2 := normSig(ea, fa)
+	mb, eb2 := normSig(eb, fb)
+	hi, lo := bits.Mul64(ma, mb) // product in [2^104, 2^106)
+
+	// Most significant bit position of the 128-bit product.
+	t := 127 - bits.LeadingZeros64(hi)
+	er := ea2 + eb2 - bias + t - 104
+	shift := t - 52
+	if er <= 0 {
+		// Gradual underflow: shift further so the exponent field is 0.
+		shift += 1 - er
+		er = 0
+	}
+	m, guard, sticky := rshiftSticky(hi, lo, uint(shift))
+	return roundPack(sign, er, m, guard, sticky)
+}
+
+// Add returns the IEEE-754 binary64 sum of the operands given and
+// returned as raw bit patterns.
+func Add(a, b uint64) uint64 {
+	sa, ea, fa := unpack(a)
+	sb, eb, fb := unpack(b)
+
+	switch {
+	case isNaN(ea, fa) || isNaN(eb, fb):
+		return QNaNBits
+	case isInf(ea, fa):
+		if isInf(eb, fb) && sa != sb {
+			return QNaNBits // Inf - Inf
+		}
+		return sa | InfBits
+	case isInf(eb, fb):
+		return sb | InfBits
+	case isZero(ea, fa) && isZero(eb, fb):
+		// +0 + +0 = +0, -0 + -0 = -0, mixed = +0 (round to nearest).
+		return sa & sb
+	case isZero(ea, fa):
+		return b
+	case isZero(eb, fb):
+		return a
+	}
+
+	ma, ea2 := normSig(ea, fa)
+	mb, eb2 := normSig(eb, fb)
+
+	// Order so that (mh, eh) has the larger magnitude.
+	sh, mh, eh := sa, ma, ea2
+	sl, ml, el := sb, mb, eb2
+	if eh < el || (eh == el && mh < ml) {
+		sh, mh, eh, sl, ml, el = sl, ml, el, sh, mh, eh
+	}
+
+	// Work with 3 guard bits so a 1-bit alignment shift is lossless.
+	gh := mh << 3
+	gl := ml << 3
+	d := uint(eh - el)
+	var glShifted uint64
+	var alignSticky bool
+	if d == 0 {
+		glShifted = gl
+	} else {
+		glShifted, _, _ = rshiftSticky(0, gl, d)
+		// Fold everything lost in alignment (guard of that shift
+		// included) into the sticky bit 0 of the aligned operand.
+		if d >= 64 {
+			alignSticky = gl != 0
+			glShifted = 0
+		} else {
+			alignSticky = gl<<(64-d) != 0
+		}
+		if alignSticky {
+			glShifted |= 1
+		}
+	}
+
+	var s uint64
+	if sh == sl {
+		s = gh + glShifted
+	} else {
+		s = gh - glShifted
+		if s == 0 {
+			return 0 // exact cancellation yields +0 in round-to-nearest
+		}
+	}
+
+	// s represents value = s * 2^(eh - 3 - bias - 52).
+	es := eh - 3
+	t := 63 - bits.LeadingZeros64(s)
+	shift := t - 52
+	er := es + shift
+	if er <= 0 {
+		shift += 1 - er
+		er = 0
+	}
+	var m uint64
+	var guard, sticky bool
+	if shift > 0 {
+		m, guard, sticky = rshiftSticky(0, s, uint(shift))
+	} else {
+		// Catastrophic cancellation: the alignment shift was at most
+		// one bit, so the guard bits hold the exact value and the left
+		// shift is exact.
+		m = s << uint(-shift)
+	}
+	return roundPack(sh, er, m, guard, sticky)
+}
+
+// Sub returns a - b on raw bit patterns.
+func Sub(a, b uint64) uint64 { return Add(a, b^signBit) }
+
+// AddFloat is Add on float64 values.
+func AddFloat(a, b float64) float64 {
+	return math.Float64frombits(Add(math.Float64bits(a), math.Float64bits(b)))
+}
+
+// SubFloat is Sub on float64 values.
+func SubFloat(a, b float64) float64 {
+	return math.Float64frombits(Sub(math.Float64bits(a), math.Float64bits(b)))
+}
+
+// MulFloat is Mul on float64 values.
+func MulFloat(a, b float64) float64 {
+	return math.Float64frombits(Mul(math.Float64bits(a), math.Float64bits(b)))
+}
+
+// Less reports a < b in IEEE total-ish ordering used by the FW
+// comparator core: NaN compares false against everything, -0 == +0.
+func Less(a, b float64) bool { return a < b }
+
+// MinFloat is the FW comparator core: it returns the smaller operand,
+// propagating NaN if either input is NaN (matching a hardware
+// min-reduce that flags invalid inputs).
+func MinFloat(a, b float64) float64 {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.NaN()
+	}
+	if b < a {
+		return b
+	}
+	return a
+}

@@ -1,0 +1,249 @@
+package fpmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// sameBits compares results bit-for-bit, collapsing all NaN payloads.
+func sameBits(got, want uint64) bool {
+	gotNaN := math.IsNaN(math.Float64frombits(got))
+	wantNaN := math.IsNaN(math.Float64frombits(want))
+	if gotNaN || wantNaN {
+		return gotNaN == wantNaN
+	}
+	return got == want
+}
+
+// interestingBits are operands that exercise every special path.
+var interestingBits = []uint64{
+	0x0000000000000000, // +0
+	0x8000000000000000, // -0
+	0x0000000000000001, // smallest subnormal
+	0x8000000000000001,
+	0x000FFFFFFFFFFFFF, // largest subnormal
+	0x0010000000000000, // smallest normal
+	0x3FF0000000000000, // 1.0
+	0xBFF0000000000000, // -1.0
+	0x3FF0000000000001, // 1.0 + ulp
+	0x4000000000000000, // 2.0
+	0x7FEFFFFFFFFFFFFF, // largest finite
+	0xFFEFFFFFFFFFFFFF,
+	0x7FF0000000000000, // +Inf
+	0xFFF0000000000000, // -Inf
+	0x7FF8000000000000, // qNaN
+	0x7FF0000000000001, // sNaN
+	0x3CA0000000000000, // tiny normal (2^-53)
+	0x4340000000000000, // 2^53
+	0x36A0000000000000, // 2^-149-ish region
+	0x0008000000000000, // mid subnormal
+	math.Float64bits(math.Pi),
+	math.Float64bits(-math.E),
+	math.Float64bits(1e308),
+	math.Float64bits(1e-308),
+	math.Float64bits(4.49e307), // near overflow when doubled
+}
+
+func TestAddDirectedCases(t *testing.T) {
+	for _, a := range interestingBits {
+		for _, b := range interestingBits {
+			fa, fb := math.Float64frombits(a), math.Float64frombits(b)
+			want := math.Float64bits(fa + fb)
+			got := Add(a, b)
+			if !sameBits(got, want) {
+				t.Fatalf("Add(%x, %x) = %x, want %x (%g + %g)", a, b, got, want, fa, fb)
+			}
+		}
+	}
+}
+
+func TestMulDirectedCases(t *testing.T) {
+	for _, a := range interestingBits {
+		for _, b := range interestingBits {
+			fa, fb := math.Float64frombits(a), math.Float64frombits(b)
+			want := math.Float64bits(fa * fb)
+			got := Mul(a, b)
+			if !sameBits(got, want) {
+				t.Fatalf("Mul(%x, %x) = %x, want %x (%g * %g)", a, b, got, want, fa, fb)
+			}
+		}
+	}
+}
+
+func TestSubMatchesHost(t *testing.T) {
+	for _, a := range interestingBits {
+		for _, b := range interestingBits {
+			fa, fb := math.Float64frombits(a), math.Float64frombits(b)
+			want := math.Float64bits(fa - fb)
+			if got := Sub(a, b); !sameBits(got, want) {
+				t.Fatalf("Sub(%x, %x) = %x, want %x", a, b, got, want)
+			}
+		}
+	}
+}
+
+// randBits produces a mix of fully random patterns and patterns biased
+// toward close exponents (the hard cancellation cases).
+func randBits(rng *rand.Rand) (uint64, uint64) {
+	a := rng.Uint64()
+	b := rng.Uint64()
+	switch rng.Intn(4) {
+	case 0:
+		// Close exponents to stress cancellation and alignment.
+		expA := (a >> 52) & 0x7FF
+		delta := uint64(rng.Intn(5))
+		expB := expA + delta - 2
+		if expA < 2 || expB >= 0x7FF {
+			expB = expA
+		}
+		b = b&^(uint64(0x7FF)<<52) | expB<<52
+	case 1:
+		// Force subnormal operand.
+		b &= ^(uint64(0x7FF) << 52)
+	}
+	return a, b
+}
+
+func TestAddRandomMatchesHost(t *testing.T) {
+	rng := rand.New(rand.NewSource(7001))
+	for i := 0; i < 500000; i++ {
+		a, b := randBits(rng)
+		fa, fb := math.Float64frombits(a), math.Float64frombits(b)
+		want := math.Float64bits(fa + fb)
+		if got := Add(a, b); !sameBits(got, want) {
+			t.Fatalf("iter %d: Add(%#x, %#x) = %#x, want %#x (%g + %g)", i, a, b, Add(a, b), want, fa, fb)
+		}
+	}
+}
+
+func TestMulRandomMatchesHost(t *testing.T) {
+	rng := rand.New(rand.NewSource(7002))
+	for i := 0; i < 500000; i++ {
+		a, b := randBits(rng)
+		fa, fb := math.Float64frombits(a), math.Float64frombits(b)
+		want := math.Float64bits(fa * fb)
+		if got := Mul(a, b); !sameBits(got, want) {
+			t.Fatalf("iter %d: Mul(%#x, %#x) = %#x, want %#x (%g * %g)", i, a, b, Mul(a, b), want, fa, fb)
+		}
+	}
+}
+
+func TestQuickAddCommutes(t *testing.T) {
+	f := func(a, b uint64) bool { return sameBits(Add(a, b), Add(b, a)) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMulCommutes(t *testing.T) {
+	f := func(a, b uint64) bool { return sameBits(Mul(a, b), Mul(b, a)) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAddVsHost(t *testing.T) {
+	f := func(a, b uint64) bool {
+		want := math.Float64bits(math.Float64frombits(a) + math.Float64frombits(b))
+		return sameBits(Add(a, b), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMulVsHost(t *testing.T) {
+	f := func(a, b uint64) bool {
+		want := math.Float64bits(math.Float64frombits(a) * math.Float64frombits(b))
+		return sameBits(Mul(a, b), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloatWrappers(t *testing.T) {
+	if got := AddFloat(1.5, 2.25); got != 3.75 {
+		t.Fatalf("AddFloat = %v", got)
+	}
+	if got := SubFloat(1.5, 2.25); got != -0.75 {
+		t.Fatalf("SubFloat = %v", got)
+	}
+	if got := MulFloat(1.5, -2); got != -3 {
+		t.Fatalf("MulFloat = %v", got)
+	}
+}
+
+func TestMinFloat(t *testing.T) {
+	if MinFloat(2, 3) != 2 || MinFloat(3, 2) != 2 {
+		t.Fatal("MinFloat basic")
+	}
+	if MinFloat(-0.0, 0.0) != 0.0 { // either zero acceptable numerically
+		t.Fatal("MinFloat zero")
+	}
+	if !math.IsNaN(MinFloat(math.NaN(), 1)) || !math.IsNaN(MinFloat(1, math.NaN())) {
+		t.Fatal("MinFloat must propagate NaN")
+	}
+}
+
+func TestSignedZeroResults(t *testing.T) {
+	// x + (-x) = +0 in round-to-nearest.
+	x := math.Float64bits(3.5)
+	got := Add(x, x^signBit)
+	if got != 0 {
+		t.Fatalf("x + -x = %#x, want +0", got)
+	}
+	// -0 + -0 = -0.
+	nz := uint64(0x8000000000000000)
+	if got := Add(nz, nz); got != nz {
+		t.Fatalf("-0 + -0 = %#x, want -0", got)
+	}
+	// -0 * +5 = -0.
+	if got := Mul(nz, math.Float64bits(5)); got != nz {
+		t.Fatalf("-0 * 5 = %#x, want -0", got)
+	}
+}
+
+func TestOverflowToInf(t *testing.T) {
+	big := math.Float64bits(math.MaxFloat64)
+	if got := Add(big, big); got != InfBits {
+		t.Fatalf("max + max = %#x, want +Inf", got)
+	}
+	if got := Mul(big, math.Float64bits(2)); got != InfBits {
+		t.Fatalf("max * 2 = %#x, want +Inf", got)
+	}
+}
+
+func TestUnderflowToSubnormal(t *testing.T) {
+	tiny := math.Float64bits(math.SmallestNonzeroFloat64)
+	half := math.Float64bits(0.5)
+	// smallest * 0.5 rounds to zero (ties to even).
+	ft := math.Float64frombits(tiny)
+	want := math.Float64bits(ft * 0.5)
+	if got := Mul(tiny, half); !sameBits(got, want) {
+		t.Fatalf("tiny*0.5 = %#x, want %#x", got, want)
+	}
+}
+
+func TestCoreMetadata(t *testing.T) {
+	for _, c := range []Core{Adder64, Multiplier64, Comparator64} {
+		if c.PipelineStages <= 0 || c.MaxFreqHz <= 0 || c.Slices <= 0 {
+			t.Fatalf("core %s has non-positive metadata: %+v", c.Name, c)
+		}
+		if c.ThroughputFLOPs(0) != c.MaxFreqHz {
+			t.Fatalf("core %s default throughput", c.Name)
+		}
+		if c.ThroughputFLOPs(100e6) != 100e6 {
+			t.Fatalf("core %s throttled throughput", c.Name)
+		}
+		wantLat := float64(c.PipelineStages) / 100e6
+		if got := c.LatencySeconds(100e6); math.Abs(got-wantLat) > 1e-18 {
+			t.Fatalf("core %s latency = %v want %v", c.Name, got, wantLat)
+		}
+	}
+	if Multiplier64.Embedded18x18 == 0 {
+		t.Fatal("multiplier must consume embedded multipliers")
+	}
+}

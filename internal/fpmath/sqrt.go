@@ -1,0 +1,153 @@
+package fpmath
+
+import (
+	"math"
+	"math/big"
+	"math/bits"
+)
+
+// Sqrt returns the IEEE-754 binary64 square root of the operand, given
+// and returned as raw bit patterns, rounded to nearest-even. It backs
+// the square-root unit of the Cholesky extension design (the digit-
+// recurrence core of the parameterizable library [8]).
+//
+// The computation is exact: the significand is scaled so an integer
+// square root yields more than enough bits, and the remainder feeds the
+// sticky bit, so rounding is correct in all cases (verified against the
+// host's correctly-rounded math.Sqrt in the property tests).
+func Sqrt(a uint64) uint64 {
+	sa, ea, fa := unpack(a)
+	switch {
+	case isNaN(ea, fa):
+		return QNaNBits
+	case isZero(ea, fa):
+		return sa // sqrt(±0) = ±0
+	case sa != 0:
+		return QNaNBits // sqrt of a negative number
+	case isInf(ea, fa):
+		return InfBits
+	}
+
+	m, e := normSig(ea, fa)
+	// value = m · 2^E with E = e - bias - 52.
+	E := e - bias - 52
+	if E&1 != 0 {
+		// Make the exponent even so it halves exactly.
+		m <<= 1
+		E--
+	}
+	// sqrt(value) = sqrt(m) · 2^(E/2). Scale m by 2^(2s) so the integer
+	// root carries ~87 significant bits — far more than the 55 needed.
+	const s = 60
+	M := new(big.Int).SetUint64(m)
+	M.Lsh(M, 2*s)
+	r := new(big.Int).Sqrt(M)
+	rem := new(big.Int).Mul(r, r)
+	rem.Sub(M, rem)
+	sticky := rem.Sign() != 0
+
+	// value of the result = r · 2^(E/2 - s); pack as Mres · 2^(Er-bias-52).
+	exp2 := E/2 - s
+	t := r.BitLen() - 1
+	shift := t - 52
+	er := exp2 + bias + 52 + shift
+	if er <= 0 {
+		shift += 1 - er
+		er = 0
+	}
+	// Extract the 53-bit significand, guard and sticky from r.
+	var mres uint64
+	var guard bool
+	if shift <= 0 {
+		// Cannot happen for normal inputs (t >= 86), but keep it total.
+		mres = r.Uint64() << uint(-shift)
+	} else {
+		mres = new(big.Int).Rsh(r, uint(shift)).Uint64()
+		guard = r.Bit(shift-1) == 1
+		// sticky |= any bits of r below the guard position.
+		mask := new(big.Int).Lsh(big.NewInt(1), uint(shift-1))
+		mask.Sub(mask, big.NewInt(1))
+		if mask.And(r, mask).Sign() != 0 {
+			sticky = true
+		}
+	}
+	return roundPack(0, er, mres, guard, sticky)
+}
+
+// SqrtFloat is Sqrt on float64 values.
+func SqrtFloat(a float64) float64 {
+	return math.Float64frombits(Sqrt(math.Float64bits(a)))
+}
+
+// Div returns the IEEE-754 binary64 quotient a/b on raw bit patterns,
+// rounded to nearest-even (the divider core used by factorization
+// datapaths for pivot reciprocals).
+func Div(a, b uint64) uint64 {
+	sa, ea, fa := unpack(a)
+	sb, eb, fb := unpack(b)
+	sign := (sa ^ sb) & signBit
+
+	switch {
+	case isNaN(ea, fa) || isNaN(eb, fb):
+		return QNaNBits
+	case isInf(ea, fa):
+		if isInf(eb, fb) {
+			return QNaNBits // Inf/Inf
+		}
+		return sign | InfBits
+	case isInf(eb, fb):
+		return sign // x/Inf = ±0
+	case isZero(eb, fb):
+		if isZero(ea, fa) {
+			return QNaNBits // 0/0
+		}
+		return sign | InfBits // x/0 = ±Inf
+	case isZero(ea, fa):
+		return sign
+	}
+
+	ma, ea2 := normSig(ea, fa)
+	mb, eb2 := normSig(eb, fb)
+
+	// Quotient q = (ma << 55) / mb has 55-57 significant bits; the
+	// remainder drives the sticky bit, so rounding is exact.
+	num := new(big.Int).SetUint64(ma)
+	num.Lsh(num, 55)
+	den := new(big.Int).SetUint64(mb)
+	q, rem := new(big.Int).QuoRem(num, den, new(big.Int))
+	sticky := rem.Sign() != 0
+
+	// value = q · 2^(ea2 - eb2 - 55 + ... ): ma·2^(Ea) / (mb·2^(Eb)) with
+	// Ea = ea2-bias-52, Eb = eb2-bias-52 gives q·2^(Ea-Eb-55).
+	exp := (ea2 - bias - 52) - (eb2 - bias - 52) - 55
+	qv := q.Uint64() // fits: q < 2^57
+	t := 63 - bits.LeadingZeros64(qv)
+	shift := t - 52
+	er := exp + bias + 52 + shift
+	if er <= 0 {
+		shift += 1 - er
+		er = 0
+	}
+	var m uint64
+	var guard bool
+	if shift > 0 {
+		var st bool
+		m, guard, st = rshiftSticky(0, qv, uint(shift))
+		sticky = sticky || st
+	} else {
+		m = qv << uint(-shift)
+	}
+	return roundPack(sign, er, m, guard, sticky)
+}
+
+// DivFloat is Div on float64 values.
+func DivFloat(a, b float64) float64 {
+	return math.Float64frombits(Div(math.Float64bits(a), math.Float64bits(b)))
+}
+
+// SquareRoot64 is the double-precision square-root core (digit
+// recurrence, one bit per stage).
+var SquareRoot64 = Core{Name: "sqrt64", PipelineStages: 57, MaxFreqHz: 170e6, Slices: 2100}
+
+// Divider64 is the double-precision divider core.
+var Divider64 = Core{Name: "div64", PipelineStages: 36, MaxFreqHz: 160e6, Slices: 1900}

@@ -1,0 +1,120 @@
+package fpmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSqrtDirectedCases(t *testing.T) {
+	for _, a := range interestingBits {
+		fa := math.Float64frombits(a)
+		want := math.Float64bits(math.Sqrt(fa))
+		if got := Sqrt(a); !sameBits(got, want) {
+			t.Fatalf("Sqrt(%#x) = %#x, want %#x (sqrt(%g))", a, got, want, fa)
+		}
+	}
+}
+
+func TestSqrtRandomMatchesHost(t *testing.T) {
+	// math.Sqrt is correctly rounded on IEEE hosts, so bit equality is
+	// the right oracle.
+	rng := rand.New(rand.NewSource(7100))
+	for i := 0; i < 200000; i++ {
+		a := rng.Uint64() &^ (1 << 63) // non-negative
+		if rng.Intn(3) == 0 {
+			a &= ^(uint64(0x7FF) << 52) // force subnormal
+		}
+		fa := math.Float64frombits(a)
+		want := math.Float64bits(math.Sqrt(fa))
+		if got := Sqrt(a); !sameBits(got, want) {
+			t.Fatalf("iter %d: Sqrt(%#x) = %#x, want %#x (sqrt(%g))", i, a, Sqrt(a), want, fa)
+		}
+	}
+}
+
+func TestSqrtSpecials(t *testing.T) {
+	if Sqrt(0) != 0 {
+		t.Fatal("sqrt(+0)")
+	}
+	if Sqrt(1<<63) != 1<<63 {
+		t.Fatal("sqrt(-0) must be -0")
+	}
+	if !math.IsNaN(SqrtFloat(-1)) {
+		t.Fatal("sqrt(-1) must be NaN")
+	}
+	if Sqrt(InfBits) != InfBits {
+		t.Fatal("sqrt(+Inf)")
+	}
+	if !math.IsNaN(SqrtFloat(math.Inf(-1))) {
+		t.Fatal("sqrt(-Inf) must be NaN")
+	}
+}
+
+func TestSqrtExactSquares(t *testing.T) {
+	for _, v := range []float64{1, 4, 9, 0.25, 1 << 20, 6.25} {
+		if got := SqrtFloat(v); got != math.Sqrt(v) {
+			t.Fatalf("sqrt(%g) = %g", v, got)
+		}
+	}
+}
+
+func TestQuickSqrtVsHost(t *testing.T) {
+	f := func(raw uint64) bool {
+		a := raw &^ (1 << 63)
+		want := math.Float64bits(math.Sqrt(math.Float64frombits(a)))
+		return sameBits(Sqrt(a), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivDirectedCases(t *testing.T) {
+	for _, a := range interestingBits {
+		for _, b := range interestingBits {
+			fa, fb := math.Float64frombits(a), math.Float64frombits(b)
+			want := math.Float64bits(fa / fb)
+			if got := Div(a, b); !sameBits(got, want) {
+				t.Fatalf("Div(%#x, %#x) = %#x, want %#x (%g / %g)", a, b, Div(a, b), want, fa, fb)
+			}
+		}
+	}
+}
+
+func TestDivRandomMatchesHost(t *testing.T) {
+	rng := rand.New(rand.NewSource(7200))
+	for i := 0; i < 300000; i++ {
+		a, b := randBits(rng)
+		fa, fb := math.Float64frombits(a), math.Float64frombits(b)
+		want := math.Float64bits(fa / fb)
+		if got := Div(a, b); !sameBits(got, want) {
+			t.Fatalf("iter %d: Div(%#x, %#x) = %#x, want %#x (%g / %g)", i, a, b, Div(a, b), want, fa, fb)
+		}
+	}
+}
+
+func TestQuickDivVsHost(t *testing.T) {
+	f := func(a, b uint64) bool {
+		want := math.Float64bits(math.Float64frombits(a) / math.Float64frombits(b))
+		return sameBits(Div(a, b), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivFloatWrapper(t *testing.T) {
+	if DivFloat(1, 4) != 0.25 {
+		t.Fatal("DivFloat")
+	}
+}
+
+func TestNewCoreMetadata(t *testing.T) {
+	for _, c := range []Core{SquareRoot64, Divider64} {
+		if c.PipelineStages <= 0 || c.MaxFreqHz <= 0 || c.Slices <= 0 {
+			t.Fatalf("core %s incomplete: %+v", c.Name, c)
+		}
+	}
+}

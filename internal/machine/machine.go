@@ -1,0 +1,306 @@
+// Package machine assembles the substrates into a reconfigurable
+// computing system: p nodes — each a processor + FPGA + DRAM + SRAM —
+// connected by a crossbar fabric, all living inside one discrete-event
+// simulation engine. Presets model the systems of Section 3 (Cray XD1,
+// Cray XT3 with DRC modules, SRC-6, SGI RASC).
+package machine
+
+import (
+	"fmt"
+
+	"codesign/internal/cpu"
+	"codesign/internal/fabric"
+	"codesign/internal/fpga"
+	"codesign/internal/mem"
+	"codesign/internal/mpi"
+	"codesign/internal/sim"
+)
+
+// Config describes a system to build.
+type Config struct {
+	// Name identifies the preset.
+	Name string
+	// Nodes is the node count p.
+	Nodes int
+	// Processor builds the per-node processor model.
+	Processor func() *cpu.Processor
+	// Device is the per-node FPGA part.
+	Device fpga.Device
+	// RawFPGADRAMBandwidth is the physical FPGA<->DRAM path bandwidth
+	// in bytes/s (2.8 GB/s through the XD1 RapidArray processors). The
+	// effective Bd is the lesser of this and the design's consumption
+	// rate of one word per cycle.
+	RawFPGADRAMBandwidth float64
+	// SRAMBanks and SRAMBankBytes give the per-node QDR-II geometry.
+	SRAMBanks     int
+	SRAMBankBytes int64
+	// SRAMBandwidth is the aggregate FPGA<->SRAM bandwidth in bytes/s
+	// (12.8 GB/s on XD1) — the path iterative designs stream resident
+	// data over.
+	SRAMBandwidth float64
+	// Fabric is the interconnect model (LinkBandwidth is Bn).
+	Fabric fabric.Config
+}
+
+// WordBytes is the double-precision word width (the model's bw).
+const WordBytes = 8
+
+// XD1 returns one Cray XD1 chassis: 6 blades, each a 2.2 GHz Opteron +
+// XC2VP50 with four QDR-II banks, 2.8 GB/s RapidArray FPGA-DRAM path,
+// and two 2 GB/s links into the non-blocking crossbar.
+func XD1() Config {
+	return Config{
+		Name:                 "Cray XD1 (one chassis)",
+		Nodes:                6,
+		Processor:            cpu.Opteron22,
+		Device:               fpga.XC2VP50(),
+		RawFPGADRAMBandwidth: 2.8e9,
+		SRAMBanks:            4,
+		SRAMBankBytes:        4 << 20, // 16 MB total; designs allocate 8 MB
+		SRAMBandwidth:        12.8e9,
+		Fabric: fabric.Config{
+			Nodes:         6,
+			LinkBandwidth: 2e9,
+			LinksPerNode:  2,
+			Latency:       1.8e-6,
+		},
+	}
+}
+
+// XT3DRC returns a 6-node Cray XT3 partition with DRC Virtex-4 modules:
+// a faster FPGA-DRAM path (6.4 GB/s HyperTransport) and SeaStar links.
+func XT3DRC() Config {
+	return Config{
+		Name:                 "Cray XT3 + DRC (6 nodes)",
+		Nodes:                6,
+		Processor:            cpu.Opteron22,
+		Device:               fpga.XC4VLX200(),
+		RawFPGADRAMBandwidth: 6.4e9,
+		SRAMBanks:            4,
+		SRAMBankBytes:        16 << 20, // up to 64 MB per DRC module
+		SRAMBandwidth:        9.6e9,
+		Fabric: fabric.Config{
+			Nodes:         6,
+			LinkBandwidth: 4e9,
+			LinksPerNode:  1,
+			Latency:       5e-6,
+		},
+	}
+}
+
+// SRC6 returns a 4-node SRC-6 MAPstation cluster model.
+func SRC6() Config {
+	return Config{
+		Name:                 "SRC-6 cluster (4 nodes)",
+		Nodes:                4,
+		Processor:            cpu.Opteron22,
+		Device:               fpga.XC2VP50(),
+		RawFPGADRAMBandwidth: 1.4e9, // SNAP port
+		SRAMBanks:            6,
+		SRAMBankBytes:        4 << 20,
+		SRAMBandwidth:        9.6e9,
+		Fabric: fabric.Config{
+			Nodes:         4,
+			LinkBandwidth: 1.4e9,
+			LinksPerNode:  1,
+			Latency:       3e-6,
+		},
+	}
+}
+
+// RASC returns a 4-blade SGI RASC RC100 model (Virtex-4 blades on
+// NUMAlink to shared global memory).
+func RASC() Config {
+	return Config{
+		Name:                 "SGI RASC RC100 (4 blades)",
+		Nodes:                4,
+		Processor:            cpu.Opteron22,
+		Device:               fpga.XC4VLX160(),
+		RawFPGADRAMBandwidth: 3.2e9,
+		SRAMBanks:            4,
+		SRAMBankBytes:        8 << 20,
+		SRAMBandwidth:        12.8e9,
+		Fabric: fabric.Config{
+			Nodes:         4,
+			LinkBandwidth: 3.2e9,
+			LinksPerNode:  1,
+			Latency:       1e-6,
+		},
+	}
+}
+
+func (c Config) validate() error {
+	if c.Nodes < 1 {
+		return fmt.Errorf("machine: need at least one node")
+	}
+	if c.Processor == nil {
+		return fmt.Errorf("machine: no processor model")
+	}
+	if c.RawFPGADRAMBandwidth <= 0 {
+		return fmt.Errorf("machine: non-positive FPGA-DRAM bandwidth")
+	}
+	if c.Fabric.Nodes != c.Nodes {
+		return fmt.Errorf("machine: fabric has %d endpoints for %d nodes", c.Fabric.Nodes, c.Nodes)
+	}
+	return nil
+}
+
+// Node is one compute blade.
+type Node struct {
+	ID   int
+	Proc *cpu.Processor
+	// CPUBusy accounts processor busy time (one processor per node, as
+	// in the paper's implementation).
+	CPUBusy *sim.Resource
+	SRAM    *mem.SRAM
+	Device  fpga.Device
+	Accel   *Accelerator
+	sys     *System
+}
+
+// ComputeCPU charges the node processor with flops of the given routine
+// class, holding the CPU busy for the modeled duration.
+func (n *Node) ComputeCPU(p *sim.Proc, r cpu.Routine, flops float64) {
+	n.CPUBusy.Use(p, n.Proc.Time(r, flops))
+}
+
+// Accelerator is a placed design installed on a node's FPGA, with its
+// effective DRAM streaming channel and coordination counters.
+type Accelerator struct {
+	Placed *fpga.Placed
+	// DRAM is the streaming channel at the effective Bd =
+	// min(raw path, one word per design cycle).
+	DRAM *mem.DRAM
+	// Array serializes use of the PE array.
+	Array         *sim.Resource
+	node          *Node
+	coordinations int64
+	jobs          int64
+}
+
+// EffectiveBd returns the design-limited DRAM bandwidth.
+func EffectiveBd(raw, freqHz float64) float64 {
+	designRate := WordBytes * freqHz
+	if designRate < raw {
+		return designRate
+	}
+	return raw
+}
+
+// InstallDesign places d on every node's FPGA (charging configuration
+// time is the caller's choice via ConfigTime). It fails if the design
+// does not fit the device.
+func (s *System) InstallDesign(d fpga.Design) error {
+	for _, n := range s.Nodes {
+		placed, err := fpga.Place(d, n.Device)
+		if err != nil {
+			return fmt.Errorf("node %d: %w", n.ID, err)
+		}
+		n.Accel = &Accelerator{
+			Placed: placed,
+			DRAM:   mem.NewDRAM(s.Eng, EffectiveBd(s.Cfg.RawFPGADRAMBandwidth, placed.FreqHz)),
+			Array:  sim.NewResource(s.Eng, fmt.Sprintf("fpga%d", n.ID), 1),
+			node:   n,
+		}
+	}
+	return nil
+}
+
+// ConfigTime returns the bitstream configuration time for the node's
+// device.
+func (a *Accelerator) ConfigTime() float64 { return a.node.Device.ConfigSeconds }
+
+// Launch starts an FPGA job (the processor writing the start register,
+// Section 4.4) and returns a signal that fires when the job is done
+// (the status register). run executes as its own process and should
+// charge Array/DRAM time itself.
+func (a *Accelerator) Launch(name string, run func(fp *sim.Proc)) *sim.Signal {
+	a.coordinations++ // start-register write
+	a.jobs++
+	done := sim.NewSignal(a.node.sys.Eng, name+".done")
+	a.node.sys.Eng.Go(name, func(fp *sim.Proc) {
+		run(fp)
+		done.Fire()
+	})
+	return done
+}
+
+// AwaitDone blocks the processor on the job's status register.
+func (a *Accelerator) AwaitDone(p *sim.Proc, done *sim.Signal) {
+	a.coordinations++ // status-register poll observing completion
+	done.Wait(p)
+}
+
+// Run launches a job and immediately blocks until it completes.
+func (a *Accelerator) Run(p *sim.Proc, name string, run func(fp *sim.Proc)) {
+	a.AwaitDone(p, a.Launch(name, run))
+}
+
+// Compute charges the PE array with a cycle count at the placed clock.
+func (a *Accelerator) Compute(fp *sim.Proc, cycles float64) {
+	a.Array.Use(fp, a.Placed.CyclesToSeconds(cycles))
+}
+
+// Stream charges a DRAM<->FPGA transfer of the given bytes.
+func (a *Accelerator) Stream(fp *sim.Proc, bytes int) { a.DRAM.Stream(fp, bytes) }
+
+// Coordinations returns processor<->FPGA register handshakes so far.
+func (a *Accelerator) Coordinations() int64 { return a.coordinations }
+
+// Jobs returns the number of launched FPGA jobs.
+func (a *Accelerator) Jobs() int64 { return a.jobs }
+
+// System is a built machine inside a simulation engine.
+type System struct {
+	Cfg   Config
+	Eng   *sim.Engine
+	Fab   *fabric.Fabric
+	World *mpi.World
+	Nodes []*Node
+}
+
+// New builds the system described by cfg.
+func New(cfg Config) (*System, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	eng := sim.New()
+	fab, err := fabric.New(eng, cfg.Fabric)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{Cfg: cfg, Eng: eng, Fab: fab, World: mpi.NewWorld(eng, fab)}
+	for i := 0; i < cfg.Nodes; i++ {
+		s.Nodes = append(s.Nodes, &Node{
+			ID:      i,
+			Proc:    cfg.Processor(),
+			CPUBusy: sim.NewResource(eng, fmt.Sprintf("cpu%d", i), 1),
+			SRAM:    mem.NewSRAM(cfg.SRAMBanks, cfg.SRAMBankBytes),
+			Device:  cfg.Device,
+			sys:     s,
+		})
+	}
+	return s, nil
+}
+
+// Spawn runs body as node i's processor program, attached to MPI rank i.
+func (s *System) Spawn(i int, body func(p *sim.Proc, r *mpi.Rank, n *Node)) {
+	n := s.Nodes[i]
+	s.Eng.Go(fmt.Sprintf("node%d.cpu", i), func(p *sim.Proc) {
+		body(p, s.World.Attach(p, i), n)
+	})
+}
+
+// SpawnAll runs body on every node.
+func (s *System) SpawnAll(body func(p *sim.Proc, r *mpi.Rank, n *Node)) {
+	for i := range s.Nodes {
+		s.Spawn(i, body)
+	}
+}
+
+// Run drives the simulation to completion and returns the final virtual
+// time.
+func (s *System) Run() (float64, error) {
+	err := s.Eng.Run(0)
+	return s.Eng.Now(), err
+}

@@ -1,0 +1,151 @@
+package matrix
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCholeskyReconstructs(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 16, 33} {
+		rng := rand.New(rand.NewSource(int64(200 + n)))
+		a := RandomSPD(n, rng)
+		orig := a.Clone()
+		if err := Cholesky(a); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		l := ExtractLower(a)
+		got := Mul(l, l.Transpose())
+		if !got.EqualApprox(orig, 1e-9) {
+			t.Fatalf("n=%d: L*L^T != A, maxdiff %g", n, got.MaxDiff(orig))
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewFromSlice(2, 2, []float64{1, 2, 2, 1}) // eigenvalues 3, -1
+	if err := Cholesky(a); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestBlockCholeskyMatchesUnblocked(t *testing.T) {
+	for _, tc := range []struct{ n, b int }{{8, 2}, {12, 3}, {20, 5}, {16, 16}, {18, 4}} {
+		rng := rand.New(rand.NewSource(int64(210 + tc.n)))
+		a := RandomSPD(tc.n, rng)
+		want := a.Clone()
+		if err := Cholesky(want); err != nil {
+			t.Fatal(err)
+		}
+		got := a.Clone()
+		if err := BlockCholesky(got, tc.b); err != nil {
+			t.Fatalf("n=%d b=%d: %v", tc.n, tc.b, err)
+		}
+		if !ExtractLower(got).EqualApprox(ExtractLower(want), 1e-9) {
+			t.Fatalf("n=%d b=%d: blocked != unblocked", tc.n, tc.b)
+		}
+	}
+}
+
+func TestSyrkAgainstGemm(t *testing.T) {
+	rng := rand.New(rand.NewSource(220))
+	a := Random(7, 4, rng)
+	c := RandomSPD(7, rng)
+	want := c.Clone()
+	Gemm(-1, a, a.Transpose(), 1, want)
+	Syrk(a, c)
+	// Syrk only writes the lower triangle.
+	for i := 0; i < 7; i++ {
+		for j := 0; j <= i; j++ {
+			if !approxEq(c.At(i, j), want.At(i, j), 1e-12) {
+				t.Fatalf("lower (%d,%d): %v vs %v", i, j, c.At(i, j), want.At(i, j))
+			}
+		}
+	}
+}
+
+func TestSyrkLeavesUpperUntouched(t *testing.T) {
+	rng := rand.New(rand.NewSource(221))
+	a := Random(5, 3, rng)
+	c := Random(5, 5, rng)
+	before := c.Clone()
+	Syrk(a, c)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			if c.At(i, j) != before.At(i, j) {
+				t.Fatalf("upper (%d,%d) modified", i, j)
+			}
+		}
+	}
+}
+
+func TestTrsmRightLowerT(t *testing.T) {
+	rng := rand.New(rand.NewSource(222))
+	spd := RandomSPD(6, rng)
+	if err := Cholesky(spd); err != nil {
+		t.Fatal(err)
+	}
+	l := ExtractLower(spd)
+	b := Random(4, 6, rng)
+	x := b.Clone()
+	TrsmRightLowerT(l, x)
+	if got := Mul(x, l.Transpose()); !got.EqualApprox(b, 1e-9) {
+		t.Fatalf("X*L^T != B, maxdiff %g", got.MaxDiff(b))
+	}
+}
+
+func TestPropCholeskyRoundTrip(t *testing.T) {
+	f := func(seedRaw int64) bool {
+		rng := rand.New(rand.NewSource(seedRaw))
+		n := 1 + rng.Intn(16)
+		a := RandomSPD(n, rng)
+		orig := a.Clone()
+		if err := Cholesky(a); err != nil {
+			return false
+		}
+		l := ExtractLower(a)
+		return Mul(l, l.Transpose()).EqualApprox(orig, 1e-8)
+	}
+	if err := quick.Check(f, quickCfg(230)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropBlockCholeskyAgrees(t *testing.T) {
+	f := func(seedRaw int64) bool {
+		rng := rand.New(rand.NewSource(seedRaw))
+		n := 2 + rng.Intn(20)
+		bs := 1 + rng.Intn(n)
+		a := RandomSPD(n, rng)
+		u := a.Clone()
+		if err := Cholesky(u); err != nil {
+			return false
+		}
+		bl := a.Clone()
+		if err := BlockCholesky(bl, bs); err != nil {
+			return false
+		}
+		return ExtractLower(bl).EqualApprox(ExtractLower(u), 1e-8)
+	}
+	if err := quick.Check(f, quickCfg(231)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtractLowerShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(240))
+	a := Random(4, 4, rng)
+	l := ExtractLower(a)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 0.0
+			if j <= i {
+				want = a.At(i, j)
+			}
+			if l.At(i, j) != want {
+				t.Fatalf("(%d,%d)", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,300 @@
+// Package matrix provides dense double-precision matrices and the
+// computational kernels used by the co-designed applications: general
+// matrix multiplication (GEMM), triangular solves (TRSM), LU
+// factorization (GETRF), and the tropical (min,+) kernels of the blocked
+// Floyd-Warshall algorithm.
+//
+// The package is the functional substrate of the simulator: when a
+// simulated processor or FPGA "computes", these kernels produce the
+// actual numbers, so end-to-end correctness of the distributed designs
+// is testable against sequential references.
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// Dense is a row-major dense matrix of float64 values. A Dense may be a
+// view into a larger matrix, in which case Stride exceeds Cols and
+// mutations are visible through the parent.
+type Dense struct {
+	rows, cols int
+	stride     int
+	data       []float64
+}
+
+// New returns a zeroed r×c matrix.
+func New(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("matrix: negative dimension %dx%d", r, c))
+	}
+	return &Dense{rows: r, cols: c, stride: c, data: make([]float64, r*c)}
+}
+
+// NewFromSlice returns an r×c matrix that adopts data (len must be r*c).
+// The matrix aliases data; it does not copy.
+func NewFromSlice(r, c int, data []float64) *Dense {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("matrix: data length %d does not match %dx%d", len(data), r, c))
+	}
+	return &Dense{rows: r, cols: c, stride: c, data: data}
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Dense {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Dims returns the row and column counts.
+func (m *Dense) Dims() (r, c int) { return m.rows, m.cols }
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// Stride returns the row stride of the backing storage.
+func (m *Dense) Stride() int { return m.stride }
+
+// At returns the element at row i, column j.
+func (m *Dense) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i*m.stride+j]
+}
+
+// Set assigns the element at row i, column j.
+func (m *Dense) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.stride+j] = v
+}
+
+func (m *Dense) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("matrix: index (%d,%d) out of range %dx%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Row returns the i-th row as a slice aliasing the matrix storage.
+func (m *Dense) Row(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("matrix: row %d out of range %d", i, m.rows))
+	}
+	return m.data[i*m.stride : i*m.stride+m.cols]
+}
+
+// View returns an r×c submatrix view starting at (i, j). The view shares
+// storage with m: writes through the view are visible in m.
+func (m *Dense) View(i, j, r, c int) *Dense {
+	if i < 0 || j < 0 || r < 0 || c < 0 || i+r > m.rows || j+c > m.cols {
+		panic(fmt.Sprintf("matrix: view (%d,%d,%d,%d) out of range %dx%d", i, j, r, c, m.rows, m.cols))
+	}
+	return &Dense{rows: r, cols: c, stride: m.stride, data: m.data[i*m.stride+j:]}
+}
+
+// Clone returns a compact deep copy of m.
+func (m *Dense) Clone() *Dense {
+	out := New(m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		copy(out.Row(i), m.Row(i))
+	}
+	return out
+}
+
+// CopyFrom copies src into m; dimensions must match.
+func (m *Dense) CopyFrom(src *Dense) {
+	if m.rows != src.rows || m.cols != src.cols {
+		panic(fmt.Sprintf("matrix: copy %dx%d into %dx%d", src.rows, src.cols, m.rows, m.cols))
+	}
+	for i := 0; i < m.rows; i++ {
+		copy(m.Row(i), src.Row(i))
+	}
+}
+
+// Fill sets every element of m to v.
+func (m *Dense) Fill(v float64) {
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = v
+		}
+	}
+}
+
+// Zero sets every element of m to 0.
+func (m *Dense) Zero() { m.Fill(0) }
+
+// Transpose returns a new matrix that is the transpose of m.
+func (m *Dense) Transpose() *Dense {
+	out := New(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.data[j*out.stride+i] = v
+		}
+	}
+	return out
+}
+
+// Equal reports whether m and n have identical dimensions and elements.
+// NaN elements are considered equal to NaN so that factorization tests
+// can compare bit-for-bit reproducible failures.
+func (m *Dense) Equal(n *Dense) bool {
+	if m.rows != n.rows || m.cols != n.cols {
+		return false
+	}
+	for i := 0; i < m.rows; i++ {
+		a, b := m.Row(i), n.Row(i)
+		for j := range a {
+			if a[j] != b[j] && !(math.IsNaN(a[j]) && math.IsNaN(b[j])) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// EqualApprox reports whether m and n agree element-wise within tol,
+// measured as |a-b| <= tol*(1+max(|a|,|b|)).
+func (m *Dense) EqualApprox(n *Dense, tol float64) bool {
+	if m.rows != n.rows || m.cols != n.cols {
+		return false
+	}
+	for i := 0; i < m.rows; i++ {
+		a, b := m.Row(i), n.Row(i)
+		for j := range a {
+			if !approxEq(a[j], b[j], tol) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func approxEq(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= tol*(1+scale)
+}
+
+// MaxDiff returns the largest absolute element-wise difference between m
+// and n. It panics on dimension mismatch.
+func (m *Dense) MaxDiff(n *Dense) float64 {
+	if m.rows != n.rows || m.cols != n.cols {
+		panic("matrix: MaxDiff dimension mismatch")
+	}
+	var d float64
+	for i := 0; i < m.rows; i++ {
+		a, b := m.Row(i), n.Row(i)
+		for j := range a {
+			if v := math.Abs(a[j] - b[j]); v > d {
+				d = v
+			}
+		}
+	}
+	return d
+}
+
+// FrobeniusNorm returns the Frobenius norm of m.
+func (m *Dense) FrobeniusNorm() float64 {
+	var s float64
+	for i := 0; i < m.rows; i++ {
+		for _, v := range m.Row(i) {
+			s += v * v
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// Scale multiplies every element of m by a.
+func (m *Dense) Scale(a float64) {
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] *= a
+		}
+	}
+}
+
+// Sub computes m -= n element-wise. This is the functional body of the
+// opMS (matrix subtract) task of block LU decomposition.
+func (m *Dense) Sub(n *Dense) {
+	if m.rows != n.rows || m.cols != n.cols {
+		panic(fmt.Sprintf("matrix: sub %dx%d from %dx%d", n.rows, n.cols, m.rows, m.cols))
+	}
+	for i := 0; i < m.rows; i++ {
+		a, b := m.Row(i), n.Row(i)
+		for j := range a {
+			a[j] -= b[j]
+		}
+	}
+}
+
+// Add computes m += n element-wise.
+func (m *Dense) Add(n *Dense) {
+	if m.rows != n.rows || m.cols != n.cols {
+		panic(fmt.Sprintf("matrix: add %dx%d to %dx%d", n.rows, n.cols, m.rows, m.cols))
+	}
+	for i := 0; i < m.rows; i++ {
+		a, b := m.Row(i), n.Row(i)
+		for j := range a {
+			a[j] += b[j]
+		}
+	}
+}
+
+// Random returns an r×c matrix with entries drawn uniformly from
+// [-1, 1) using rng.
+func Random(r, c int, rng *rand.Rand) *Dense {
+	m := New(r, c)
+	for i := range m.data[:r*c] {
+		m.data[i] = 2*rng.Float64() - 1
+	}
+	return m
+}
+
+// RandomDiagDominant returns an n×n matrix with random entries whose
+// diagonal is boosted so the matrix is strictly diagonally dominant and
+// therefore admits LU factorization without pivoting — the class of
+// matrices the paper assumes ("A is a nonsingular matrix and no pivoting
+// is needed").
+func RandomDiagDominant(n int, rng *rand.Rand) *Dense {
+	m := Random(n, n, rng)
+	for i := 0; i < n; i++ {
+		var s float64
+		for _, v := range m.Row(i) {
+			s += math.Abs(v)
+		}
+		m.Set(i, i, s+1)
+	}
+	return m
+}
+
+// String renders small matrices for debugging; large matrices are
+// summarized by shape.
+func (m *Dense) String() string {
+	if m.rows*m.cols > 256 {
+		return fmt.Sprintf("Dense{%dx%d}", m.rows, m.cols)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Dense %dx%d\n", m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			fmt.Fprintf(&b, "% 10.4g ", m.At(i, j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,264 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewDims(t *testing.T) {
+	m := New(3, 5)
+	if r, c := m.Dims(); r != 3 || c != 5 {
+		t.Fatalf("Dims() = %d,%d want 3,5", r, c)
+	}
+	if m.Rows() != 3 || m.Cols() != 5 {
+		t.Fatalf("Rows/Cols = %d,%d", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 5; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("New not zeroed at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestSetAt(t *testing.T) {
+	m := New(2, 2)
+	m.Set(0, 1, 3.5)
+	m.Set(1, 0, -2)
+	if m.At(0, 1) != 3.5 || m.At(1, 0) != -2 {
+		t.Fatalf("Set/At roundtrip failed: %v", m)
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range At")
+		}
+	}()
+	New(2, 2).At(2, 0)
+}
+
+func TestNewFromSliceAliases(t *testing.T) {
+	d := []float64{1, 2, 3, 4, 5, 6}
+	m := NewFromSlice(2, 3, d)
+	m.Set(1, 2, 99)
+	if d[5] != 99 {
+		t.Fatal("NewFromSlice must alias the provided slice")
+	}
+}
+
+func TestNewFromSliceBadLenPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bad slice length")
+		}
+	}()
+	NewFromSlice(2, 3, make([]float64, 5))
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if id.At(i, j) != want {
+				t.Fatalf("Identity(4)[%d][%d] = %v", i, j, id.At(i, j))
+			}
+		}
+	}
+}
+
+func TestViewSharesStorage(t *testing.T) {
+	m := New(4, 4)
+	v := m.View(1, 1, 2, 2)
+	v.Set(0, 0, 7)
+	if m.At(1, 1) != 7 {
+		t.Fatal("view write not visible in parent")
+	}
+	m.Set(2, 2, 8)
+	if v.At(1, 1) != 8 {
+		t.Fatal("parent write not visible in view")
+	}
+}
+
+func TestViewOfView(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := Random(8, 8, rng)
+	v := m.View(2, 2, 6, 6).View(1, 1, 3, 3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if v.At(i, j) != m.At(3+i, 3+j) {
+				t.Fatalf("nested view (%d,%d) mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestViewOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range view")
+		}
+	}()
+	New(4, 4).View(2, 2, 3, 3)
+}
+
+func TestCloneIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := Random(5, 7, rng)
+	c := m.Clone()
+	if !m.Equal(c) {
+		t.Fatal("clone not equal to original")
+	}
+	c.Set(0, 0, 1234)
+	if m.At(0, 0) == 1234 {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+func TestCloneOfViewIsCompact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := Random(6, 6, rng)
+	v := m.View(1, 2, 3, 3)
+	c := v.Clone()
+	if c.Stride() != 3 {
+		t.Fatalf("clone stride = %d want 3", c.Stride())
+	}
+	if !c.Equal(v) {
+		t.Fatal("clone of view differs from view")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	src := Random(3, 3, rng)
+	dst := New(3, 3)
+	dst.CopyFrom(src)
+	if !dst.Equal(src) {
+		t.Fatal("CopyFrom mismatch")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := NewFromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	tr := m.Transpose()
+	if r, c := tr.Dims(); r != 3 || c != 2 {
+		t.Fatalf("transpose dims %dx%d", r, c)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("transpose (%d,%d)", i, j)
+			}
+		}
+	}
+	if !m.Transpose().Transpose().Equal(m) {
+		t.Fatal("double transpose is not identity")
+	}
+}
+
+func TestSubAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := Random(4, 4, rng)
+	b := Random(4, 4, rng)
+	orig := a.Clone()
+	a.Sub(b)
+	a.Add(b)
+	if !a.EqualApprox(orig, 1e-15) {
+		t.Fatal("Sub then Add did not restore the matrix")
+	}
+}
+
+func TestScale(t *testing.T) {
+	a := NewFromSlice(1, 3, []float64{1, -2, 4})
+	a.Scale(-0.5)
+	want := NewFromSlice(1, 3, []float64{-0.5, 1, -2})
+	if !a.Equal(want) {
+		t.Fatalf("Scale = %v", a)
+	}
+}
+
+func TestEqualNaN(t *testing.T) {
+	a := NewFromSlice(1, 1, []float64{math.NaN()})
+	b := NewFromSlice(1, 1, []float64{math.NaN()})
+	if !a.Equal(b) {
+		t.Fatal("NaN should compare equal to NaN in Equal")
+	}
+}
+
+func TestEqualDimsMismatch(t *testing.T) {
+	if New(2, 3).Equal(New(3, 2)) {
+		t.Fatal("different shapes must not be Equal")
+	}
+	if New(2, 3).EqualApprox(New(3, 2), 1) {
+		t.Fatal("different shapes must not be EqualApprox")
+	}
+}
+
+func TestMaxDiff(t *testing.T) {
+	a := NewFromSlice(1, 3, []float64{1, 2, 3})
+	b := NewFromSlice(1, 3, []float64{1, 2.5, 2})
+	if d := a.MaxDiff(b); d != 1 {
+		t.Fatalf("MaxDiff = %v want 1", d)
+	}
+}
+
+func TestFrobeniusNorm(t *testing.T) {
+	a := NewFromSlice(2, 2, []float64{3, 0, 0, 4})
+	if n := a.FrobeniusNorm(); math.Abs(n-5) > 1e-14 {
+		t.Fatalf("FrobeniusNorm = %v want 5", n)
+	}
+}
+
+func TestRandomDiagDominant(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := RandomDiagDominant(20, rng)
+	for i := 0; i < 20; i++ {
+		var off float64
+		for j, v := range m.Row(i) {
+			if j != i {
+				off += math.Abs(v)
+			}
+		}
+		if m.At(i, i) <= off {
+			t.Fatalf("row %d not diagonally dominant", i)
+		}
+	}
+}
+
+func TestFillZero(t *testing.T) {
+	m := New(3, 3)
+	m.Fill(2)
+	if m.At(1, 1) != 2 {
+		t.Fatal("Fill failed")
+	}
+	m.Zero()
+	if m.FrobeniusNorm() != 0 {
+		t.Fatal("Zero failed")
+	}
+}
+
+func TestRowAliases(t *testing.T) {
+	m := New(2, 3)
+	m.Row(1)[2] = 5
+	if m.At(1, 2) != 5 {
+		t.Fatal("Row must alias storage")
+	}
+}
+
+func TestStringSmallAndLarge(t *testing.T) {
+	small := New(2, 2)
+	if s := small.String(); len(s) == 0 {
+		t.Fatal("empty String for small matrix")
+	}
+	large := New(100, 100)
+	if s := large.String(); s != "Dense{100x100}" {
+		t.Fatalf("large String = %q", s)
+	}
+}

@@ -1,0 +1,118 @@
+package matrix
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// CSR is a compressed sparse row matrix, the format the FPGA-augmented
+// conjugate-gradient work [9] streams through the accelerator.
+type CSR struct {
+	rows, cols int
+	rowPtr     []int
+	colIdx     []int
+	vals       []float64
+}
+
+// Dims returns the dimensions.
+func (s *CSR) Dims() (r, c int) { return s.rows, s.cols }
+
+// NNZ returns the stored non-zero count.
+func (s *CSR) NNZ() int { return len(s.vals) }
+
+// FromDense compresses a dense matrix, dropping exact zeros.
+func FromDense(a *Dense) *CSR {
+	m, n := a.Dims()
+	s := &CSR{rows: m, cols: n, rowPtr: make([]int, m+1)}
+	for i := 0; i < m; i++ {
+		for j, v := range a.Row(i) {
+			if v != 0 {
+				s.colIdx = append(s.colIdx, j)
+				s.vals = append(s.vals, v)
+			}
+		}
+		s.rowPtr[i+1] = len(s.vals)
+	}
+	return s
+}
+
+// ToDense expands the matrix.
+func (s *CSR) ToDense() *Dense {
+	d := New(s.rows, s.cols)
+	for i := 0; i < s.rows; i++ {
+		for idx := s.rowPtr[i]; idx < s.rowPtr[i+1]; idx++ {
+			d.Set(i, s.colIdx[idx], s.vals[idx])
+		}
+	}
+	return d
+}
+
+// Apply computes y = S·x (implements MulVec for square matrices).
+func (s *CSR) Apply(x, y []float64) {
+	if len(x) != s.cols || len(y) != s.rows {
+		panic(fmt.Sprintf("matrix: spmv %dx%d with |x|=%d |y|=%d", s.rows, s.cols, len(x), len(y)))
+	}
+	for i := 0; i < s.rows; i++ {
+		var acc float64
+		for idx := s.rowPtr[i]; idx < s.rowPtr[i+1]; idx++ {
+			acc += s.vals[idx] * x[s.colIdx[idx]]
+		}
+		y[i] = acc
+	}
+}
+
+// Dim implements MulVec for square matrices.
+func (s *CSR) Dim() int {
+	if s.rows != s.cols {
+		panic(fmt.Sprintf("matrix: Dim of non-square CSR %dx%d", s.rows, s.cols))
+	}
+	return s.rows
+}
+
+// ApplyRange computes y[lo:hi] = (S·x)[lo:hi].
+func (s *CSR) ApplyRange(x, y []float64, lo, hi int) {
+	if lo < 0 || hi > s.rows || lo > hi {
+		panic(fmt.Sprintf("matrix: spmv range [%d,%d) of %d rows", lo, hi, s.rows))
+	}
+	for i := lo; i < hi; i++ {
+		var acc float64
+		for idx := s.rowPtr[i]; idx < s.rowPtr[i+1]; idx++ {
+			acc += s.vals[idx] * x[s.colIdx[idx]]
+		}
+		y[i] = acc
+	}
+}
+
+// RowNNZ returns the non-zero count of row i.
+func (s *CSR) RowNNZ(i int) int { return s.rowPtr[i+1] - s.rowPtr[i] }
+
+// RangeNNZ returns the non-zeros stored in rows [lo, hi).
+func (s *CSR) RangeNNZ(lo, hi int) int { return s.rowPtr[hi] - s.rowPtr[lo] }
+
+// RandomSparseSPD returns a sparse symmetric positive-definite matrix:
+// a symmetric pattern of the given off-diagonal density with a
+// dominance-boosted diagonal.
+func RandomSparseSPD(n int, density float64, rng *rand.Rand) *CSR {
+	d := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			if rng.Float64() < density {
+				v := 2*rng.Float64() - 1
+				d.Set(i, j, v)
+				d.Set(j, i, v)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		var s float64
+		for _, v := range d.Row(i) {
+			if v < 0 {
+				s -= v
+			} else {
+				s += v
+			}
+		}
+		d.Set(i, i, s+1)
+	}
+	return FromDense(d)
+}

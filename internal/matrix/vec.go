@@ -1,0 +1,141 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector kernels used by the iterative solvers (the conjugate-gradient
+// extension, after Morris et al. [9]).
+
+// Dot returns the inner product of x and y.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("matrix: dot of lengths %d and %d", len(x), len(y)))
+	}
+	var s float64
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// Axpy computes y += a·x in place.
+func Axpy(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("matrix: axpy of lengths %d and %d", len(x), len(y)))
+	}
+	for i := range x {
+		y[i] += a * x[i]
+	}
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 { return math.Sqrt(Dot(x, x)) }
+
+// MatVec computes y = A·x for dense A (m×n), x of length n, y of
+// length m.
+func MatVec(a *Dense, x, y []float64) {
+	m, n := a.Dims()
+	if len(x) != n || len(y) != m {
+		panic(fmt.Sprintf("matrix: matvec %dx%d with |x|=%d |y|=%d", m, n, len(x), len(y)))
+	}
+	for i := 0; i < m; i++ {
+		row := a.Row(i)
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+}
+
+// MatVecRange computes y[lo:hi] = (A·x)[lo:hi] — the row-partitioned
+// form the hybrid CG design uses to split the multiply between
+// processor and FPGA.
+func MatVecRange(a *Dense, x, y []float64, lo, hi int) {
+	m, n := a.Dims()
+	if len(x) != n || len(y) != m || lo < 0 || hi > m || lo > hi {
+		panic(fmt.Sprintf("matrix: matvec range [%d,%d) of %dx%d", lo, hi, m, n))
+	}
+	for i := lo; i < hi; i++ {
+		row := a.Row(i)
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+}
+
+// CGResult reports a conjugate-gradient solve.
+type CGResult struct {
+	// X is the solution estimate.
+	X []float64
+	// Iterations actually performed.
+	Iterations int
+	// Residual is ||b - A·x|| at exit.
+	Residual float64
+	// Converged reports whether the tolerance was met.
+	Converged bool
+}
+
+// MulVec abstracts the operator for CG (dense or sparse).
+type MulVec interface {
+	// Apply computes y = A·x.
+	Apply(x, y []float64)
+	// Dim returns the operator's (square) dimension.
+	Dim() int
+}
+
+// DenseOp adapts a Dense matrix to MulVec.
+type DenseOp struct{ A *Dense }
+
+// Apply implements MulVec.
+func (d DenseOp) Apply(x, y []float64) { MatVec(d.A, x, y) }
+
+// Dim implements MulVec.
+func (d DenseOp) Dim() int { return d.A.Rows() }
+
+// CG solves A·x = b for symmetric positive-definite A with the
+// conjugate-gradient method, starting from x = 0, stopping when
+// ||r|| <= tol·||b|| or after maxIter iterations. This is the
+// sequential reference for the hybrid design.
+func CG(op MulVec, b []float64, tol float64, maxIter int) CGResult {
+	n := op.Dim()
+	if len(b) != n {
+		panic(fmt.Sprintf("matrix: CG rhs length %d for operator of %d", len(b), n))
+	}
+	x := make([]float64, n)
+	r := make([]float64, n)
+	copy(r, b) // r = b - A·0
+	p := make([]float64, n)
+	copy(p, r)
+	q := make([]float64, n)
+	bnorm := Norm2(b)
+	if bnorm == 0 {
+		return CGResult{X: x, Converged: true}
+	}
+	rr := Dot(r, r)
+	res := CGResult{X: x}
+	for it := 0; it < maxIter; it++ {
+		op.Apply(p, q)
+		alpha := rr / Dot(p, q)
+		Axpy(alpha, p, x)
+		Axpy(-alpha, q, r)
+		rrNew := Dot(r, r)
+		res.Iterations = it + 1
+		if math.Sqrt(rrNew) <= tol*bnorm {
+			res.Converged = true
+			rr = rrNew
+			break
+		}
+		beta := rrNew / rr
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+		rr = rrNew
+	}
+	res.Residual = math.Sqrt(rr)
+	return res
+}

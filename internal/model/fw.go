@@ -1,0 +1,119 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// FWParams instantiates the design model for the blocked Floyd-Warshall
+// algorithm of Section 5.2.
+type FWParams struct {
+	// P is the node count; B the block size; K the FPGA PE count.
+	P, B, K int
+	// Ff is the FPGA FW design clock (Hz).
+	Ff float64
+	// FWRate is the processor's sustained FLOP/s on the scalar
+	// Floyd-Warshall kernel.
+	FWRate float64
+	// Bd, Bn, Bw as in Params.
+	Bd, Bn, Bw float64
+	// SRAMBytes is the available on-board memory (constrains 2b² words).
+	SRAMBytes int64
+}
+
+// Validate checks the parameters.
+func (fp FWParams) Validate() error {
+	switch {
+	case fp.P < 1:
+		return fmt.Errorf("model: fw design needs p >= 1, got %d", fp.P)
+	case fp.B < 1 || fp.K < 1:
+		return fmt.Errorf("model: bad geometry b=%d k=%d", fp.B, fp.K)
+	case fp.B%fp.K != 0:
+		return fmt.Errorf("model: block size %d must be a multiple of k=%d", fp.B, fp.K)
+	case fp.Ff <= 0 || fp.FWRate <= 0:
+		return fmt.Errorf("model: non-positive rate")
+	case fp.Bd <= 0 || fp.Bn <= 0 || fp.Bw <= 0:
+		return fmt.Errorf("model: non-positive bandwidth")
+	}
+	if fp.SRAMBytes > 0 {
+		if need := 2 * int64(fp.B) * int64(fp.B) * int64(fp.Bw); need > fp.SRAMBytes {
+			return fmt.Errorf("model: fw design needs %d bytes of SRAM (2b² words), only %d available", need, fp.SRAMBytes)
+		}
+	}
+	return nil
+}
+
+// BlockTimes returns the per-block-operation times of Section 5.2.3:
+// the processor time Tp = 2b³/(Op·Fp), the FPGA time Tf = 2b³/(k·Ff),
+// the DRAM transfer Tmem = 2b²·bw/Bd (two blocks in), and the network
+// transfer Tcomm = b²·bw/Bn (one block per phase).
+func (fp FWParams) BlockTimes() (tp, tf, tmem, tcomm float64) {
+	b := float64(fp.B)
+	tp = 2 * b * b * b / fp.FWRate
+	tf = 2 * b * b * b / (float64(fp.K) * fp.Ff)
+	tmem = 2 * b * b * fp.Bw / fp.Bd
+	tcomm = b * b * fp.Bw / fp.Bn
+	return tp, tf, tmem, tcomm
+}
+
+// OpsPerPhase returns the block operations each node performs per phase:
+// n/(b·p).
+func (fp FWParams) OpsPerPhase(n int) int { return n / (fp.B * fp.P) }
+
+// SolveSplit solves Equation (6) for the whole-task split per phase:
+// the processor runs l1 block operations and the FPGA l2, with
+//
+//	l1·Tp + Tcomm + l2·Tmem = l2·Tf,  l1 + l2 = n/(b·p).
+func (fp FWParams) SolveSplit(n int) (l1, l2 int) {
+	total := fp.OpsPerPhase(n)
+	tp, tf, tmem, tcomm := fp.BlockTimes()
+	// Continuous split: l1·tp + tcomm = l2·(tf - tmem).
+	eff := tf - tmem
+	if eff <= 0 {
+		return total, 0
+	}
+	// l1 = (l2·eff - tcomm)/tp with l1 + l2 = total.
+	l2f := (float64(total)*tp + tcomm) / (tp + eff)
+	l2 = int(math.Round(l2f))
+	if l2 > total {
+		l2 = total
+	}
+	if l2 < 0 {
+		l2 = 0
+	}
+	return total - l2, l2
+}
+
+// PhaseTime returns the latency of one phase with split (l1, l2): the
+// maximum of the processor side (its l1 ops plus the phase's block
+// send, which it cannot overlap) and the FPGA side (l2 ops plus DRAM
+// streams for all but the first block, overlapped).
+func (fp FWParams) PhaseTime(l1, l2 int) float64 {
+	tp, tf, tmem, tcomm := fp.BlockTimes()
+	cpuSide := float64(l1)*tp + tcomm
+	fpgaSide := float64(l2)*tf + tmem // first block's stream exposed
+	return math.Max(cpuSide, fpgaSide)
+}
+
+// PredictFW runs the Section 4.5 predictor for an n×n distance matrix:
+// n/b iterations of n/b phases, each phase costing max(l1·Tp, l2·Tf)
+// with all transfers assumed overlapped.
+func (fp FWParams) PredictFW(n, l1, l2 int) Prediction {
+	nb := float64(n / fp.B)
+	tp, tf, _, _ := fp.BlockTimes()
+	cpu := float64(l1) * tp
+	fpga := float64(l2) * tf
+	phases := nb * nb // nb iterations × nb phases
+	ttp := phases * cpu
+	ttf := phases * fpga
+	nn := float64(n)
+	flops := 2 * nn * nn * nn
+	return predict(ttp, ttf, flops)
+}
+
+// CoordinationHz returns the coordination frequency of Section 5.2.3:
+// one start and one done handshake per batch of l2 FPGA operations.
+func (fp FWParams) CoordinationHz(l2 int) float64 {
+	_, tf, _, _ := fp.BlockTimes()
+	return 2 / (float64(l2) * tf)
+}

@@ -1,0 +1,177 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func xd1MM() MMParams {
+	return MMParams{
+		P: 6, N: 3072, K: 8,
+		Ff:         130e6,
+		StripeRate: 2.95e9,
+		Bd:         1.04e9, Bw: 8,
+		SRAMBytes: 8 << 20,
+	}
+}
+
+func TestMMValidate(t *testing.T) {
+	if err := xd1MM().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := xd1MM()
+	bad.N = 100 // not multiple of k=8 or p=6
+	if err := bad.Validate(); err == nil {
+		t.Fatal("bad n accepted")
+	}
+	bad = xd1MM()
+	bad.P = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero p accepted")
+	}
+	bad = xd1MM()
+	bad.Ff = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	bad = xd1MM()
+	bad.K = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero k accepted")
+	}
+}
+
+func TestMMWidth(t *testing.T) {
+	if w := xd1MM().Width(); w != 512 {
+		t.Fatalf("width = %d", w)
+	}
+}
+
+func TestMMPartitionBalancesEquation1(t *testing.T) {
+	mp := xd1MM()
+	bf, bp := mp.SolvePartition()
+	if bf%mp.K != 0 || bf+bp != mp.N {
+		t.Fatalf("partition malformed: bf=%d bp=%d", bf, bp)
+	}
+	tf, tp, tmem := mp.StripeTimes(bf)
+	if math.Abs(tf-(tp+tmem))/tf > 0.05 {
+		t.Fatalf("Eq1 imbalance: tf=%g vs %g", tf, tp+tmem)
+	}
+}
+
+func TestMMPartitionSRAMClamp(t *testing.T) {
+	mp := xd1MM()
+	mp.SRAMBytes = 1 << 20 // 1 MB: maxBf = (1<<20)/8/512 = 256
+	bf, _ := mp.SolvePartition()
+	if bf > 256 {
+		t.Fatalf("bf=%d exceeds SRAM cap", bf)
+	}
+	if bf%mp.K != 0 {
+		t.Fatalf("clamped bf=%d not multiple of k", bf)
+	}
+}
+
+func TestMMPartitionExtremes(t *testing.T) {
+	// FPGA vastly faster than the CPU: it takes nearly everything.
+	mp := xd1MM()
+	mp.SRAMBytes = 0 // no cap
+	mp.StripeRate = 1e6
+	bf, _ := mp.SolvePartition()
+	if bf < mp.N*9/10 {
+		t.Fatalf("slow CPU should push bf toward n: bf=%d", bf)
+	}
+	// CPU vastly faster: FPGA gets almost nothing.
+	mp.StripeRate = 1e15
+	bf, _ = mp.SolvePartition()
+	if bf > mp.N/10 {
+		t.Fatalf("fast CPU should pull bf toward 0: bf=%d", bf)
+	}
+}
+
+func TestMMPredict(t *testing.T) {
+	mp := xd1MM()
+	bf, _ := mp.SolvePartition()
+	pred := mp.PredictMM(bf)
+	if pred.GFLOPS <= 0 || pred.Seconds <= 0 {
+		t.Fatalf("prediction = %+v", pred)
+	}
+	// Balanced partition: Ttp ≈ Ttf.
+	if math.Abs(pred.Ttp-pred.Ttf)/pred.Ttf > 0.15 {
+		t.Fatalf("prediction sides unbalanced: %g vs %g", pred.Ttp, pred.Ttf)
+	}
+	// Hybrid prediction must exceed the single-resource extremes.
+	cpuOnly := mp.PredictMM(0)
+	fpgaOnly := mp.PredictMM(mp.N)
+	if pred.GFLOPS <= cpuOnly.GFLOPS || pred.GFLOPS <= fpgaOnly.GFLOPS {
+		t.Fatalf("hybrid prediction %.2f must beat cpu %.2f and fpga %.2f",
+			pred.GFLOPS, cpuOnly.GFLOPS, fpgaOnly.GFLOPS)
+	}
+}
+
+func TestLUPartitionExtremes(t *testing.T) {
+	lp := xd1LU()
+	lp.SRAMBytes = 0
+	lp.StripeRate = 1e6 // hopeless CPU
+	bf, _ := lp.SolvePartition()
+	if bf < lp.B*9/10 {
+		t.Fatalf("slow CPU should push bf toward b: %d", bf)
+	}
+	lp.StripeRate = 1e15 // hopeless FPGA by comparison
+	bf, _ = lp.SolvePartition()
+	if bf > lp.B/10 {
+		t.Fatalf("fast CPU should pull bf toward 0: %d", bf)
+	}
+}
+
+func TestFWSolveSplitExtremes(t *testing.T) {
+	fw := xd1FW()
+	// FPGA slower than its own DRAM streaming: everything to the CPU.
+	slow := fw
+	slow.Ff = 1 // tf enormous? No: tf = 2b³/(k·Ff) huge, eff = tf - tmem > 0: FPGA still gets share...
+	// Instead make streaming dominate: Bd tiny so tmem > tf.
+	slow = fw
+	slow.Bd = 1e3
+	l1, l2 := slow.SolveSplit(18432)
+	if l2 != 0 || l1 != 12 {
+		t.Fatalf("starved FPGA should get nothing: l1=%d l2=%d", l1, l2)
+	}
+	// CPU hopeless: FPGA takes everything.
+	fast := fw
+	fast.FWRate = 1
+	l1, l2 = fast.SolveSplit(18432)
+	if l1 != 0 || l2 != 12 {
+		t.Fatalf("hopeless CPU should get nothing: l1=%d l2=%d", l1, l2)
+	}
+}
+
+func TestFWPhaseTime(t *testing.T) {
+	fw := xd1FW()
+	l1, l2 := fw.SolveSplit(18432)
+	ph := fw.PhaseTime(l1, l2)
+	tp, tf, tmem, tcomm := fw.BlockTimes()
+	cpuSide := float64(l1)*tp + tcomm
+	fpgaSide := float64(l2)*tf + tmem
+	want := math.Max(cpuSide, fpgaSide)
+	if ph != want {
+		t.Fatalf("PhaseTime = %g, want %g", ph, want)
+	}
+}
+
+func TestLUOpMMTimeConsistent(t *testing.T) {
+	lp := xd1LU()
+	tf, _, _, _ := lp.StripeTimes(1280)
+	want := float64(lp.B) / float64(lp.K) * tf
+	if got := lp.OpMMTime(1280); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("OpMMTime = %g want %g", got, want)
+	}
+}
+
+func TestLUSolveLDegenerate(t *testing.T) {
+	lp := xd1LU()
+	// Make communication so slow that sending l opMMs costs more than
+	// the FPGA computes: solver must still return at least 1.
+	lp.Bn = 1
+	if l := lp.SolveL(1280); l != 1 {
+		t.Fatalf("degenerate SolveL = %d, want 1", l)
+	}
+}

@@ -1,0 +1,142 @@
+// Package model implements the paper's primary contribution: the design
+// model for hybrid designs on reconfigurable computing systems
+// (Section 4). A system is characterized by its parameters — node count
+// p, FPGA computing power Of·Ff, sustained processor power Op·Fp, DRAM
+// streaming bandwidth Bd, network bandwidth Bn, word width bw — and the
+// model derives:
+//
+//   - the hardware/software workload partition that equalizes processor
+//     and FPGA finish times while charging DRAM transfer and network
+//     communication to the processor (Equations 1, 2 and 4),
+//   - the inter-node load balance (Equation 5 for LU's panel pipeline,
+//     Equation 6 for Floyd-Warshall's whole-task split), and
+//   - a performance prediction assuming data transfer and communication
+//     overlap FPGA computation perfectly (Section 4.5).
+package model
+
+import "fmt"
+
+// Params are the raw system parameters of Section 4.1 for one kernel.
+type Params struct {
+	// P is the node count.
+	P int
+	// Of is the FPGA design's floating-point operations per cycle.
+	Of float64
+	// Ff is the FPGA design clock in Hz.
+	Ff float64
+	// OpFp is the processor's sustained FLOP/s for this kernel.
+	OpFp float64
+	// Bd is the FPGA<->DRAM streaming bandwidth in bytes/s.
+	Bd float64
+	// Bn is the inter-node network bandwidth in bytes/s.
+	Bn float64
+	// Bw is the word width in bytes (8 for double precision).
+	Bw float64
+}
+
+// Validate checks that all parameters are physical.
+func (p Params) Validate() error {
+	switch {
+	case p.P < 1:
+		return fmt.Errorf("model: p = %d < 1", p.P)
+	case p.Of <= 0 || p.Ff <= 0:
+		return fmt.Errorf("model: FPGA power Of=%g Ff=%g not positive", p.Of, p.Ff)
+	case p.OpFp <= 0:
+		return fmt.Errorf("model: processor power OpFp=%g not positive", p.OpFp)
+	case p.Bd <= 0 || p.Bn <= 0:
+		return fmt.Errorf("model: bandwidth Bd=%g Bn=%g not positive", p.Bd, p.Bn)
+	case p.Bw <= 0:
+		return fmt.Errorf("model: word width %g not positive", p.Bw)
+	}
+	return nil
+}
+
+// FPGAPower returns Of·Ff in FLOP/s.
+func (p Params) FPGAPower() float64 { return p.Of * p.Ff }
+
+// Split solves Equation (1): divide n floating-point operations between
+// the processor and the FPGA so that Tp + Df/Bd = Tf, where Df is the
+// FPGA's input volume in bytes. It returns the operation counts
+// (np, nf), clamped to [0, n] when the transfer overhead exceeds the
+// whole budget.
+func (p Params) Split(n, df float64) (np, nf float64) {
+	return p.SplitComm(n, df, 0)
+}
+
+// SplitComm solves Equation (2): like Split but also charging Dp bytes
+// of network communication to the processor (whose computation cannot
+// overlap communication, Section 4.3):
+//
+//	Tp + Df/Bd + Dp/Bn = Tf
+//	np/OpFp + df/Bd + dp/Bn = nf/(Of·Ff),  np + nf = n.
+func (p Params) SplitComm(n, df, dp float64) (np, nf float64) {
+	if n < 0 || df < 0 || dp < 0 {
+		panic(fmt.Sprintf("model: negative workload n=%g df=%g dp=%g", n, df, dp))
+	}
+	overhead := df/p.Bd + dp/p.Bn
+	f := p.FPGAPower()
+	// np/OpFp + overhead = (n-np)/f  =>  np (1/OpFp + 1/f) = n/f - overhead.
+	np = (n/f - overhead) / (1/p.OpFp + 1/f)
+	if np < 0 {
+		np = 0
+	}
+	if np > n {
+		np = n
+	}
+	return np, n - np
+}
+
+// BalanceWholeTasks divides total whole tasks (each costing tp seconds
+// on the processor and tf on the FPGA, with perOpOverhead seconds of
+// unoverlappable processor-side transfer per FPGA task) so both finish
+// together: l1·tp + overhead·l2 ≈ l2·tf. Tasks with heavy internal
+// dependencies are assigned whole (Section 4.2, last paragraph).
+func BalanceWholeTasks(total int, tp, tf, perOpOverhead float64) (l1, l2 int) {
+	if total <= 0 {
+		return 0, 0
+	}
+	if tf <= 0 {
+		return 0, total // free FPGA takes everything
+	}
+	if tp <= 0 {
+		return total, 0 // free CPU takes everything
+	}
+	// Continuous solution of l1·tp = l2·(tf - overhead).
+	eff := tf - perOpOverhead
+	if eff <= 0 {
+		// The FPGA's own transfers dominate: give it everything only
+		// if it is still faster than the CPU per task.
+		if tf+perOpOverhead < tp {
+			return 0, total
+		}
+		return total, 0
+	}
+	ratio := eff / (tp + eff) // fraction of tasks to the CPU
+	l1 = int(ratio*float64(total) + 0.5)
+	if l1 > total {
+		l1 = total
+	}
+	return l1, total - l1
+}
+
+// Prediction is the output of the Section 4.5 performance predictor.
+type Prediction struct {
+	// Ttp is the total processor-side critical-path time.
+	Ttp float64
+	// Ttf is the total FPGA-side time.
+	Ttf float64
+	// Seconds is max(Ttp, Ttf), the predicted latency.
+	Seconds float64
+	// Flops is the application's useful floating-point work.
+	Flops float64
+	// GFLOPS is Flops / Seconds / 1e9.
+	GFLOPS float64
+}
+
+func predict(ttp, ttf, flops float64) Prediction {
+	s := ttp
+	if ttf > s {
+		s = ttf
+	}
+	return Prediction{Ttp: ttp, Ttf: ttf, Seconds: s, Flops: flops, GFLOPS: flops / s / 1e9}
+}

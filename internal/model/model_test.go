@@ -1,0 +1,324 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// xd1LU returns the LU model parameters of Section 6.1: p=6, b=3000,
+// k=8, Ff=130 MHz, Bn=2 GB/s, Bd=1.04 GB/s, 8 MB of SRAM.
+func xd1LU() LUParams {
+	return LUParams{
+		P: 6, B: 3000, K: 8,
+		Ff:         130e6,
+		StripeRate: 2.95e9,
+		LURate:     2.0 / 3.0 * 3000 * 3000 * 3000 / 4.9,
+		TrsmRate:   3000 * 3000 * 3000 / 7.1,
+		Bd:         1.04e9, Bn: 2e9, Bw: 8,
+		SRAMBytes: 8 << 20,
+	}
+}
+
+// xd1FW returns the FW model parameters of Section 6.1: b=256, k=8,
+// Ff=120 MHz, Bd=960 MB/s, 190 MFLOPS scalar kernel.
+func xd1FW() FWParams {
+	return FWParams{
+		P: 6, B: 256, K: 8,
+		Ff:     120e6,
+		FWRate: 190e6,
+		Bd:     960e6, Bn: 2e9, Bw: 8,
+		SRAMBytes: 8 << 20,
+	}
+}
+
+func TestLUPartitionMatchesPaper(t *testing.T) {
+	// Section 6.1: "According to Equation 4, bp = 1720 and bf = 1280."
+	bf, bp := xd1LU().SolvePartition()
+	if bf != 1280 || bp != 1720 {
+		t.Fatalf("SolvePartition = bf %d, bp %d; paper says 1280/1720", bf, bp)
+	}
+}
+
+func TestLUPartitionIsMultipleOfK(t *testing.T) {
+	lp := xd1LU()
+	for _, b := range []int{1200, 2400, 3000, 4800} {
+		lp.B = b
+		bf, bp := lp.SolvePartition()
+		if bf%lp.K != 0 {
+			t.Fatalf("b=%d: bf=%d not a multiple of k", b, bf)
+		}
+		if bf+bp != b {
+			t.Fatalf("b=%d: bf+bp=%d", b, bf+bp)
+		}
+	}
+}
+
+func TestLUPartitionRespectsSRAM(t *testing.T) {
+	lp := xd1LU()
+	lp.SRAMBytes = 1 << 20 // 1 MB only
+	bf, _ := lp.SolvePartition()
+	maxWords := float64(lp.SRAMBytes) / lp.Bw
+	if float64(bf)*float64(lp.B)/float64(lp.P-1) > maxWords {
+		t.Fatalf("bf=%d violates SRAM capacity", bf)
+	}
+}
+
+func TestLUPartitionEquationBalance(t *testing.T) {
+	// At the continuous solution, Tf ≈ Tcomm + Tmem + Tp (Equation 4).
+	lp := xd1LU()
+	bf, _ := lp.SolvePartition()
+	tf, tp, tmem, tcomm := lp.StripeTimes(bf)
+	lhs, rhs := tf, tcomm+tmem+tp
+	if math.Abs(lhs-rhs)/rhs > 0.05 { // rounding bf to a multiple of k
+		t.Fatalf("Eq4 imbalance: Tf=%g vs %g", lhs, rhs)
+	}
+}
+
+func TestLUSolveLMatchesPaper(t *testing.T) {
+	// Section 6.1: "According to Equation 5, we set l = 3."
+	lp := xd1LU()
+	if l := lp.SolveL(1280); l != 3 {
+		t.Fatalf("SolveL = %d, paper says 3", l)
+	}
+}
+
+func TestLUPanelTimesMatchTable1(t *testing.T) {
+	tlu, ttrsm := xd1LU().PanelTimes()
+	if math.Abs(tlu-4.9) > 1e-9 || math.Abs(ttrsm-7.1) > 1e-9 {
+		t.Fatalf("panel times %g, %g; Table 1 says 4.9, 7.1", tlu, ttrsm)
+	}
+}
+
+func TestLUPredictionNearPaper(t *testing.T) {
+	// The paper's hybrid measures 20 GFLOPS at ~86% of prediction, so
+	// the predicted value should be ~23 GFLOPS.
+	lp := xd1LU()
+	pred := lp.PredictLU(30000, 1280)
+	if pred.GFLOPS < 21 || pred.GFLOPS > 27 {
+		t.Fatalf("predicted LU GFLOPS = %.2f, want ~23", pred.GFLOPS)
+	}
+	if pred.Seconds != math.Max(pred.Ttp, pred.Ttf) {
+		t.Fatal("prediction must be max(Ttp, Ttf)")
+	}
+}
+
+func TestFWSplitMatchesPaperAt18432(t *testing.T) {
+	// Section 6.1: n=18432 gives l1+l2 = 12 with l1=2, l2=10.
+	fw := xd1FW()
+	l1, l2 := fw.SolveSplit(18432)
+	if l1 != 2 || l2 != 10 {
+		t.Fatalf("SolveSplit(18432) = %d, %d; paper says 2, 10", l1, l2)
+	}
+}
+
+func TestFWSplitRatioOneToFive(t *testing.T) {
+	// Section 6.1: l1/l2 = 1/5.
+	fw := xd1FW()
+	l1, l2 := fw.SolveSplit(92160)
+	ratio := float64(l1) / float64(l2)
+	if math.Abs(ratio-0.2) > 0.04 {
+		t.Fatalf("l1/l2 = %d/%d = %.3f, want ~0.2", l1, l2, ratio)
+	}
+}
+
+func TestFWOpsPerPhase(t *testing.T) {
+	fw := xd1FW()
+	if got := fw.OpsPerPhase(18432); got != 12 {
+		t.Fatalf("OpsPerPhase(18432) = %d, want 12", got)
+	}
+	if got := fw.OpsPerPhase(92160); got != 60 {
+		t.Fatalf("OpsPerPhase(92160) = %d, want 60", got)
+	}
+}
+
+func TestFWBlockTimes(t *testing.T) {
+	tp, tf, tmem, tcomm := xd1FW().BlockTimes()
+	// Tp = 2·256³/190e6 ≈ 0.1766 s, Tf = 2·256³/(8·120e6) ≈ 0.0350 s.
+	if math.Abs(tp-0.17660) > 1e-3 {
+		t.Fatalf("Tp = %g", tp)
+	}
+	if math.Abs(tf-0.034952) > 1e-4 {
+		t.Fatalf("Tf = %g", tf)
+	}
+	if tmem <= 0 || tcomm <= 0 || tmem > tf || tcomm > tf {
+		t.Fatalf("transfer times out of range: tmem=%g tcomm=%g", tmem, tcomm)
+	}
+}
+
+func TestFWPredictionNearPaper(t *testing.T) {
+	// The paper's 6.6 GFLOPS is ~96% of prediction: predicted ~6.9.
+	fw := xd1FW()
+	l1, l2 := fw.SolveSplit(92160)
+	pred := fw.PredictFW(92160, l1, l2)
+	if pred.GFLOPS < 6.2 || pred.GFLOPS > 7.6 {
+		t.Fatalf("predicted FW GFLOPS = %.2f, want ~6.9", pred.GFLOPS)
+	}
+}
+
+func TestFWValidateSRAM(t *testing.T) {
+	fw := xd1FW()
+	fw.B = 1024 // needs 2·1024²·8 = 16 MB > 8 MB
+	if err := fw.Validate(); err == nil {
+		t.Fatal("oversized block accepted")
+	}
+}
+
+func TestSplitEquation1(t *testing.T) {
+	// With no transfer volume, the split is proportional to power.
+	p := Params{P: 1, Of: 16, Ff: 125e6, OpFp: 2e9, Bd: 1e9, Bn: 1e9, Bw: 8}
+	np, nf := p.Split(4e9, 0)
+	// FPGA power 2e9 = CPU power: an even split.
+	if math.Abs(np-nf) > 1e-3*nf {
+		t.Fatalf("equal powers should split evenly: np=%g nf=%g", np, nf)
+	}
+	// With transfer overhead the CPU share shrinks.
+	np2, _ := p.Split(4e9, 1<<30)
+	if np2 >= np {
+		t.Fatalf("transfer overhead must shift work to the FPGA: %g -> %g", np, np2)
+	}
+}
+
+func TestSplitCommTimesBalance(t *testing.T) {
+	p := Params{P: 4, Of: 16, Ff: 130e6, OpFp: 3.9e9, Bd: 1.04e9, Bn: 2e9, Bw: 8}
+	n, df, dp := 1e10, 5e8, 2e8
+	np, nf := p.SplitComm(n, df, dp)
+	tp := np/p.OpFp + df/p.Bd + dp/p.Bn
+	tf := nf / p.FPGAPower()
+	if math.Abs(tp-tf)/tf > 1e-9 {
+		t.Fatalf("Eq2 imbalance: Tp side %g vs Tf %g", tp, tf)
+	}
+}
+
+func TestSplitClamps(t *testing.T) {
+	p := Params{P: 1, Of: 16, Ff: 130e6, OpFp: 3.9e9, Bd: 1, Bn: 1, Bw: 8}
+	// Overhead dwarfs the work: everything lands on the FPGA.
+	np, nf := p.Split(10, 1e12)
+	if np != 0 || nf != 10 {
+		t.Fatalf("clamp failed: np=%g nf=%g", np, nf)
+	}
+}
+
+func TestQuickSplitConservesWork(t *testing.T) {
+	p := Params{P: 4, Of: 16, Ff: 130e6, OpFp: 3.9e9, Bd: 1.04e9, Bn: 2e9, Bw: 8}
+	f := func(nRaw, dfRaw uint32) bool {
+		n := float64(nRaw)
+		df := float64(dfRaw % 1e6)
+		np, nf := p.Split(n, df)
+		return np >= 0 && nf >= 0 && math.Abs(np+nf-n) < 1e-6*(1+n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBalanceWholeTasks(t *testing.T) {
+	// Equal per-task cost: an even split.
+	l1, l2 := BalanceWholeTasks(10, 1, 1, 0)
+	if l1 != 5 || l2 != 5 {
+		t.Fatalf("even split = %d,%d", l1, l2)
+	}
+	// FPGA 4x faster: it gets ~4/5 of tasks.
+	l1, l2 = BalanceWholeTasks(10, 1, 0.25, 0)
+	if l2 < 7 || l1+l2 != 10 {
+		t.Fatalf("fast FPGA split = %d,%d", l1, l2)
+	}
+	// Degenerate cases.
+	if l1, l2 = BalanceWholeTasks(0, 1, 1, 0); l1 != 0 || l2 != 0 {
+		t.Fatal("zero tasks")
+	}
+	if l1, l2 = BalanceWholeTasks(5, 1, 0, 0); l2 != 5 {
+		t.Fatal("free FPGA should take all")
+	}
+	if l1, l2 = BalanceWholeTasks(5, 0, 1, 0); l1 != 5 {
+		t.Fatal("free CPU should take all")
+	}
+}
+
+func TestLUCoordinationFrequency(t *testing.T) {
+	// Section 5.1.3: 2(p-1)Ff/(bf·b) per second — a few hundred Hz on
+	// XD1, negligible against task latency as the paper argues.
+	hz := xd1LU().CoordinationHz(1280)
+	if hz < 100 || hz > 1000 {
+		t.Fatalf("coordination frequency %g Hz out of plausible range", hz)
+	}
+}
+
+func TestFWCoordinationFrequency(t *testing.T) {
+	hz := xd1FW().CoordinationHz(10)
+	if hz <= 0 || hz > 100 {
+		t.Fatalf("coordination frequency %g Hz out of plausible range", hz)
+	}
+}
+
+func TestValidators(t *testing.T) {
+	if err := xd1LU().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := xd1FW().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := xd1LU()
+	bad.B = 3001 // not a multiple of k
+	if err := bad.Validate(); err == nil {
+		t.Fatal("non-multiple block accepted")
+	}
+	badP := Params{}
+	if err := badP.Validate(); err == nil {
+		t.Fatal("zero Params accepted")
+	}
+	good := Params{P: 2, Of: 2, Ff: 1e8, OpFp: 1e9, Bd: 1e9, Bn: 1e9, Bw: 8}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictionStructConsistency(t *testing.T) {
+	pr := predict(2, 3, 12e9)
+	if pr.Seconds != 3 || math.Abs(pr.GFLOPS-4) > 1e-12 {
+		t.Fatalf("predict = %+v", pr)
+	}
+}
+
+func TestBruteForceAgreesWithSolver(t *testing.T) {
+	// The closed-form Eq. (4) solution must match an exhaustive scan of
+	// the per-stripe makespan (up to one K step of rounding), on the
+	// XD1 and on perturbed machines.
+	base := xd1LU()
+	variants := []LUParams{base}
+	v := base
+	v.Bn *= 4
+	variants = append(variants, v)
+	v = base
+	v.StripeRate /= 2
+	variants = append(variants, v)
+	v = base
+	v.Ff *= 1.5
+	variants = append(variants, v)
+	for i, lp := range variants {
+		lp.SRAMBytes = 0 // compare the unclamped optimum
+		solved, _ := lp.SolvePartition()
+		brute := lp.BruteForcePartition()
+		if d := solved - brute; d < -lp.K || d > lp.K {
+			t.Fatalf("variant %d: solver bf=%d vs brute force %d", i, solved, brute)
+		}
+	}
+}
+
+func TestStripeMakespanConvex(t *testing.T) {
+	// The makespan must be decreasing below the optimum and increasing
+	// above it (the U shape of Figure 5).
+	lp := xd1LU()
+	lp.SRAMBytes = 0
+	opt := lp.BruteForcePartition()
+	for bf := lp.K; bf <= opt; bf += lp.K {
+		if lp.StripeMakespan(bf) > lp.StripeMakespan(bf-lp.K)+1e-15 {
+			t.Fatalf("makespan not decreasing at bf=%d", bf)
+		}
+	}
+	for bf := opt + lp.K; bf <= lp.B; bf += lp.K {
+		if lp.StripeMakespan(bf) < lp.StripeMakespan(bf-lp.K)-1e-15 {
+			t.Fatalf("makespan not increasing at bf=%d", bf)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package mpi provides a rank-based message-passing layer over the
+// simulated interconnect, mirroring the subset of MPI the paper's C
+// program uses: blocking point-to-point sends and receives plus the
+// collectives built from them (broadcast, barrier, gather, reduce).
+//
+// Semantics follow Section 4.3 of the paper: communication is performed
+// by the node's processor, so a process that sends or receives is busy
+// for the whole transfer and cannot compute — while the FPGA, which is
+// not attached to the network, keeps running.
+package mpi
+
+import (
+	"fmt"
+
+	"codesign/internal/fabric"
+	"codesign/internal/sim"
+)
+
+// Message is a delivered payload with its envelope.
+type Message struct {
+	Src     int
+	Tag     int
+	Bytes   int
+	Payload any
+}
+
+type boxKey struct {
+	dst, src, tag int
+}
+
+// World is a communicator spanning all fabric endpoints.
+type World struct {
+	eng   *sim.Engine
+	fab   *fabric.Fabric
+	boxes map[boxKey]*sim.Mailbox
+}
+
+// NewWorld creates a communicator over fab.
+func NewWorld(e *sim.Engine, fab *fabric.Fabric) *World {
+	return &World{eng: e, fab: fab, boxes: make(map[boxKey]*sim.Mailbox)}
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.fab.Nodes() }
+
+func (w *World) box(dst, src, tag int) *sim.Mailbox {
+	k := boxKey{dst, src, tag}
+	mb, ok := w.boxes[k]
+	if !ok {
+		mb = sim.NewMailbox(w.eng, fmt.Sprintf("mpi %d<-%d tag%d", dst, src, tag))
+		w.boxes[k] = mb
+	}
+	return mb
+}
+
+// Rank binds a process to an MPI rank.
+type Rank struct {
+	world *World
+	id    int
+	proc  *sim.Proc
+}
+
+// Attach binds process p to rank id. Each rank should be attached to
+// exactly one long-lived process (the node's CPU program).
+func (w *World) Attach(p *sim.Proc, id int) *Rank {
+	if id < 0 || id >= w.Size() {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", id, w.Size()))
+	}
+	return &Rank{world: w, id: id, proc: p}
+}
+
+// ID returns the rank number.
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the communicator size.
+func (r *Rank) Size() int { return r.world.Size() }
+
+// Send transmits payload to rank dst with the given tag, charging the
+// caller bytes/Bn plus launch latency of wire time (the processor is
+// busy for the duration — it cannot overlap computation).
+func (r *Rank) Send(dst, tag, bytes int, payload any) {
+	w := r.world
+	w.fab.Transfer(r.proc, r.id, dst, bytes)
+	w.box(dst, r.id, tag).Put(Message{Src: r.id, Tag: tag, Bytes: bytes, Payload: payload})
+}
+
+// Recv blocks until a message with the given source and tag arrives and
+// returns it. Messages from one (src, tag) stream arrive in send order.
+func (r *Rank) Recv(src, tag int) Message {
+	mb := r.world.box(r.id, src, tag)
+	return mb.Get(r.proc).(Message)
+}
+
+// Sendrecv sends to dst and then receives from src, both with tag.
+// (A true MPI_Sendrecv would run both directions concurrently; the
+// paper's program only exchanges with distinct partners, where the
+// sequential form is equivalent.)
+func (r *Rank) Sendrecv(dst, tag, bytes int, payload any, src int) Message {
+	r.Send(dst, tag, bytes, payload)
+	return r.Recv(src, tag)
+}
+
+// Bcast broadcasts payload of the given size from root: the root sends
+// to every other rank one after another (linear broadcast — what a
+// single-threaded MPI program on the node processor does), and the
+// others receive. It returns the payload on every rank.
+func (r *Rank) Bcast(root, tag, bytes int, payload any) any {
+	if r.id == root {
+		for dst := 0; dst < r.Size(); dst++ {
+			if dst != root {
+				r.Send(dst, tag, bytes, payload)
+			}
+		}
+		return payload
+	}
+	return r.Recv(root, tag).Payload
+}
+
+// BcastTree is a binomial-tree broadcast: O(log p) rounds of
+// point-to-point messages. Used by the ablation benchmarks to quantify
+// what the linear broadcast costs the LU design.
+func (r *Rank) BcastTree(root, tag, bytes int, payload any) any {
+	p := r.Size()
+	// Re-index so the root is virtual rank 0.
+	vr := (r.id - root + p) % p
+	if vr != 0 {
+		// Parent: clear the highest set bit.
+		hb := 1
+		for hb<<1 <= vr {
+			hb <<= 1
+		}
+		parent := ((vr ^ hb) + root) % p
+		payload = r.Recv(parent, tag).Payload
+	}
+	// Children: set each bit above the current highest set bit.
+	start := 1
+	for start <= vr {
+		start <<= 1
+	}
+	for bit := start; vr|bit < p; bit <<= 1 {
+		r.Send(((vr|bit)+root)%p, tag, bytes, payload)
+	}
+	return payload
+}
+
+// Barrier blocks until every rank has entered it, using a gather to
+// rank 0 followed by a broadcast of zero-byte control messages.
+func (r *Rank) Barrier(tag int) {
+	const ctrlBytes = 0
+	if r.id == 0 {
+		for src := 1; src < r.Size(); src++ {
+			r.Recv(src, tag)
+		}
+		for dst := 1; dst < r.Size(); dst++ {
+			r.Send(dst, tag, ctrlBytes, nil)
+		}
+		return
+	}
+	r.Send(0, tag, ctrlBytes, nil)
+	r.Recv(0, tag)
+}
+
+// Gather collects each rank's payload at root; on root it returns a
+// slice indexed by rank (root's own contribution included), elsewhere
+// nil.
+func (r *Rank) Gather(root, tag, bytes int, payload any) []any {
+	if r.id != root {
+		r.Send(root, tag, bytes, payload)
+		return nil
+	}
+	out := make([]any, r.Size())
+	out[root] = payload
+	for src := 0; src < r.Size(); src++ {
+		if src == root {
+			continue
+		}
+		m := r.Recv(src, tag)
+		out[src] = m.Payload
+	}
+	return out
+}
+
+// Reduce combines every rank's float64 contribution at root with op
+// ("sum", "max", "min"); it returns the result on root and 0 elsewhere.
+func (r *Rank) Reduce(root, tag int, value float64, op string) float64 {
+	const scalarBytes = 8
+	if r.id != root {
+		r.Send(root, tag, scalarBytes, value)
+		return 0
+	}
+	acc := value
+	for src := 0; src < r.Size(); src++ {
+		if src == root {
+			continue
+		}
+		v := r.Recv(src, tag).Payload.(float64)
+		switch op {
+		case "sum":
+			acc += v
+		case "max":
+			if v > acc {
+				acc = v
+			}
+		case "min":
+			if v < acc {
+				acc = v
+			}
+		default:
+			panic(fmt.Sprintf("mpi: unknown reduce op %q", op))
+		}
+	}
+	return acc
+}
+
+// Allreduce is Reduce to rank 0 followed by a broadcast of the result.
+func (r *Rank) Allreduce(tag int, value float64, op string) float64 {
+	red := r.Reduce(0, tag, value, op)
+	out := r.Bcast(0, tag, 8, red)
+	return out.(float64)
+}

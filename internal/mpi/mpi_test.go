@@ -1,0 +1,288 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"codesign/internal/fabric"
+	"codesign/internal/sim"
+)
+
+// worldOf builds an engine + fabric + world with p nodes at bandwidth bw.
+func worldOf(t *testing.T, p int, bw float64) (*sim.Engine, *World) {
+	t.Helper()
+	e := sim.New()
+	f, err := fabric.New(e, fabric.Config{Nodes: p, LinkBandwidth: bw, LinksPerNode: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, NewWorld(e, f)
+}
+
+// spawnRanks runs body on every rank as its node process.
+func spawnRanks(e *sim.Engine, w *World, body func(r *Rank, p *sim.Proc)) {
+	for i := 0; i < w.Size(); i++ {
+		i := i
+		e.Go(fmt.Sprintf("rank%d", i), func(p *sim.Proc) {
+			body(w.Attach(p, i), p)
+		})
+	}
+}
+
+func TestSendRecvDeliversPayload(t *testing.T) {
+	e, w := worldOf(t, 2, 100)
+	var got Message
+	spawnRanks(e, w, func(r *Rank, p *sim.Proc) {
+		if r.ID() == 0 {
+			r.Send(1, 7, 200, "hello")
+		} else {
+			got = r.Recv(0, 7)
+		}
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got.Payload != "hello" || got.Src != 0 || got.Tag != 7 || got.Bytes != 200 {
+		t.Fatalf("got %+v", got)
+	}
+	if e.Now() != 2 { // 200 bytes / 100 B/s
+		t.Fatalf("clock %v, want 2", e.Now())
+	}
+}
+
+func TestMessageOrderPreserved(t *testing.T) {
+	e, w := worldOf(t, 2, 1000)
+	var got []any
+	spawnRanks(e, w, func(r *Rank, p *sim.Proc) {
+		if r.ID() == 0 {
+			for i := 0; i < 5; i++ {
+				r.Send(1, 0, 10, i)
+			}
+		} else {
+			for i := 0; i < 5; i++ {
+				got = append(got, r.Recv(0, 0).Payload)
+			}
+		}
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("order %v", got)
+		}
+	}
+}
+
+func TestTagsSeparateStreams(t *testing.T) {
+	e, w := worldOf(t, 2, 1000)
+	var a, b any
+	spawnRanks(e, w, func(r *Rank, p *sim.Proc) {
+		if r.ID() == 0 {
+			r.Send(1, 1, 8, "tag1")
+			r.Send(1, 2, 8, "tag2")
+		} else {
+			// Receive out of send order by tag.
+			b = r.Recv(0, 2).Payload
+			a = r.Recv(0, 1).Payload
+		}
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if a != "tag1" || b != "tag2" {
+		t.Fatalf("a=%v b=%v", a, b)
+	}
+}
+
+func TestBcastLinearCost(t *testing.T) {
+	const p = 4
+	e, w := worldOf(t, p, 100)
+	finish := make([]float64, p)
+	spawnRanks(e, w, func(r *Rank, pr *sim.Proc) {
+		v := r.Bcast(0, 0, 100, "blob")
+		if v != "blob" {
+			t.Errorf("rank %d got %v", r.ID(), v)
+		}
+		finish[r.ID()] = pr.Now()
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	// Linear broadcast: root sends 3 sequential 1s messages.
+	if math.Abs(finish[0]-3) > 1e-12 {
+		t.Fatalf("root finished at %v, want 3", finish[0])
+	}
+	if finish[1] != 1 || finish[2] != 2 || finish[3] != 3 {
+		t.Fatalf("receivers finished at %v", finish[1:])
+	}
+}
+
+func TestBcastTreeFasterThanLinear(t *testing.T) {
+	const p = 8
+	for _, root := range []int{0, 3} {
+		e, w := worldOf(t, p, 100)
+		var maxFinish float64
+		spawnRanks(e, w, func(r *Rank, pr *sim.Proc) {
+			v := r.BcastTree(root, 0, 100, "blob")
+			if v != "blob" {
+				t.Errorf("rank %d got %v", r.ID(), v)
+			}
+			if pr.Now() > maxFinish {
+				maxFinish = pr.Now()
+			}
+		})
+		if err := e.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		// Binomial tree over 8 ranks completes in 3 rounds of 1 s each
+		// (plus pipelining effects); it must beat the 7 s linear cost.
+		if maxFinish > 5 {
+			t.Fatalf("root=%d tree bcast finished at %v, want < 5", root, maxFinish)
+		}
+	}
+}
+
+func TestBcastTreeNonPowerOfTwo(t *testing.T) {
+	const p = 6
+	e, w := worldOf(t, p, 1e6)
+	got := make([]any, p)
+	spawnRanks(e, w, func(r *Rank, pr *sim.Proc) {
+		got[r.ID()] = r.BcastTree(2, 0, 64, "payload")
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != "payload" {
+			t.Fatalf("rank %d got %v", i, v)
+		}
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	const p = 4
+	e, w := worldOf(t, p, 1e9)
+	after := make([]float64, p)
+	spawnRanks(e, w, func(r *Rank, pr *sim.Proc) {
+		pr.Wait(float64(r.ID())) // stagger arrivals 0..3
+		r.Barrier(99)
+		after[r.ID()] = pr.Now()
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range after {
+		if v < 3 {
+			t.Fatalf("rank %d left barrier at %v before last arrival", i, v)
+		}
+	}
+}
+
+func TestGather(t *testing.T) {
+	const p = 4
+	e, w := worldOf(t, p, 1e9)
+	var collected []any
+	spawnRanks(e, w, func(r *Rank, pr *sim.Proc) {
+		res := r.Gather(0, 5, 8, r.ID()*10)
+		if r.ID() == 0 {
+			collected = res
+		} else if res != nil {
+			t.Errorf("non-root rank %d got %v", r.ID(), res)
+		}
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range collected {
+		if v != i*10 {
+			t.Fatalf("gathered %v", collected)
+		}
+	}
+}
+
+func TestReduceOps(t *testing.T) {
+	for _, tc := range []struct {
+		op   string
+		want float64
+	}{{"sum", 0 + 1 + 2 + 3}, {"max", 3}, {"min", 0}} {
+		e, w := worldOf(t, 4, 1e9)
+		var got float64
+		spawnRanks(e, w, func(r *Rank, pr *sim.Proc) {
+			v := r.Reduce(0, 1, float64(r.ID()), tc.op)
+			if r.ID() == 0 {
+				got = v
+			}
+		})
+		if err := e.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Fatalf("reduce %s = %v, want %v", tc.op, got, tc.want)
+		}
+	}
+}
+
+func TestAllreduce(t *testing.T) {
+	const p = 5
+	e, w := worldOf(t, p, 1e9)
+	got := make([]float64, p)
+	spawnRanks(e, w, func(r *Rank, pr *sim.Proc) {
+		got[r.ID()] = r.Allreduce(1, float64(r.ID()+1), "sum")
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != 15 {
+			t.Fatalf("rank %d allreduce = %v, want 15", i, v)
+		}
+	}
+}
+
+func TestMissingRecvDeadlocks(t *testing.T) {
+	e, w := worldOf(t, 2, 1e9)
+	spawnRanks(e, w, func(r *Rank, pr *sim.Proc) {
+		if r.ID() == 1 {
+			r.Recv(0, 0) // never sent
+		}
+	})
+	if err := e.Run(0); err == nil {
+		t.Fatal("expected deadlock error")
+	}
+}
+
+func TestSendrecvExchange(t *testing.T) {
+	e, w := worldOf(t, 2, 1e9)
+	var got [2]any
+	spawnRanks(e, w, func(r *Rank, pr *sim.Proc) {
+		other := 1 - r.ID()
+		// Rank 0 sends first and then receives; rank 1 receives first.
+		if r.ID() == 0 {
+			m := r.Sendrecv(other, 3, 8, "from0", other)
+			got[0] = m.Payload
+		} else {
+			m := r.Recv(other, 3)
+			r.Send(other, 3, 8, "from1")
+			got[1] = m.Payload
+		}
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != "from1" || got[1] != "from0" {
+		t.Fatalf("exchange got %v", got)
+	}
+}
+
+func TestAttachBadRankPanics(t *testing.T) {
+	e, w := worldOf(t, 2, 1e9)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	_ = e
+	w.Attach(nil, 9)
+}

@@ -1,0 +1,144 @@
+package mpi
+
+import (
+	"fmt"
+
+	"codesign/internal/sim"
+)
+
+// Nonblocking point-to-point operations. On the paper's systems only
+// the processor drives the NIC, so a nonblocking send still consumes
+// wire time — but it is charged to a background engine process instead
+// of the caller, letting the processor compute while the transfer is in
+// flight (the overlap the LU design's interruptible-routine ablation
+// studies).
+
+// Request is a handle for an in-flight nonblocking operation.
+type Request struct {
+	done *sim.Signal
+	msg  *Message // set on completion of an Irecv
+}
+
+// Wait blocks p until the operation completes and returns the received
+// message for an Irecv (zero Message for an Isend).
+func (rq *Request) Wait(p *sim.Proc) Message {
+	rq.done.Wait(p)
+	if rq.msg != nil {
+		return *rq.msg
+	}
+	return Message{}
+}
+
+// Test reports whether the operation has completed without blocking.
+func (rq *Request) Test() bool { return rq.done.Fired() }
+
+// Isend starts a nonblocking send: the wire time is charged to a
+// background process and the returned request fires when the message
+// has been delivered to the destination queue.
+func (r *Rank) Isend(dst, tag, bytes int, payload any) *Request {
+	w := r.world
+	done := sim.NewSignal(w.eng, fmt.Sprintf("isend %d->%d tag%d", r.id, dst, tag))
+	src := r.id
+	w.eng.Go(fmt.Sprintf("mpi.isend.%d.%d.%d", src, dst, tag), func(sp *sim.Proc) {
+		w.fab.Transfer(sp, src, dst, bytes)
+		w.box(dst, src, tag).Put(Message{Src: src, Tag: tag, Bytes: bytes, Payload: payload})
+		done.Fire()
+	})
+	return &Request{done: done}
+}
+
+// Irecv starts a nonblocking receive for a message from src with tag.
+func (r *Rank) Irecv(src, tag int) *Request {
+	w := r.world
+	done := sim.NewSignal(w.eng, fmt.Sprintf("irecv %d<-%d tag%d", r.id, src, tag))
+	rq := &Request{done: done}
+	me := r.id
+	w.eng.Go(fmt.Sprintf("mpi.irecv.%d.%d.%d", me, src, tag), func(sp *sim.Proc) {
+		m := w.box(me, src, tag).Get(sp).(Message)
+		rq.msg = &m
+		done.Fire()
+	})
+	return rq
+}
+
+// WaitAll blocks p until every request completes.
+func WaitAll(p *sim.Proc, reqs ...*Request) {
+	for _, rq := range reqs {
+		rq.done.Wait(p)
+	}
+}
+
+// Scatter distributes payloads[i] from root to rank i (payloads indexed
+// by rank, each of the given size); it returns this rank's element.
+func (r *Rank) Scatter(root, tag, bytes int, payloads []any) any {
+	if r.id == root {
+		if len(payloads) != r.Size() {
+			panic(fmt.Sprintf("mpi: scatter needs %d payloads, got %d", r.Size(), len(payloads)))
+		}
+		for dst := 0; dst < r.Size(); dst++ {
+			if dst != root {
+				r.Send(dst, tag, bytes, payloads[dst])
+			}
+		}
+		return payloads[root]
+	}
+	return r.Recv(root, tag).Payload
+}
+
+// Allgather collects every rank's payload on every rank (gather to rank
+// 0 followed by a broadcast of the slice).
+func (r *Rank) Allgather(tag, bytes int, payload any) []any {
+	all := r.Gather(0, tag, bytes, payload)
+	out := r.Bcast(0, tag, bytes*r.Size(), all)
+	return out.([]any)
+}
+
+// ExScan returns the exclusive prefix sum of the ranks' float64
+// contributions: rank i receives the sum of values from ranks 0..i-1
+// (0 on rank 0). Implemented as a linear chain.
+func (r *Rank) ExScan(tag int, value float64) float64 {
+	const scalarBytes = 8
+	var acc float64
+	if r.id > 0 {
+		acc = r.Recv(r.id-1, tag).Payload.(float64)
+	}
+	if r.id < r.Size()-1 {
+		r.Send(r.id+1, tag, scalarBytes, acc+value)
+	}
+	return acc
+}
+
+// Alltoall exchanges payloads[j] from every rank i to every rank j and
+// returns the slice indexed by source rank. Ranks send in a rotated
+// order to avoid endpoint hotspots.
+func (r *Rank) Alltoall(tag, bytes int, payloads []any) []any {
+	p := r.Size()
+	if len(payloads) != p {
+		panic(fmt.Sprintf("mpi: alltoall needs %d payloads, got %d", p, len(payloads)))
+	}
+	out := make([]any, p)
+	out[r.id] = payloads[r.id]
+	// Launch all sends nonblocking, then collect.
+	var reqs []*Request
+	for step := 1; step < p; step++ {
+		dst := (r.id + step) % p
+		reqs = append(reqs, r.Isend(dst, tag, bytes, payloads[dst]))
+	}
+	for step := 1; step < p; step++ {
+		src := (r.id - step + p) % p
+		out[src] = r.Recv(src, tag).Payload
+	}
+	// Drain send completions so wire time is fully accounted.
+	for _, rq := range reqs {
+		rq.done.Wait(mustProc(r))
+	}
+	return out
+}
+
+// mustProc returns the rank's bound process.
+func mustProc(r *Rank) *sim.Proc {
+	if r.proc == nil {
+		panic("mpi: rank not attached to a process")
+	}
+	return r.proc
+}

@@ -1,0 +1,201 @@
+package mpi
+
+import (
+	"testing"
+
+	"codesign/internal/sim"
+)
+
+func TestIsendOverlapsCompute(t *testing.T) {
+	e, w := worldOf(t, 2, 100)
+	var computeDone, allDone float64
+	spawnRanks(e, w, func(r *Rank, p *sim.Proc) {
+		if r.ID() == 0 {
+			rq := r.Isend(1, 0, 200, "bulk") // 2 s of wire time
+			p.Wait(1.5)                      // compute concurrently
+			computeDone = p.Now()
+			rq.Wait(p)
+			allDone = p.Now()
+		} else {
+			r.Recv(0, 0)
+		}
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if computeDone != 1.5 {
+		t.Fatalf("compute finished at %v, want 1.5 (overlapped)", computeDone)
+	}
+	if allDone != 2 {
+		t.Fatalf("send completed at %v, want 2", allDone)
+	}
+}
+
+func TestIrecvDeliversPayload(t *testing.T) {
+	e, w := worldOf(t, 2, 1000)
+	var got Message
+	spawnRanks(e, w, func(r *Rank, p *sim.Proc) {
+		if r.ID() == 0 {
+			p.Wait(3)
+			r.Send(1, 5, 100, "late")
+		} else {
+			rq := r.Irecv(0, 5)
+			if rq.Test() {
+				t.Error("Irecv completed before any send")
+			}
+			got = rq.Wait(p)
+		}
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got.Payload != "late" || got.Src != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestRequestTest(t *testing.T) {
+	e, w := worldOf(t, 2, 1e9)
+	spawnRanks(e, w, func(r *Rank, p *sim.Proc) {
+		if r.ID() == 0 {
+			rq := r.Isend(1, 0, 8, 1)
+			p.Wait(1)
+			if !rq.Test() {
+				t.Error("send should have completed after 1s")
+			}
+		} else {
+			r.Recv(0, 0)
+		}
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitAll(t *testing.T) {
+	e, w := worldOf(t, 3, 100)
+	spawnRanks(e, w, func(r *Rank, p *sim.Proc) {
+		switch r.ID() {
+		case 0:
+			r1 := r.Isend(1, 0, 100, "a")
+			r2 := r.Isend(2, 0, 100, "b")
+			WaitAll(p, r1, r2)
+			if p.Now() < 1 {
+				t.Errorf("WaitAll returned at %v before wire time", p.Now())
+			}
+		default:
+			r.Recv(0, 0)
+		}
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatter(t *testing.T) {
+	const p = 4
+	e, w := worldOf(t, p, 1e9)
+	got := make([]any, p)
+	spawnRanks(e, w, func(r *Rank, pr *sim.Proc) {
+		var payloads []any
+		if r.ID() == 2 {
+			payloads = []any{"p0", "p1", "p2", "p3"}
+		}
+		got[r.ID()] = r.Scatter(2, 1, 8, payloads)
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != []any{"p0", "p1", "p2", "p3"}[i] {
+			t.Fatalf("scatter got %v", got)
+		}
+	}
+}
+
+func TestScatterBadLenPanics(t *testing.T) {
+	e, w := worldOf(t, 2, 1e9)
+	spawnRanks(e, w, func(r *Rank, pr *sim.Proc) {
+		if r.ID() == 0 {
+			r.Scatter(0, 1, 8, []any{"only-one"})
+		} else {
+			r.Recv(0, 1)
+		}
+	})
+	if err := e.Run(0); err == nil {
+		t.Fatal("expected panic propagation")
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	const p = 4
+	e, w := worldOf(t, p, 1e9)
+	results := make([][]any, p)
+	spawnRanks(e, w, func(r *Rank, pr *sim.Proc) {
+		results[r.ID()] = r.Allgather(2, 8, r.ID()*100)
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for rank, res := range results {
+		for i, v := range res {
+			if v != i*100 {
+				t.Fatalf("rank %d allgather = %v", rank, res)
+			}
+		}
+	}
+}
+
+func TestExScan(t *testing.T) {
+	const p = 5
+	e, w := worldOf(t, p, 1e9)
+	got := make([]float64, p)
+	spawnRanks(e, w, func(r *Rank, pr *sim.Proc) {
+		got[r.ID()] = r.ExScan(3, float64(r.ID()+1)) // values 1..5
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 1, 3, 6, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("exscan = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	const p = 4
+	e, w := worldOf(t, p, 1e9)
+	results := make([][]any, p)
+	spawnRanks(e, w, func(r *Rank, pr *sim.Proc) {
+		payloads := make([]any, p)
+		for j := 0; j < p; j++ {
+			payloads[j] = r.ID()*10 + j // "from i to j"
+		}
+		results[r.ID()] = r.Alltoall(4, 8, payloads)
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for j, res := range results {
+		for i, v := range res {
+			if v != i*10+j {
+				t.Fatalf("rank %d alltoall[%d] = %v, want %d", j, i, v, i*10+j)
+			}
+		}
+	}
+}
+
+func TestAlltoallBadLenPanics(t *testing.T) {
+	e, w := worldOf(t, 3, 1e9)
+	spawnRanks(e, w, func(r *Rank, pr *sim.Proc) {
+		if r.ID() == 0 {
+			r.Alltoall(4, 8, []any{1})
+			return
+		}
+	})
+	if err := e.Run(0); err == nil {
+		t.Fatal("expected panic propagation")
+	}
+}

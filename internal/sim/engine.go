@@ -1,0 +1,273 @@
+// Package sim is a deterministic process-based discrete-event simulation
+// engine. Simulated entities (a node's processor, its FPGA, a DMA
+// engine, a network link) are processes — goroutines that run one at a
+// time under a scheduler and advance a shared virtual clock by waiting.
+//
+// The engine is the substrate on which the reconfigurable computing
+// system is modeled: it charges virtual time for computation, DRAM
+// transfers and network messages, and serializes contention on shared
+// resources exactly as the co-design model of the paper requires (e.g.
+// a processor that is communicating cannot compute, while an FPGA
+// streaming from DRAM can).
+//
+// Determinism: with the same program, every run produces the identical
+// event order (ties in virtual time break by scheduling sequence
+// number), so simulated latencies are reproducible to the last digit.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Engine owns the virtual clock and the event queue.
+type Engine struct {
+	now     float64
+	seq     int64
+	queue   eventHeap
+	procs   []*Proc
+	blocked map[*Proc]string
+	failure error
+	running bool
+	// Trace, if non-nil, receives one call per interesting engine
+	// action (process resume, wait, block). Useful for debugging and
+	// for the timeline exporter.
+	Trace func(t float64, proc, action string)
+}
+
+// New returns an empty engine with the clock at 0.
+func New() *Engine {
+	return &Engine{blocked: make(map[*Proc]string)}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+type event struct {
+	t   float64
+	seq int64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+func (e *Engine) schedule(t float64, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, event{t: t, seq: e.seq, fn: fn})
+}
+
+// At schedules fn to run at absolute virtual time t (or now, if t is in
+// the past). fn runs in scheduler context and must not block.
+func (e *Engine) At(t float64, fn func()) { e.schedule(t, fn) }
+
+// abortError unwinds a process goroutine when the engine shuts down.
+type abortError struct{}
+
+// Proc is a simulated process. All Proc methods must be called from the
+// process's own function body (they yield to the scheduler).
+type Proc struct {
+	eng     *Engine
+	name    string
+	resume  chan bool // true = run, false = abort
+	yield   chan struct{}
+	done    bool
+	aborted bool
+	pv      any // recovered panic value, if any
+}
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the owning engine.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() float64 { return p.eng.now }
+
+// Go spawns a process that starts at the current virtual time. The
+// function fn runs in its own goroutine but only while it holds the
+// scheduler's baton; it advances time via p.Wait and friends.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{eng: e, name: name, resume: make(chan bool), yield: make(chan struct{})}
+	e.procs = append(e.procs, p)
+	go func() {
+		run := <-p.resume
+		defer func() {
+			r := recover()
+			if _, ok := r.(abortError); ok {
+				r = nil
+			}
+			p.pv = r
+			p.done = true
+			p.yield <- struct{}{}
+		}()
+		if run {
+			fn(p)
+		}
+	}()
+	e.schedule(e.now, func() { e.runProc(p) })
+	return p
+}
+
+// GoAt spawns a process that starts at absolute virtual time t.
+func (e *Engine) GoAt(t float64, name string, fn func(p *Proc)) *Proc {
+	p := &Proc{eng: e, name: name, resume: make(chan bool), yield: make(chan struct{})}
+	e.procs = append(e.procs, p)
+	go func() {
+		run := <-p.resume
+		defer func() {
+			r := recover()
+			if _, ok := r.(abortError); ok {
+				r = nil
+			}
+			p.pv = r
+			p.done = true
+			p.yield <- struct{}{}
+		}()
+		if run {
+			fn(p)
+		}
+	}()
+	e.schedule(t, func() { e.runProc(p) })
+	return p
+}
+
+// runProc hands the baton to p and waits for it to yield back.
+func (e *Engine) runProc(p *Proc) {
+	if p.done {
+		return
+	}
+	delete(e.blocked, p)
+	if e.Trace != nil {
+		e.Trace(e.now, p.name, "resume")
+	}
+	p.resume <- true
+	<-p.yield
+	if p.done && p.pv != nil && e.failure == nil {
+		e.failure = fmt.Errorf("sim: process %q panicked: %v", p.name, p.pv)
+	}
+}
+
+// park yields the baton back to the scheduler; the caller must have
+// already arranged for a future resume. reason is recorded for deadlock
+// reports.
+func (p *Proc) park(reason string) {
+	if p.aborted {
+		panic(abortError{})
+	}
+	p.eng.blocked[p] = reason
+	if p.eng.Trace != nil {
+		p.eng.Trace(p.eng.now, p.name, "block: "+reason)
+	}
+	p.yield <- struct{}{}
+	if run := <-p.resume; !run {
+		p.aborted = true
+		panic(abortError{})
+	}
+}
+
+// Wait advances the process's local view of time by dt seconds (dt < 0
+// is treated as 0).
+func (p *Proc) Wait(dt float64) {
+	if dt < 0 {
+		dt = 0
+	}
+	e := p.eng
+	e.schedule(e.now+dt, func() { e.runProc(p) })
+	p.park(fmt.Sprintf("wait %.3gs", dt))
+}
+
+// WaitUntil advances to absolute virtual time t (no-op if t <= now).
+func (p *Proc) WaitUntil(t float64) {
+	e := p.eng
+	e.schedule(t, func() { e.runProc(p) })
+	p.park(fmt.Sprintf("wait until %.3g", t))
+}
+
+// Deadlock describes processes blocked forever at the end of a run.
+type Deadlock struct {
+	Time float64
+	// Stuck maps process names to the reason each was blocked.
+	Stuck map[string]string
+}
+
+func (d *Deadlock) Error() string {
+	names := make([]string, 0, len(d.Stuck))
+	for n := range d.Stuck {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	s := fmt.Sprintf("sim: deadlock at t=%.6g: %d process(es) blocked:", d.Time, len(names))
+	for _, n := range names {
+		s += fmt.Sprintf("\n  %s: %s", n, d.Stuck[n])
+	}
+	return s
+}
+
+// Run drives the simulation until the event queue is empty, a process
+// panics, or (if until > 0) virtual time reaches until. It returns a
+// *Deadlock error if processes remain blocked with no pending events,
+// or the first process panic. Run aborts and unwinds any still-blocked
+// processes before returning, so goroutines do not leak.
+func (e *Engine) Run(until float64) error {
+	if e.running {
+		return fmt.Errorf("sim: Run is not reentrant")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+
+	horizon := false
+	for len(e.queue) > 0 && e.failure == nil {
+		ev := heap.Pop(&e.queue).(event)
+		if until > 0 && ev.t > until {
+			e.now = until
+			horizon = true
+			break
+		}
+		e.now = ev.t
+		ev.fn()
+	}
+
+	var err error
+	if e.failure != nil {
+		err = e.failure
+	} else if !horizon && len(e.blocked) > 0 {
+		d := &Deadlock{Time: e.now, Stuck: make(map[string]string, len(e.blocked))}
+		for p, reason := range e.blocked {
+			d.Stuck[p.name] = reason
+		}
+		err = d
+	}
+	e.abortBlocked()
+	return err
+}
+
+// abortBlocked unwinds every live process — parked or never started —
+// so its goroutine exits.
+func (e *Engine) abortBlocked() {
+	for _, p := range e.procs {
+		if p.done {
+			continue
+		}
+		p.resume <- false
+		<-p.yield
+	}
+	e.blocked = make(map[*Proc]string)
+	// Drain events referencing aborted procs; runProc is a no-op for
+	// done procs so simply clear the queue.
+	e.queue = e.queue[:0]
+}

@@ -1,0 +1,133 @@
+package sim
+
+// Mailbox is an unbounded FIFO message queue between processes in
+// virtual time: Put never blocks, Get blocks the receiver until a
+// message is available. It is the primitive under the MPI layer and the
+// FPGA status registers.
+type Mailbox struct {
+	eng     *Engine
+	name    string
+	queue   []any
+	waiters []*Proc
+}
+
+// NewMailbox creates an empty mailbox.
+func NewMailbox(e *Engine, name string) *Mailbox {
+	return &Mailbox{eng: e, name: name}
+}
+
+// Len returns the number of queued messages.
+func (m *Mailbox) Len() int { return len(m.queue) }
+
+// Put deposits v and wakes one waiting receiver. It may be called from
+// process or scheduler context.
+func (m *Mailbox) Put(v any) {
+	m.queue = append(m.queue, v)
+	if len(m.waiters) > 0 {
+		next := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		e := m.eng
+		e.schedule(e.now, func() { e.runProc(next) })
+	}
+}
+
+// Get removes and returns the oldest message, blocking p until one
+// arrives.
+func (m *Mailbox) Get(p *Proc) any {
+	for len(m.queue) == 0 {
+		m.waiters = append(m.waiters, p)
+		p.park("recv " + m.name)
+	}
+	v := m.queue[0]
+	m.queue = m.queue[1:]
+	return v
+}
+
+// TryGet removes and returns the oldest message without blocking; ok is
+// false if the mailbox is empty.
+func (m *Mailbox) TryGet() (v any, ok bool) {
+	if len(m.queue) == 0 {
+		return nil, false
+	}
+	v = m.queue[0]
+	m.queue = m.queue[1:]
+	return v, true
+}
+
+// Signal is a broadcast condition: processes Wait on it, and Fire
+// releases all current waiters simultaneously (at the current virtual
+// time). It models the FPGA "done" status register the processor polls.
+type Signal struct {
+	eng     *Engine
+	name    string
+	fired   bool
+	waiters []*Proc
+}
+
+// NewSignal creates an unfired signal.
+func NewSignal(e *Engine, name string) *Signal {
+	return &Signal{eng: e, name: name}
+}
+
+// Fired reports whether Fire has been called.
+func (s *Signal) Fired() bool { return s.fired }
+
+// Fire releases all waiters. Subsequent Wait calls return immediately
+// until Reset.
+func (s *Signal) Fire() {
+	s.fired = true
+	e := s.eng
+	for _, p := range s.waiters {
+		w := p
+		e.schedule(e.now, func() { e.runProc(w) })
+	}
+	s.waiters = nil
+}
+
+// Reset re-arms the signal.
+func (s *Signal) Reset() { s.fired = false }
+
+// Wait blocks p until the signal fires (returns immediately if already
+// fired).
+func (s *Signal) Wait(p *Proc) {
+	if s.fired {
+		return
+	}
+	s.waiters = append(s.waiters, p)
+	p.park("signal " + s.name)
+}
+
+// Barrier synchronizes n processes: each calls Arrive, and all resume
+// once the n-th arrives. It resets automatically for reuse.
+type Barrier struct {
+	eng     *Engine
+	name    string
+	n       int
+	arrived int
+	waiters []*Proc
+}
+
+// NewBarrier creates a barrier for n processes.
+func NewBarrier(e *Engine, name string, n int) *Barrier {
+	if n < 1 {
+		panic("sim: barrier size must be >= 1")
+	}
+	return &Barrier{eng: e, name: name, n: n}
+}
+
+// Arrive blocks p until all n participants have arrived.
+func (b *Barrier) Arrive(p *Proc) {
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		e := b.eng
+		for _, w := range b.waiters {
+			w := w
+			e.schedule(e.now, func() { e.runProc(w) })
+		}
+		b.waiters = nil
+		return
+	}
+	b.waiters = append(b.waiters, p)
+	p.park("barrier " + b.name)
+}

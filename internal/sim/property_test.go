@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomProgram spawns a pseudo-random mix of processes that wait,
+// contend for resources, exchange mailbox messages and meet at
+// barriers, then returns a digest of the resulting schedule.
+func randomProgram(seed int64) (finalTime float64, digest string) {
+	rng := rand.New(rand.NewSource(seed))
+	e := New()
+	nProcs := 2 + rng.Intn(5)
+	res := NewResource(e, "shared", 1+rng.Intn(2))
+	mb := NewMailbox(e, "box")
+	bar := NewBarrier(e, "bar", nProcs)
+	var log []string
+
+	// Pre-generate per-process op scripts so goroutine scheduling
+	// cannot influence the virtual program.
+	type op struct {
+		kind int
+		dt   float64
+	}
+	scripts := make([][]op, nProcs)
+	for i := range scripts {
+		n := 1 + rng.Intn(6)
+		for j := 0; j < n; j++ {
+			scripts[i] = append(scripts[i], op{kind: rng.Intn(3), dt: rng.Float64()})
+		}
+	}
+
+	for i := 0; i < nProcs; i++ {
+		i := i
+		e.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+			for _, o := range scripts[i] {
+				switch o.kind {
+				case 0:
+					p.Wait(o.dt)
+				case 1:
+					res.Use(p, o.dt)
+				case 2:
+					mb.Put(i)
+					p.Wait(o.dt / 2)
+				}
+				log = append(log, fmt.Sprintf("%s@%.9f", p.Name(), p.Now()))
+			}
+			bar.Arrive(p)
+		})
+	}
+	if err := e.Run(0); err != nil {
+		return -1, err.Error()
+	}
+	return e.Now(), fmt.Sprint(log)
+}
+
+func TestPropRandomProgramsDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		t1, d1 := randomProgram(seed)
+		t2, d2 := randomProgram(seed)
+		return t1 == t2 && d1 == d2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropResourceNeverOversubscribed(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := New()
+		capN := 1 + rng.Intn(3)
+		r := NewResource(e, "r", capN)
+		ok := true
+		for i := 0; i < 6; i++ {
+			e.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+				for j := 0; j < 3; j++ {
+					r.Acquire(p)
+					if r.InUse() > capN {
+						ok = false
+					}
+					p.Wait(rng.Float64())
+					r.Release()
+				}
+			})
+		}
+		if err := e.Run(0); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropClockMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := New()
+		last := -1.0
+		mono := true
+		for i := 0; i < 4; i++ {
+			e.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+				for j := 0; j < 5; j++ {
+					p.Wait(rng.Float64())
+					if p.Now() < last {
+						mono = false
+					}
+					last = p.Now()
+				}
+			})
+		}
+		if err := e.Run(0); err != nil {
+			return false
+		}
+		return mono
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,172 @@
+// Package trace records simulation activity for inspection: a
+// collector plugs into the engine's trace hook, accumulates per-process
+// event records, and renders them as a text timeline or CSV for offline
+// analysis of the hybrid designs' overlap behaviour.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"codesign/internal/sim"
+)
+
+// Event is one recorded engine action.
+type Event struct {
+	Time   float64
+	Proc   string
+	Action string
+}
+
+// Collector accumulates events from a simulation engine.
+type Collector struct {
+	events []Event
+	// Filter, if non-nil, drops events for which it returns false.
+	Filter func(e Event) bool
+	// Limit caps the number of stored events (0 = unlimited). Once
+	// reached, further events are counted but not stored.
+	Limit   int
+	dropped int64
+}
+
+// Attach registers the collector on the engine's trace hook.
+func (c *Collector) Attach(e *sim.Engine) {
+	e.Trace = c.Record
+}
+
+// Record stores one event, honoring Filter and Limit. It has the same
+// signature as the engine trace hook, so it can be passed directly to
+// config Trace fields.
+func (c *Collector) Record(t float64, proc, action string) {
+	ev := Event{Time: t, Proc: proc, Action: action}
+	if c.Filter != nil && !c.Filter(ev) {
+		return
+	}
+	if c.Limit > 0 && len(c.events) >= c.Limit {
+		c.dropped++
+		return
+	}
+	c.events = append(c.events, ev)
+}
+
+// Events returns the recorded events in order.
+func (c *Collector) Events() []Event {
+	out := make([]Event, len(c.events))
+	copy(out, c.events)
+	return out
+}
+
+// Dropped returns how many events exceeded Limit.
+func (c *Collector) Dropped() int64 { return c.dropped }
+
+// Len returns the stored event count.
+func (c *Collector) Len() int { return len(c.events) }
+
+// WriteCSV renders the events as "time,proc,action" rows.
+func (c *Collector) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "time_s,process,action"); err != nil {
+		return err
+	}
+	for _, e := range c.events {
+		action := strings.ReplaceAll(e.Action, ",", ";")
+		if _, err := fmt.Fprintf(w, "%.9f,%s,%s\n", e.Time, e.Proc, action); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Span is a contiguous busy interval of one process.
+type Span struct {
+	Proc       string
+	Start, End float64
+}
+
+// Spans derives busy intervals per process. Computation is modeled as
+// timed waits in the engine, so a "block: wait" opens a busy span that
+// the process's next "resume" closes; blocking on resources, mailboxes
+// or signals is idle time and produces no span.
+func (c *Collector) Spans() []Span {
+	open := map[string]float64{}
+	var spans []Span
+	for _, e := range c.events {
+		switch {
+		case strings.HasPrefix(e.Action, "block: wait"):
+			open[e.Proc] = e.Time
+		case e.Action == "resume":
+			if s, ok := open[e.Proc]; ok {
+				if e.Time > s {
+					spans = append(spans, Span{Proc: e.Proc, Start: s, End: e.Time})
+				}
+				delete(open, e.Proc)
+			}
+		case strings.HasPrefix(e.Action, "block"):
+			delete(open, e.Proc)
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].Proc < spans[j].Proc
+	})
+	return spans
+}
+
+// WriteTimeline renders a coarse text Gantt chart: one row per process,
+// width columns across [0, horizon] (horizon 0 = max event time).
+func (c *Collector) WriteTimeline(w io.Writer, width int, horizon float64) error {
+	if width <= 0 {
+		width = 80
+	}
+	spans := c.Spans()
+	if horizon <= 0 {
+		for _, s := range spans {
+			if s.End > horizon {
+				horizon = s.End
+			}
+		}
+	}
+	if horizon <= 0 {
+		_, err := fmt.Fprintln(w, "(no activity)")
+		return err
+	}
+	byProc := map[string][]Span{}
+	var procs []string
+	for _, s := range spans {
+		if _, ok := byProc[s.Proc]; !ok {
+			procs = append(procs, s.Proc)
+		}
+		byProc[s.Proc] = append(byProc[s.Proc], s)
+	}
+	sort.Strings(procs)
+	nameW := 0
+	for _, p := range procs {
+		if len(p) > nameW {
+			nameW = len(p)
+		}
+	}
+	for _, p := range procs {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, s := range byProc[p] {
+			lo := int(s.Start / horizon * float64(width))
+			hi := int(s.End / horizon * float64(width))
+			if hi >= width {
+				hi = width - 1
+			}
+			for i := lo; i <= hi && i < width; i++ {
+				row[i] = '#'
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%-*s |%s|\n", nameW, p, row); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%-*s  0%*s%.4gs\n", nameW, "", width-1, "", horizon)
+	return err
+}
