@@ -17,6 +17,7 @@ import (
 
 	"codesign/internal/core"
 	"codesign/internal/machine"
+	"codesign/internal/sim"
 	"codesign/internal/trace"
 )
 
@@ -34,10 +35,12 @@ func main() {
 		functional = flag.Bool("functional", false, "carry real matrices and verify the result")
 		seed       = flag.Int64("seed", 1, "functional input seed")
 		timeline   = flag.Bool("timeline", false, "print a per-process activity timeline (small runs only)")
+		metrics    = flag.Bool("metrics", false, "print per-run utilization and the Tp/Tf/Tmem/Tcomm overlap report")
+		traceOut   = flag.String("trace-out", "", "write a Chrome/Perfetto trace_event JSON file of the run")
 	)
 	flag.Parse()
 
-	if err := run(*app, *mc, *n, *b, *pes, *mode, *bf, *l, *l1, *functional, *seed, *timeline); err != nil {
+	if err := run(*app, *mc, *n, *b, *pes, *mode, *bf, *l, *l1, *functional, *seed, *timeline, *metrics, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "hybridsim:", err)
 		os.Exit(1)
 	}
@@ -71,7 +74,7 @@ func modeByName(name string) (core.Mode, error) {
 	}
 }
 
-func run(app, mcName string, n, b, pes int, modeName string, bf, l, l1 int, functional bool, seed int64, timeline bool) error {
+func run(app, mcName string, n, b, pes int, modeName string, bf, l, l1 int, functional bool, seed int64, timeline, metrics bool, traceOut string) error {
 	mc, err := machineByName(mcName)
 	if err != nil {
 		return err
@@ -97,11 +100,23 @@ func run(app, mcName string, n, b, pes int, modeName string, bf, l, l1 int, func
 		}()
 	}
 
+	// The recorder doubles as the span sink for -trace-out. Keep the
+	// Observer interface value nil unless a recorder exists: a typed
+	// nil *trace.Recorder inside a non-nil interface would still be
+	// invoked by the engine.
+	var rec *trace.Recorder
+	var obs sim.Observer
+	if traceOut != "" {
+		rec = trace.NewRecorder()
+		obs = rec
+	}
+
 	switch app {
 	case "lu":
 		r, err := core.RunLU(core.LUConfig{
 			Machine: mc, N: n, B: b, PEs: pes, BF: bf, L: l,
 			Mode: md, Functional: functional, Seed: seed, Trace: hook,
+			Observer: obs, Telemetry: metrics,
 		})
 		if err != nil {
 			return err
@@ -111,6 +126,7 @@ func run(app, mcName string, n, b, pes int, modeName string, bf, l, l1 int, func
 		r, err := core.RunFW(core.FWConfig{
 			Machine: mc, N: n, B: b, PEs: pes, L1: l1,
 			Mode: md, Functional: functional, Seed: seed, Trace: hook,
+			Observer: obs, Telemetry: metrics,
 		})
 		if err != nil {
 			return err
@@ -120,6 +136,7 @@ func run(app, mcName string, n, b, pes int, modeName string, bf, l, l1 int, func
 		r, err := core.RunMM(core.MMConfig{
 			Machine: mc, N: n, PEs: pes, BF: bf,
 			Mode: md, Functional: functional, Seed: seed,
+			Observer: obs, Telemetry: metrics,
 		})
 		if err != nil {
 			return err
@@ -129,6 +146,7 @@ func run(app, mcName string, n, b, pes int, modeName string, bf, l, l1 int, func
 		r, err := core.RunQR(core.QRConfig{
 			Machine: mc, N: n, B: b, PEs: pes, BF: bf,
 			Mode: md, Functional: functional, Seed: seed,
+			Observer: obs, Telemetry: metrics,
 		})
 		if err != nil {
 			return err
@@ -138,6 +156,7 @@ func run(app, mcName string, n, b, pes int, modeName string, bf, l, l1 int, func
 		r, err := core.RunCG(core.CGConfig{
 			Machine: mc, N: n, PEs: pes, RowsFPGA: bf,
 			Mode: md, Seed: seed,
+			Observer: obs, Telemetry: metrics,
 		})
 		if err != nil {
 			return err
@@ -147,6 +166,7 @@ func run(app, mcName string, n, b, pes int, modeName string, bf, l, l1 int, func
 		r, err := core.RunCholesky(core.CholConfig{
 			Machine: mc, N: n, B: b, PEs: pes, BF: bf, L: l,
 			Mode: md, Functional: functional, Seed: seed,
+			Observer: obs, Telemetry: metrics,
 		})
 		if err != nil {
 			return err
@@ -154,6 +174,21 @@ func run(app, mcName string, n, b, pes int, modeName string, bf, l, l1 int, func
 		printChol(r)
 	default:
 		return fmt.Errorf("unknown app %q (want lu, fw, mm, chol, qr or cg)", app)
+	}
+	if rec != nil {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		if err := rec.WritePerfetto(f); err != nil {
+			f.Close()
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		fmt.Printf("trace:             %d spans -> %s (chrome://tracing, ui.perfetto.dev)\n",
+			len(rec.Spans()), traceOut)
 	}
 	return nil
 }
@@ -202,6 +237,12 @@ func printCommon(r *core.Result) {
 		100*r.Utilization(r.CPUBusy), 100*r.Utilization(r.FPGABusy))
 	if r.Checked {
 		fmt.Printf("functional check:  max residual %.3g vs sequential reference\n", r.MaxResidual)
+	}
+	if r.Telemetry != nil {
+		fmt.Println()
+		if err := r.Telemetry.WriteReport(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "hybridsim: metrics:", err)
+		}
 	}
 }
 

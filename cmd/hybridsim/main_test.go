@@ -47,14 +47,14 @@ func TestRunAllApps(t *testing.T) {
 		if app == "mm" {
 			n, b = 96, 0
 		}
-		if err := run(app, "xd1", n, b, 4, "hybrid", -1, -1, -1, true, 1, false); err != nil {
+		if err := run(app, "xd1", n, b, 4, "hybrid", -1, -1, -1, true, 1, false, true, ""); err != nil {
 			t.Fatalf("%s: %v", app, err)
 		}
 	}
-	if err := run("cg", "xd1", 128, 0, 0, "hybrid", -1, -1, -1, false, 1, false); err != nil {
+	if err := run("cg", "xd1", 128, 0, 0, "hybrid", -1, -1, -1, false, 1, false, true, ""); err != nil {
 		t.Fatalf("cg: %v", err)
 	}
-	if err := run("fft", "xd1", 10, 2, 0, "hybrid", -1, -1, -1, false, 1, false); err == nil {
+	if err := run("fft", "xd1", 10, 2, 0, "hybrid", -1, -1, -1, false, 1, false, false, ""); err == nil {
 		t.Fatal("unknown app accepted")
 	}
 }

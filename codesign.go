@@ -37,6 +37,8 @@ import (
 	"codesign/internal/exper"
 	"codesign/internal/machine"
 	"codesign/internal/model"
+	"codesign/internal/sim"
+	"codesign/internal/trace"
 )
 
 // Design-variant modes (Figure 9).
@@ -92,6 +94,51 @@ type (
 	// ExperimentTable is one regenerated paper table or figure.
 	ExperimentTable = exper.Table
 )
+
+// Telemetry. Every Run* config accepts an Observer (streaming span sink)
+// and a Telemetry flag (attach a Telemetry digest to the result); the
+// Recorder buffers a run's spans for Perfetto/CSV export and
+// summarization. See the README's Observability section.
+type (
+	// Category classifies a simulation span: compute, DMA, network,
+	// synchronization or idle.
+	Category = sim.Category
+	// SpanEvent is one typed interval of simulated activity.
+	SpanEvent = sim.SpanEvent
+	// Observer receives the structured telemetry stream from the
+	// simulation engine.
+	Observer = sim.Observer
+	// Recorder buffers spans and events; it implements Observer and
+	// exports Perfetto JSON (WritePerfetto), RFC-4180 CSV
+	// (WriteSpansCSV) and summaries (Summarize).
+	Recorder = trace.Recorder
+	// Telemetry is the per-run span digest attached to results:
+	// utilization, bytes moved and the overlap decomposition.
+	Telemetry = trace.Summary
+	// Overlap decomposes a run's makespan into exposed Tp/Tf/Tmem/Tcomm
+	// components comparable to the Section 4.5 model terms.
+	Overlap = trace.Overlap
+	// Metrics is a per-run registry of named counters, gauges and
+	// histograms over virtual time.
+	Metrics = trace.Metrics
+)
+
+// Span categories.
+const (
+	CatCompute = sim.CatCompute
+	CatDMA     = sim.CatDMA
+	CatNetwork = sim.CatNetwork
+	CatSync    = sim.CatSync
+	CatIdle    = sim.CatIdle
+)
+
+// NewRecorder returns an empty span recorder ready to pass as a config
+// Observer.
+func NewRecorder() *Recorder { return trace.NewRecorder() }
+
+// NewMetrics returns an empty metrics registry; fill it from a
+// Telemetry digest with (*Telemetry).Fill.
+func NewMetrics() *Metrics { return trace.NewMetrics() }
 
 // RunLU simulates the distributed block LU decomposition of Section 5.1
 // on the configured machine and returns measured throughput, the

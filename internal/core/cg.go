@@ -43,6 +43,12 @@ type CGConfig struct {
 	// Seed drives input generation. CG is always functional: the
 	// iteration count is a property of the data.
 	Seed int64
+	// Observer, when non-nil, receives the structured telemetry stream
+	// (raw events and typed spans; see internal/trace.Recorder).
+	Observer sim.Observer
+	// Telemetry attaches a span digest — utilization, bytes moved, and
+	// the Tp/Tf/Tmem/Tcomm overlap decomposition — to the result.
+	Telemetry bool
 }
 
 // CGRunResult reports a hybrid CG solve.
@@ -77,6 +83,7 @@ func RunCG(cfg CGConfig) (*CGRunResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	rec := setupTelemetry(sys.Eng, cfg.Telemetry, cfg.Observer)
 	k := cfg.PEs
 	if k == 0 {
 		k = fpga.MaxPEs(func(k int) fpga.Design { return fpga.NewMV(k) }, cfg.Machine.Device)
@@ -167,9 +174,12 @@ func RunCG(cfg CGConfig) (*CGRunResult, error) {
 	sys.Eng.Go("cg.cpu", func(pr *sim.Proc) {
 		// One-time SRAM load of the FPGA's matrix share over Bd.
 		if rf > 0 {
+			pr.SetPhase("load")
 			accel.Run(pr, "cg.load", func(fp *sim.Proc) {
+				fp.SetPhase("load")
 				accel.Stream(fp, fpgaWords*machine.WordBytes)
 			})
+			pr.SetPhase("")
 		}
 		loadDone = pr.Now()
 		if bnorm == 0 {
@@ -181,11 +191,14 @@ func RunCG(cfg CGConfig) (*CGRunResult, error) {
 			var done *sim.Signal
 			if rf > 0 {
 				done = accel.Launch(fmt.Sprintf("cg.mv.%d", it), func(fp *sim.Proc) {
+					fp.SetPhase("apply")
 					accel.Compute(fp, fpgaApply*accel.Placed.FreqHz)
 				})
 			}
 			if rf < cfg.N {
-				node.CPUBusy.Use(pr, cpuApply)
+				pr.SetPhase("apply")
+				node.ChargeCPU(pr, sim.CatCompute, 0, cpuApply)
+				pr.SetPhase("")
 			}
 			applyOpSplit(op, pv, q, rf)
 			if done != nil {
@@ -245,6 +258,7 @@ func RunCG(cfg CGConfig) (*CGRunResult, error) {
 	}
 	res.CPUBusy, res.FPGABusy = collectBusy(sys)
 	res.LoadSeconds = loadDone
+	summarizeTelemetry(rec, end, &res.Result)
 	return res, nil
 }
 

@@ -38,6 +38,12 @@ type CholConfig struct {
 	Functional bool
 	// Seed drives functional input generation.
 	Seed int64
+	// Observer, when non-nil, receives the structured telemetry stream
+	// (raw events and typed spans; see internal/trace.Recorder).
+	Observer sim.Observer
+	// Telemetry attaches a span digest — utilization, bytes moved, and
+	// the Tp/Tf/Tmem/Tcomm overlap decomposition — to the result.
+	Telemetry bool
 }
 
 // CholResult extends Result with the Cholesky-specific configuration.
@@ -104,6 +110,7 @@ func RunCholesky(cfg CholConfig) (*CholResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	rec := setupTelemetry(sys.Eng, cfg.Telemetry, cfg.Observer)
 	k := cfg.PEs
 	if k == 0 {
 		k = fpga.MaxPEs(func(k int) fpga.Design { return fpga.NewMatMul(k) }, cfg.Machine.Device)
@@ -222,6 +229,7 @@ func RunCholesky(cfg CholConfig) (*CholResult, error) {
 		// reuse the LU predictor scaled by the flop ratio.
 		Prediction: scalePrediction(lp.PredictLU(cfg.N, bf), 0.5, flops),
 	}
+	summarizeTelemetry(rec, end, &res.Result)
 	if cfg.Functional && ref != nil {
 		res.Checked = true
 		res.MaxResidual = matrix.ExtractLower(cr.a).MaxDiff(matrix.ExtractLower(ref))
@@ -245,6 +253,8 @@ func scalePrediction(p model.Prediction, factor, flops float64) model.Prediction
 func (cr *cholRun) runPanel(pr *sim.Proc, node *machine.Node, t int) {
 	b := cr.cfg.B
 	nb := cr.nb
+	pr.SetPhase("panel")
+	defer pr.SetPhase("")
 
 	// opPOTRF: (1/3)b³ flops at the factorization routine rate.
 	node.ComputeCPU(pr, cpu.DGETRF, cpu.DgetrfFlops(b)/2)
@@ -294,7 +304,10 @@ func (cr *cholRun) sendJob(pr *sim.Proc, node *machine.Node, t int, j *cholJob) 
 		bytes /= 2 // SYRK needs only one panel block
 	}
 	dsts := cr.computeNodes(t)
+	prevPhase := pr.Phase()
+	pr.SetPhase("broadcast")
 	cr.sys.Fab.Multicast(pr, node.ID, dsts, bytes)
+	pr.SetPhase(prevPhase)
 	for _, dst := range dsts {
 		cr.boxes[dst].Put(j)
 	}
@@ -310,6 +323,8 @@ func (cr *cholRun) runCompute(pr *sim.Proc, node *machine.Node, me, t int) {
 		}
 	}
 	w := cr.cfg.B / (cr.sys.Cfg.Nodes - 1)
+	pr.SetPhase("opmm")
+	defer pr.SetPhase("")
 	for {
 		msg := cr.boxes[me].Get(pr)
 		if s, ok := msg.(luSentinel); ok {
@@ -326,24 +341,26 @@ func (cr *cholRun) runCompute(pr *sim.Proc, node *machine.Node, me, t int) {
 			ch.cpuDMA /= 2
 			ch.cpuGemm /= 2
 			ch.fpgaCycles /= 2
+			ch.dmaBytes /= 2
 		}
 
 		var done *sim.Signal
 		if ch.fpgaCycles > 0 {
 			a := node.Accel
 			done = a.Launch(fmt.Sprintf("chol.fpga.%d.%d.%d.%d", t, j.u, j.v, me), func(fp *sim.Proc) {
-				fp.Wait(ch.fpgaLag)
+				fp.SetPhase("opmm")
+				a.WaitOperands(fp, ch.fpgaLag)
 				a.Compute(fp, ch.fpgaCycles)
 			})
 		}
 		if ch.cpuRecv > 0 {
-			node.CPUBusy.Use(pr, ch.cpuRecv)
+			node.ChargeCPU(pr, sim.CatNetwork, 0, ch.cpuRecv)
 		}
 		if ch.cpuDMA > 0 {
-			node.CPUBusy.Use(pr, ch.cpuDMA)
+			node.ChargeCPU(pr, sim.CatDMA, ch.dmaBytes, ch.cpuDMA)
 		}
 		if ch.cpuGemm > 0 {
-			node.CPUBusy.Use(pr, ch.cpuGemm)
+			node.ChargeCPU(pr, sim.CatCompute, 0, ch.cpuGemm)
 		}
 		if j.e != nil {
 			// Functional off-diagonal update slice:
@@ -366,7 +383,10 @@ func (cr *cholRun) forwardResult(pr *sim.Proc, me, t int, j *cholJob) {
 	if j.u == j.v {
 		sliceBytes /= 2
 	}
+	prevPhase := pr.Phase()
+	pr.SetPhase("scatter")
 	cr.sys.Fab.Transfer(pr, me, owner, sliceBytes)
+	pr.SetPhase(prevPhase)
 	j.arrived++
 	if j.arrived < p-1 {
 		return
@@ -375,13 +395,14 @@ func (cr *cholRun) forwardResult(pr *sim.Proc, me, t int, j *cholJob) {
 	it := cr.iters[t]
 	b := cr.cfg.B
 	cr.sys.Eng.Go(fmt.Sprintf("chol.opms.%d.%d.%d", t, j.u, j.v), func(mp *sim.Proc) {
+		mp.SetPhase("opms")
 		unpack := float64(b*b*machine.WordBytes) / cr.lp.Bn
 		sub := cpu.SubtractFlops(b)
 		if j.u == j.v {
 			unpack /= 2
 			sub /= 2
 		}
-		ownerNode.CPUBusy.Use(mp, unpack)
+		ownerNode.ChargeCPU(mp, sim.CatNetwork, 0, unpack)
 		ownerNode.ComputeCPU(mp, cpu.Subtract, sub)
 		if cr.a != nil {
 			if j.u == j.v {

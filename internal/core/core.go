@@ -18,6 +18,8 @@ import (
 	"fmt"
 
 	"codesign/internal/machine"
+	"codesign/internal/sim"
+	"codesign/internal/trace"
 )
 
 // Mode selects which compute resources a design uses.
@@ -73,6 +75,11 @@ type Result struct {
 	MaxResidual float64
 	// Checked reports whether a functional comparison was performed.
 	Checked bool
+	// Telemetry is the structured span digest of the run — per-process
+	// utilization, bytes moved, and the overlap decomposition against
+	// the model's Tp/Tf/Tmem/Tcomm terms. Nil unless the run's config
+	// enabled Telemetry.
+	Telemetry *trace.Summary
 }
 
 // Utilization returns mean busy fraction of the given per-node series.
@@ -107,4 +114,27 @@ func collectCoordinations(sys *machine.System) int64 {
 		}
 	}
 	return c
+}
+
+// setupTelemetry registers any caller-provided observer on the engine
+// and, when summarize is set, also an internal recorder whose digest
+// the run attaches to its Result.Telemetry.
+func setupTelemetry(eng *sim.Engine, summarize bool, obs sim.Observer) *trace.Recorder {
+	if obs != nil {
+		eng.Observe(obs)
+	}
+	if !summarize {
+		return nil
+	}
+	rec := trace.NewRecorder()
+	eng.Observe(rec)
+	return rec
+}
+
+// summarizeTelemetry fills r.Telemetry from the recorder (no-op when
+// telemetry was not enabled).
+func summarizeTelemetry(rec *trace.Recorder, end float64, r *Result) {
+	if rec != nil {
+		r.Telemetry = rec.Summarize(end)
+	}
 }

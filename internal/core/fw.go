@@ -34,6 +34,12 @@ type FWConfig struct {
 	Functional bool
 	// Trace, when non-nil, receives every engine event.
 	Trace func(t float64, proc, action string)
+	// Observer, when non-nil, receives the structured telemetry stream
+	// (raw events and typed spans; see internal/trace.Recorder).
+	Observer sim.Observer
+	// Telemetry attaches a span digest — utilization, bytes moved, and
+	// the Tp/Tf/Tmem/Tcomm overlap decomposition — to the result.
+	Telemetry bool
 	// Seed and Density drive functional graph generation.
 	Seed    int64
 	Density float64
@@ -96,6 +102,7 @@ func RunFW(cfg FWConfig) (*FWResult, error) {
 		return nil, err
 	}
 	sys.Eng.Trace = cfg.Trace
+	rec := setupTelemetry(sys.Eng, cfg.Telemetry, cfg.Observer)
 	k := cfg.PEs
 	if k == 0 {
 		k = fpga.MaxPEs(func(k int) fpga.Design { return fpga.NewFW(k) }, cfg.Machine.Device)
@@ -201,6 +208,7 @@ func RunFW(cfg FWConfig) (*FWResult, error) {
 		res.IterationSeconds = append(res.IterationSeconds, tEnd-prev)
 		prev = tEnd
 	}
+	summarizeTelemetry(rec, end, &res.Result)
 	if cfg.Functional && ref != nil {
 		res.Checked = true
 		res.MaxResidual = fr.d.MaxDiff(ref)
@@ -247,7 +255,10 @@ func (fr *fwRun) runIteration(pr *sim.Proc, node *machine.Node, me, t int) {
 			if m.t != t || m.ph != ph {
 				panic(fmt.Sprintf("core: node %d expected bcast (%d,%d), got (%d,%d)", me, t, ph, m.t, m.ph))
 			}
-			node.CPUBusy.Use(pr, fr.tcomm) // unpack
+			// Unpack the pivot block; the wire span carried the bytes.
+			pr.SetPhase("broadcast")
+			node.ChargeCPU(pr, sim.CatNetwork, 0, fr.tcomm)
+			pr.SetPhase("")
 		}
 
 		// --- This phase's block operations. ---
@@ -300,6 +311,8 @@ func (fr *fwRun) runOps(pr *sim.Proc, node *machine.Node, t, ph int, ops []fwOp,
 	if len(ops) == 0 {
 		return
 	}
+	pr.SetPhase("op")
+	defer pr.SetPhase("")
 	if nFPGA > len(ops) {
 		nFPGA = len(ops)
 	}
@@ -312,12 +325,15 @@ func (fr *fwRun) runOps(pr *sim.Proc, node *machine.Node, t, ph int, ops []fwOp,
 		cycles := float64(len(fpgaOps)) * fr.blockCycles
 		lag := fr.tmem // first block's stream exposed
 		done = a.Launch(fmt.Sprintf("fw.fpga.%d.%d.%d", t, ph, node.ID), func(fp *sim.Proc) {
-			fp.Wait(lag)
+			fp.SetPhase("op")
+			a.WaitOperands(fp, lag)
 			a.Compute(fp, cycles)
 		})
 		// The processor streams the FPGA's operand blocks (Eq. 6
-		// charges l2·Tmem to the processor side).
-		node.CPUBusy.Use(pr, float64(len(fpgaOps))*fr.tmem)
+		// charges l2·Tmem to the processor side): 2b² words per block.
+		b := fr.cfg.B
+		dmaBytes := int64(len(fpgaOps)) * int64(2*b*b) * machine.WordBytes
+		node.ChargeCPU(pr, sim.CatDMA, dmaBytes, float64(len(fpgaOps))*fr.tmem)
 	}
 	if len(cpuOps) > 0 {
 		node.ComputeCPU(pr, cpu.FWKernel, float64(len(cpuOps))*cpu.FWBlockFlops(fr.cfg.B))
@@ -360,7 +376,9 @@ func (fr *fwRun) multicast(pr *sim.Proc, me, t, ph int) {
 		}
 	}
 	bytes := fr.cfg.B * fr.cfg.B * machine.WordBytes
+	pr.SetPhase("broadcast")
 	fr.sys.Fab.Multicast(pr, me, dsts, bytes)
+	pr.SetPhase("")
 	for _, d := range dsts {
 		fr.bcast[d].Put(fwBcast{t: t, ph: ph})
 	}

@@ -11,6 +11,7 @@ import (
 	"codesign/internal/matrix"
 	"codesign/internal/model"
 	"codesign/internal/sim"
+	"codesign/internal/trace"
 )
 
 // LUConfig configures a distributed block LU decomposition run
@@ -48,6 +49,12 @@ type LUConfig struct {
 	// Trace, when non-nil, receives every engine event (see
 	// internal/trace.Collector.Attach for a ready-made consumer).
 	Trace func(t float64, proc, action string)
+	// Observer, when non-nil, receives the structured telemetry stream
+	// (raw events and typed spans; see internal/trace.Recorder).
+	Observer sim.Observer
+	// Telemetry attaches a span digest — utilization, bytes moved, and
+	// the Tp/Tf/Tmem/Tcomm overlap decomposition — to the result.
+	Telemetry bool
 	// WholeTaskOpMM is the ablation of split-task partitioning: instead
 	// of splitting each opMM's rows between processor and FPGA, whole
 	// opMM jobs alternate between the two resources (the strategy the
@@ -103,6 +110,8 @@ type luRun struct {
 	boxes []*sim.Mailbox
 	iters []*luIter
 
+	rec *trace.Recorder // telemetry recorder (nil when disabled)
+
 	a *matrix.Dense // functional matrix (nil when timing-only)
 }
 
@@ -147,6 +156,7 @@ func RunLU(cfg LUConfig) (*LUResult, error) {
 		return nil, err
 	}
 	sys.Eng.Trace = cfg.Trace
+	rec := setupTelemetry(sys.Eng, cfg.Telemetry, cfg.Observer)
 	k := cfg.PEs
 	if k == 0 {
 		k = fpga.MaxPEs(func(k int) fpga.Design { return fpga.NewMatMul(k) }, cfg.Machine.Device)
@@ -195,7 +205,7 @@ func RunLU(cfg LUConfig) (*LUResult, error) {
 		l = lp.SolveL(bf)
 	}
 
-	lr := &luRun{cfg: cfg, sys: sys, lp: lp, nb: cfg.N / cfg.B, bf: bf, bp: cfg.B - bf, l: l, stripes: cfg.B / k}
+	lr := &luRun{cfg: cfg, sys: sys, lp: lp, nb: cfg.N / cfg.B, bf: bf, bp: cfg.B - bf, l: l, stripes: cfg.B / k, rec: rec}
 	lr.chargeModel(proc)
 
 	// Functional state and reference.
@@ -234,6 +244,9 @@ type jobCharge struct {
 	cpuRecv, cpuDMA, cpuGemm float64
 	fpgaCycles               float64
 	fpgaLag                  float64
+	// dmaBytes is the operand volume the cpuDMA charge streams to the
+	// FPGA, for telemetry byte accounting.
+	dmaBytes int64
 }
 
 // chargeModel derives the per-job costs from the machine parameters.
@@ -281,6 +294,11 @@ func (lr *luRun) chargeForBF(proc *cpu.Processor, bf int) jobCharge {
 		c.cpuDMA = st * tmem
 		c.cpuGemm = st * tp
 		c.fpgaCycles = st * float64(bf) * b / pm1 // bf·b/(p-1) cycles per stripe
+	}
+	if c.cpuDMA > 0 {
+		// Per job the FPGA consumes bf·b stripe words plus its
+		// b²/(p-1) result share (the words behind tmem per stripe).
+		c.dmaBytes = int64(float64(bf)*b+b*b/pm1) * machine.WordBytes
 	}
 	if c.fpgaCycles > 0 {
 		if lr.cfg.DisableStripeOverlap {
@@ -353,6 +371,7 @@ func (lr *luRun) execute(ref *matrix.Dense) (*LUResult, error) {
 		res.IterationSeconds = append(res.IterationSeconds, t-prev)
 		prev = t
 	}
+	summarizeTelemetry(lr.rec, end, &res.Result)
 	if lr.cfg.Functional && ref != nil {
 		res.Checked = true
 		res.MaxResidual = lr.a.MaxDiff(ref)
@@ -367,6 +386,8 @@ func (lr *luRun) runPanel(pr *sim.Proc, node *machine.Node, t int) {
 	cfg := lr.cfg
 	b := cfg.B
 	nb := lr.nb
+	pr.SetPhase("panel")
+	defer pr.SetPhase("")
 
 	// opLU.
 	node.ComputeCPU(pr, cpu.DGETRF, cpu.DgetrfFlops(b))
@@ -449,13 +470,17 @@ func (lr *luRun) sendJob(pr *sim.Proc, node *machine.Node, t int, j *luJob) *sim
 		src := node.ID
 		done := sim.NewSignal(lr.sys.Eng, fmt.Sprintf("lu.sent.%d.%d.%d", t, j.u, j.v))
 		lr.sys.Eng.Go(fmt.Sprintf("lu.send.%d.%d.%d", t, j.u, j.v), func(sp *sim.Proc) {
+			sp.SetPhase("broadcast")
 			lr.sys.Fab.Multicast(sp, src, dsts, bytes)
 			deliver()
 			done.Fire()
 		})
 		return done
 	}
+	prevPhase := pr.Phase()
+	pr.SetPhase("broadcast")
 	lr.sys.Fab.Multicast(pr, node.ID, dsts, bytes)
+	pr.SetPhase(prevPhase)
 	deliver()
 	return nil
 }
@@ -472,6 +497,8 @@ func (lr *luRun) runCompute(pr *sim.Proc, node *machine.Node, me, t int) {
 		}
 	}
 	w := lr.cfg.B / (lr.sys.Cfg.Nodes - 1) // result columns per node
+	pr.SetPhase("opmm")
+	defer pr.SetPhase("")
 	for {
 		msg := lr.boxes[me].Get(pr)
 		if s, ok := msg.(luSentinel); ok {
@@ -487,20 +514,23 @@ func (lr *luRun) runCompute(pr *sim.Proc, node *machine.Node, me, t int) {
 		if ch.fpgaCycles > 0 {
 			a := node.Accel
 			done = a.Launch(fmt.Sprintf("lu.fpga.%d.%d.%d.%d", t, j.u, j.v, me), func(fp *sim.Proc) {
-				fp.Wait(ch.fpgaLag)
+				fp.SetPhase("opmm")
+				a.WaitOperands(fp, ch.fpgaLag)
 				a.Compute(fp, ch.fpgaCycles)
 			})
 		}
 		// CPU share: unpack the operand messages, stream the FPGA's
 		// operands to it, then run the software half of the multiply.
+		// Unpack carries no bytes (the wire span already counted the
+		// payload); the DMA charge carries the FPGA's operand volume.
 		if ch.cpuRecv > 0 {
-			node.CPUBusy.Use(pr, ch.cpuRecv)
+			node.ChargeCPU(pr, sim.CatNetwork, 0, ch.cpuRecv)
 		}
 		if ch.cpuDMA > 0 {
-			node.CPUBusy.Use(pr, ch.cpuDMA)
+			node.ChargeCPU(pr, sim.CatDMA, ch.dmaBytes, ch.cpuDMA)
 		}
 		if ch.cpuGemm > 0 {
-			node.CPUBusy.Use(pr, ch.cpuGemm)
+			node.ChargeCPU(pr, sim.CatCompute, 0, ch.cpuGemm)
 		}
 		if j.e != nil {
 			// Functional: this node produces its column slice of
@@ -524,7 +554,10 @@ func (lr *luRun) forwardResult(pr *sim.Proc, me, t int, j *luJob) {
 	p := lr.sys.Cfg.Nodes
 	owner := dist.NewCyclic(lr.nb, p).UpdateOwner(j.u, j.v)
 	sliceBytes := lr.cfg.B * lr.cfg.B / (p - 1) * machine.WordBytes
+	prevPhase := pr.Phase()
+	pr.SetPhase("scatter")
 	lr.sys.Fab.Transfer(pr, me, owner, sliceBytes)
+	pr.SetPhase(prevPhase)
 	j.arrived++
 	if j.arrived < p-1 {
 		return
@@ -534,8 +567,9 @@ func (lr *luRun) forwardResult(pr *sim.Proc, me, t int, j *luJob) {
 	it := lr.iters[t]
 	b := lr.cfg.B
 	lr.sys.Eng.Go(fmt.Sprintf("lu.opms.%d.%d.%d", t, j.u, j.v), func(mp *sim.Proc) {
+		mp.SetPhase("opms")
 		unpack := float64(lr.cfg.B*lr.cfg.B*machine.WordBytes) / lr.lp.Bn
-		ownerNode.CPUBusy.Use(mp, unpack)
+		ownerNode.ChargeCPU(mp, sim.CatNetwork, 0, unpack)
 		ownerNode.ComputeCPU(mp, cpu.Subtract, cpu.SubtractFlops(b))
 		if j.e != nil {
 			lr.blk(j.u, j.v).Sub(j.e)

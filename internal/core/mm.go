@@ -34,6 +34,12 @@ type MMConfig struct {
 	Functional bool
 	// Seed drives functional input generation.
 	Seed int64
+	// Observer, when non-nil, receives the structured telemetry stream
+	// (raw events and typed spans; see internal/trace.Recorder).
+	Observer sim.Observer
+	// Telemetry attaches a span digest — utilization, bytes moved, and
+	// the Tp/Tf/Tmem/Tcomm overlap decomposition — to the result.
+	Telemetry bool
 }
 
 // MMResult extends Result with the multiply-specific configuration.
@@ -54,6 +60,7 @@ func RunMM(cfg MMConfig) (*MMResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	rec := setupTelemetry(sys.Eng, cfg.Telemetry, cfg.Observer)
 	k := cfg.PEs
 	if k == 0 {
 		k = fpga.MaxPEs(func(k int) fpga.Design { return fpga.NewMatMul(k) }, cfg.Machine.Device)
@@ -116,22 +123,30 @@ func RunMM(cfg MMConfig) (*MMResult, error) {
 		if bf > 0 {
 			acc := node.Accel
 			fpgaDone = acc.Launch(fmt.Sprintf("mm.fpga%d", me), func(fp *sim.Proc) {
+				fp.SetPhase("stripe")
 				for s := 0; s < stripes; s++ {
 					fq.Get(fp)
 					acc.Compute(fp, fpgaStripeCycles)
 				}
 			})
 		}
+		// Per-stripe DMA volume: the FPGA's bf·k operand words plus the
+		// k·w result words behind the model's Tmem term.
+		stripeDMABytes := int64(bf*k+k*w) * machine.WordBytes
 		sys.Eng.Go(fmt.Sprintf("mm.cpu%d", me), func(pr *sim.Proc) {
+			pr.SetPhase("stripe")
 			for s := 0; s < stripes; s++ {
 				if bf > 0 {
-					node.CPUBusy.Use(pr, tmem) // stream the stripe to the FPGA
+					// Stream the stripe to the FPGA.
+					node.ChargeCPU(pr, sim.CatDMA, stripeDMABytes, tmem)
 					fq.Put(s)
 				}
 				if bf < cfg.N {
-					node.CPUBusy.Use(pr, tp) // software rows of the stripe
+					// Software rows of the stripe.
+					node.ChargeCPU(pr, sim.CatCompute, 0, tp)
 				}
 			}
+			pr.SetPhase("")
 			if c != nil {
 				// Functional: this node's w result columns, all rows
 				// (the bf/bp split is the same arithmetic).
@@ -165,6 +180,7 @@ func RunMM(cfg MMConfig) (*MMResult, error) {
 		Prediction: mp.PredictMM(bf),
 	}
 	_ = tf
+	summarizeTelemetry(rec, end, &res.Result)
 	if cfg.Functional {
 		res.Checked = true
 		res.MaxResidual = c.MaxDiff(ref)

@@ -83,6 +83,7 @@ func RunOpMM(mc machine.Config, b, pes, bf int) (*OpMMResult, error) {
 	// Node 0: stream the stripe pairs.
 	stripeBytes := 2 * b * k * machine.WordBytes
 	sys.Eng.Go("opmm.sender", func(pr *sim.Proc) {
+		pr.SetPhase("broadcast")
 		for s := 0; s < stripes; s++ {
 			sys.Fab.Multicast(pr, 0, dsts, stripeBytes)
 			for _, d := range dsts {
@@ -100,6 +101,7 @@ func RunOpMM(mc machine.Config, b, pes, bf int) (*OpMMResult, error) {
 			fpgaDone = sim.NewSignal(sys.Eng, fmt.Sprintf("opmm.fdone%d", me))
 			a := node.Accel
 			sys.Eng.Go(fmt.Sprintf("opmm.fpga%d", me), func(fp *sim.Proc) {
+				fp.SetPhase("stripe")
 				for s := 0; s < stripes; s++ {
 					fpgaQ[me].Get(fp)
 					a.Compute(fp, fpgaStripeCycles)
@@ -107,16 +109,23 @@ func RunOpMM(mc machine.Config, b, pes, bf int) (*OpMMResult, error) {
 				fpgaDone.Fire()
 			})
 		}
+		// Per-stripe DMA volume: the FPGA's bf·k operand words plus the
+		// k·b/(p-1) result words behind the model's Tmem term.
+		stripeDMABytes := int64(bf*k+k*b/(p-1)) * machine.WordBytes
 		sys.Eng.Go(fmt.Sprintf("opmm.cpu%d", me), func(pr *sim.Proc) {
+			pr.SetPhase("stripe")
 			for s := 0; s < stripes; s++ {
 				inbox[me].Get(pr)
-				node.CPUBusy.Use(pr, tcomm) // unpack
+				// Unpack; the multicast wire span carried the bytes.
+				node.ChargeCPU(pr, sim.CatNetwork, 0, tcomm)
 				if bf > 0 {
-					node.CPUBusy.Use(pr, tmem) // stream operands to the FPGA
+					// Stream operands to the FPGA.
+					node.ChargeCPU(pr, sim.CatDMA, stripeDMABytes, tmem)
 					fpgaQ[me].Put(s)
 				}
 				if bf < b {
-					node.CPUBusy.Use(pr, tp) // software share of the stripe
+					// Software share of the stripe.
+					node.ChargeCPU(pr, sim.CatCompute, 0, tp)
 				}
 			}
 			if fpgaDone != nil {

@@ -38,6 +38,12 @@ type QRConfig struct {
 	Functional bool
 	// Seed drives functional input generation.
 	Seed int64
+	// Observer, when non-nil, receives the structured telemetry stream
+	// (raw events and typed spans; see internal/trace.Recorder).
+	Observer sim.Observer
+	// Telemetry attaches a span digest — utilization, bytes moved, and
+	// the Tp/Tf/Tmem/Tcomm overlap decomposition — to the result.
+	Telemetry bool
 }
 
 // QRResult extends Result with the QR-specific configuration.
@@ -69,6 +75,7 @@ func RunQR(cfg QRConfig) (*QRResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	rec := setupTelemetry(sys.Eng, cfg.Telemetry, cfg.Observer)
 	k := cfg.PEs
 	if k == 0 {
 		k = fpga.MaxPEs(func(k int) fpga.Design { return fpga.NewMatMul(k) }, cfg.Machine.Device)
@@ -125,6 +132,7 @@ func RunQR(cfg QRConfig) (*QRResult, error) {
 		c := baseCharge
 		c.cpuRecv = 0 // operands are node-local; only the panel arrives
 		c.cpuDMA *= s
+		c.dmaBytes = int64(s * float64(c.dmaBytes))
 		c.cpuGemm *= s
 		c.fpgaCycles *= s
 		return c
@@ -166,6 +174,7 @@ func RunQR(cfg QRConfig) (*QRResult, error) {
 				if me == t%p {
 					panelReady[t].Wait(pr)
 					// opGEQRF on the panel.
+					pr.SetPhase("panel")
 					node.ComputeCPU(pr, cpu.DGETRF, matrix.QRFlopsPanel(rows, b))
 					if a != nil {
 						factorPanel(a, tau, t, b)
@@ -176,7 +185,9 @@ func RunQR(cfg QRConfig) (*QRResult, error) {
 							dsts = append(dsts, d)
 						}
 					}
+					pr.SetPhase("broadcast")
 					sys.Fab.Multicast(pr, me, dsts, panelBytes)
+					pr.SetPhase("")
 					for _, d := range dsts {
 						bcast[d].Put(qrBcast{t: t})
 					}
@@ -186,7 +197,10 @@ func RunQR(cfg QRConfig) (*QRResult, error) {
 				if m.t != t {
 					panic(fmt.Sprintf("core: node %d expected panel %d, got %d", me, t, m.t))
 				}
-				node.CPUBusy.Use(pr, float64(panelBytes)/lp.Bn) // unpack
+				// Unpack the panel; the wire span carried the bytes.
+				pr.SetPhase("broadcast")
+				node.ChargeCPU(pr, sim.CatNetwork, 0, float64(panelBytes)/lp.Bn)
+				pr.SetPhase("update")
 
 				// Column-slice index of this node among the compute set.
 				ci := me
@@ -199,15 +213,16 @@ func RunQR(cfg QRConfig) (*QRResult, error) {
 					if ch.fpgaCycles > 0 {
 						acc := node.Accel
 						done = acc.Launch(fmt.Sprintf("qr.fpga.%d.%d.%d", t, j, me), func(fp *sim.Proc) {
-							fp.Wait(ch.fpgaLag)
+							fp.SetPhase("update")
+							acc.WaitOperands(fp, ch.fpgaLag)
 							acc.Compute(fp, ch.fpgaCycles)
 						})
 					}
 					if ch.cpuDMA > 0 {
-						node.CPUBusy.Use(pr, ch.cpuDMA)
+						node.ChargeCPU(pr, sim.CatDMA, ch.dmaBytes, ch.cpuDMA)
 					}
 					if ch.cpuGemm > 0 {
-						node.CPUBusy.Use(pr, ch.cpuGemm)
+						node.ChargeCPU(pr, sim.CatCompute, 0, ch.cpuGemm)
 					}
 					if a != nil {
 						applyPanelSlice(a, tau, t, b, j*b+ci*w, w)
@@ -220,7 +235,9 @@ func RunQR(cfg QRConfig) (*QRResult, error) {
 						// its owner so iteration t+1 can start.
 						owner := (t + 1) % p
 						sliceBytes := (rows - b) * w * machine.WordBytes
+						pr.SetPhase("scatter")
 						sys.Fab.Transfer(pr, me, owner, sliceBytes)
+						pr.SetPhase("update")
 						panelPending[t+1]--
 						if panelPending[t+1] == 0 {
 							panelReady[t+1].Fire()
@@ -250,6 +267,7 @@ func RunQR(cfg QRConfig) (*QRResult, error) {
 		Model:      lp,
 		Prediction: predictQR(cfg.N, b, p, bf, lp),
 	}
+	summarizeTelemetry(rec, end, &res.Result)
 	if cfg.Functional && ref != nil {
 		res.Checked = true
 		res.MaxResidual = a.MaxDiff(ref)

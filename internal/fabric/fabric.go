@@ -92,15 +92,25 @@ func (f *Fabric) Transfer(p *sim.Proc, src, dst, bytes int) {
 	f.messages++
 	f.bytes += int64(bytes)
 	if src == dst {
+		// Local transfers take no wire time but still carry payload; a
+		// zero-width span keeps telemetry byte totals equal to Bytes().
+		f.eng.EmitSpan(sim.SpanEvent{
+			Category: sim.CatNetwork, Proc: p.Name(), Resource: "local",
+			Phase: p.Phase(), Bytes: int64(bytes),
+			Start: f.eng.Now(), End: f.eng.Now(),
+		})
 		return
 	}
 	// Hold one egress link at the source and one ingress link at the
 	// destination for the duration of the wire time. Egress is always
 	// acquired first; ingress holders never wait on egress, so the
-	// two-resource hold cannot deadlock.
+	// two-resource hold cannot deadlock. The wire time is emitted as a
+	// network span on the egress link carrying the payload; this is the
+	// only place a point-to-point message's bytes are attached to a
+	// span, so network byte totals never double count.
 	f.egress[src].Acquire(p)
 	f.ingress[dst].Acquire(p)
-	p.Wait(f.TransferTime(bytes))
+	p.WaitSpan(sim.CatNetwork, f.egress[src].Name(), int64(bytes), f.TransferTime(bytes))
 	f.ingress[dst].Release()
 	f.egress[src].Release()
 }
@@ -122,7 +132,9 @@ func (f *Fabric) Multicast(p *sim.Proc, src int, dsts []int, bytes int) {
 	f.messages++
 	f.bytes += int64(bytes) * int64(len(dsts))
 	f.egress[src].Acquire(p)
-	p.Wait(f.TransferTime(bytes))
+	// The span carries the replicated payload (bytes per receiver) so
+	// telemetry byte totals match Bytes().
+	p.WaitSpan(sim.CatNetwork, f.egress[src].Name(), int64(bytes)*int64(len(dsts)), f.TransferTime(bytes))
 	f.egress[src].Release()
 }
 

@@ -159,9 +159,18 @@ type Node struct {
 }
 
 // ComputeCPU charges the node processor with flops of the given routine
-// class, holding the CPU busy for the modeled duration.
+// class, holding the CPU busy for the modeled duration. The hold is
+// emitted as a compute span on the node's CPU resource.
 func (n *Node) ComputeCPU(p *sim.Proc, r cpu.Routine, flops float64) {
-	n.CPUBusy.Use(p, n.Proc.Time(r, flops))
+	n.CPUBusy.UseCat(p, sim.CatCompute, 0, n.Proc.Time(r, flops))
+}
+
+// ChargeCPU holds the node processor for dt seconds and emits a typed
+// span — the instrumented analogue of CPUBusy.Use for pre-computed
+// charges (unpack time, operand staging) where the category and moved
+// bytes are known to the caller.
+func (n *Node) ChargeCPU(p *sim.Proc, cat sim.Category, bytes int64, dt float64) {
+	n.CPUBusy.UseCat(p, cat, bytes, dt)
 }
 
 // Accelerator is a placed design installed on a node's FPGA, with its
@@ -237,8 +246,17 @@ func (a *Accelerator) Run(p *sim.Proc, name string, run func(fp *sim.Proc)) {
 }
 
 // Compute charges the PE array with a cycle count at the placed clock.
+// The hold is emitted as an FPGA compute span on the array resource.
 func (a *Accelerator) Compute(fp *sim.Proc, cycles float64) {
-	a.Array.Use(fp, a.Placed.CyclesToSeconds(cycles))
+	a.Array.UseCat(fp, sim.CatCompute, 0, a.Placed.CyclesToSeconds(cycles))
+}
+
+// WaitOperands charges the FPGA job dt seconds of operand staging —
+// pipeline-fill lag while the processor streams the first operands in —
+// emitted as a DMA span against the array's fill stage so overlap
+// accounting attributes it to memory traffic, not FPGA compute.
+func (a *Accelerator) WaitOperands(fp *sim.Proc, dt float64) {
+	fp.WaitSpan(sim.CatDMA, a.Array.Name()+".fill", 0, dt)
 }
 
 // Stream charges a DRAM<->FPGA transfer of the given bytes.

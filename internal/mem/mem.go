@@ -37,15 +37,14 @@ func NewDRAM(e *sim.Engine, bandwidthBytes float64) *DRAM {
 func (d *DRAM) StreamTime(bytes int) float64 { return float64(bytes) / d.BandwidthBytes }
 
 // Stream transfers bytes between DRAM and the FPGA, blocking the calling
-// process for bytes/Bd plus any channel queueing.
+// process for bytes/Bd plus any channel queueing. The transfer is
+// emitted as a DMA span carrying the payload size.
 func (d *DRAM) Stream(p *sim.Proc, bytes int) {
 	if bytes < 0 {
 		panic(fmt.Sprintf("mem: negative stream size %d", bytes))
 	}
 	d.bytesStreamed += int64(bytes)
-	d.chann.Acquire(p)
-	p.Wait(d.StreamTime(bytes))
-	d.chann.Release()
+	d.chann.UseCat(p, sim.CatDMA, int64(bytes), d.StreamTime(bytes))
 }
 
 // BytesStreamed returns the cumulative FPGA<->DRAM traffic.
@@ -53,6 +52,20 @@ func (d *DRAM) BytesStreamed() int64 { return d.bytesStreamed }
 
 // BusySeconds returns cumulative busy time of the streaming channel.
 func (d *DRAM) BusySeconds() float64 { return d.chann.BusySeconds() }
+
+// AchievedBandwidth returns the average streamed bytes per second of
+// virtual time so far — comparable against the peak BandwidthBytes
+// (Bd) to see how much of the channel the run actually used.
+func (d *DRAM) AchievedBandwidth() float64 {
+	if d.eng.Now() <= 0 {
+		return 0
+	}
+	return float64(d.bytesStreamed) / d.eng.Now()
+}
+
+// ContentionSeconds returns total virtual time processes queued on the
+// streaming channel.
+func (d *DRAM) ContentionSeconds() float64 { return d.chann.ContentionSeconds() }
 
 // Agent identifies who touches memory, for hazard checking.
 type Agent int

@@ -1,0 +1,53 @@
+package mpi
+
+import (
+	"testing"
+
+	"codesign/internal/sim"
+)
+
+func TestChannelStatsCountsPerChannel(t *testing.T) {
+	e, w := worldOf(t, 3, 1000)
+	spawnRanks(e, w, func(r *Rank, p *sim.Proc) {
+		switch r.ID() {
+		case 0:
+			r.Send(1, 7, 100, "a")
+			r.Send(1, 7, 150, "b")
+			r.Send(2, 9, 50, "c")
+		case 1:
+			r.Recv(0, 7)
+			r.Recv(0, 7)
+			r.Send(2, 9, 25, "d")
+		case 2:
+			r.Recv(0, 9)
+			r.Recv(1, 9)
+		}
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	got := w.ChannelStats()
+	want := []ChannelStats{
+		{Src: 0, Dst: 1, Tag: 7, Messages: 2, Bytes: 250},
+		{Src: 0, Dst: 2, Tag: 9, Messages: 1, Bytes: 50},
+		{Src: 1, Dst: 2, Tag: 9, Messages: 1, Bytes: 25},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d channels, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("channel %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestChannelStatsEmptyWorld(t *testing.T) {
+	e, w := worldOf(t, 2, 1000)
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.ChannelStats(); len(got) != 0 {
+		t.Fatalf("expected no channels, got %+v", got)
+	}
+}

@@ -11,6 +11,7 @@ package mpi
 
 import (
 	"fmt"
+	"sort"
 
 	"codesign/internal/fabric"
 	"codesign/internal/sim"
@@ -33,11 +34,62 @@ type World struct {
 	eng   *sim.Engine
 	fab   *fabric.Fabric
 	boxes map[boxKey]*sim.Mailbox
+	stats map[boxKey]*channelAgg
+}
+
+type channelAgg struct {
+	messages int64
+	bytes    int64
+}
+
+// ChannelStats aggregates traffic on one (src, dst, tag) channel.
+type ChannelStats struct {
+	Src, Dst, Tag int
+	Messages      int64
+	Bytes         int64
 }
 
 // NewWorld creates a communicator over fab.
 func NewWorld(e *sim.Engine, fab *fabric.Fabric) *World {
-	return &World{eng: e, fab: fab, boxes: make(map[boxKey]*sim.Mailbox)}
+	return &World{
+		eng:   e,
+		fab:   fab,
+		boxes: make(map[boxKey]*sim.Mailbox),
+		stats: make(map[boxKey]*channelAgg),
+	}
+}
+
+// ChannelStats returns per-channel message counts and byte totals,
+// sorted by (src, dst, tag) for deterministic reporting.
+func (w *World) ChannelStats() []ChannelStats {
+	out := make([]ChannelStats, 0, len(w.stats))
+	for k, a := range w.stats {
+		out = append(out, ChannelStats{
+			Src: k.src, Dst: k.dst, Tag: k.tag,
+			Messages: a.messages, Bytes: a.bytes,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		if out[i].Dst != out[j].Dst {
+			return out[i].Dst < out[j].Dst
+		}
+		return out[i].Tag < out[j].Tag
+	})
+	return out
+}
+
+func (w *World) count(src, dst, tag, bytes int) {
+	k := boxKey{dst: dst, src: src, tag: tag}
+	a := w.stats[k]
+	if a == nil {
+		a = &channelAgg{}
+		w.stats[k] = a
+	}
+	a.messages++
+	a.bytes += int64(bytes)
 }
 
 // Size returns the number of ranks.
@@ -80,6 +132,7 @@ func (r *Rank) Size() int { return r.world.Size() }
 // busy for the duration — it cannot overlap computation).
 func (r *Rank) Send(dst, tag, bytes int, payload any) {
 	w := r.world
+	w.count(r.id, dst, tag, bytes)
 	w.fab.Transfer(r.proc, r.id, dst, bytes)
 	w.box(dst, r.id, tag).Put(Message{Src: r.id, Tag: tag, Bytes: bytes, Payload: payload})
 }

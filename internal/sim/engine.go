@@ -32,8 +32,13 @@ type Engine struct {
 	running bool
 	// Trace, if non-nil, receives one call per interesting engine
 	// action (process resume, wait, block). Useful for debugging and
-	// for the timeline exporter.
+	// for the timeline exporter. It remains the legacy adapter onto
+	// the raw event stream; structured consumers register an Observer
+	// via Observe instead. Both see identical events in the same
+	// order.
 	Trace func(t float64, proc, action string)
+
+	observers []Observer
 }
 
 // New returns an empty engine with the clock at 0.
@@ -86,7 +91,8 @@ type Proc struct {
 	yield   chan struct{}
 	done    bool
 	aborted bool
-	pv      any // recovered panic value, if any
+	pv      any    // recovered panic value, if any
+	phase   string // telemetry phase annotation, see SetPhase
 }
 
 // Name returns the process name given to Go.
@@ -152,9 +158,7 @@ func (e *Engine) runProc(p *Proc) {
 		return
 	}
 	delete(e.blocked, p)
-	if e.Trace != nil {
-		e.Trace(e.now, p.name, "resume")
-	}
+	e.emitEvent(e.now, p.name, "resume")
 	p.resume <- true
 	<-p.yield
 	if p.done && p.pv != nil && e.failure == nil {
@@ -170,9 +174,7 @@ func (p *Proc) park(reason string) {
 		panic(abortError{})
 	}
 	p.eng.blocked[p] = reason
-	if p.eng.Trace != nil {
-		p.eng.Trace(p.eng.now, p.name, "block: "+reason)
-	}
+	p.eng.emitEvent(p.eng.now, p.name, "block: "+reason)
 	p.yield <- struct{}{}
 	if run := <-p.resume; !run {
 		p.aborted = true

@@ -1,0 +1,135 @@
+package sim
+
+import "fmt"
+
+// Category classifies a typed span of simulated activity. The categories
+// mirror the co-design model's cost terms: computation (Tp on a
+// processor, Tf on an FPGA array), DRAM streaming (Tmem), network
+// communication (Tcomm), and waiting — either queued on a contended
+// resource (Sync) or with nothing to do (Idle). Idle is never emitted by
+// the engine; it is what remains of a timeline after the other
+// categories are accounted, and exists so consumers can label it.
+type Category int
+
+// The span categories.
+const (
+	// CatCompute is time a processor or FPGA array spends computing.
+	CatCompute Category = iota
+	// CatDMA is time spent streaming data between DRAM and the FPGA.
+	CatDMA
+	// CatNetwork is time spent moving bytes over the interconnect,
+	// including the processor-side pack/unpack it cannot overlap.
+	CatNetwork
+	// CatSync is time spent queued on a saturated resource.
+	CatSync
+	// CatIdle is unattributed time (derived, never emitted).
+	CatIdle
+)
+
+func (c Category) String() string {
+	switch c {
+	case CatCompute:
+		return "compute"
+	case CatDMA:
+		return "dma"
+	case CatNetwork:
+		return "network"
+	case CatSync:
+		return "sync"
+	case CatIdle:
+		return "idle"
+	default:
+		return fmt.Sprintf("category(%d)", int(c))
+	}
+}
+
+// SpanEvent is one completed interval of typed activity, emitted when
+// the interval ends. Start and End are virtual times; Bytes is the
+// payload a data-movement span carried (0 for compute and waiting).
+// Phase is the process's phase annotation at emission time (see
+// Proc.SetPhase); Resource names the resource the span occupied.
+type SpanEvent struct {
+	Category   Category
+	Proc       string
+	Resource   string
+	Phase      string
+	Bytes      int64
+	Start, End float64
+}
+
+// Duration returns End - Start.
+func (s SpanEvent) Duration() float64 { return s.End - s.Start }
+
+// Observer receives the engine's structured telemetry stream. Both
+// methods are called from scheduler or process context while the
+// simulation runs, always from the single scheduler goroutine and in a
+// deterministic order, so implementations need no locking.
+//
+// Event mirrors the legacy Engine.Trace hook (one call per process
+// resume/block); Span delivers completed typed spans. An observer that
+// cares about only one stream implements the other as a no-op.
+type Observer interface {
+	Event(t float64, proc, action string)
+	Span(s SpanEvent)
+}
+
+// Observe registers an observer. Observers are notified in registration
+// order; a nil observer is ignored. The legacy Trace hook keeps working
+// alongside observers: it is dispatched first, as an adapter that sees
+// exactly the raw event stream (but no typed spans).
+func (e *Engine) Observe(o Observer) {
+	if o == nil {
+		return
+	}
+	e.observers = append(e.observers, o)
+}
+
+// EmitSpan delivers a completed typed span to every observer. Callers
+// that synthesize their own spans (outside the Proc.WaitSpan and
+// Resource paths) may use it directly.
+func (e *Engine) EmitSpan(s SpanEvent) {
+	for _, o := range e.observers {
+		o.Span(s)
+	}
+}
+
+// observing reports whether any observer is registered, so hot paths
+// can skip span construction entirely when nobody listens.
+func (e *Engine) observing() bool { return len(e.observers) > 0 }
+
+// emitEvent dispatches one raw engine action to the legacy Trace hook
+// and to every observer.
+func (e *Engine) emitEvent(t float64, proc, action string) {
+	if e.Trace != nil {
+		e.Trace(t, proc, action)
+	}
+	for _, o := range e.observers {
+		o.Event(t, proc, action)
+	}
+}
+
+// SetPhase annotates the process with a phase label ("panel",
+// "broadcast", "opmm", ...). Spans emitted while the label is set carry
+// it, so exporters can group activity by algorithm phase. An empty
+// string clears the annotation.
+func (p *Proc) SetPhase(phase string) { p.phase = phase }
+
+// Phase returns the current phase annotation.
+func (p *Proc) Phase() string { return p.phase }
+
+// WaitSpan advances virtual time by dt seconds like Wait and emits a
+// typed span covering the interval. Resource names what the time was
+// spent on; bytes annotates data movement (pass 0 otherwise).
+func (p *Proc) WaitSpan(cat Category, resource string, bytes int64, dt float64) {
+	if dt < 0 {
+		dt = 0
+	}
+	start := p.eng.now
+	p.Wait(dt)
+	if p.eng.observing() {
+		p.eng.EmitSpan(SpanEvent{
+			Category: cat, Proc: p.name, Resource: resource, Phase: p.phase,
+			Bytes: bytes, Start: start, End: p.eng.now,
+		})
+	}
+}

@@ -11,12 +11,21 @@ type Resource struct {
 	name     string
 	capacity int
 	inUse    int
-	waiters  []*Proc
+	waiters  []waiter
 
 	// utilization accounting
 	lastChange float64
 	busyInt    float64 // integral of inUse over time
 	acquires   int64
+	waitInt    float64 // total seconds processes spent queued
+	waits      int64   // number of acquires that had to queue
+}
+
+// waiter remembers when a process joined the queue so the contention
+// wait can be measured and reported as a Sync span.
+type waiter struct {
+	p     *Proc
+	since float64
 }
 
 // NewResource creates a resource with the given capacity (>= 1).
@@ -42,6 +51,8 @@ func (r *Resource) accumulate() {
 }
 
 // Acquire obtains one unit, blocking p in FIFO order if none is free.
+// Time spent queued is recorded as contention and, when observers are
+// registered, emitted as a Sync span.
 func (r *Resource) Acquire(p *Proc) {
 	r.acquires++
 	if r.inUse < r.capacity {
@@ -49,8 +60,20 @@ func (r *Resource) Acquire(p *Proc) {
 		r.inUse++
 		return
 	}
-	r.waiters = append(r.waiters, p)
+	since := r.eng.now
+	r.waiters = append(r.waiters, waiter{p: p, since: since})
 	p.park("acquire " + r.name)
+	// The releaser handed us the unit directly; we resume at the
+	// current time with the unit already accounted as in use.
+	waited := r.eng.now - since
+	r.waitInt += waited
+	r.waits++
+	if waited > 0 && r.eng.observing() {
+		r.eng.EmitSpan(SpanEvent{
+			Category: CatSync, Proc: p.name, Resource: r.name, Phase: p.phase,
+			Start: since, End: r.eng.now,
+		})
+	}
 }
 
 // TryAcquire obtains a unit without blocking; it reports success.
@@ -73,7 +96,7 @@ func (r *Resource) Release() {
 	if len(r.waiters) > 0 {
 		// Hand the unit directly to the next waiter: utilization is
 		// unchanged, the waiter resumes at the current time.
-		next := r.waiters[0]
+		next := r.waiters[0].p
 		r.waiters = r.waiters[1:]
 		e := r.eng
 		e.schedule(e.now, func() { e.runProc(next) })
@@ -89,6 +112,16 @@ func (r *Resource) Release() {
 func (r *Resource) Use(p *Proc, dt float64) {
 	r.Acquire(p)
 	p.Wait(dt)
+	r.Release()
+}
+
+// UseCat is Use with telemetry: the hold interval is emitted as a typed
+// span of the given category carrying bytes of payload (pass 0 for
+// compute). Queueing ahead of the hold is reported separately as a Sync
+// span by Acquire.
+func (r *Resource) UseCat(p *Proc, cat Category, bytes int64, dt float64) {
+	r.Acquire(p)
+	p.WaitSpan(cat, r.name, bytes, dt)
 	r.Release()
 }
 
@@ -109,3 +142,17 @@ func (r *Resource) Utilization() float64 {
 // Acquires returns the total number of successful or queued acquire
 // requests, a proxy for coordination frequency.
 func (r *Resource) Acquires() int64 { return r.acquires }
+
+// ContentionSeconds returns the total virtual time processes have spent
+// queued on the resource (summed across waiters, so it can exceed the
+// makespan on a hot resource).
+func (r *Resource) ContentionSeconds() float64 {
+	s := r.waitInt
+	for _, w := range r.waiters {
+		s += r.eng.now - w.since
+	}
+	return s
+}
+
+// Waits returns how many Acquire calls had to queue.
+func (r *Resource) Waits() int64 { return r.waits }

@@ -1,0 +1,193 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Metrics is a per-run registry of counters, gauges and fixed-bucket
+// histograms. Every value is derived from virtual time and simulated
+// quantities — the registry never consults the wall clock — so two
+// identical runs populate byte-identical registries. It is not safe
+// for concurrent use; the simulation is single-threaded by design.
+type Metrics struct {
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter is a monotonically non-decreasing sum.
+type Counter struct {
+	name string
+	v    float64
+}
+
+// Add increases the counter by delta (negative deltas are ignored).
+func (c *Counter) Add(delta float64) {
+	if delta > 0 {
+		c.v += delta
+	}
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v++ }
+
+// Value returns the current sum.
+func (c *Counter) Value() float64 { return c.v }
+
+// Name returns the counter's registry name.
+func (c *Counter) Name() string { return c.name }
+
+// Gauge is a point-in-time value that can move in either direction.
+type Gauge struct {
+	name string
+	v    float64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Name returns the gauge's registry name.
+func (g *Gauge) Name() string { return g.name }
+
+// Histogram counts observations into fixed buckets. Bucket i counts
+// observations v with v <= bounds[i] (cumulative style is left to the
+// reader; counts here are per-bucket), and one overflow bucket catches
+// v > bounds[len-1]. Bounds are fixed at creation so merged or repeated
+// runs stay comparable.
+type Histogram struct {
+	name   string
+	bounds []float64
+	counts []int64 // len(bounds)+1; last is overflow
+	n      int64
+	sum    float64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.n++
+	h.sum += v
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.bounds)]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.n }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Buckets returns copies of the bucket bounds and per-bucket counts;
+// the final count is the overflow bucket (> last bound).
+func (h *Histogram) Buckets() ([]float64, []int64) {
+	b := make([]float64, len(h.bounds))
+	copy(b, h.bounds)
+	c := make([]int64, len(h.counts))
+	copy(c, h.counts)
+	return b, c
+}
+
+// Name returns the histogram's registry name.
+func (h *Histogram) Name() string { return h.name }
+
+// Counter returns the named counter, creating it on first use.
+func (m *Metrics) Counter(name string) *Counter {
+	if c, ok := m.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name}
+	m.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (m *Metrics) Gauge(name string) *Gauge {
+	if g, ok := m.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{name: name}
+	m.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds on first use (bounds must be sorted ascending). Later
+// calls with different bounds return the original histogram unchanged.
+func (m *Metrics) Histogram(name string, bounds []float64) *Histogram {
+	if h, ok := m.histograms[name]; ok {
+		return h
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	h := &Histogram{name: name, bounds: b, counts: make([]int64, len(b)+1)}
+	m.histograms[name] = h
+	return h
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteTo renders the registry as sorted "name value" lines (and
+// bucketed lines for histograms). Output order is deterministic.
+func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
+	var written int64
+	emit := func(format string, args ...any) error {
+		n, err := fmt.Fprintf(w, format, args...)
+		written += int64(n)
+		return err
+	}
+	for _, k := range sortedKeys(m.counters) {
+		if err := emit("counter %s %s\n", k, formatVal(m.counters[k].v)); err != nil {
+			return written, err
+		}
+	}
+	for _, k := range sortedKeys(m.gauges) {
+		if err := emit("gauge %s %s\n", k, formatVal(m.gauges[k].v)); err != nil {
+			return written, err
+		}
+	}
+	for _, k := range sortedKeys(m.histograms) {
+		h := m.histograms[k]
+		if err := emit("histogram %s count=%d sum=%s\n", k, h.n, formatVal(h.sum)); err != nil {
+			return written, err
+		}
+		for i, b := range h.bounds {
+			if err := emit("histogram %s le=%s %d\n", k, formatVal(b), h.counts[i]); err != nil {
+				return written, err
+			}
+		}
+		if err := emit("histogram %s le=+inf %d\n", k, h.counts[len(h.bounds)]); err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+func formatVal(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"codesign/internal/sim"
+)
+
+func TestMetricsRegistry(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("bytes").Add(100)
+	m.Counter("bytes").Add(50)
+	m.Counter("bytes").Add(-5) // ignored
+	if got := m.Counter("bytes").Value(); got != 150 {
+		t.Fatalf("counter = %v, want 150", got)
+	}
+	m.Gauge("util").Set(0.5)
+	m.Gauge("util").Set(0.75)
+	if got := m.Gauge("util").Value(); got != 0.75 {
+		t.Fatalf("gauge = %v, want 0.75", got)
+	}
+	h := m.Histogram("lat", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+	if h.Count() != 3 || h.Sum() != 55.5 {
+		t.Fatalf("histogram count=%d sum=%v", h.Count(), h.Sum())
+	}
+	_, counts := h.Buckets()
+	if counts[0] != 1 || counts[1] != 1 || counts[2] != 1 {
+		t.Fatalf("bucket counts = %v", counts)
+	}
+	// Re-registering with different bounds keeps the original.
+	if h2 := m.Histogram("lat", []float64{99}); h2 != h {
+		t.Fatal("histogram identity not stable across re-registration")
+	}
+}
+
+func TestMetricsWriteToDeterministic(t *testing.T) {
+	build := func() string {
+		m := NewMetrics()
+		m.Counter("z.last").Inc()
+		m.Counter("a.first").Add(2)
+		m.Gauge("mid").Set(3)
+		m.Histogram("h", []float64{1}).Observe(0.5)
+		var b strings.Builder
+		if _, err := m.WriteTo(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	a, b := build(), build()
+	if a != b {
+		t.Fatalf("registry output not deterministic:\n%s\nvs\n%s", a, b)
+	}
+	if !strings.Contains(a, "counter a.first 2\n") || !strings.Contains(a, "gauge mid 3\n") {
+		t.Fatalf("unexpected output:\n%s", a)
+	}
+	if strings.Index(a, "a.first") > strings.Index(a, "z.last") {
+		t.Fatalf("counters not sorted:\n%s", a)
+	}
+}
+
+func TestComputeOverlapAttribution(t *testing.T) {
+	spans := []sim.SpanEvent{
+		// FPGA compute [0,4], CPU compute [2,6], DMA [0,8], network [5,9], sync [8,10].
+		{Category: sim.CatCompute, Proc: "fpga", Resource: "fpga0", Start: 0, End: 4},
+		{Category: sim.CatCompute, Proc: "cpu", Resource: "cpu0", Start: 2, End: 6},
+		{Category: sim.CatDMA, Proc: "cpu", Resource: "dram-stream", Bytes: 800, Start: 0, End: 8},
+		{Category: sim.CatNetwork, Proc: "net", Resource: "egress0", Bytes: 100, Start: 5, End: 9},
+		{Category: sim.CatSync, Proc: "cpu", Resource: "cpu0", Start: 8, End: 10},
+	}
+	o := ComputeOverlap(spans, 12)
+	// Priority F > P > M > C > S > idle:
+	// [0,4] Tf, [4,6] Tp, [6,8] Tmem, [8,9] Tcomm, [9,10] sync, [10,12] idle.
+	check := func(name string, got, want float64) {
+		t.Helper()
+		if got != want {
+			t.Fatalf("%s = %v, want %v (overlap %+v)", name, got, want, o)
+		}
+	}
+	check("Tf", o.Tf, 4)
+	check("Tp", o.Tp, 2)
+	check("Tmem", o.Tmem, 2)
+	check("Tcomm", o.Tcomm, 1)
+	check("Sync", o.Sync, 1)
+	check("Idle", o.Idle, 2)
+	check("BusyTf", o.BusyTf, 4)
+	check("BusyTmem", o.BusyTmem, 8)
+	check("components+sync+idle", o.Sum()+o.Sync+o.Idle, 12)
+	// Exposed mem+comm = 3 of busy 12 => efficiency 0.75.
+	check("Efficiency", o.Efficiency(), 0.75)
+}
+
+func TestSummarizeBytesAndStats(t *testing.T) {
+	r := NewRecorder()
+	r.Span(sim.SpanEvent{Category: sim.CatDMA, Proc: "cpu0", Resource: "dram-stream", Bytes: 1000, Start: 0, End: 1})
+	r.Span(sim.SpanEvent{Category: sim.CatNetwork, Proc: "net", Resource: "egress0", Bytes: 300, Start: 0, End: 2})
+	r.Span(sim.SpanEvent{Category: sim.CatSync, Proc: "cpu0", Resource: "dram-stream", Start: 1, End: 3})
+	s := r.Summarize(4)
+	if s.DRAMBytes != 1000 || s.NetworkBytes != 300 {
+		t.Fatalf("bytes = dram %d net %d", s.DRAMBytes, s.NetworkBytes)
+	}
+	if len(s.Procs) != 2 || s.Procs[0].Name != "cpu0" {
+		t.Fatalf("procs = %+v", s.Procs)
+	}
+	if s.Procs[0].Busy != 1 || s.Procs[0].Waiting != 2 {
+		t.Fatalf("cpu0 stats = %+v", s.Procs[0])
+	}
+	var dram *ResourceStats
+	for i := range s.Resources {
+		if s.Resources[i].Name == "dram-stream" {
+			dram = &s.Resources[i]
+		}
+	}
+	if dram == nil || dram.Busy != 1 || dram.Contention != 2 {
+		t.Fatalf("dram-stream stats = %+v", dram)
+	}
+	var b strings.Builder
+	if err := s.WriteReport(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "overlap report") {
+		t.Fatalf("report missing header:\n%s", b.String())
+	}
+	m := NewMetrics()
+	s.Fill(m)
+	if m.Counter("bytes.dram").Value() != 1000 {
+		t.Fatal("Fill did not propagate bytes.dram")
+	}
+}
+
+func TestWriteSpansCSV(t *testing.T) {
+	r := NewRecorder()
+	r.Span(sim.SpanEvent{Category: sim.CatCompute, Proc: "p,0", Resource: "cpu0", Phase: "panel", Start: 0, End: 0.5})
+	var b strings.Builder
+	if err := r.WriteSpansCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "start_s,end_s,category,process,resource,phase,bytes\n") {
+		t.Fatalf("missing header: %q", out)
+	}
+	if !strings.Contains(out, `"p,0"`) {
+		t.Fatalf("comma in process name not quoted:\n%s", out)
+	}
+}
+
+func TestWritePerfettoShape(t *testing.T) {
+	r := NewRecorder()
+	r.Span(sim.SpanEvent{Category: sim.CatCompute, Proc: "cpu0", Resource: "cpu0", Start: 0, End: 1e-3})
+	r.Span(sim.SpanEvent{Category: sim.CatDMA, Proc: "fpga0", Resource: "dram-stream", Bytes: 64, Start: 1e-3, End: 2e-3})
+	var b strings.Builder
+	if err := r.WritePerfetto(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`{"traceEvents":[`,
+		`"ph":"M"`, `"thread_name"`, // track names
+		`"ph":"X"`, `"dur":1000`, // 1 ms = 1000 µs
+		`"bytes":64`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("perfetto output missing %q:\n%s", want, out)
+		}
+	}
+}

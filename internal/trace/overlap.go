@@ -1,0 +1,281 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"codesign/internal/sim"
+)
+
+// Overlap decomposes a run into the model's cost components. The Busy*
+// fields sum span durations per class and can exceed the makespan when
+// activities overlap (that is the point of the hybrid design). The
+// exposed components attribute every instant of the run to exactly one
+// class by priority — FPGA compute > CPU compute > DRAM > network >
+// sync wait > idle — so
+//
+//	Tf + Tp + Tmem + Tcomm + Sync + Idle == Makespan
+//
+// holds exactly. An instant where the network is busy but a processor
+// is also computing charges to Tp, not Tcomm: the communication was
+// hidden, which is what Eqs. (4)-(6) of the paper balance for and what
+// the Sec. 4.5 prediction max(Ttp, Ttf) assumes is perfect.
+type Overlap struct {
+	Makespan float64
+
+	// Total busy seconds per class, summed across all processes and
+	// resources (overlapping spans double-count here by design).
+	BusyTf, BusyTp, BusyTmem, BusyTcomm, BusySync float64
+
+	// Exposed seconds per class: the priority attribution above.
+	Tf, Tp, Tmem, Tcomm, Sync, Idle float64
+}
+
+// Sum returns the exposed model components Tf + Tp + Tmem + Tcomm.
+// When the instrumented run leaves no uncategorized gaps this equals
+// the makespan up to Sync + Idle.
+func (o Overlap) Sum() float64 { return o.Tf + o.Tp + o.Tmem + o.Tcomm }
+
+// Efficiency reports how well data movement was hidden behind compute:
+// 1 - exposed(Tmem+Tcomm)/busy(Tmem+Tcomm). 1 means every byte moved
+// while some processor or FPGA was computing; 0 means nothing
+// overlapped. Returns 1 when the run moved no data.
+func (o Overlap) Efficiency() float64 {
+	busy := o.BusyTmem + o.BusyTcomm
+	if busy <= 0 {
+		return 1
+	}
+	return 1 - (o.Tmem+o.Tcomm)/busy
+}
+
+// span classes for the overlap sweep, in attribution priority order.
+const (
+	classTf = iota
+	classTp
+	classTmem
+	classTcomm
+	classSync
+	numClasses
+)
+
+// classify maps a typed span to its overlap class. Compute spans on
+// resources named "fpga..." (and derived names like "fpga0.fill") are
+// FPGA time; every other compute span is processor time.
+func classify(s sim.SpanEvent) int {
+	switch s.Category {
+	case sim.CatCompute:
+		if strings.HasPrefix(s.Resource, "fpga") {
+			return classTf
+		}
+		return classTp
+	case sim.CatDMA:
+		return classTmem
+	case sim.CatNetwork:
+		return classTcomm
+	default:
+		return classSync
+	}
+}
+
+// ComputeOverlap runs the sweep over the spans. makespan extends the
+// accounting window past the last span end (the tail is idle); pass
+// the engine's final virtual time.
+func ComputeOverlap(spans []sim.SpanEvent, makespan float64) Overlap {
+	o := Overlap{Makespan: makespan}
+
+	type edge struct {
+		t     float64
+		class int
+		delta int
+	}
+	edges := make([]edge, 0, 2*len(spans))
+	for _, s := range spans {
+		if s.End <= s.Start {
+			continue
+		}
+		cl := classify(s)
+		d := s.End - s.Start
+		switch cl {
+		case classTf:
+			o.BusyTf += d
+		case classTp:
+			o.BusyTp += d
+		case classTmem:
+			o.BusyTmem += d
+		case classTcomm:
+			o.BusyTcomm += d
+		case classSync:
+			o.BusySync += d
+		}
+		edges = append(edges, edge{t: s.Start, class: cl, delta: +1})
+		edges = append(edges, edge{t: s.End, class: cl, delta: -1})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].t != edges[j].t {
+			return edges[i].t < edges[j].t
+		}
+		// Close before open at the same instant so zero-length
+		// overlaps do not linger; order within a time is irrelevant
+		// to the attribution because intervals between distinct
+		// times carry the weight.
+		return edges[i].delta < edges[j].delta
+	})
+
+	var active [numClasses]int
+	attribute := func(from, to float64) {
+		if to <= from {
+			return
+		}
+		d := to - from
+		switch {
+		case active[classTf] > 0:
+			o.Tf += d
+		case active[classTp] > 0:
+			o.Tp += d
+		case active[classTmem] > 0:
+			o.Tmem += d
+		case active[classTcomm] > 0:
+			o.Tcomm += d
+		case active[classSync] > 0:
+			o.Sync += d
+		default:
+			o.Idle += d
+		}
+	}
+
+	prev := 0.0
+	for _, ed := range edges {
+		attribute(prev, ed.t)
+		prev = ed.t
+		active[ed.class] += ed.delta
+	}
+	attribute(prev, makespan)
+	return o
+}
+
+// ProcStats summarizes one process's activity.
+type ProcStats struct {
+	Name    string
+	Busy    float64 // seconds in compute/DMA/network spans
+	Waiting float64 // seconds queued on contended resources
+	Bytes   int64   // payload bytes its spans carried
+}
+
+// Utilization returns Busy / makespan.
+func (p ProcStats) Utilization(makespan float64) float64 {
+	if makespan <= 0 {
+		return 0
+	}
+	return p.Busy / makespan
+}
+
+// ResourceStats summarizes one resource's activity as seen by spans.
+type ResourceStats struct {
+	Name       string
+	Busy       float64 // seconds held by typed spans
+	Contention float64 // seconds processes spent queued on it
+	Spans      int64
+	Bytes      int64
+}
+
+// Summary is the per-run telemetry digest attached to application
+// results and printed by the CLIs. All fields derive from virtual time.
+type Summary struct {
+	Makespan float64
+	Spans    int
+	Events   int
+
+	// DRAMBytes counts payload on DMA spans; NetworkBytes counts
+	// payload on network wire spans. Instrumentation attaches bytes
+	// only to the span that moves them (wire or DMA stream), never to
+	// processor-side pack/unpack, so these do not double count.
+	DRAMBytes    int64
+	NetworkBytes int64
+
+	Procs     []ProcStats
+	Resources []ResourceStats
+	Overlap   Overlap
+}
+
+// Fill populates a metrics registry from the summary so external
+// consumers get the same numbers through the counter/gauge interface.
+func (s *Summary) Fill(m *Metrics) {
+	m.Gauge("run.makespan_s").Set(s.Makespan)
+	m.Counter("run.spans").Add(float64(s.Spans))
+	m.Counter("run.events").Add(float64(s.Events))
+	m.Counter("bytes.dram").Add(float64(s.DRAMBytes))
+	m.Counter("bytes.network").Add(float64(s.NetworkBytes))
+	m.Gauge("overlap.exposed.tf_s").Set(s.Overlap.Tf)
+	m.Gauge("overlap.exposed.tp_s").Set(s.Overlap.Tp)
+	m.Gauge("overlap.exposed.tmem_s").Set(s.Overlap.Tmem)
+	m.Gauge("overlap.exposed.tcomm_s").Set(s.Overlap.Tcomm)
+	m.Gauge("overlap.exposed.sync_s").Set(s.Overlap.Sync)
+	m.Gauge("overlap.exposed.idle_s").Set(s.Overlap.Idle)
+	m.Gauge("overlap.busy.tf_s").Set(s.Overlap.BusyTf)
+	m.Gauge("overlap.busy.tp_s").Set(s.Overlap.BusyTp)
+	m.Gauge("overlap.busy.tmem_s").Set(s.Overlap.BusyTmem)
+	m.Gauge("overlap.busy.tcomm_s").Set(s.Overlap.BusyTcomm)
+	m.Gauge("overlap.efficiency").Set(s.Overlap.Efficiency())
+	for _, p := range s.Procs {
+		m.Gauge("proc." + p.Name + ".busy_s").Set(p.Busy)
+		m.Gauge("proc." + p.Name + ".wait_s").Set(p.Waiting)
+	}
+	for _, r := range s.Resources {
+		m.Gauge("resource." + r.Name + ".busy_s").Set(r.Busy)
+		m.Gauge("resource." + r.Name + ".contention_s").Set(r.Contention)
+	}
+}
+
+// WriteReport renders the human-readable overlap report the -metrics
+// flag prints.
+func (s *Summary) WriteReport(w io.Writer) error {
+	o := s.Overlap
+	pct := func(v float64) float64 {
+		if s.Makespan <= 0 {
+			return 0
+		}
+		return 100 * v / s.Makespan
+	}
+	lines := []string{
+		fmt.Sprintf("overlap report (makespan %.6g s, %d spans)", s.Makespan, s.Spans),
+		fmt.Sprintf("  exposed Tf    %12.6g s  (%5.1f%%)  busy %.6g s", o.Tf, pct(o.Tf), o.BusyTf),
+		fmt.Sprintf("  exposed Tp    %12.6g s  (%5.1f%%)  busy %.6g s", o.Tp, pct(o.Tp), o.BusyTp),
+		fmt.Sprintf("  exposed Tmem  %12.6g s  (%5.1f%%)  busy %.6g s", o.Tmem, pct(o.Tmem), o.BusyTmem),
+		fmt.Sprintf("  exposed Tcomm %12.6g s  (%5.1f%%)  busy %.6g s", o.Tcomm, pct(o.Tcomm), o.BusyTcomm),
+		fmt.Sprintf("  exposed sync  %12.6g s  (%5.1f%%)", o.Sync, pct(o.Sync)),
+		fmt.Sprintf("  exposed idle  %12.6g s  (%5.1f%%)", o.Idle, pct(o.Idle)),
+		fmt.Sprintf("  Tf+Tp+Tmem+Tcomm = %.6g s", o.Sum()),
+		fmt.Sprintf("  overlap efficiency: %.4f (fraction of data movement hidden behind compute)", o.Efficiency()),
+		fmt.Sprintf("  bytes: DRAM %d, network %d", s.DRAMBytes, s.NetworkBytes),
+	}
+	for _, ln := range lines {
+		if _, err := fmt.Fprintln(w, ln); err != nil {
+			return err
+		}
+	}
+	if len(s.Resources) > 0 {
+		if _, err := fmt.Fprintln(w, "  top contended resources:"); err != nil {
+			return err
+		}
+		top := make([]ResourceStats, len(s.Resources))
+		copy(top, s.Resources)
+		sort.Slice(top, func(i, j int) bool {
+			if top[i].Contention != top[j].Contention {
+				return top[i].Contention > top[j].Contention
+			}
+			return top[i].Name < top[j].Name
+		})
+		if len(top) > 5 {
+			top = top[:5]
+		}
+		for _, r := range top {
+			if _, err := fmt.Fprintf(w, "    %-14s busy %.6g s, contention %.6g s, %d spans\n",
+				r.Name, r.Busy, r.Contention, r.Spans); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

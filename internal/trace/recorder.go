@@ -1,0 +1,250 @@
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+
+	"codesign/internal/sim"
+)
+
+// Recorder implements sim.Observer: it captures the raw event stream
+// and every typed span for post-run analysis. Register it with
+// Engine.Observe (or pass it through an application config's Observer
+// field). The recorder keeps everything in memory; simulated runs emit
+// at most a few spans per block operation, so this is cheap at the
+// paper's problem sizes.
+type Recorder struct {
+	spans   []sim.SpanEvent
+	events  []Event
+	nEvents int
+	// KeepEvents controls whether raw (time, proc, action) events are
+	// stored in addition to spans. Spans are always kept; events are
+	// always counted.
+	KeepEvents bool
+}
+
+// NewRecorder returns a recorder that stores spans only. Set
+// KeepEvents before the run to also capture the raw event stream.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Event stores one raw engine action (sim.Observer).
+func (r *Recorder) Event(t float64, proc, action string) {
+	r.nEvents++
+	if r.KeepEvents {
+		r.events = append(r.events, Event{Time: t, Proc: proc, Action: action})
+	}
+}
+
+// EventCount returns the number of raw events seen (kept or not).
+func (r *Recorder) EventCount() int { return r.nEvents }
+
+// Span stores one completed typed span (sim.Observer).
+func (r *Recorder) Span(s sim.SpanEvent) { r.spans = append(r.spans, s) }
+
+// Spans returns the recorded spans in emission (end-time) order.
+func (r *Recorder) Spans() []sim.SpanEvent {
+	out := make([]sim.SpanEvent, len(r.spans))
+	copy(out, r.spans)
+	return out
+}
+
+// Events returns the recorded raw events (empty unless KeepEvents).
+func (r *Recorder) Events() []Event {
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Reset discards everything recorded so far.
+func (r *Recorder) Reset() {
+	r.spans = r.spans[:0]
+	r.events = r.events[:0]
+	r.nEvents = 0
+}
+
+// Summarize digests the recorded spans into a Summary: per-process
+// busy/wait, per-resource busy/contention, bytes moved, and the
+// overlap decomposition against the given makespan (pass the engine's
+// final virtual time).
+func (r *Recorder) Summarize(makespan float64) *Summary {
+	s := &Summary{
+		Makespan: makespan,
+		Spans:    len(r.spans),
+		Events:   r.nEvents,
+	}
+	procs := map[string]*ProcStats{}
+	ress := map[string]*ResourceStats{}
+	for _, sp := range r.spans {
+		d := sp.End - sp.Start
+		p := procs[sp.Proc]
+		if p == nil {
+			p = &ProcStats{Name: sp.Proc}
+			procs[sp.Proc] = p
+		}
+		if sp.Category == sim.CatSync {
+			p.Waiting += d
+		} else {
+			p.Busy += d
+			p.Bytes += sp.Bytes
+		}
+		if sp.Resource != "" {
+			res := ress[sp.Resource]
+			if res == nil {
+				res = &ResourceStats{Name: sp.Resource}
+				ress[sp.Resource] = res
+			}
+			res.Spans++
+			if sp.Category == sim.CatSync {
+				res.Contention += d
+			} else {
+				res.Busy += d
+				res.Bytes += sp.Bytes
+			}
+		}
+		switch sp.Category {
+		case sim.CatDMA:
+			s.DRAMBytes += sp.Bytes
+		case sim.CatNetwork:
+			s.NetworkBytes += sp.Bytes
+		}
+	}
+	for _, k := range sortedKeys(procs) {
+		s.Procs = append(s.Procs, *procs[k])
+	}
+	for _, k := range sortedKeys(ress) {
+		s.Resources = append(s.Resources, *ress[k])
+	}
+	s.Overlap = ComputeOverlap(r.spans, makespan)
+	return s
+}
+
+// perfetto trace_event structures. Fields are structs (never maps) so
+// JSON field order — and therefore the exported bytes — is fixed.
+type perfettoArgs struct {
+	Name     string `json:"name,omitempty"`
+	Resource string `json:"resource,omitempty"`
+	Phase    string `json:"phase,omitempty"`
+	Bytes    int64  `json:"bytes,omitempty"`
+}
+
+type perfettoEvent struct {
+	Name string        `json:"name"`
+	Cat  string        `json:"cat,omitempty"`
+	Ph   string        `json:"ph"`
+	Ts   float64       `json:"ts"`
+	Dur  float64       `json:"dur,omitempty"`
+	Pid  int           `json:"pid"`
+	Tid  int           `json:"tid"`
+	Args *perfettoArgs `json:"args,omitempty"`
+}
+
+// WritePerfetto exports the spans as Chrome trace_event JSON loadable
+// in Perfetto (ui.perfetto.dev) or chrome://tracing. Each process gets
+// a thread track (tid assigned in first-span order) named via "M"
+// metadata events; spans become "X" complete events with timestamps
+// and durations in microseconds of virtual time. Output is
+// deterministic: identical runs export identical bytes.
+func (r *Recorder) WritePerfetto(w io.Writer) error {
+	tids := map[string]int{}
+	var names []string
+	for _, sp := range r.spans {
+		if _, ok := tids[sp.Proc]; !ok {
+			tids[sp.Proc] = len(names)
+			names = append(names, sp.Proc)
+		}
+	}
+	events := make([]perfettoEvent, 0, len(r.spans)+len(names))
+	for i, n := range names {
+		events = append(events, perfettoEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: i,
+			Args: &perfettoArgs{Name: n},
+		})
+	}
+	const usec = 1e6
+	for _, sp := range r.spans {
+		ev := perfettoEvent{
+			Name: sp.Category.String(),
+			Cat:  sp.Category.String(),
+			Ph:   "X",
+			Ts:   sp.Start * usec,
+			Dur:  (sp.End - sp.Start) * usec,
+			Pid:  0,
+			Tid:  tids[sp.Proc],
+		}
+		if sp.Resource != "" || sp.Phase != "" || sp.Bytes != 0 {
+			ev.Args = &perfettoArgs{Resource: sp.Resource, Phase: sp.Phase, Bytes: sp.Bytes}
+		}
+		events = append(events, ev)
+	}
+	if _, err := io.WriteString(w, `{"traceEvents":[`); err != nil {
+		return err
+	}
+	for i, ev := range events {
+		if i > 0 {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]}\n")
+	return err
+}
+
+// WriteSpansCSV exports the spans as RFC-4180 CSV with header
+// "start_s,end_s,category,process,resource,phase,bytes".
+func (r *Recorder) WriteSpansCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"start_s", "end_s", "category", "process", "resource", "phase", "bytes"}); err != nil {
+		return err
+	}
+	for _, sp := range r.spans {
+		row := []string{
+			strconv.FormatFloat(sp.Start, 'f', 9, 64),
+			strconv.FormatFloat(sp.End, 'f', 9, 64),
+			sp.Category.String(),
+			sp.Proc,
+			sp.Resource,
+			sp.Phase,
+			strconv.FormatInt(sp.Bytes, 10),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ByCategory returns total span seconds per category, a quick
+// aggregate for tests and ad-hoc inspection.
+func (r *Recorder) ByCategory() map[sim.Category]float64 {
+	out := map[sim.Category]float64{}
+	for _, sp := range r.spans {
+		out[sp.Category] += sp.End - sp.Start
+	}
+	return out
+}
+
+// sortSpans orders spans by (start, end, proc) — useful for tests that
+// compare span sets irrespective of emission order.
+func SortSpans(spans []sim.SpanEvent) {
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		if spans[i].End != spans[j].End {
+			return spans[i].End < spans[j].End
+		}
+		return spans[i].Proc < spans[j].Proc
+	})
+}

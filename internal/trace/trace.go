@@ -1,13 +1,17 @@
-// Package trace records simulation activity for inspection: a
-// collector plugs into the engine's trace hook, accumulates per-process
-// event records, and renders them as a text timeline or CSV for offline
-// analysis of the hybrid designs' overlap behaviour.
+// Package trace records simulation activity for inspection. Two
+// consumers plug into the engine: the legacy Collector attaches to the
+// raw (time, proc, action) trace hook and renders a text timeline or
+// CSV, while the Recorder implements sim.Observer and captures typed
+// spans for the metrics registry, the overlap report, and the
+// Perfetto exporter.
 package trace
 
 import (
+	"encoding/csv"
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 
 	"codesign/internal/sim"
@@ -64,18 +68,22 @@ func (c *Collector) Dropped() int64 { return c.dropped }
 // Len returns the stored event count.
 func (c *Collector) Len() int { return len(c.events) }
 
-// WriteCSV renders the events as "time,proc,action" rows.
+// WriteCSV renders the events as RFC-4180 CSV with a
+// "time_s,process,action" header. Fields containing commas, quotes or
+// newlines are quoted, not rewritten.
 func (c *Collector) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "time_s,process,action"); err != nil {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_s", "process", "action"}); err != nil {
 		return err
 	}
 	for _, e := range c.events {
-		action := strings.ReplaceAll(e.Action, ",", ";")
-		if _, err := fmt.Fprintf(w, "%.9f,%s,%s\n", e.Time, e.Proc, action); err != nil {
+		row := []string{strconv.FormatFloat(e.Time, 'f', 9, 64), e.Proc, e.Action}
+		if err := cw.Write(row); err != nil {
 			return err
 		}
 	}
-	return nil
+	cw.Flush()
+	return cw.Error()
 }
 
 // Span is a contiguous busy interval of one process.
@@ -88,12 +96,23 @@ type Span struct {
 // timed waits in the engine, so a "block: wait" opens a busy span that
 // the process's next "resume" closes; blocking on resources, mailboxes
 // or signals is idle time and produces no span.
+//
+// Invariant: the engine emits strictly alternating block/resume pairs
+// per process, so at most one span is open per process at a time. The
+// derivation still defends against malformed streams (hand-built or
+// filtered collectors): a second "block: wait" before the matching
+// "resume" closes the open span at the new block time instead of
+// silently discarding the earlier interval, and a trailing open span
+// with no final "resume" is dropped because its end is unknown.
 func (c *Collector) Spans() []Span {
 	open := map[string]float64{}
 	var spans []Span
 	for _, e := range c.events {
 		switch {
 		case strings.HasPrefix(e.Action, "block: wait"):
+			if s, ok := open[e.Proc]; ok && e.Time > s {
+				spans = append(spans, Span{Proc: e.Proc, Start: s, End: e.Time})
+			}
 			open[e.Proc] = e.Time
 		case e.Action == "resume":
 			if s, ok := open[e.Proc]; ok {
@@ -116,7 +135,7 @@ func (c *Collector) Spans() []Span {
 }
 
 // WriteTimeline renders a coarse text Gantt chart: one row per process,
-// width columns across [0, horizon] (horizon 0 = max event time).
+// width columns across [0, horizon] (horizon 0 = max recorded time).
 func (c *Collector) WriteTimeline(w io.Writer, width int, horizon float64) error {
 	if width <= 0 {
 		width = 80
@@ -130,8 +149,22 @@ func (c *Collector) WriteTimeline(w io.Writer, width int, horizon float64) error
 		}
 	}
 	if horizon <= 0 {
-		_, err := fmt.Fprintln(w, "(no activity)")
-		return err
+		// No busy span ends after 0; fall back to the raw events so a
+		// trace that only blocks (or sits at t=0) still renders rows.
+		for _, e := range c.events {
+			if e.Time > horizon {
+				horizon = e.Time
+			}
+		}
+	}
+	if horizon <= 0 {
+		if len(c.events) == 0 {
+			_, err := fmt.Fprintln(w, "(no activity)")
+			return err
+		}
+		// Events exist but everything happened at t=0: use a nominal
+		// horizon so the chart still shows each process row.
+		horizon = 1
 	}
 	byProc := map[string][]Span{}
 	var procs []string
@@ -156,6 +189,9 @@ func (c *Collector) WriteTimeline(w io.Writer, width int, horizon float64) error
 		for _, s := range byProc[p] {
 			lo := int(s.Start / horizon * float64(width))
 			hi := int(s.End / horizon * float64(width))
+			if lo >= width {
+				lo = width - 1
+			}
 			if hi >= width {
 				hi = width - 1
 			}
