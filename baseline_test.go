@@ -1,0 +1,77 @@
+package codesign
+
+// The benchmark-regression gate: the headline numbers of the evaluation
+// must reproduce bit-exactly against the committed baseline. The
+// simulator derives every metric from deterministic virtual-time
+// arithmetic, so any diff is a behavior change in the code — either a
+// bug or an intended change that requires regenerating the baseline.
+
+import (
+	"testing"
+
+	"codesign/internal/analysis"
+	"codesign/internal/exper"
+)
+
+// baselineFile is the committed baseline at the repository root (tests
+// run with the package directory as working directory).
+const baselineFile = "BENCH_baseline.json"
+
+// BenchmarkHeadline runs the full headline suite as one benchmark and
+// reports its flagship metrics; CI runs it at -benchtime=1x as a smoke
+// test that the suite itself stays healthy.
+func BenchmarkHeadline(b *testing.B) {
+	var base *analysis.Baseline
+	for i := 0; i < b.N; i++ {
+		var err error
+		base, err = exper.Headline()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(base.Metrics["lu.hybrid.gflops"], "lu_GFLOPS")
+	b.ReportMetric(base.Metrics["fw.hybrid.gflops"], "fw_GFLOPS")
+	b.ReportMetric(base.Metrics["lu.hybrid.overlap_efficiency"], "lu_overlap_eff")
+	b.ReportMetric(float64(len(base.Metrics)), "metrics")
+}
+
+// TestHeadlineMatchesCommittedBaseline is the regression gate itself.
+func TestHeadlineMatchesCommittedBaseline(t *testing.T) {
+	old, err := analysis.ReadBaselineFile(baselineFile)
+	if err != nil {
+		t.Fatalf("reading committed baseline: %v", err)
+	}
+	fresh, err := exper.Headline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas := analysis.Diff(old, fresh, 0)
+	if len(deltas) == 0 {
+		return
+	}
+	for _, d := range deltas {
+		t.Log(d)
+	}
+	t.Fatalf("%d of %d headline metrics diverge from %s; if this change is intended, regenerate with: go run ./cmd/experiments -bench-json %s",
+		len(deltas), len(old.Metrics), baselineFile, baselineFile)
+}
+
+// TestHeadlineDeterministic runs the suite twice in-process and demands
+// identical values — the property that lets the gate use zero
+// tolerance.
+func TestHeadlineDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full headline runs")
+	}
+	a, err := exper.Headline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := exper.Headline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds := analysis.Diff(a, b, 0); len(ds) != 0 {
+		t.Fatalf("back-to-back headline runs differ: %v", ds)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"codesign/internal/analysis"
 	"codesign/internal/core"
 	"codesign/internal/cpu"
 	"codesign/internal/exper"
@@ -18,6 +19,35 @@ import (
 	"codesign/internal/matrix"
 	"codesign/internal/sim"
 )
+
+// BenchmarkBaselineDrift re-runs the headline suite and reports its
+// drift against the committed BENCH_baseline.json: the number of
+// diverging metrics and the worst relative delta. On an unchanged tree
+// both are zero; after a behavior change the numbers quantify it before
+// the baseline is regenerated (see EXPERIMENTS.md "Benchmark
+// baseline").
+func BenchmarkBaselineDrift(b *testing.B) {
+	old, err := analysis.ReadBaselineFile(baselineFile)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var deltas []analysis.Delta
+	for i := 0; i < b.N; i++ {
+		fresh, err := exper.Headline()
+		if err != nil {
+			b.Fatal(err)
+		}
+		deltas = analysis.Diff(old, fresh, 0)
+	}
+	worst := 0.0
+	for _, d := range deltas {
+		if d.Rel > worst {
+			worst = d.Rel
+		}
+	}
+	b.ReportMetric(float64(len(deltas)), "diverging_metrics")
+	b.ReportMetric(worst, "worst_rel_delta")
+}
 
 // BenchmarkTable1 regenerates Table 1: opLU/opL/opU latencies at b=3000.
 func BenchmarkTable1(b *testing.B) {

@@ -1,5 +1,6 @@
 // Command experiments regenerates the tables and figures of the paper's
-// evaluation section from fresh simulations.
+// evaluation section from fresh simulations, and doubles as the
+// benchmark-regression gate over the repository's headline numbers.
 //
 // Usage:
 //
@@ -7,6 +8,12 @@
 //	experiments -full fig9          # Figure 9 with the paper's n=92160
 //	experiments -csv fig5 fig7      # selected experiments as CSV
 //	experiments list                # show what is available
+//	experiments -bench-json BENCH_baseline.json   # write the baseline
+//	experiments -check BENCH_baseline.json        # re-run and diff
+//
+// The simulator is deterministic, so -check against a baseline from the
+// same build must pass with zero diff; -tol admits small relative drift
+// when comparing across builds that intentionally changed behavior.
 package main
 
 import (
@@ -14,6 +21,7 @@ import (
 	"fmt"
 	"os"
 
+	"codesign/internal/analysis"
 	"codesign/internal/exper"
 )
 
@@ -47,7 +55,29 @@ var experiments = []struct {
 func main() {
 	full := flag.Bool("full", false, "use the paper's full FW problem size (n=92160; a long simulation)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	benchJSON := flag.String("bench-json", "", "run the headline benchmark suite and write its baseline JSON to `file`")
+	check := flag.String("check", "", "re-run the headline suite and fail on any metric diff against baseline `file`")
+	tol := flag.Float64("tol", 0, "relative tolerance for -check (0 = demand bit-exact equality)")
 	flag.Parse()
+
+	if *benchJSON != "" && *check != "" {
+		fmt.Fprintln(os.Stderr, "experiments: -bench-json and -check are mutually exclusive")
+		os.Exit(2)
+	}
+	if *benchJSON != "" {
+		if err := writeBaseline(*benchJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *check != "" {
+		if err := checkBaseline(*check, *tol); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	args := flag.Args()
 	if len(args) == 0 {
@@ -96,6 +126,42 @@ func main() {
 			os.Exit(2)
 		}
 	}
+}
+
+// writeBaseline runs the headline suite and serializes it.
+func writeBaseline(path string) error {
+	b, err := exper.Headline()
+	if err != nil {
+		return err
+	}
+	if err := b.WriteFile(path); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d headline metrics to %s\n", len(b.Metrics), path)
+	return nil
+}
+
+// checkBaseline re-runs the headline suite and diffs it against a
+// stored baseline, reporting every divergent metric before failing.
+func checkBaseline(path string, tol float64) error {
+	old, err := analysis.ReadBaselineFile(path)
+	if err != nil {
+		return err
+	}
+	fresh, err := exper.Headline()
+	if err != nil {
+		return err
+	}
+	deltas := analysis.Diff(old, fresh, tol)
+	if len(deltas) == 0 {
+		fmt.Printf("check passed: %d metrics match %s (tol %g)\n", len(old.Metrics), path, tol)
+		return nil
+	}
+	for _, d := range deltas {
+		fmt.Fprintln(os.Stderr, "  ", d)
+	}
+	return fmt.Errorf("%d of %d metrics diverge from %s (tol %g); if the change is intended, regenerate with: go run ./cmd/experiments -bench-json %s",
+		len(deltas), len(old.Metrics), path, tol, path)
 }
 
 func usage() {

@@ -7,43 +7,67 @@
 //	hybridsim -app lu -n 30000 -b 3000                  # paper headline
 //	hybridsim -app fw -n 18432 -b 256 -mode fpga-only   # a baseline
 //	hybridsim -app lu -n 300 -b 60 -pes 4 -functional   # with real data
+//	hybridsim -app lu -analyze                          # critical path + bottlenecks
 //	hybridsim -app fw -machine xt3 -n 6144 -b 256 -pes 8
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"codesign/internal/analysis"
 	"codesign/internal/core"
 	"codesign/internal/machine"
+	"codesign/internal/model"
 	"codesign/internal/sim"
 	"codesign/internal/trace"
 )
 
 func main() {
-	var (
-		app        = flag.String("app", "lu", "application: lu, fw, mm, chol, qr or cg")
-		mc         = flag.String("machine", "xd1", "machine preset: xd1, xt3, src6, rasc")
-		n          = flag.Int("n", 30000, "problem size")
-		b          = flag.Int("b", 3000, "block size")
-		pes        = flag.Int("pes", 0, "FPGA PE count (0 = largest that fits)")
-		mode       = flag.String("mode", "hybrid", "design: hybrid, processor-only, fpga-only")
-		bf         = flag.Int("bf", -1, "LU: FPGA row share per stripe (-1 = solve Eq. 4)")
-		l          = flag.Int("l", -1, "LU: panel pipeline depth (-1 = solve Eq. 5)")
-		l1         = flag.Int("l1", -1, "FW: processor ops per phase (-1 = solve Eq. 6)")
-		functional = flag.Bool("functional", false, "carry real matrices and verify the result")
-		seed       = flag.Int64("seed", 1, "functional input seed")
-		timeline   = flag.Bool("timeline", false, "print a per-process activity timeline (small runs only)")
-		metrics    = flag.Bool("metrics", false, "print per-run utilization and the Tp/Tf/Tmem/Tcomm overlap report")
-		traceOut   = flag.String("trace-out", "", "write a Chrome/Perfetto trace_event JSON file of the run")
-	)
+	var o options
+	flag.StringVar(&o.App, "app", "lu", "application: lu, fw, mm, chol, qr or cg")
+	flag.StringVar(&o.Machine, "machine", "xd1", "machine preset: xd1, xt3, src6, rasc")
+	flag.IntVar(&o.N, "n", 30000, "problem size")
+	flag.IntVar(&o.B, "b", 3000, "block size")
+	flag.IntVar(&o.PEs, "pes", 0, "FPGA PE count (0 = largest that fits)")
+	flag.StringVar(&o.Mode, "mode", "hybrid", "design: hybrid, processor-only, fpga-only")
+	flag.IntVar(&o.BF, "bf", -1, "LU: FPGA row share per stripe (-1 = solve Eq. 4)")
+	flag.IntVar(&o.L, "l", -1, "LU: panel pipeline depth (-1 = solve Eq. 5)")
+	flag.IntVar(&o.L1, "l1", -1, "FW: processor ops per phase (-1 = solve Eq. 6)")
+	flag.BoolVar(&o.Functional, "functional", false, "carry real matrices and verify the result")
+	flag.Int64Var(&o.Seed, "seed", 1, "functional input seed")
+	flag.BoolVar(&o.Timeline, "timeline", false, "print a per-process activity timeline (small runs only)")
+	flag.BoolVar(&o.Metrics, "metrics", false, "print per-run utilization and the Tp/Tf/Tmem/Tcomm overlap report")
+	flag.BoolVar(&o.Analyze, "analyze", false, "print the critical path, per-phase bottleneck attribution and resource timelines")
+	flag.StringVar(&o.TraceOut, "trace-out", "", "write a Chrome/Perfetto trace_event JSON file of the run")
+	flag.StringVar(&o.MetricsOut, "metrics-out", "", "write the run's metrics registry as CSV to `file`")
+	flag.StringVar(&o.SpansOut, "spans-out", "", "write the raw typed spans as CSV to `file`")
 	flag.Parse()
 
-	if err := run(*app, *mc, *n, *b, *pes, *mode, *bf, *l, *l1, *functional, *seed, *timeline, *metrics, *traceOut); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "hybridsim:", err)
 		os.Exit(1)
 	}
+}
+
+// options bundles every CLI knob run needs; tests construct it
+// directly.
+type options struct {
+	App        string
+	Machine    string
+	N, B, PEs  int
+	Mode       string
+	BF, L, L1  int
+	Functional bool
+	Seed       int64
+	Timeline   bool
+	Metrics    bool
+	Analyze    bool
+	TraceOut   string
+	MetricsOut string
+	SpansOut   string
 }
 
 func machineByName(name string) (machine.Config, error) {
@@ -74,12 +98,12 @@ func modeByName(name string) (core.Mode, error) {
 	}
 }
 
-func run(app, mcName string, n, b, pes int, modeName string, bf, l, l1 int, functional bool, seed int64, timeline, metrics bool, traceOut string) error {
-	mc, err := machineByName(mcName)
+func run(o options) error {
+	mc, err := machineByName(o.Machine)
 	if err != nil {
 		return err
 	}
-	md, err := modeByName(modeName)
+	md, err := modeByName(o.Mode)
 	if err != nil {
 		return err
 	}
@@ -87,7 +111,7 @@ func run(app, mcName string, n, b, pes int, modeName string, bf, l, l1 int, func
 
 	var col *trace.Collector
 	var hook func(float64, string, string)
-	if timeline {
+	if o.Timeline {
 		col = &trace.Collector{Limit: 2_000_000}
 		hook = func(t float64, proc, action string) {
 			col.Record(t, proc, action)
@@ -100,97 +124,149 @@ func run(app, mcName string, n, b, pes int, modeName string, bf, l, l1 int, func
 		}()
 	}
 
-	// The recorder doubles as the span sink for -trace-out. Keep the
-	// Observer interface value nil unless a recorder exists: a typed
-	// nil *trace.Recorder inside a non-nil interface would still be
-	// invoked by the engine.
+	// The recorder doubles as the span sink for -trace-out, -analyze
+	// and -spans-out. Keep the Observer interface value nil unless a
+	// recorder exists: a typed nil *trace.Recorder inside a non-nil
+	// interface would still be invoked by the engine.
 	var rec *trace.Recorder
 	var obs sim.Observer
-	if traceOut != "" {
+	if o.TraceOut != "" || o.SpansOut != "" || o.Analyze {
 		rec = trace.NewRecorder()
 		obs = rec
 	}
+	// -metrics-out exports the telemetry summary, so it implies
+	// summarization even without the printed -metrics report.
+	telemetry := o.Metrics || o.MetricsOut != ""
 
-	switch app {
+	// res and expected feed the post-run exports: the generic result
+	// for telemetry, and the analytic model's predicted binding per
+	// phase for -analyze's agreement column.
+	var res *core.Result
+	var expected map[string]model.Binding
+
+	switch o.App {
 	case "lu":
 		r, err := core.RunLU(core.LUConfig{
-			Machine: mc, N: n, B: b, PEs: pes, BF: bf, L: l,
-			Mode: md, Functional: functional, Seed: seed, Trace: hook,
-			Observer: obs, Telemetry: metrics,
+			Machine: mc, N: o.N, B: o.B, PEs: o.PEs, BF: o.BF, L: o.L,
+			Mode: md, Functional: o.Functional, Seed: o.Seed, Trace: hook,
+			Observer: obs, Telemetry: telemetry,
 		})
 		if err != nil {
 			return err
 		}
 		printLU(r)
+		res = &r.Result
+		bind, _ := r.Model.StripeBinding(r.BF)
+		expected = map[string]model.Binding{"opmm": bind}
 	case "fw":
 		r, err := core.RunFW(core.FWConfig{
-			Machine: mc, N: n, B: b, PEs: pes, L1: l1,
-			Mode: md, Functional: functional, Seed: seed, Trace: hook,
-			Observer: obs, Telemetry: metrics,
+			Machine: mc, N: o.N, B: o.B, PEs: o.PEs, L1: o.L1,
+			Mode: md, Functional: o.Functional, Seed: o.Seed, Trace: hook,
+			Observer: obs, Telemetry: telemetry,
 		})
 		if err != nil {
 			return err
 		}
 		printFW(r)
+		res = &r.Result
+		bind, _ := r.Model.PhaseBinding(r.L1, r.L2)
+		expected = map[string]model.Binding{"op": bind}
 	case "mm":
 		r, err := core.RunMM(core.MMConfig{
-			Machine: mc, N: n, PEs: pes, BF: bf,
-			Mode: md, Functional: functional, Seed: seed,
-			Observer: obs, Telemetry: metrics,
+			Machine: mc, N: o.N, PEs: o.PEs, BF: o.BF,
+			Mode: md, Functional: o.Functional, Seed: o.Seed,
+			Observer: obs, Telemetry: telemetry,
 		})
 		if err != nil {
 			return err
 		}
 		printMM(r)
+		res = &r.Result
+		bind, _ := r.Model.StripeBinding(r.BF)
+		expected = map[string]model.Binding{"stripe": bind}
 	case "qr":
 		r, err := core.RunQR(core.QRConfig{
-			Machine: mc, N: n, B: b, PEs: pes, BF: bf,
-			Mode: md, Functional: functional, Seed: seed,
-			Observer: obs, Telemetry: metrics,
+			Machine: mc, N: o.N, B: o.B, PEs: o.PEs, BF: o.BF,
+			Mode: md, Functional: o.Functional, Seed: o.Seed,
+			Observer: obs, Telemetry: telemetry,
 		})
 		if err != nil {
 			return err
 		}
 		printQR(r)
+		res = &r.Result
+		bind, _ := r.Model.StripeBinding(r.BF)
+		expected = map[string]model.Binding{"update": bind}
 	case "cg":
 		r, err := core.RunCG(core.CGConfig{
-			Machine: mc, N: n, PEs: pes, RowsFPGA: bf,
-			Mode: md, Seed: seed,
-			Observer: obs, Telemetry: metrics,
+			Machine: mc, N: o.N, PEs: o.PEs, RowsFPGA: o.BF,
+			Mode: md, Seed: o.Seed,
+			Observer: obs, Telemetry: telemetry,
 		})
 		if err != nil {
 			return err
 		}
 		printCG(r)
+		res = &r.Result
 	case "chol":
 		r, err := core.RunCholesky(core.CholConfig{
-			Machine: mc, N: n, B: b, PEs: pes, BF: bf, L: l,
-			Mode: md, Functional: functional, Seed: seed,
-			Observer: obs, Telemetry: metrics,
+			Machine: mc, N: o.N, B: o.B, PEs: o.PEs, BF: o.BF, L: o.L,
+			Mode: md, Functional: o.Functional, Seed: o.Seed,
+			Observer: obs, Telemetry: telemetry,
 		})
 		if err != nil {
 			return err
 		}
 		printChol(r)
+		res = &r.Result
+		bind, _ := r.Model.StripeBinding(r.BF)
+		expected = map[string]model.Binding{"opmm": bind}
 	default:
-		return fmt.Errorf("unknown app %q (want lu, fw, mm, chol, qr or cg)", app)
+		return fmt.Errorf("unknown app %q (want lu, fw, mm, chol, qr or cg)", o.App)
 	}
-	if rec != nil {
-		f, err := os.Create(traceOut)
-		if err != nil {
-			return fmt.Errorf("trace-out: %w", err)
+
+	if o.Analyze {
+		rep := analysis.Analyze(rec.Spans(), res.Seconds, analysis.Options{Expected: expected})
+		fmt.Println()
+		if err := rep.WriteReport(os.Stdout); err != nil {
+			return fmt.Errorf("analyze: %w", err)
 		}
-		if err := rec.WritePerfetto(f); err != nil {
-			f.Close()
-			return fmt.Errorf("trace-out: %w", err)
+	}
+	if o.MetricsOut != "" {
+		m := trace.NewMetrics()
+		res.Telemetry.Fill(m)
+		if err := writeTo(o.MetricsOut, m.WriteCSV); err != nil {
+			return fmt.Errorf("metrics-out: %w", err)
 		}
-		if err := f.Close(); err != nil {
+		fmt.Printf("metrics:           -> %s\n", o.MetricsOut)
+	}
+	if o.SpansOut != "" {
+		if err := writeTo(o.SpansOut, rec.WriteSpansCSV); err != nil {
+			return fmt.Errorf("spans-out: %w", err)
+		}
+		fmt.Printf("spans:             %d spans -> %s\n", len(rec.Spans()), o.SpansOut)
+	}
+	if o.TraceOut != "" {
+		if err := writeTo(o.TraceOut, rec.WritePerfetto); err != nil {
 			return fmt.Errorf("trace-out: %w", err)
 		}
 		fmt.Printf("trace:             %d spans -> %s (chrome://tracing, ui.perfetto.dev)\n",
-			len(rec.Spans()), traceOut)
+			len(rec.Spans()), o.TraceOut)
 	}
 	return nil
+}
+
+// writeTo creates path and streams write into it, closing cleanly.
+func writeTo(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func printMM(r *core.MMResult) {

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"codesign/internal/core"
@@ -37,24 +40,81 @@ func TestModeByName(t *testing.T) {
 	}
 }
 
+// small returns a fast end-to-end configuration for the given app.
+func small(app string) options {
+	o := options{App: app, Machine: "xd1", N: 120, B: 20, PEs: 4, Mode: "hybrid",
+		BF: -1, L: -1, L1: -1, Functional: true, Seed: 1, Metrics: true}
+	switch app {
+	case "fw":
+		o.N, o.B = 96, 8
+	case "mm":
+		o.N, o.B = 96, 0
+	case "cg":
+		o.N, o.B, o.PEs, o.Functional = 128, 0, 0, false
+	}
+	return o
+}
+
 func TestRunAllApps(t *testing.T) {
-	// End-to-end through the CLI's run path at small sizes.
-	for _, app := range []string{"lu", "fw", "mm", "chol", "qr"} {
-		n, b := 120, 20
-		if app == "fw" {
-			n, b = 96, 8
-		}
-		if app == "mm" {
-			n, b = 96, 0
-		}
-		if err := run(app, "xd1", n, b, 4, "hybrid", -1, -1, -1, true, 1, false, true, ""); err != nil {
+	// End-to-end through the CLI's run path at small sizes, with the
+	// analysis report on to exercise every app's expected-binding path.
+	for _, app := range []string{"lu", "fw", "mm", "chol", "qr", "cg"} {
+		o := small(app)
+		o.Analyze = true
+		if err := run(o); err != nil {
 			t.Fatalf("%s: %v", app, err)
 		}
 	}
-	if err := run("cg", "xd1", 128, 0, 0, "hybrid", -1, -1, -1, false, 1, false, true, ""); err != nil {
-		t.Fatalf("cg: %v", err)
-	}
-	if err := run("fft", "xd1", 10, 2, 0, "hybrid", -1, -1, -1, false, 1, false, false, ""); err == nil {
+	if err := run(options{App: "fft", Machine: "xd1", N: 10, B: 2, Mode: "hybrid", BF: -1, L: -1, L1: -1, Seed: 1}); err == nil {
 		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestRunExportFiles(t *testing.T) {
+	dir := t.TempDir()
+	o := small("lu")
+	o.Metrics = false
+	o.MetricsOut = filepath.Join(dir, "metrics.csv")
+	o.SpansOut = filepath.Join(dir, "spans.csv")
+	o.TraceOut = filepath.Join(dir, "trace.json")
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{o.MetricsOut, o.SpansOut, o.TraceOut} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("%s not written: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", p)
+		}
+	}
+	// The metrics CSV must parse as RFC 4180 with the registry header.
+	f, err := os.Open(o.MetricsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatalf("metrics CSV malformed: %v", err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("metrics CSV has %d rows, want header plus data", len(rows))
+	}
+	want := []string{"kind", "name", "key", "value"}
+	for i, h := range want {
+		if rows[0][i] != h {
+			t.Fatalf("metrics CSV header %v, want %v", rows[0], want)
+		}
+	}
+	found := false
+	for _, r := range rows[1:] {
+		if r[1] == "overlap.efficiency" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("metrics CSV missing overlap.efficiency")
 	}
 }

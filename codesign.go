@@ -33,6 +33,7 @@
 package codesign
 
 import (
+	"codesign/internal/analysis"
 	"codesign/internal/core"
 	"codesign/internal/exper"
 	"codesign/internal/machine"
@@ -131,6 +132,79 @@ const (
 	CatSync    = sim.CatSync
 	CatIdle    = sim.CatIdle
 )
+
+// Device tags carried by spans (set where each resource is created).
+const (
+	DeviceUnknown = sim.DeviceUnknown
+	DeviceCPU     = sim.DeviceCPU
+	DeviceFPGA    = sim.DeviceFPGA
+	DeviceDRAM    = sim.DeviceDRAM
+	DeviceLink    = sim.DeviceLink
+)
+
+// Post-run analysis. The analysis layer consumes a Recorder's span
+// stream after a run and produces a critical path, per-phase bottleneck
+// attribution against the design model, resource utilization timelines,
+// and benchmark-regression baselines. See the README's "Analyzing a
+// run" section and cmd/hybridsim -analyze.
+type (
+	// Device tags which physical unit emitted a span.
+	Device = sim.Device
+	// AnalysisReport is the full post-run analysis of a span stream.
+	AnalysisReport = analysis.Report
+	// AnalysisOptions tunes Analyze (bin count, expected bindings).
+	AnalysisOptions = analysis.Options
+	// CriticalPathHop is one step of the critical path through a run.
+	CriticalPathHop = analysis.Hop
+	// PhaseStats is one phase's busy-time decomposition and its
+	// measured vs model-predicted binding parameter.
+	PhaseStats = analysis.PhaseStats
+	// ResourceTimeline is one resource's binned busy-fraction timeline.
+	ResourceTimeline = analysis.ResourceTimeline
+	// Binding names the model parameter that binds a phase: Of*Ff,
+	// Op*Fp, Bd or Bn.
+	Binding = model.Binding
+	// BenchBaseline is a named-metric map with stable JSON encoding,
+	// used by the benchmark-regression harness.
+	BenchBaseline = analysis.Baseline
+	// BenchDelta is one metric difference between two baselines.
+	BenchDelta = analysis.Delta
+)
+
+// Binding parameter values (Section 4.1).
+const (
+	BindNone = model.BindNone
+	BindOfFf = model.BindOfFf
+	BindOpFp = model.BindOpFp
+	BindBd   = model.BindBd
+	BindBn   = model.BindBn
+)
+
+// Analyze runs the full post-run analysis over a recorded span stream:
+// critical path, per-phase bottleneck attribution and utilization
+// timelines. Render it with (*AnalysisReport).WriteReport.
+func Analyze(spans []SpanEvent, makespan float64, opts AnalysisOptions) *AnalysisReport {
+	return analysis.Analyze(spans, makespan, opts)
+}
+
+// ExtractCriticalPath returns the dependency-weighted longest chain
+// through a span stream; hop durations partition [0, makespan] exactly.
+func ExtractCriticalPath(spans []SpanEvent, makespan float64) []CriticalPathHop {
+	return analysis.ExtractCriticalPath(spans, makespan)
+}
+
+// NewBenchBaseline returns an empty benchmark baseline.
+func NewBenchBaseline() *BenchBaseline { return analysis.NewBaseline() }
+
+// DiffBaselines compares two baselines at a relative tolerance and
+// returns the metrics that differ (plus missing/extra names).
+func DiffBaselines(old, fresh *BenchBaseline, tol float64) []BenchDelta {
+	return analysis.Diff(old, fresh, tol)
+}
+
+// HeadlineBaseline runs the headline benchmark suite (the metrics
+// gated by BENCH_baseline.json) and returns the fresh values.
+func HeadlineBaseline() (*BenchBaseline, error) { return exper.Headline() }
 
 // NewRecorder returns an empty span recorder ready to pass as a config
 // Observer.

@@ -1,0 +1,378 @@
+package analysis_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"codesign/internal/analysis"
+	"codesign/internal/core"
+	"codesign/internal/model"
+	"codesign/internal/sim"
+	"codesign/internal/trace"
+)
+
+func span(cat sim.Category, dev sim.Device, proc, res, phase string, start, end float64) sim.SpanEvent {
+	return sim.SpanEvent{Category: cat, Device: dev, Proc: proc, Resource: res,
+		Phase: phase, Start: start, End: end}
+}
+
+func TestCriticalPathChain(t *testing.T) {
+	// wire -> cpu compute -> queue wait -> fpga compute, back to back.
+	spans := []sim.SpanEvent{
+		span(sim.CatNetwork, sim.DeviceLink, "node0", "egress0", "broadcast", 0, 2),
+		span(sim.CatCompute, sim.DeviceCPU, "node1", "cpu1", "opmm", 2, 5),
+		span(sim.CatSync, sim.DeviceFPGA, "node1", "fpga1", "opmm", 5, 6),
+		span(sim.CatCompute, sim.DeviceFPGA, "node1", "fpga1", "opmm", 6, 8),
+	}
+	path := analysis.ExtractCriticalPath(spans, 8)
+	if len(path) != 4 {
+		t.Fatalf("want 4 hops, got %d: %+v", len(path), path)
+	}
+	wantRes := []string{"egress0", "cpu1", "fpga1", "fpga1"}
+	for i, h := range path {
+		if h.Resource != wantRes[i] {
+			t.Errorf("hop %d on %q, want %q", i, h.Resource, wantRes[i])
+		}
+	}
+	if got := analysis.PathTotal(path); got != 8 {
+		t.Fatalf("path total %v != makespan 8", got)
+	}
+	// Hops are chronological and contiguous.
+	prev := 0.0
+	for i, h := range path {
+		if h.Start != prev {
+			t.Fatalf("hop %d starts at %v, want %v", i, h.Start, prev)
+		}
+		prev = h.End
+	}
+}
+
+func TestCriticalPathIdleGaps(t *testing.T) {
+	spans := []sim.SpanEvent{
+		span(sim.CatCompute, sim.DeviceCPU, "p", "cpu", "", 1, 3),
+	}
+	path := analysis.ExtractCriticalPath(spans, 5)
+	if len(path) != 3 {
+		t.Fatalf("want idle/span/idle, got %+v", path)
+	}
+	if path[0].Category != sim.CatIdle || path[0].Start != 0 || path[0].End != 1 {
+		t.Errorf("leading idle wrong: %+v", path[0])
+	}
+	if path[2].Category != sim.CatIdle || path[2].Start != 3 || path[2].End != 5 {
+		t.Errorf("trailing idle wrong: %+v", path[2])
+	}
+	if got := analysis.PathTotal(path); got != 5 {
+		t.Fatalf("path total %v != makespan 5", got)
+	}
+}
+
+func TestCriticalPathCoalesces(t *testing.T) {
+	spans := []sim.SpanEvent{
+		span(sim.CatCompute, sim.DeviceFPGA, "p", "fpga", "opmm", 0, 2),
+		span(sim.CatCompute, sim.DeviceFPGA, "p", "fpga", "opmm", 2, 4),
+	}
+	path := analysis.ExtractCriticalPath(spans, 4)
+	if len(path) != 1 {
+		t.Fatalf("want 1 coalesced hop, got %+v", path)
+	}
+	if path[0].Start != 0 || path[0].End != 4 {
+		t.Fatalf("coalesced hop covers [%v,%v], want [0,4]", path[0].Start, path[0].End)
+	}
+}
+
+func TestCriticalPathTieBreak(t *testing.T) {
+	// Both end at 5: compute wins over network regardless of input order.
+	a := span(sim.CatCompute, sim.DeviceCPU, "x", "cpu", "", 0, 5)
+	b := span(sim.CatNetwork, sim.DeviceLink, "y", "egress", "", 3, 5)
+	for _, spans := range [][]sim.SpanEvent{{a, b}, {b, a}} {
+		path := analysis.ExtractCriticalPath(spans, 5)
+		if len(path) != 1 || path[0].Category != sim.CatCompute {
+			t.Fatalf("want single compute hop, got %+v", path)
+		}
+	}
+}
+
+func TestCriticalPathEmpty(t *testing.T) {
+	path := analysis.ExtractCriticalPath(nil, 3)
+	if len(path) != 1 || path[0].Category != sim.CatIdle || analysis.PathTotal(path) != 3 {
+		t.Fatalf("want one idle hop over [0,3], got %+v", path)
+	}
+	if got := analysis.ExtractCriticalPath(nil, 0); got != nil {
+		t.Fatalf("zero makespan should yield nil path, got %+v", got)
+	}
+}
+
+func TestClassifyPhasesBindings(t *testing.T) {
+	spans := []sim.SpanEvent{
+		// Phase "a": FPGA side dominates (tf=10 vs 3+2+1).
+		span(sim.CatCompute, sim.DeviceFPGA, "p", "fpga", "a", 0, 10),
+		span(sim.CatCompute, sim.DeviceCPU, "p", "cpu", "a", 0, 3),
+		span(sim.CatDMA, sim.DeviceDRAM, "p", "dram", "a", 3, 5),
+		span(sim.CatNetwork, sim.DeviceLink, "p", "egress", "a", 5, 6),
+		// Phase "b": CPU compute dominates.
+		span(sim.CatCompute, sim.DeviceCPU, "p", "cpu", "b", 10, 15),
+		span(sim.CatCompute, sim.DeviceFPGA, "p", "fpga", "b", 10, 11),
+	}
+	phases := analysis.ClassifyPhases(spans, map[string]model.Binding{
+		"a": model.BindOfFf,
+		"b": model.BindBd, // deliberately wrong
+	})
+	if len(phases) != 2 {
+		t.Fatalf("want 2 phases, got %+v", phases)
+	}
+	pa, pb := phases[0], phases[1]
+	if pa.Phase != "a" || pb.Phase != "b" {
+		t.Fatalf("phase order wrong: %q, %q", pa.Phase, pb.Phase)
+	}
+	if pa.Binding != model.BindOfFf || !pa.Agree {
+		t.Errorf("phase a: binding %v agree %v, want Of*Ff/agree", pa.Binding, pa.Agree)
+	}
+	wantMargin := (10.0 - 6.0) / 10.0
+	if math.Abs(pa.Margin-wantMargin) > 1e-12 {
+		t.Errorf("phase a margin %v, want %v", pa.Margin, wantMargin)
+	}
+	if pb.Binding != model.BindOpFp || pb.Agree {
+		t.Errorf("phase b: binding %v agree %v, want Op*Fp/disagree", pb.Binding, pb.Agree)
+	}
+	if pa.BusyTf != 10 || pa.BusyTp != 3 || pa.BusyTmem != 2 || pa.BusyTcomm != 1 {
+		t.Errorf("phase a busy sums wrong: %+v", pa)
+	}
+}
+
+func TestBuildTimelinesMergesOverlap(t *testing.T) {
+	spans := []sim.SpanEvent{
+		span(sim.CatCompute, sim.DeviceFPGA, "p", "fpga0", "", 0, 5),
+		span(sim.CatCompute, sim.DeviceFPGA, "q", "fpga0", "", 2, 7),
+		// Waiting must not count as the resource being busy.
+		span(sim.CatSync, sim.DeviceFPGA, "r", "fpga0", "", 0, 10),
+	}
+	ts := analysis.BuildTimelines(spans, 10, 10)
+	if len(ts) != 1 {
+		t.Fatalf("want 1 timeline, got %+v", ts)
+	}
+	rt := ts[0]
+	if rt.Name != "fpga0" || rt.Device != sim.DeviceFPGA {
+		t.Fatalf("timeline identity wrong: %+v", rt)
+	}
+	if math.Abs(rt.Busy-7) > 1e-12 {
+		t.Fatalf("union busy %v, want 7 (overlap must not double count)", rt.Busy)
+	}
+	if u := rt.Utilization(); math.Abs(u-0.7) > 1e-12 {
+		t.Fatalf("utilization %v, want 0.7", u)
+	}
+	for i := 0; i < 7; i++ {
+		if math.Abs(rt.Bins[i]-1) > 1e-12 {
+			t.Errorf("bin %d = %v, want 1", i, rt.Bins[i])
+		}
+	}
+	for i := 7; i < 10; i++ {
+		if rt.Bins[i] != 0 {
+			t.Errorf("bin %d = %v, want 0", i, rt.Bins[i])
+		}
+	}
+	if math.Abs(rt.Occupancy[9]-0.7) > 1e-12 || math.Abs(rt.Occupancy[0]-0.3) > 1e-12 {
+		t.Errorf("occupancy deciles wrong: %+v", rt.Occupancy)
+	}
+}
+
+func TestBaselineRoundTripAndDiff(t *testing.T) {
+	b := analysis.NewBaseline()
+	b.Set("lu.hybrid.seconds", 1005.5225)
+	b.Set("lu.hybrid.gflops", 17.901)
+
+	var buf1, buf2 bytes.Buffer
+	if err := b.Write(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Fatal("two writes of the same baseline differ")
+	}
+
+	got, err := analysis.ReadBaseline(bytes.NewReader(buf1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds := analysis.Diff(b, got, 0); len(ds) != 0 {
+		t.Fatalf("round trip diff not empty: %v", ds)
+	}
+
+	// A changed metric, a missing one and an extra one all surface.
+	fresh := analysis.NewBaseline()
+	fresh.Set("lu.hybrid.seconds", 1010.0)
+	fresh.Set("fw.hybrid.seconds", 99.0)
+	ds := analysis.Diff(b, fresh, 1e-6)
+	if len(ds) != 3 {
+		t.Fatalf("want 3 deltas, got %v", ds)
+	}
+	byName := map[string]analysis.Delta{}
+	for _, d := range ds {
+		byName[d.Name] = d
+	}
+	if d := byName["lu.hybrid.seconds"]; d.Missing || d.Extra || d.Rel <= 0 {
+		t.Errorf("changed metric delta wrong: %+v", d)
+	}
+	if d := byName["lu.hybrid.gflops"]; !d.Missing {
+		t.Errorf("missing metric not flagged: %+v", d)
+	}
+	if d := byName["fw.hybrid.seconds"]; !d.Extra {
+		t.Errorf("extra metric not flagged: %+v", d)
+	}
+
+	// Within tolerance: no diff.
+	near := analysis.NewBaseline()
+	near.Set("lu.hybrid.seconds", 1005.5225*(1+1e-9))
+	near.Set("lu.hybrid.gflops", 17.901)
+	if ds := analysis.Diff(b, near, 1e-6); len(ds) != 0 {
+		t.Fatalf("tolerance not applied: %v", ds)
+	}
+}
+
+func TestBaselineSchemaMismatch(t *testing.T) {
+	if _, err := analysis.ReadBaseline(bytes.NewReader([]byte(`{"schema":99,"metrics":{}}`))); err == nil {
+		t.Fatal("schema mismatch not rejected")
+	}
+}
+
+// TestAnalyzeLU runs the full pipeline on a small hybrid LU and checks
+// the tentpole invariants: the critical path partitions the makespan,
+// and the measured opMM bottleneck matches the Eq. (4) prediction.
+func TestAnalyzeLU(t *testing.T) {
+	rec := trace.NewRecorder()
+	cfg := core.LUConfig{N: 240, B: 40, PEs: 4, BF: -1, L: -1, Mode: core.Hybrid, Observer: rec}
+	r, err := core.RunLU(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expBind, _ := r.Model.StripeBinding(r.BF)
+	rep := analysis.Analyze(rec.Spans(), r.Seconds, analysis.Options{
+		Expected: map[string]model.Binding{"opmm": expBind},
+	})
+
+	if len(rep.CriticalPath) == 0 {
+		t.Fatal("empty critical path")
+	}
+	if math.Abs(rep.CriticalPathTotal-r.Seconds) > 1e-9*r.Seconds {
+		t.Fatalf("critical path total %v != makespan %v", rep.CriticalPathTotal, r.Seconds)
+	}
+	// Chronological, contiguous partition of [0, makespan].
+	prev := 0.0
+	for i, h := range rep.CriticalPath {
+		if h.Start != prev {
+			t.Fatalf("hop %d starts at %v, want %v", i, h.Start, prev)
+		}
+		if h.End < h.Start {
+			t.Fatalf("hop %d runs backward: %+v", i, h)
+		}
+		prev = h.End
+	}
+	if prev != r.Seconds {
+		t.Fatalf("path ends at %v, want makespan %v", prev, r.Seconds)
+	}
+
+	var opmm *analysis.PhaseStats
+	for i := range rep.Phases {
+		if rep.Phases[i].Phase == "opmm" {
+			opmm = &rep.Phases[i]
+		}
+	}
+	if opmm == nil {
+		t.Fatal("no opmm phase in report")
+	}
+	// At this toy size the model's tmem and tcomm are within 2% of each
+	// other and the simulated FPGA fill lag tips the measurement between
+	// them, so only side-level agreement (FPGA vs processor side of
+	// Eq. 4) is meaningful here; TestDefaultLUBindingAgreement checks
+	// exact agreement at the paper's problem size.
+	fpgaSide := func(b model.Binding) bool { return b == model.BindOfFf }
+	if fpgaSide(opmm.Binding) != fpgaSide(expBind) {
+		t.Fatalf("measured opmm binding %v on the wrong side of Eq. 4 vs model prediction %v (margin %.3f)",
+			opmm.Binding, expBind, opmm.Margin)
+	}
+
+	if len(rep.Timelines) == 0 {
+		t.Fatal("no resource timelines")
+	}
+	seenFPGA := false
+	for _, rt := range rep.Timelines {
+		if rt.Device == sim.DeviceFPGA && rt.Busy > 0 {
+			seenFPGA = true
+		}
+		if u := rt.Utilization(); u < 0 || u > 1+1e-9 {
+			t.Fatalf("resource %s utilization %v out of range", rt.Name, u)
+		}
+	}
+	if !seenFPGA {
+		t.Fatal("no busy FPGA timeline in a hybrid run")
+	}
+
+	// The report must render without error and mention the key tables.
+	var buf bytes.Buffer
+	if err := rep.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"critical path", "bottleneck attribution", "resource utilization", "opmm"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDefaultLUBindingAgreement is the acceptance criterion at the
+// paper's problem size: on the default XD1 LU run (n=30000, b=3000) the
+// measured opMM bottleneck must name the same binding parameter as the
+// analytic Eq. (4) comparison at the solved bf, and the critical path
+// must account for the whole makespan.
+func TestDefaultLUBindingAgreement(t *testing.T) {
+	rec := trace.NewRecorder()
+	cfg := core.LUConfig{N: 30000, B: 3000, BF: -1, L: -1, Mode: core.Hybrid, Observer: rec}
+	r, err := core.RunLU(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expBind, _ := r.Model.StripeBinding(r.BF)
+	rep := analysis.Analyze(rec.Spans(), r.Seconds, analysis.Options{
+		Expected: map[string]model.Binding{"opmm": expBind},
+	})
+	if math.Abs(rep.CriticalPathTotal-r.Seconds) > 1e-9*r.Seconds {
+		t.Fatalf("critical path total %v != makespan %v", rep.CriticalPathTotal, r.Seconds)
+	}
+	for _, ps := range rep.Phases {
+		if ps.Phase != "opmm" {
+			continue
+		}
+		if ps.Binding != expBind || !ps.Agree {
+			t.Fatalf("measured opmm binding %v (margin %.4f), model predicts %v",
+				ps.Binding, ps.Margin, expBind)
+		}
+		return
+	}
+	t.Fatal("no opmm phase in report")
+}
+
+// TestAnalyzeDeterministic re-runs the same configuration and demands
+// identical reports — the property the -check regression gate rests on.
+func TestAnalyzeDeterministic(t *testing.T) {
+	render := func() string {
+		rec := trace.NewRecorder()
+		cfg := core.LUConfig{N: 240, B: 40, PEs: 4, BF: -1, L: -1, Mode: core.Hybrid, Observer: rec}
+		r, err := core.RunLU(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := analysis.Analyze(rec.Spans(), r.Seconds, analysis.Options{})
+		var buf bytes.Buffer
+		if err := rep.WriteReport(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("identical runs produced different reports:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+}

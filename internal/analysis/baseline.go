@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// BaselineSchema is the current baseline file schema version; bump it
+// when metric names or semantics change incompatibly, so -check fails
+// loudly on stale files instead of reporting spurious metric diffs.
+const BaselineSchema = 1
+
+// Baseline is a named set of headline numbers from one build, written
+// as JSON. encoding/json sorts map keys and the simulator is
+// deterministic, so the same build always serializes identical bytes —
+// which is what lets -check demand a zero diff against a fresh rerun.
+type Baseline struct {
+	Schema  int                `json:"schema"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// NewBaseline returns an empty baseline at the current schema.
+func NewBaseline() *Baseline {
+	return &Baseline{Schema: BaselineSchema, Metrics: make(map[string]float64)}
+}
+
+// Set records one metric.
+func (b *Baseline) Set(name string, v float64) { b.Metrics[name] = v }
+
+// Names returns the metric names in sorted order.
+func (b *Baseline) Names() []string {
+	names := make([]string, 0, len(b.Metrics))
+	for n := range b.Metrics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Write serializes the baseline as indented JSON with a trailing
+// newline. Output is byte-deterministic for equal contents.
+func (b *Baseline) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// WriteFile writes the baseline to path.
+func (b *Baseline) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := b.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadBaseline parses a baseline and validates its schema.
+func ReadBaseline(r io.Reader) (*Baseline, error) {
+	var b Baseline
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&b); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	if b.Schema != BaselineSchema {
+		return nil, fmt.Errorf("baseline: schema %d, this build expects %d (regenerate the baseline)",
+			b.Schema, BaselineSchema)
+	}
+	if b.Metrics == nil {
+		b.Metrics = make(map[string]float64)
+	}
+	return &b, nil
+}
+
+// ReadBaselineFile reads a baseline from path.
+func ReadBaselineFile(path string) (*Baseline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBaseline(f)
+}
+
+// Delta is one metric's divergence between two baselines.
+type Delta struct {
+	Name     string
+	Old, New float64
+	// Rel is |New-Old| normalized by max(|Old|, |New|); 0 for an exact
+	// match, meaningless when Missing or Extra is set.
+	Rel float64
+	// Missing: the metric is in the old baseline but not the new run.
+	// Extra: the new run produced a metric the old baseline lacks.
+	Missing, Extra bool
+}
+
+func (d Delta) String() string {
+	switch {
+	case d.Missing:
+		return fmt.Sprintf("%s: missing from new run (baseline %.17g)", d.Name, d.Old)
+	case d.Extra:
+		return fmt.Sprintf("%s: not in baseline (new run %.17g)", d.Name, d.New)
+	default:
+		return fmt.Sprintf("%s: %.17g -> %.17g (rel %.3g)", d.Name, d.Old, d.New, d.Rel)
+	}
+}
+
+// Diff compares a stored baseline against a fresh run and returns every
+// metric whose relative divergence exceeds tol, plus metrics present on
+// only one side (always reported, regardless of tol). tol 0 demands
+// bit-exact equality. Deltas come back sorted by name.
+func Diff(old, fresh *Baseline, tol float64) []Delta {
+	var out []Delta
+	for _, name := range old.Names() {
+		ov := old.Metrics[name]
+		nv, ok := fresh.Metrics[name]
+		if !ok {
+			out = append(out, Delta{Name: name, Old: ov, Missing: true})
+			continue
+		}
+		rel := relDiff(ov, nv)
+		if rel > tol {
+			out = append(out, Delta{Name: name, Old: ov, New: nv, Rel: rel})
+		}
+	}
+	for _, name := range fresh.Names() {
+		if _, ok := old.Metrics[name]; !ok {
+			out = append(out, Delta{Name: name, New: fresh.Metrics[name], Extra: true})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	d := math.Abs(a - b)
+	m := math.Max(math.Abs(a), math.Abs(b))
+	if m == 0 {
+		return 0
+	}
+	return d / m
+}

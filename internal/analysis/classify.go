@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"sort"
+
+	"codesign/internal/model"
+	"codesign/internal/sim"
+	"codesign/internal/trace"
+)
+
+// PhaseStats aggregates one algorithm phase's activity across all
+// processes and attributes it to the model parameter that bound it.
+type PhaseStats struct {
+	// Phase is the span phase label ("panel", "opmm", ...; spans with
+	// no label aggregate under "").
+	Phase string
+
+	// Busy seconds per overlap class, summed over all spans in the
+	// phase (concurrent activity double counts, as in Overlap's Busy*).
+	BusyTf, BusyTp, BusyTmem, BusyTcomm, BusySync float64
+
+	// Bytes is payload carried by the phase's data-movement spans.
+	Bytes int64
+
+	// Start and End bound the phase's spans in virtual time. Phases
+	// that interleave (panel/opmm pipelining) overlap here.
+	Start, End float64
+
+	// Binding is the parameter the measured busy times say bound the
+	// phase, with Margin the normalized imbalance (see
+	// model.BindingFromTimes). A small margin means the phase was
+	// balanced — the partitioning did its job — and the named side won
+	// only narrowly.
+	Binding model.Binding
+	Margin  float64
+
+	// Expected is the analytic model's predicted binding for the phase
+	// (BindNone when the caller supplied no prediction), and Agree
+	// whether measurement matched it.
+	Expected model.Binding
+	Agree    bool
+}
+
+// TotalBusy returns the phase's classified work: Tf+Tp+Tmem+Tcomm.
+func (ps PhaseStats) TotalBusy() float64 {
+	return ps.BusyTf + ps.BusyTp + ps.BusyTmem + ps.BusyTcomm
+}
+
+// ClassifyPhases groups spans by phase label, sums busy time per
+// overlap class, and runs the Section 4 binding comparison on each
+// phase's totals. expected maps phase label to the analytic model's
+// predicted binding; phases absent from the map get Expected BindNone
+// and Agree true (nothing to disagree with). Phases are returned in
+// order of first appearance in virtual time.
+func ClassifyPhases(spans []sim.SpanEvent, expected map[string]model.Binding) []PhaseStats {
+	byPhase := make(map[string]*PhaseStats)
+	var order []string
+	for _, s := range spans {
+		if s.End <= s.Start && s.Bytes == 0 {
+			continue
+		}
+		ps := byPhase[s.Phase]
+		if ps == nil {
+			ps = &PhaseStats{Phase: s.Phase, Start: s.Start, End: s.End}
+			byPhase[s.Phase] = ps
+			order = append(order, s.Phase)
+		}
+		if s.Start < ps.Start {
+			ps.Start = s.Start
+		}
+		if s.End > ps.End {
+			ps.End = s.End
+		}
+		ps.Bytes += s.Bytes
+		d := s.End - s.Start
+		switch trace.Classify(s) {
+		case trace.ClassTf:
+			ps.BusyTf += d
+		case trace.ClassTp:
+			ps.BusyTp += d
+		case trace.ClassTmem:
+			ps.BusyTmem += d
+		case trace.ClassTcomm:
+			ps.BusyTcomm += d
+		default:
+			ps.BusySync += d
+		}
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		a, b := byPhase[order[i]], byPhase[order[j]]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return a.Phase < b.Phase
+	})
+	out := make([]PhaseStats, 0, len(order))
+	for _, name := range order {
+		ps := byPhase[name]
+		ps.Binding, ps.Margin = model.BindingFromTimes(ps.BusyTf, ps.BusyTp, ps.BusyTmem, ps.BusyTcomm)
+		ps.Expected = expected[name]
+		ps.Agree = ps.Expected == model.BindNone || ps.Expected == ps.Binding
+		out = append(out, *ps)
+	}
+	return out
+}

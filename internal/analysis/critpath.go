@@ -1,0 +1,149 @@
+// Package analysis turns the simulator's typed span stream into
+// actionable performance attribution: the critical path through a run,
+// per-resource utilization timelines, and a bottleneck classifier that
+// names the model parameter (Of·Ff, Op·Fp, Bd or Bn) binding each
+// phase and checks it against the analytic model's prediction. It also
+// defines the JSON baseline format the benchmark-regression harness
+// (cmd/experiments -bench-json / -check) uses.
+package analysis
+
+import (
+	"sort"
+
+	"codesign/internal/sim"
+)
+
+// Hop is one link of the critical path: an interval of the run during
+// which the named activity was the last thing standing between the
+// simulation and an earlier finish. Idle hops (Category CatIdle) mark
+// gaps where no recorded span was running — scheduling slack the
+// instrumentation did not cover.
+type Hop struct {
+	Proc     string
+	Resource string
+	Phase    string
+	Category sim.Category
+	Device   sim.Device
+	Start    float64
+	End      float64
+}
+
+// Duration returns End - Start.
+func (h Hop) Duration() float64 { return h.End - h.Start }
+
+// ExtractCriticalPath walks the span stream backward from the makespan
+// and returns the dependency-weighted chain of activities that set it,
+// ordered by time. At every instant t it asks "what was the last span
+// to finish at or before t?" — that span's completion gated everything
+// after it, so it joins the path and the walk continues from its start.
+// Gaps between a hop and the next finisher become idle hops, so the hop
+// durations partition [0, makespan] exactly and sum to the makespan.
+//
+// Ties between spans finishing at the same instant break toward (in
+// order): the process of the previous hop (chains stay on one process
+// when possible), the more fundamental category (compute before data
+// movement before waiting), the earlier start (longer spans explain
+// more of the timeline), then process and resource name — so the path
+// is deterministic for a deterministic simulation.
+//
+// Adjacent hops that continue the same activity (same process,
+// resource, phase and category, touching in time) are coalesced.
+func ExtractCriticalPath(spans []sim.SpanEvent, makespan float64) []Hop {
+	if makespan <= 0 {
+		return nil
+	}
+	// Positive-width spans only, sorted by End ascending: the walk
+	// binary-searches for the latest finisher at or before t.
+	ss := make([]sim.SpanEvent, 0, len(spans))
+	for _, s := range spans {
+		if s.End > s.Start && s.Start < makespan {
+			ss = append(ss, s)
+		}
+	}
+	sort.Slice(ss, func(i, j int) bool { return ss[i].End < ss[j].End })
+
+	var rev []Hop // built back-to-front
+	idle := func(start, end float64) {
+		if end > start {
+			rev = append(rev, Hop{Category: sim.CatIdle, Start: start, End: end})
+		}
+	}
+
+	t := makespan
+	prevProc := ""
+	for t > 0 {
+		// Latest finisher at or before t.
+		i := sort.Search(len(ss), func(k int) bool { return ss[k].End > t })
+		if i == 0 {
+			idle(0, t)
+			break
+		}
+		maxEnd := ss[i-1].End
+		best := ss[i-1]
+		for j := i - 2; j >= 0 && ss[j].End == maxEnd; j-- {
+			if better(ss[j], best, prevProc) {
+				best = ss[j]
+			}
+		}
+		idle(maxEnd, t)
+		start := best.Start
+		if start < 0 {
+			start = 0
+		}
+		rev = append(rev, Hop{
+			Proc: best.Proc, Resource: best.Resource, Phase: best.Phase,
+			Category: best.Category, Device: best.Device,
+			Start: start, End: maxEnd,
+		})
+		t = start
+		prevProc = best.Proc
+	}
+
+	// Reverse into chronological order and coalesce continuations.
+	out := make([]Hop, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		h := rev[i]
+		if n := len(out); n > 0 {
+			p := &out[n-1]
+			if p.End == h.Start && p.Proc == h.Proc && p.Resource == h.Resource &&
+				p.Phase == h.Phase && p.Category == h.Category {
+				p.End = h.End
+				continue
+			}
+		}
+		out = append(out, h)
+	}
+	return out
+}
+
+// better reports whether candidate a beats b under the tie-break rules
+// (both end at the same instant).
+func better(a, b sim.SpanEvent, prevProc string) bool {
+	if prevProc != "" && (a.Proc == prevProc) != (b.Proc == prevProc) {
+		return a.Proc == prevProc
+	}
+	if a.Category != b.Category {
+		return a.Category < b.Category
+	}
+	if a.Start != b.Start {
+		return a.Start < b.Start
+	}
+	if a.Proc != b.Proc {
+		return a.Proc < b.Proc
+	}
+	if a.Resource != b.Resource {
+		return a.Resource < b.Resource
+	}
+	return a.Phase < b.Phase
+}
+
+// PathTotal sums hop durations. For a path from ExtractCriticalPath the
+// hops partition [0, makespan], so this equals the makespan up to
+// floating-point summation order.
+func PathTotal(path []Hop) float64 {
+	var t float64
+	for _, h := range path {
+		t += h.Duration()
+	}
+	return t
+}

@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"sort"
+
+	"codesign/internal/sim"
+)
+
+// OccupancyDeciles is the number of buckets in a timeline's occupancy
+// histogram: bucket i counts bins whose busy fraction fell in
+// [i/10, (i+1)/10) (the last bucket is closed above).
+const OccupancyDeciles = 10
+
+// ResourceTimeline is one resource's activity over the run, binned over
+// virtual time [0, makespan].
+type ResourceTimeline struct {
+	Name   string
+	Device sim.Device
+
+	// Busy is union busy time in seconds: instants where at least one
+	// non-waiting span held the resource. Multi-capacity resources do
+	// not double count.
+	Busy float64
+
+	// Bins is the busy fraction of each equal-width time bin, in [0,1].
+	Bins []float64
+
+	// Occupancy[i] is the fraction of bins whose busy fraction fell in
+	// decile i — the shape of the resource's load over the run.
+	Occupancy [OccupancyDeciles]float64
+}
+
+// Utilization returns Busy divided by the makespan the timeline was
+// built over (reconstructed from the bins; 0 when there are none).
+func (rt ResourceTimeline) Utilization() float64 {
+	if len(rt.Bins) == 0 {
+		return 0
+	}
+	var s float64
+	for _, f := range rt.Bins {
+		s += f
+	}
+	return s / float64(len(rt.Bins))
+}
+
+// BuildTimelines bins every resource's busy time over [0, makespan]
+// into the given number of bins. Waiting (sync) spans do not count —
+// a process queued on a resource is not that resource doing work.
+// Resources are returned sorted by name.
+func BuildTimelines(spans []sim.SpanEvent, makespan float64, bins int) []ResourceTimeline {
+	if makespan <= 0 || bins < 1 {
+		return nil
+	}
+	type acc struct {
+		dev       sim.Device
+		intervals [][2]float64
+	}
+	byRes := make(map[string]*acc)
+	for _, s := range spans {
+		if s.Category == sim.CatSync || s.Category == sim.CatIdle || s.End <= s.Start || s.Resource == "" {
+			continue
+		}
+		a := byRes[s.Resource]
+		if a == nil {
+			a = &acc{}
+			byRes[s.Resource] = a
+		}
+		if a.dev == sim.DeviceUnknown {
+			a.dev = s.Device
+		}
+		a.intervals = append(a.intervals, [2]float64{s.Start, s.End})
+	}
+
+	names := make([]string, 0, len(byRes))
+	for n := range byRes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	binW := makespan / float64(bins)
+	out := make([]ResourceTimeline, 0, len(names))
+	for _, n := range names {
+		a := byRes[n]
+		// Merge overlapping intervals so concurrent holders of a
+		// multi-capacity resource count each instant once.
+		sort.Slice(a.intervals, func(i, j int) bool { return a.intervals[i][0] < a.intervals[j][0] })
+		merged := a.intervals[:0]
+		for _, iv := range a.intervals {
+			if n := len(merged); n > 0 && iv[0] <= merged[n-1][1] {
+				if iv[1] > merged[n-1][1] {
+					merged[n-1][1] = iv[1]
+				}
+				continue
+			}
+			merged = append(merged, iv)
+		}
+
+		rt := ResourceTimeline{Name: n, Device: a.dev, Bins: make([]float64, bins)}
+		for _, iv := range merged {
+			lo, hi := iv[0], iv[1]
+			if hi > makespan {
+				hi = makespan
+			}
+			if lo < 0 {
+				lo = 0
+			}
+			rt.Busy += hi - lo
+			b0 := int(lo / binW)
+			b1 := int(hi / binW)
+			if b1 >= bins {
+				b1 = bins - 1
+			}
+			for b := b0; b <= b1; b++ {
+				bs, be := float64(b)*binW, float64(b+1)*binW
+				s, e := lo, hi
+				if s < bs {
+					s = bs
+				}
+				if e > be {
+					e = be
+				}
+				if e > s {
+					rt.Bins[b] += (e - s) / binW
+				}
+			}
+		}
+		for i, f := range rt.Bins {
+			if f > 1 {
+				rt.Bins[i] = 1
+				f = 1
+			}
+			d := int(f * OccupancyDeciles)
+			if d >= OccupancyDeciles {
+				d = OccupancyDeciles - 1
+			}
+			rt.Occupancy[d] += 1 / float64(bins)
+		}
+		out = append(out, rt)
+	}
+	return out
+}

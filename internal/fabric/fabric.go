@@ -61,8 +61,12 @@ func New(e *sim.Engine, cfg Config) (*Fabric, error) {
 	}
 	f := &Fabric{cfg: cfg, eng: e}
 	for i := 0; i < cfg.Nodes; i++ {
-		f.egress = append(f.egress, sim.NewResource(e, fmt.Sprintf("egress%d", i), cfg.LinksPerNode))
-		f.ingress = append(f.ingress, sim.NewResource(e, fmt.Sprintf("ingress%d", i), cfg.LinksPerNode))
+		eg := sim.NewResource(e, fmt.Sprintf("egress%d", i), cfg.LinksPerNode)
+		eg.SetDevice(sim.DeviceLink)
+		in := sim.NewResource(e, fmt.Sprintf("ingress%d", i), cfg.LinksPerNode)
+		in.SetDevice(sim.DeviceLink)
+		f.egress = append(f.egress, eg)
+		f.ingress = append(f.ingress, in)
 	}
 	return f, nil
 }
@@ -95,7 +99,8 @@ func (f *Fabric) Transfer(p *sim.Proc, src, dst, bytes int) {
 		// Local transfers take no wire time but still carry payload; a
 		// zero-width span keeps telemetry byte totals equal to Bytes().
 		f.eng.EmitSpan(sim.SpanEvent{
-			Category: sim.CatNetwork, Proc: p.Name(), Resource: "local",
+			Category: sim.CatNetwork, Device: sim.DeviceLink,
+			Proc: p.Name(), Resource: "local",
 			Phase: p.Phase(), Bytes: int64(bytes),
 			Start: f.eng.Now(), End: f.eng.Now(),
 		})
@@ -110,7 +115,7 @@ func (f *Fabric) Transfer(p *sim.Proc, src, dst, bytes int) {
 	// span, so network byte totals never double count.
 	f.egress[src].Acquire(p)
 	f.ingress[dst].Acquire(p)
-	p.WaitSpan(sim.CatNetwork, f.egress[src].Name(), int64(bytes), f.TransferTime(bytes))
+	p.WaitSpanOn(sim.CatNetwork, sim.DeviceLink, f.egress[src].Name(), int64(bytes), f.TransferTime(bytes))
 	f.ingress[dst].Release()
 	f.egress[src].Release()
 }
@@ -134,7 +139,7 @@ func (f *Fabric) Multicast(p *sim.Proc, src int, dsts []int, bytes int) {
 	f.egress[src].Acquire(p)
 	// The span carries the replicated payload (bytes per receiver) so
 	// telemetry byte totals match Bytes().
-	p.WaitSpan(sim.CatNetwork, f.egress[src].Name(), int64(bytes)*int64(len(dsts)), f.TransferTime(bytes))
+	p.WaitSpanOn(sim.CatNetwork, sim.DeviceLink, f.egress[src].Name(), int64(bytes)*int64(len(dsts)), f.TransferTime(bytes))
 	f.egress[src].Release()
 }
 

@@ -205,10 +205,12 @@ func (s *System) InstallDesign(d fpga.Design) error {
 		if err != nil {
 			return fmt.Errorf("node %d: %w", n.ID, err)
 		}
+		array := sim.NewResource(s.Eng, fmt.Sprintf("fpga%d", n.ID), 1)
+		array.SetDevice(sim.DeviceFPGA)
 		n.Accel = &Accelerator{
 			Placed: placed,
 			DRAM:   mem.NewDRAM(s.Eng, EffectiveBd(s.Cfg.RawFPGADRAMBandwidth, placed.FreqHz)),
-			Array:  sim.NewResource(s.Eng, fmt.Sprintf("fpga%d", n.ID), 1),
+			Array:  array,
 			node:   n,
 		}
 	}
@@ -256,7 +258,7 @@ func (a *Accelerator) Compute(fp *sim.Proc, cycles float64) {
 // emitted as a DMA span against the array's fill stage so overlap
 // accounting attributes it to memory traffic, not FPGA compute.
 func (a *Accelerator) WaitOperands(fp *sim.Proc, dt float64) {
-	fp.WaitSpan(sim.CatDMA, a.Array.Name()+".fill", 0, dt)
+	fp.WaitSpanOn(sim.CatDMA, sim.DeviceDRAM, a.Array.Name()+".fill", 0, dt)
 }
 
 // Stream charges a DRAM<->FPGA transfer of the given bytes.
@@ -289,10 +291,12 @@ func New(cfg Config) (*System, error) {
 	}
 	s := &System{Cfg: cfg, Eng: eng, Fab: fab, World: mpi.NewWorld(eng, fab)}
 	for i := 0; i < cfg.Nodes; i++ {
+		cpuBusy := sim.NewResource(eng, fmt.Sprintf("cpu%d", i), 1)
+		cpuBusy.SetDevice(sim.DeviceCPU)
 		s.Nodes = append(s.Nodes, &Node{
 			ID:      i,
 			Proc:    cfg.Processor(),
-			CPUBusy: sim.NewResource(eng, fmt.Sprintf("cpu%d", i), 1),
+			CPUBusy: cpuBusy,
 			SRAM:    mem.NewSRAM(cfg.SRAMBanks, cfg.SRAMBankBytes),
 			Device:  cfg.Device,
 			sys:     s,

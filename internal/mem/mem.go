@@ -30,7 +30,9 @@ func NewDRAM(e *sim.Engine, bandwidthBytes float64) *DRAM {
 	if bandwidthBytes <= 0 {
 		panic(fmt.Sprintf("mem: non-positive DRAM bandwidth %g", bandwidthBytes))
 	}
-	return &DRAM{eng: e, BandwidthBytes: bandwidthBytes, chann: sim.NewResource(e, "dram-stream", 1)}
+	chann := sim.NewResource(e, "dram-stream", 1)
+	chann.SetDevice(sim.DeviceDRAM)
+	return &DRAM{eng: e, BandwidthBytes: bandwidthBytes, chann: chann}
 }
 
 // StreamTime returns the unloaded time to stream the given bytes.

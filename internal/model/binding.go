@@ -1,0 +1,100 @@
+package model
+
+import "fmt"
+
+// Binding names the system parameter that binds (limits) a phase of a
+// hybrid design: the left- and right-hand resources of Equations
+// (4)-(6). When the partition solver balances a phase perfectly the two
+// sides tie and neither parameter truly binds; BindingFromTimes reports
+// how close the tie is via its margin.
+type Binding int
+
+// The model parameters a phase can bind on.
+const (
+	// BindNone means the phase did no classified work.
+	BindNone Binding = iota
+	// BindOfFf: FPGA computing power binds (Tf side of Eq. 4/6).
+	BindOfFf
+	// BindOpFp: processor computing power binds.
+	BindOpFp
+	// BindBd: FPGA<->DRAM streaming bandwidth binds.
+	BindBd
+	// BindBn: network bandwidth binds.
+	BindBn
+)
+
+func (b Binding) String() string {
+	switch b {
+	case BindNone:
+		return "-"
+	case BindOfFf:
+		return "Of*Ff"
+	case BindOpFp:
+		return "Op*Fp"
+	case BindBd:
+		return "Bd"
+	case BindBn:
+		return "Bn"
+	default:
+		return fmt.Sprintf("binding(%d)", int(b))
+	}
+}
+
+// BindingFromTimes applies the Section 4 comparison to a phase's four
+// cost terms: the FPGA binds when its compute time exceeds the
+// processor side — compute plus the transfers the processor cannot
+// overlap, the right-hand side of Tf = Tp + Tmem + Tcomm (Eq. 4) —
+// otherwise the largest processor-side term binds. The returned margin
+// is |Tf - (Tp+Tmem+Tcomm)| normalized by the larger side: 0 means the
+// partition balanced the phase exactly (the solver's goal), 1 means one
+// side did all the work. Callers should treat small margins as "either
+// parameter" rather than a hard verdict.
+func BindingFromTimes(tf, tp, tmem, tcomm float64) (Binding, float64) {
+	cpuSide := tp + tmem + tcomm
+	if tf <= 0 && cpuSide <= 0 {
+		return BindNone, 0
+	}
+	larger := tf
+	if cpuSide > larger {
+		larger = cpuSide
+	}
+	margin := (tf - cpuSide) / larger
+	if margin < 0 {
+		margin = -margin
+	}
+	if tf >= cpuSide {
+		return BindOfFf, margin
+	}
+	switch {
+	case tp >= tmem && tp >= tcomm:
+		return BindOpFp, margin
+	case tmem >= tcomm:
+		return BindBd, margin
+	default:
+		return BindBn, margin
+	}
+}
+
+// StripeBinding reports which parameter binds the LU trailing-update
+// (opMM) phase at row split bf, per the Equation (4) balance the
+// partition solver targets.
+func (lp LUParams) StripeBinding(bf int) (Binding, float64) {
+	tf, tp, tmem, tcomm := lp.StripeTimes(bf)
+	return BindingFromTimes(tf, tp, tmem, tcomm)
+}
+
+// PhaseBinding reports which parameter binds one Floyd-Warshall phase
+// at whole-task split (l1, l2), per the Equation (6) balance
+// l1·Tp + Tcomm + l2·Tmem = l2·Tf.
+func (fp FWParams) PhaseBinding(l1, l2 int) (Binding, float64) {
+	tp, tf, tmem, tcomm := fp.BlockTimes()
+	return BindingFromTimes(float64(l2)*tf, float64(l1)*tp, float64(l2)*tmem, tcomm)
+}
+
+// StripeBinding reports which parameter binds the hybrid matrix
+// multiplication stripe at row split bf, per the Equation (1) balance
+// Tf = Tp + Tmem (no network term).
+func (mp MMParams) StripeBinding(bf int) (Binding, float64) {
+	tf, tp, tmem := mp.StripeTimes(bf)
+	return BindingFromTimes(tf, tp, tmem, 0)
+}

@@ -43,13 +43,53 @@ func (c Category) String() string {
 	}
 }
 
+// Device identifies the kind of hardware a span occupied, independent
+// of the resource's name. Spans carry it so consumers classify activity
+// (FPGA compute vs processor compute, DRAM vs network traffic) without
+// parsing resource-name conventions — a machine config is free to name
+// its accelerator "drc0" or "mapstation" and still classify correctly.
+type Device int
+
+// The device kinds of a reconfigurable computing system node.
+const (
+	// DeviceUnknown marks spans whose emitter declared no device.
+	DeviceUnknown Device = iota
+	// DeviceCPU is a node processor.
+	DeviceCPU
+	// DeviceFPGA is an FPGA compute array.
+	DeviceFPGA
+	// DeviceDRAM is a DRAM streaming channel.
+	DeviceDRAM
+	// DeviceLink is a fabric (interconnect) link.
+	DeviceLink
+)
+
+func (d Device) String() string {
+	switch d {
+	case DeviceUnknown:
+		return "unknown"
+	case DeviceCPU:
+		return "cpu"
+	case DeviceFPGA:
+		return "fpga"
+	case DeviceDRAM:
+		return "dram"
+	case DeviceLink:
+		return "link"
+	default:
+		return fmt.Sprintf("device(%d)", int(d))
+	}
+}
+
 // SpanEvent is one completed interval of typed activity, emitted when
 // the interval ends. Start and End are virtual times; Bytes is the
 // payload a data-movement span carried (0 for compute and waiting).
 // Phase is the process's phase annotation at emission time (see
-// Proc.SetPhase); Resource names the resource the span occupied.
+// Proc.SetPhase); Resource names the resource the span occupied and
+// Device tags what kind of hardware that resource is.
 type SpanEvent struct {
 	Category   Category
+	Device     Device
 	Proc       string
 	Resource   string
 	Phase      string
@@ -119,8 +159,15 @@ func (p *Proc) Phase() string { return p.phase }
 
 // WaitSpan advances virtual time by dt seconds like Wait and emits a
 // typed span covering the interval. Resource names what the time was
-// spent on; bytes annotates data movement (pass 0 otherwise).
+// spent on; bytes annotates data movement (pass 0 otherwise). The span
+// carries DeviceUnknown; use WaitSpanOn when the device kind is known.
 func (p *Proc) WaitSpan(cat Category, resource string, bytes int64, dt float64) {
+	p.WaitSpanOn(cat, DeviceUnknown, resource, bytes, dt)
+}
+
+// WaitSpanOn is WaitSpan with an explicit device-kind tag on the
+// emitted span.
+func (p *Proc) WaitSpanOn(cat Category, dev Device, resource string, bytes int64, dt float64) {
 	if dt < 0 {
 		dt = 0
 	}
@@ -128,8 +175,8 @@ func (p *Proc) WaitSpan(cat Category, resource string, bytes int64, dt float64) 
 	p.Wait(dt)
 	if p.eng.observing() {
 		p.eng.EmitSpan(SpanEvent{
-			Category: cat, Proc: p.name, Resource: resource, Phase: p.phase,
-			Bytes: bytes, Start: start, End: p.eng.now,
+			Category: cat, Device: dev, Proc: p.name, Resource: resource,
+			Phase: p.phase, Bytes: bytes, Start: start, End: p.eng.now,
 		})
 	}
 }

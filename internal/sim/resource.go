@@ -9,6 +9,7 @@ import "fmt"
 type Resource struct {
 	eng      *Engine
 	name     string
+	device   Device
 	capacity int
 	inUse    int
 	waiters  []waiter
@@ -38,6 +39,14 @@ func NewResource(e *Engine, name string, capacity int) *Resource {
 
 // Name returns the resource name.
 func (r *Resource) Name() string { return r.name }
+
+// SetDevice tags the resource with its device kind; spans it emits
+// (holds and contention waits) carry the tag. Set it where the resource
+// is created, before the simulation runs.
+func (r *Resource) SetDevice(d Device) { r.device = d }
+
+// Device returns the resource's device kind (DeviceUnknown if unset).
+func (r *Resource) Device() Device { return r.device }
 
 // InUse returns the number of currently held units.
 func (r *Resource) InUse() int { return r.inUse }
@@ -70,8 +79,8 @@ func (r *Resource) Acquire(p *Proc) {
 	r.waits++
 	if waited > 0 && r.eng.observing() {
 		r.eng.EmitSpan(SpanEvent{
-			Category: CatSync, Proc: p.name, Resource: r.name, Phase: p.phase,
-			Start: since, End: r.eng.now,
+			Category: CatSync, Device: r.device, Proc: p.name, Resource: r.name,
+			Phase: p.phase, Start: since, End: r.eng.now,
 		})
 	}
 }
@@ -121,7 +130,7 @@ func (r *Resource) Use(p *Proc, dt float64) {
 // span by Acquire.
 func (r *Resource) UseCat(p *Proc, cat Category, bytes int64, dt float64) {
 	r.Acquire(p)
-	p.WaitSpan(cat, r.name, bytes, dt)
+	p.WaitSpanOn(cat, r.device, r.name, bytes, dt)
 	r.Release()
 }
 

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"encoding/csv"
 	"fmt"
 	"io"
 	"sort"
@@ -186,6 +187,46 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		}
 	}
 	return written, nil
+}
+
+// WriteCSV renders the registry as RFC-4180 CSV with a
+// "kind,name,key,value" header. Counters and gauges emit one row each
+// (empty key); histograms emit a count row, a sum row, and one row per
+// bucket keyed "le=<bound>" ("le=+inf" for the overflow bucket). Rows
+// are sorted by name, so identical registries export identical bytes.
+func (m *Metrics) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"kind", "name", "key", "value"}); err != nil {
+		return err
+	}
+	for _, k := range sortedKeys(m.counters) {
+		if err := cw.Write([]string{"counter", k, "", formatVal(m.counters[k].v)}); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(m.gauges) {
+		if err := cw.Write([]string{"gauge", k, "", formatVal(m.gauges[k].v)}); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(m.histograms) {
+		h := m.histograms[k]
+		rows := [][]string{
+			{"histogram", k, "count", strconv.FormatInt(h.n, 10)},
+			{"histogram", k, "sum", formatVal(h.sum)},
+		}
+		for i, b := range h.bounds {
+			rows = append(rows, []string{"histogram", k, "le=" + formatVal(b), strconv.FormatInt(h.counts[i], 10)})
+		}
+		rows = append(rows, []string{"histogram", k, "le=+inf", strconv.FormatInt(h.counts[len(h.bounds)], 10)})
+		for _, row := range rows {
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }
 
 func formatVal(v float64) string {

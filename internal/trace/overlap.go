@@ -50,32 +50,61 @@ func (o Overlap) Efficiency() float64 {
 	return 1 - (o.Tmem+o.Tcomm)/busy
 }
 
-// span classes for the overlap sweep, in attribution priority order.
+// SpanClass is a span's overlap class: which of the model's cost terms
+// its duration counts toward. Values are ordered by attribution
+// priority (lower wins when classes overlap in time).
+type SpanClass int
+
+// The overlap classes, in attribution priority order.
 const (
-	classTf = iota
-	classTp
-	classTmem
-	classTcomm
-	classSync
-	numClasses
+	ClassTf SpanClass = iota
+	ClassTp
+	ClassTmem
+	ClassTcomm
+	ClassSync
+	NumSpanClasses
 )
 
-// classify maps a typed span to its overlap class. Compute spans on
-// resources named "fpga..." (and derived names like "fpga0.fill") are
-// FPGA time; every other compute span is processor time.
-func classify(s sim.SpanEvent) int {
+func (c SpanClass) String() string {
+	switch c {
+	case ClassTf:
+		return "Tf"
+	case ClassTp:
+		return "Tp"
+	case ClassTmem:
+		return "Tmem"
+	case ClassTcomm:
+		return "Tcomm"
+	case ClassSync:
+		return "sync"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Classify maps a typed span to its overlap class. Compute spans are
+// FPGA time (Tf) when the span's device tag says DeviceFPGA and
+// processor time (Tp) otherwise; spans from emitters predating the
+// device tag (DeviceUnknown) fall back to the resource-name convention
+// of the built-in machines, where FPGA arrays are named "fpga...".
+func Classify(s sim.SpanEvent) SpanClass {
 	switch s.Category {
 	case sim.CatCompute:
-		if strings.HasPrefix(s.Resource, "fpga") {
-			return classTf
+		switch s.Device {
+		case sim.DeviceFPGA:
+			return ClassTf
+		case sim.DeviceUnknown:
+			if strings.HasPrefix(s.Resource, "fpga") {
+				return ClassTf
+			}
 		}
-		return classTp
+		return ClassTp
 	case sim.CatDMA:
-		return classTmem
+		return ClassTmem
 	case sim.CatNetwork:
-		return classTcomm
+		return ClassTcomm
 	default:
-		return classSync
+		return ClassSync
 	}
 }
 
@@ -87,7 +116,7 @@ func ComputeOverlap(spans []sim.SpanEvent, makespan float64) Overlap {
 
 	type edge struct {
 		t     float64
-		class int
+		class SpanClass
 		delta int
 	}
 	edges := make([]edge, 0, 2*len(spans))
@@ -95,18 +124,18 @@ func ComputeOverlap(spans []sim.SpanEvent, makespan float64) Overlap {
 		if s.End <= s.Start {
 			continue
 		}
-		cl := classify(s)
+		cl := Classify(s)
 		d := s.End - s.Start
 		switch cl {
-		case classTf:
+		case ClassTf:
 			o.BusyTf += d
-		case classTp:
+		case ClassTp:
 			o.BusyTp += d
-		case classTmem:
+		case ClassTmem:
 			o.BusyTmem += d
-		case classTcomm:
+		case ClassTcomm:
 			o.BusyTcomm += d
-		case classSync:
+		case ClassSync:
 			o.BusySync += d
 		}
 		edges = append(edges, edge{t: s.Start, class: cl, delta: +1})
@@ -123,22 +152,22 @@ func ComputeOverlap(spans []sim.SpanEvent, makespan float64) Overlap {
 		return edges[i].delta < edges[j].delta
 	})
 
-	var active [numClasses]int
+	var active [NumSpanClasses]int
 	attribute := func(from, to float64) {
 		if to <= from {
 			return
 		}
 		d := to - from
 		switch {
-		case active[classTf] > 0:
+		case active[ClassTf] > 0:
 			o.Tf += d
-		case active[classTp] > 0:
+		case active[ClassTp] > 0:
 			o.Tp += d
-		case active[classTmem] > 0:
+		case active[ClassTmem] > 0:
 			o.Tmem += d
-		case active[classTcomm] > 0:
+		case active[ClassTcomm] > 0:
 			o.Tcomm += d
-		case active[classSync] > 0:
+		case active[ClassSync] > 0:
 			o.Sync += d
 		default:
 			o.Idle += d

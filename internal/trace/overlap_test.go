@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"testing"
+
+	"codesign/internal/sim"
+)
+
+func TestEfficiencyZeroData(t *testing.T) {
+	// A run that moved no data hid all of it trivially.
+	o := Overlap{Makespan: 10, BusyTf: 10, Tf: 10}
+	if got := o.Efficiency(); got != 1 {
+		t.Fatalf("zero-data efficiency %v, want 1", got)
+	}
+	if got := (Overlap{}).Efficiency(); got != 1 {
+		t.Fatalf("empty overlap efficiency %v, want 1", got)
+	}
+}
+
+func TestEfficiencyFullyExposed(t *testing.T) {
+	// Every busy transfer second is exposed: nothing was hidden.
+	o := Overlap{Makespan: 10, BusyTmem: 4, BusyTcomm: 2, Tmem: 4, Tcomm: 2}
+	if got := o.Efficiency(); got != 0 {
+		t.Fatalf("fully-exposed efficiency %v, want 0", got)
+	}
+	// Half hidden.
+	o = Overlap{Makespan: 10, BusyTmem: 4, Tmem: 2}
+	if got := o.Efficiency(); got != 0.5 {
+		t.Fatalf("half-hidden efficiency %v, want 0.5", got)
+	}
+}
+
+func TestClassifyUsesDeviceTag(t *testing.T) {
+	cases := []struct {
+		name string
+		s    sim.SpanEvent
+		want SpanClass
+	}{
+		// The device tag classifies compute regardless of the resource
+		// name: an accelerator named "drc0" (no "fpga" prefix) is still
+		// FPGA time.
+		{"fpga tag, non-fpga name", sim.SpanEvent{Category: sim.CatCompute, Device: sim.DeviceFPGA, Resource: "drc0"}, ClassTf},
+		{"fpga tag, fpga name", sim.SpanEvent{Category: sim.CatCompute, Device: sim.DeviceFPGA, Resource: "fpga0"}, ClassTf},
+		{"cpu tag", sim.SpanEvent{Category: sim.CatCompute, Device: sim.DeviceCPU, Resource: "cpu0"}, ClassTp},
+		// A CPU-tagged resource named "fpga-helper" must NOT classify
+		// as FPGA time: the tag wins over the name convention.
+		{"cpu tag, fpga-ish name", sim.SpanEvent{Category: sim.CatCompute, Device: sim.DeviceCPU, Resource: "fpga-helper"}, ClassTp},
+		// Untagged spans fall back to the name convention.
+		{"untagged fpga name", sim.SpanEvent{Category: sim.CatCompute, Resource: "fpga3"}, ClassTf},
+		{"untagged cpu name", sim.SpanEvent{Category: sim.CatCompute, Resource: "cpu3"}, ClassTp},
+		{"dma", sim.SpanEvent{Category: sim.CatDMA, Device: sim.DeviceDRAM, Resource: "dram-stream"}, ClassTmem},
+		{"network", sim.SpanEvent{Category: sim.CatNetwork, Device: sim.DeviceLink, Resource: "egress0"}, ClassTcomm},
+		{"sync", sim.SpanEvent{Category: sim.CatSync, Device: sim.DeviceFPGA, Resource: "fpga0"}, ClassSync},
+	}
+	for _, c := range cases {
+		if got := Classify(c.s); got != c.want {
+			t.Errorf("%s: classified %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestMetricsWriteCSV(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("run.spans").Add(42)
+	m.Gauge("run.makespan_s").Set(1.5)
+	h := m.Histogram("lat", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(100)
+
+	var a, b bytes.Buffer
+	if err := m.WriteCSV(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two exports of the same registry differ")
+	}
+
+	rows, err := csv.NewReader(bytes.NewReader(a.Bytes())).ReadAll()
+	if err != nil {
+		t.Fatalf("export is not valid CSV: %v", err)
+	}
+	want := [][]string{
+		{"kind", "name", "key", "value"},
+		{"counter", "run.spans", "", "42"},
+		{"gauge", "run.makespan_s", "", "1.5"},
+		{"histogram", "lat", "count", "3"},
+		{"histogram", "lat", "sum", "105.5"},
+		{"histogram", "lat", "le=1", "1"},
+		{"histogram", "lat", "le=10", "1"},
+		{"histogram", "lat", "le=+inf", "1"},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("got %d rows, want %d:\n%s", len(rows), len(want), a.String())
+	}
+	for i := range want {
+		for j := range want[i] {
+			if rows[i][j] != want[i][j] {
+				t.Fatalf("row %d = %v, want %v", i, rows[i], want[i])
+			}
+		}
+	}
+}
