@@ -7,6 +7,7 @@ package codesign
 // fast the simulator itself runs).
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -449,4 +450,28 @@ func BenchmarkExtensionCG(b *testing.B) {
 		g = r.GFLOPS
 	}
 	b.ReportMetric(g, "sim_GFLOPS")
+}
+
+// BenchmarkDesignSpaceSweep evaluates a 126-point LU model-method grid
+// (21 bf values x 6 pipeline depths) through the parallel sweep engine
+// and reports throughput of the engine itself plus the headline of the
+// best design it finds.
+func BenchmarkDesignSpaceSweep(b *testing.B) {
+	bf := make([]int, 0, 21)
+	for v := 0; v <= 3000; v += 150 {
+		bf = append(bf, v)
+	}
+	g := SweepGrid{Apps: []string{"lu"}, BF: bf, L: []int{-1, 1, 2, 3, 4, 6}}
+	var best float64
+	points := 0
+	for i := 0; i < b.N; i++ {
+		res, err := RunSweep(context.Background(), g, SweepOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		best = res.Outcomes[res.Best()].GFLOPS
+		points = res.Stats.Points
+	}
+	b.ReportMetric(float64(points), "points")
+	b.ReportMetric(best, "best_sim_GFLOPS")
 }

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func lint(t *testing.T, src string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return checkFile(fset, file)
+}
+
+func TestFlagsUndocumentedExports(t *testing.T) {
+	src := `package p
+
+func Exported() {}
+
+type T struct {
+	Field int
+	ok    bool
+}
+
+const Answer = 42
+
+type I interface {
+	Method()
+}
+`
+	got := lint(t, src)
+	want := []string{"function Exported", "type T", "field T.Field", "const Answer", "type I", "interface method I.Method"}
+	if len(got) != len(want) {
+		t.Fatalf("got %d findings %v, want %d", len(got), got, len(want))
+	}
+	for i, w := range want {
+		if !strings.Contains(got[i], w) {
+			t.Errorf("finding %d = %q, want mention of %q", i, got[i], w)
+		}
+	}
+}
+
+func TestAcceptsDocumentedAndUnexported(t *testing.T) {
+	src := `package p
+
+// Exported does things.
+func Exported() {}
+
+func private() {}
+
+// T is a thing.
+type T struct {
+	// Field counts.
+	Field int
+	hidden bool
+}
+
+// Grouped constants share one doc.
+const (
+	A = 1
+	B = 2
+)
+
+func (t *T) String() string { return "" } // method on exported type
+
+// String renders t.
+func (t T) Render() string { return "" }
+
+type inner struct{ X int }
+
+func (i inner) Exported() {}
+`
+	got := lint(t, src)
+	// Only (*T).String lacks a doc; inner's method is skipped because
+	// the receiver type is unexported.
+	if len(got) != 1 || !strings.Contains(got[0], "method String") {
+		t.Fatalf("got %v, want exactly one finding for method String", got)
+	}
+}
+
+func TestCheckPathDirectorySkipsTests(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("doc.go", "// Package p is documented.\npackage p\n")
+	write("a.go", "package p\n\nfunc Oops() {}\n")
+	write("a_test.go", "package p\n\nfunc TestOops() {}\nfunc Undocumented() {}\n")
+	got, err := checkPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !strings.Contains(got[0], "function Oops") {
+		t.Fatalf("got %v, want one finding for Oops", got)
+	}
+}
+
+func TestCheckPathRequiresPackageDoc(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte("package p\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := checkPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !strings.Contains(got[0], "no package-level doc") {
+		t.Fatalf("got %v, want package-doc finding", got)
+	}
+}
+
+// TestRepoSurfacesAreDocumented is the in-tree version of the CI lint:
+// the public facade and the sweep engine must stay fully documented.
+func TestRepoSurfacesAreDocumented(t *testing.T) {
+	for _, path := range []string{"../../codesign.go", "../../internal/sweep"} {
+		got, err := checkPath(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) > 0 {
+			t.Errorf("%s: %d undocumented identifiers:\n%s", path, len(got), strings.Join(got, "\n"))
+		}
+	}
+}

@@ -50,6 +50,8 @@ var experiments = []struct {
 		func(bool) (*exper.Table, error) { return exper.Extensions() }},
 	{"sensitivity", "LU partition/throughput vs system parameters",
 		func(bool) (*exper.Table, error) { return exper.Sensitivity() }},
+	{"designspace", "PE-array design-space sweep reproducing the paper's XD1 choice",
+		func(bool) (*exper.Table, error) { return exper.DesignSpace() }},
 }
 
 func main() {

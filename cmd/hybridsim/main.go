@@ -71,18 +71,7 @@ type options struct {
 }
 
 func machineByName(name string) (machine.Config, error) {
-	switch name {
-	case "xd1":
-		return machine.XD1(), nil
-	case "xt3":
-		return machine.XT3DRC(), nil
-	case "src6":
-		return machine.SRC6(), nil
-	case "rasc":
-		return machine.RASC(), nil
-	default:
-		return machine.Config{}, fmt.Errorf("unknown machine %q", name)
-	}
+	return machine.Preset(name)
 }
 
 func modeByName(name string) (core.Mode, error) {

@@ -1,0 +1,199 @@
+// Command sweep explores the co-design space: it enumerates a
+// parameter grid over applications, machine presets, node counts,
+// problem/block sizes, PE-array widths and partition overrides,
+// evaluates every point in parallel with the closed-form design model
+// (or the full simulation with -method sim), and reports the Pareto
+// frontier (GFLOPS vs. FPGA slices vs. DRAM bandwidth) plus per-axis
+// sensitivity tables.
+//
+// Usage:
+//
+//	sweep -pes 2,4,6,8 -out sweep.json            # LU PE-array sweep on the XD1
+//	sweep -apps lu,fw -machines xd1,xt3 -csv sweep.csv
+//	sweep -grid grid.json -workers 4              # declarative JSON grid
+//	sweep -apps mm -n 3072,6144,12288 -method sim # simulate, don't model
+//
+// The JSON/CSV output is deterministic: identical grids produce
+// byte-identical files regardless of -workers.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"codesign/internal/sweep"
+)
+
+func main() {
+	var o options
+	flag.StringVar(&o.GridFile, "grid", "", "JSON grid description `file` (\"-\" = stdin); overrides the axis flags")
+	flag.StringVar(&o.Apps, "apps", "lu", "comma list of applications: lu, fw, mm")
+	flag.StringVar(&o.Machines, "machines", "xd1", "comma list of machine presets: xd1, xt3, src6, rasc")
+	flag.StringVar(&o.Modes, "modes", "hybrid", "comma list of designs: hybrid, processor-only, fpga-only")
+	flag.StringVar(&o.Nodes, "nodes", "0", "comma list of node counts (0 = preset default)")
+	flag.StringVar(&o.N, "n", "0", "comma list of problem sizes (0 = app paper size)")
+	flag.StringVar(&o.B, "b", "0", "comma list of block sizes (0 = app paper size)")
+	flag.StringVar(&o.PEs, "pes", "0", "comma list of PE-array sizes (0 = largest that fits)")
+	flag.StringVar(&o.BF, "bf", "-1", "comma list of LU/MM FPGA row shares (-1 = solve Eq. 4 / Eq. 1)")
+	flag.StringVar(&o.L, "l", "-1", "comma list of LU pipeline depths / FW l1 (-1 = solve Eq. 5 / Eq. 6)")
+	flag.StringVar(&o.Method, "method", sweep.MethodModel, "evaluator: model (closed-form, fast) or sim (full simulation)")
+	flag.IntVar(&o.Workers, "workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	flag.StringVar(&o.JSONOut, "out", "", "write full results as JSON to `file` (\"-\" = stdout)")
+	flag.StringVar(&o.CSVOut, "csv", "", "write per-point results as CSV to `file` (\"-\" = stdout)")
+	flag.BoolVar(&o.Quiet, "q", false, "suppress the frontier/summary report")
+	flag.Parse()
+
+	if err := run(o, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+// options bundles every CLI knob run needs; tests construct it
+// directly.
+type options struct {
+	GridFile string
+	Apps     string
+	Machines string
+	Modes    string
+	Nodes    string
+	N        string
+	B        string
+	PEs      string
+	BF       string
+	L        string
+	Method   string
+	Workers  int
+	JSONOut  string
+	CSVOut   string
+	Quiet    bool
+}
+
+// grid builds the sweep grid: from the -grid file when given,
+// otherwise from the comma-list axis flags.
+func (o options) grid() (sweep.Grid, error) {
+	if o.GridFile != "" {
+		r := io.Reader(os.Stdin)
+		if o.GridFile != "-" {
+			f, err := os.Open(o.GridFile)
+			if err != nil {
+				return sweep.Grid{}, err
+			}
+			defer f.Close()
+			r = f
+		}
+		return sweep.ReadGrid(r)
+	}
+	g := sweep.Grid{
+		Apps:     splitList(o.Apps),
+		Machines: splitList(o.Machines),
+		Modes:    splitList(o.Modes),
+		Method:   o.Method,
+	}
+	var err error
+	for _, axis := range []struct {
+		dst  *[]int
+		flag string
+		raw  string
+	}{
+		{&g.Nodes, "nodes", o.Nodes}, {&g.N, "n", o.N}, {&g.B, "b", o.B},
+		{&g.PEs, "pes", o.PEs}, {&g.BF, "bf", o.BF}, {&g.L, "l", o.L},
+	} {
+		if *axis.dst, err = splitInts(axis.raw); err != nil {
+			return g, fmt.Errorf("-%s: %w", axis.flag, err)
+		}
+	}
+	return g, g.Validate()
+}
+
+func run(o options, stdout io.Writer) error {
+	g, err := o.grid()
+	if err != nil {
+		return err
+	}
+	res, err := sweep.Run(context.Background(), g, sweep.Options{Workers: o.Workers})
+	if err != nil {
+		return err
+	}
+	if o.JSONOut != "" {
+		if err := writeTo(o.JSONOut, stdout, res.WriteJSON); err != nil {
+			return fmt.Errorf("out: %w", err)
+		}
+	}
+	if o.CSVOut != "" {
+		if err := writeTo(o.CSVOut, stdout, res.WriteCSV); err != nil {
+			return fmt.Errorf("csv: %w", err)
+		}
+	}
+	if o.Quiet {
+		return nil
+	}
+	s := res.Stats
+	fmt.Fprintf(stdout, "swept %d points (%d infeasible) with method=%s\n",
+		s.Points, s.Errors, res.Grid.Method)
+	fmt.Fprintf(stdout, "memoization: %d/%d placements solved, %d/%d partition solves\n",
+		s.PlaceSolves, s.PlaceLookups, s.PartitionSolves, s.PartitionLookups)
+	fmt.Fprintf(stdout, "\npareto frontier (%d points):\n", len(res.ParetoIndices))
+	if err := res.WriteFrontier(stdout); err != nil {
+		return err
+	}
+	if best := res.Best(); best >= 0 {
+		o := res.Outcomes[best]
+		fmt.Fprintf(stdout, "\nbest throughput: point %d — %.3f GFLOPS (k=%d, Of=%d, Ff=%.2f MHz, binding %s)\n",
+			best, o.GFLOPS, o.K, o.Of, o.FfMHz, o.Binding)
+	}
+	for _, tab := range res.Sensitivity {
+		fmt.Fprintf(stdout, "\nsensitivity to %s:\n", tab.Param)
+		fmt.Fprintf(stdout, "  %-12s %6s %6s %12s %12s\n", tab.Param, "points", "ok", "best GFLOPS", "mean GFLOPS")
+		for _, row := range tab.Rows {
+			fmt.Fprintf(stdout, "  %-12s %6d %6d %12.3f %12.3f\n",
+				row.Value, row.Count, row.OK, row.BestGFLOPS, row.MeanGFLOPS)
+		}
+	}
+	return nil
+}
+
+// writeTo streams write into path, with "-" meaning stdout.
+func writeTo(path string, stdout io.Writer, write func(io.Writer) error) error {
+	if path == "-" {
+		return write(stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// splitList splits a comma list, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// splitInts parses a comma list of integers.
+func splitInts(s string) ([]int, error) {
+	var out []int
+	for _, v := range splitList(s) {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", v)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

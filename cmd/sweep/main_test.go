@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunInlineAxesDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	outJSON := func(workers int, name string) []byte {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		var buf bytes.Buffer
+		err := run(options{
+			Apps: "lu", Machines: "xd1", Modes: "hybrid",
+			Nodes: "0", N: "0", B: "0", PEs: "2,4,6,8", BF: "-1", L: "-1",
+			Method: "model", Workers: workers, JSONOut: path, Quiet: true,
+		}, &buf)
+		if err != nil {
+			t.Fatalf("run(workers=%d): %v", workers, err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	one := outJSON(1, "w1.json")
+	eight := outJSON(8, "w8.json")
+	if !bytes.Equal(one, eight) {
+		t.Fatal("JSON differs between -workers=1 and -workers=8")
+	}
+	if !bytes.Contains(one, []byte(`"pareto"`)) {
+		t.Error("JSON output missing pareto field")
+	}
+}
+
+func TestRunGridFileAndCSV(t *testing.T) {
+	dir := t.TempDir()
+	grid := filepath.Join(dir, "grid.json")
+	if err := os.WriteFile(grid, []byte(`{"apps":["mm"],"pes":[4,8]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	csv := filepath.Join(dir, "out.csv")
+	var buf bytes.Buffer
+	if err := run(options{GridFile: grid, CSVOut: csv}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 3 { // header + 2 points
+		t.Fatalf("CSV has %d lines, want 3:\n%s", len(lines), data)
+	}
+	if !strings.HasPrefix(lines[0], "index,app,machine") {
+		t.Errorf("unexpected CSV header %q", lines[0])
+	}
+	if !strings.Contains(buf.String(), "pareto frontier") {
+		t.Errorf("summary report missing frontier section:\n%s", buf.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run(options{Apps: "lu", PEs: "four"}, &bytes.Buffer{}); err == nil {
+		t.Error("bad -pes accepted")
+	}
+	if err := run(options{Apps: "qr", PEs: "0", Method: "model"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown app accepted")
+	}
+}

@@ -33,12 +33,15 @@
 package codesign
 
 import (
+	"context"
+
 	"codesign/internal/analysis"
 	"codesign/internal/core"
 	"codesign/internal/exper"
 	"codesign/internal/machine"
 	"codesign/internal/model"
 	"codesign/internal/sim"
+	"codesign/internal/sweep"
 	"codesign/internal/trace"
 )
 
@@ -283,6 +286,53 @@ var (
 	ExperimentExtensions = exper.Extensions
 	// ExperimentSensitivity sweeps system parameters through the model.
 	ExperimentSensitivity = exper.Sensitivity
+	// ExperimentDesignSpace regenerates the Section 4.5 design
+	// selection by sweeping the LU PE-array width on the XD1.
+	ExperimentDesignSpace = exper.DesignSpace
 	// AllExperiments regenerates everything.
 	AllExperiments = exper.All
 )
+
+// Design-space exploration (internal/sweep). A SweepGrid declares axes
+// over applications, machines, sizes and partitions; RunSweep
+// evaluates its cross product on a bounded worker pool and reduces the
+// outcomes to a Pareto frontier plus sensitivity tables. See also
+// cmd/sweep.
+type (
+	// SweepGrid is a declarative design-space description whose cross
+	// product is the point set.
+	SweepGrid = sweep.Grid
+	// SweepPoint is one fully-specified design-space coordinate.
+	SweepPoint = sweep.Point
+	// SweepOutcome is the evaluation of one point.
+	SweepOutcome = sweep.Outcome
+	// SweepOptions tunes a sweep run (worker count, progress callback).
+	SweepOptions = sweep.Options
+	// SweepResult is a completed sweep: outcomes in deterministic
+	// order, the Pareto frontier and per-axis sensitivity tables.
+	SweepResult = sweep.Result
+	// SweepStats counts evaluations and memoization hits.
+	SweepStats = sweep.Stats
+	// SweepSensitivityTable aggregates throughput per value of one
+	// grid axis.
+	SweepSensitivityTable = sweep.SensitivityTable
+)
+
+// Sweep evaluation methods.
+const (
+	// SweepMethodModel evaluates points with the closed-form model.
+	SweepMethodModel = sweep.MethodModel
+	// SweepMethodSim evaluates points with the full simulation.
+	SweepMethodSim = sweep.MethodSim
+)
+
+// RunSweep evaluates every point of the grid in parallel and returns
+// the deterministic, Pareto-annotated result set. The context cancels
+// the sweep between point evaluations.
+func RunSweep(ctx context.Context, g SweepGrid, opts SweepOptions) (*SweepResult, error) {
+	return sweep.Run(ctx, g, opts)
+}
+
+// MachinePreset returns a fresh copy of a named machine preset
+// ("xd1", "xt3", "src6", "rasc").
+func MachinePreset(name string) (MachineConfig, error) { return machine.Preset(name) }

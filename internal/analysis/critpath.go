@@ -1,10 +1,3 @@
-// Package analysis turns the simulator's typed span stream into
-// actionable performance attribution: the critical path through a run,
-// per-resource utilization timelines, and a bottleneck classifier that
-// names the model parameter (Of·Ff, Op·Fp, Bd or Bn) binding each
-// phase and checks it against the analytic model's prediction. It also
-// defines the JSON baseline format the benchmark-regression harness
-// (cmd/experiments -bench-json / -check) uses.
 package analysis
 
 import (

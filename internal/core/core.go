@@ -1,17 +1,3 @@
-// Package core implements the paper's hybrid designs (Section 5): the
-// distributed block LU decomposition and the distributed blocked
-// Floyd-Warshall algorithm, each in three variants — Hybrid (processor +
-// FPGA per the co-design model), ProcessorOnly and FPGAOnly (the two
-// baselines of Section 6.2) — executing on a simulated reconfigurable
-// computing system built by internal/machine.
-//
-// Every run is a discrete-event simulation of the full distributed
-// schedule: panel factorizations, stripe broadcasts, DRAM streaming,
-// FPGA jobs, result scatters and subtractions all occur as events whose
-// durations come from the machine model. With Functional enabled the
-// events also carry real matrices through the real kernels, so the
-// distributed result can be checked against the sequential references
-// in internal/matrix.
 package core
 
 import (

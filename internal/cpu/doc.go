@@ -1,0 +1,11 @@
+// Package cpu models the general-purpose processor of a node as the
+// design model sees it: a sustained floating-point rate per kernel
+// class (the Op·Fp of Section 4.1), plus the latencies of the vendor
+// library routines the software side calls — the ACML
+// dgemm/dgetrf/dtrsm of Table 1 and the scalar Floyd-Warshall kernel.
+//
+// The model can be backed by measured constants (the paper's numbers
+// for the 2.2 GHz Opteron) or calibrated against the host by timing
+// the real Go kernels in internal/matrix, which exercises the same
+// code path with live data.
+package cpu

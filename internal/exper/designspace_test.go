@@ -1,0 +1,67 @@
+package exper
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestDesignSpaceReproducesPaperChoice checks the sweep regenerates
+// the paper's published XD1 design point for LU: the k=8 PE array
+// (Of=16) at the ~130 MHz placed clock is Pareto-optimal and the
+// throughput maximum, and the next-larger array fails placement.
+func TestDesignSpaceReproducesPaperChoice(t *testing.T) {
+	tb, err := DesignSpace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		k8       []string
+		bestG    float64
+		bestRow  []string
+		sawInfea bool
+	)
+	for _, row := range tb.Rows {
+		if row[0] == "8" {
+			k8 = row
+		}
+		if strings.HasPrefix(row[7], "infeasible") {
+			sawInfea = true
+			continue
+		}
+		var g float64
+		if _, err := fmt.Sscan(row[6], &g); err != nil {
+			t.Fatalf("bad GFLOPS cell %q: %v", row[6], err)
+		}
+		if g > bestG {
+			bestG, bestRow = g, row
+		}
+	}
+	if k8 == nil {
+		t.Fatal("no k=8 row in design-space table")
+	}
+	if k8[1] != "16" {
+		t.Errorf("k=8 row has Of=%s, want 16", k8[1])
+	}
+	if !strings.HasPrefix(k8[2], "129.9") && !strings.HasPrefix(k8[2], "130.0") {
+		t.Errorf("k=8 row has Ff=%s MHz, want ~130", k8[2])
+	}
+	if k8[8] != "yes" {
+		t.Errorf("paper design point k=8 not Pareto-optimal: %v", k8)
+	}
+	if bestRow == nil || bestRow[0] != "8" {
+		t.Errorf("throughput maximum at k=%v, paper picks k=8", bestRow)
+	}
+	if !sawInfea {
+		t.Error("no infeasible rows: sweep should show the XC2VP50 capacity edge")
+	}
+	found := false
+	for _, n := range tb.Notes {
+		if strings.Contains(n, "k=8 (Of=16)") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("selected-design note missing or wrong: %v", tb.Notes)
+	}
+}

@@ -1,0 +1,11 @@
+// Package exper regenerates every table and figure of the paper's
+// evaluation (Section 6): each experiment returns a Table whose rows
+// come from fresh simulations, side by side with the values the paper
+// reports where it reports them — Table 1's routine latencies, Figures
+// 5-8's partition and pipelining studies, Figure 9's hybrid-vs-baseline
+// comparison, the Section 6.2 prediction-accuracy study, and the
+// Section 4.5 design-space selection regenerated through
+// internal/sweep (DesignSpace). cmd/experiments prints them; the
+// repository-level benchmarks wrap them as testing.B targets and the
+// Headline suite is the benchmark-regression baseline.
+package exper

@@ -1,8 +1,3 @@
-// Package exper regenerates every table and figure of the paper's
-// evaluation (Section 6): each experiment returns a Table whose rows
-// come from fresh simulations, side by side with the values the paper
-// reports where it reports them. cmd/experiments prints them; the
-// repository-level benchmarks wrap them as testing.B targets.
 package exper
 
 import (
@@ -306,7 +301,7 @@ func All() ([]*Table, error) {
 		Table1, Fig5, Fig6, Fig7, Fig8,
 		func() (*Table, error) { return Fig9(false) },
 		func() (*Table, error) { return Prediction(false) },
-		Ablations, Extensions, Sensitivity,
+		Ablations, Extensions, Sensitivity, DesignSpace,
 	} {
 		t, err := f()
 		if err != nil {

@@ -1,0 +1,7 @@
+// Package fabric models the interconnect of a reconfigurable computing
+// system (the Bn parameter of Section 4.1): a non-blocking crossbar
+// switching fabric, as in the Cray XD1 chassis of Section 3, with
+// per-node links of fixed bandwidth. Contention arises only at the
+// endpoints — a node's egress and ingress links — which the package
+// serializes with FIFO resources in virtual time.
+package fabric

@@ -1,8 +1,3 @@
-// Package fabric models the interconnect of a reconfigurable computing
-// system: a non-blocking crossbar switching fabric (as in the Cray XD1
-// chassis) with per-node links of fixed bandwidth. Contention arises
-// only at the endpoints — a node's egress and ingress links — which the
-// package serializes with FIFO resources in virtual time.
 package fabric
 
 import (

@@ -1,12 +1,3 @@
-// Package fpga models the FPGA accelerator of a node: the device's
-// resource budget, a pseudo place-and-route step that decides how many
-// processing elements (PEs) fit and what clock frequency the placed
-// design achieves, the two PE-array designs the paper instantiates
-// (the matrix multiplier of Zhuo-Prasanna [21] and the Floyd-Warshall
-// array of Bondhugula et al. [18]) with their published cycle-count
-// models, bit-exact functional kernels built on internal/fpmath, and the
-// control/status registers the processor uses for coordination
-// (Section 4.4).
 package fpga
 
 import "fmt"

@@ -1,0 +1,17 @@
+// Package fpmath implements bit-exact IEEE-754 binary64 (double
+// precision) addition and multiplication using only integer arithmetic,
+// mirroring the custom floating-point cores the paper's FPGA designs use
+// ("our own 64-bit floating-point adders and multipliers that comply
+// with IEEE-754 standard", Govindu et al. [8]).
+//
+// The operations round to nearest, ties to even, and handle subnormals,
+// signed zeros, infinities and NaN. Because Go's float64 arithmetic is
+// also IEEE-754 with the same rounding, the property tests can prove the
+// "hardware" datapath computes exactly what the host computes — which is
+// what lets the simulated FPGA carry real data through real kernels.
+//
+// Pipeline metadata (stage counts, achievable frequency) for the cores
+// lives in core.go and feeds the FPGA timing model: the adder's and
+// multiplier's maximum frequencies bound the placed clock Ff of
+// Section 4.1.
+package fpmath

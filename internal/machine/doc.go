@@ -1,0 +1,10 @@
+// Package machine assembles the substrates into a reconfigurable
+// computing system: p nodes — each a processor + FPGA + DRAM + SRAM —
+// connected by a crossbar fabric, all living inside one discrete-event
+// simulation engine. Presets model the systems of Section 3 (Cray XD1,
+// Cray XT3 with DRC modules, SRC-6, SGI RASC); Preset resolves them by
+// name for the CLIs and the sweep engine. EffectiveBd applies the
+// Section 4.1 observation that the matrix designs read at most one
+// word per FPGA cycle, capping the DRAM streaming bandwidth Bd at
+// bw·Ff.
+package machine

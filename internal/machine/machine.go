@@ -1,8 +1,3 @@
-// Package machine assembles the substrates into a reconfigurable
-// computing system: p nodes — each a processor + FPGA + DRAM + SRAM —
-// connected by a crossbar fabric, all living inside one discrete-event
-// simulation engine. Presets model the systems of Section 3 (Cray XD1,
-// Cray XT3 with DRC modules, SRC-6, SGI RASC).
 package machine
 
 import (

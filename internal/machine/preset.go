@@ -1,0 +1,51 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// presets maps the short CLI/sweep names to the Section 3 system
+// builders. Kept as a function table so each lookup returns a fresh
+// Config that callers may mutate freely.
+var presets = []struct {
+	name  string
+	build func() Config
+}{
+	{"xd1", XD1},
+	{"xt3", XT3DRC},
+	{"src6", SRC6},
+	{"rasc", RASC},
+}
+
+// Preset returns a fresh copy of the named machine preset ("xd1",
+// "xt3", "src6" or "rasc"). Names are case-insensitive.
+func Preset(name string) (Config, error) {
+	for _, p := range presets {
+		if strings.EqualFold(name, p.name) {
+			return p.build(), nil
+		}
+	}
+	return Config{}, fmt.Errorf("machine: unknown preset %q (want one of %s)",
+		name, strings.Join(PresetNames(), ", "))
+}
+
+// PresetNames lists the available preset names in stable order.
+func PresetNames() []string {
+	out := make([]string, len(presets))
+	for i, p := range presets {
+		out[i] = p.name
+	}
+	return out
+}
+
+// WithNodes returns a copy of the config resized to p nodes (both the
+// node list and the fabric endpoints). p <= 0 leaves the preset's node
+// count unchanged — the convention sweep grids use for "default".
+func (c Config) WithNodes(p int) Config {
+	if p > 0 {
+		c.Nodes = p
+		c.Fabric.Nodes = p
+	}
+	return c
+}

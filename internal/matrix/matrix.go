@@ -1,13 +1,3 @@
-// Package matrix provides dense double-precision matrices and the
-// computational kernels used by the co-designed applications: general
-// matrix multiplication (GEMM), triangular solves (TRSM), LU
-// factorization (GETRF), and the tropical (min,+) kernels of the blocked
-// Floyd-Warshall algorithm.
-//
-// The package is the functional substrate of the simulator: when a
-// simulated processor or FPGA "computes", these kernels produce the
-// actual numbers, so end-to-end correctness of the distributed designs
-// is testable against sequential references.
 package matrix
 
 import (

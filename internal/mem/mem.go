@@ -1,8 +1,3 @@
-// Package mem models the node memory system seen by the co-design
-// model: the DRAM the processor owns, the FPGA's streaming access to it
-// over the processor interconnect (the paper's Bd — 1.04 GB/s effective
-// for the matrix multiplier reading one word per cycle at 130 MHz), and
-// the write-coordination rules of Section 4.4.
 package mem
 
 import (

@@ -1,0 +1,24 @@
+// Package model implements the paper's primary contribution: the design
+// model for hybrid designs on reconfigurable computing systems
+// (Section 4). A system is characterized by its parameters — node count
+// p, FPGA computing power Of·Ff, sustained processor power Op·Fp, DRAM
+// streaming bandwidth Bd, network bandwidth Bn, word width bw — and the
+// model derives:
+//
+//   - the hardware/software workload partition that equalizes processor
+//     and FPGA finish times while charging DRAM transfer and network
+//     communication to the processor (Equations 1, 2 and 4 —
+//     Params.Split, Params.SplitComm, LUParams.SolvePartition,
+//     MMParams.SolvePartition),
+//   - the inter-node load balance (Equation 5 for LU's panel pipeline,
+//     LUParams.SolveL; Equation 6 for Floyd-Warshall's whole-task
+//     split, FWParams.SolveSplit), and
+//   - a performance prediction assuming data transfer and communication
+//     overlap FPGA computation perfectly (Section 4.5 — PredictLU,
+//     PredictFW, PredictMM).
+//
+// BindingFromTimes and the per-app *Binding helpers name which
+// parameter binds a phase, the vocabulary shared with
+// internal/analysis's measured classifier and internal/sweep's
+// frontier reports.
+package model

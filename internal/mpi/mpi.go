@@ -1,12 +1,3 @@
-// Package mpi provides a rank-based message-passing layer over the
-// simulated interconnect, mirroring the subset of MPI the paper's C
-// program uses: blocking point-to-point sends and receives plus the
-// collectives built from them (broadcast, barrier, gather, reduce).
-//
-// Semantics follow Section 4.3 of the paper: communication is performed
-// by the node's processor, so a process that sends or receives is busy
-// for the whole transfer and cannot compute — while the FPGA, which is
-// not attached to the network, keeps running.
 package mpi
 
 import (

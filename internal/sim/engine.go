@@ -1,18 +1,3 @@
-// Package sim is a deterministic process-based discrete-event simulation
-// engine. Simulated entities (a node's processor, its FPGA, a DMA
-// engine, a network link) are processes — goroutines that run one at a
-// time under a scheduler and advance a shared virtual clock by waiting.
-//
-// The engine is the substrate on which the reconfigurable computing
-// system is modeled: it charges virtual time for computation, DRAM
-// transfers and network messages, and serializes contention on shared
-// resources exactly as the co-design model of the paper requires (e.g.
-// a processor that is communicating cannot compute, while an FPGA
-// streaming from DRAM can).
-//
-// Determinism: with the same program, every run produces the identical
-// event order (ties in virtual time break by scheduling sequence
-// number), so simulated latencies are reproducible to the last digit.
 package sim
 
 import (

@@ -1,0 +1,75 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteJSON serializes the full result — grid, per-point records,
+// Pareto indices, sensitivity tables, stats — as indented JSON. The
+// bytes are a pure function of the grid: identical grids yield
+// identical output whatever the worker count.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// csvHeader is the flat per-point column set of WriteCSV.
+var csvHeader = []string{
+	"index", "app", "machine", "mode", "nodes", "n", "b", "pes",
+	"ok", "err", "k", "of", "ff_mhz", "slices", "brams", "mults", "bd_gbps",
+	"bf", "bp", "l", "l1", "l2",
+	"gflops", "seconds", "pred_gflops", "overlap_eff", "binding", "margin", "pareto",
+}
+
+// WriteCSV serializes one row per point with the resolved design,
+// throughput and binding columns — the spreadsheet-friendly view of
+// WriteJSON's records.
+func (r *Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for i := range r.Points {
+		pt, o := r.Points[i], r.Outcomes[i]
+		row := []string{
+			strconv.Itoa(pt.Index), pt.App, pt.Machine, pt.Mode,
+			strconv.Itoa(pt.Nodes), strconv.Itoa(pt.N), strconv.Itoa(pt.B), strconv.Itoa(pt.PEs),
+			strconv.FormatBool(o.OK), o.Err,
+			strconv.Itoa(o.K), strconv.Itoa(o.Of), f(o.FfMHz),
+			strconv.Itoa(o.Slices), strconv.Itoa(o.BlockRAMs), strconv.Itoa(o.Multipliers), f(o.BdGBps),
+			strconv.Itoa(o.BF), strconv.Itoa(o.BP),
+			strconv.Itoa(o.L), strconv.Itoa(o.L1), strconv.Itoa(o.L2),
+			f(o.GFLOPS), f(o.Seconds), f(o.PredictedGFLOPS), f(o.OverlapEfficiency),
+			o.Binding, f(o.Margin), strconv.FormatBool(o.Pareto),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFrontier prints the Pareto-optimal points as a compact
+// human-readable table, one line per frontier member.
+func (r *Result) WriteFrontier(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%-6s %-4s %-8s %-15s %4s %8s %7s %8s %9s %s\n",
+		"index", "app", "machine", "mode", "k", "ff_mhz", "slices", "bd_gb/s", "gflops", "binding"); err != nil {
+		return err
+	}
+	for _, i := range r.ParetoIndices {
+		pt, o := r.Points[i], r.Outcomes[i]
+		if _, err := fmt.Fprintf(w, "%-6d %-4s %-8s %-15s %4d %8.2f %7d %8.2f %9.3f %s\n",
+			pt.Index, pt.App, pt.Machine, pt.Mode,
+			o.K, o.FfMHz, o.Slices, o.BdGBps, o.GFLOPS, o.Binding); err != nil {
+			return err
+		}
+	}
+	return nil
+}

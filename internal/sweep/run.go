@@ -1,0 +1,153 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Options tunes a sweep run. The zero value is a sensible default:
+// one worker per CPU, no progress callback.
+type Options struct {
+	// Workers bounds the evaluation pool; <= 0 uses
+	// runtime.GOMAXPROCS(0). Worker count never changes results, only
+	// wall-clock time.
+	Workers int
+	// OnResult, when non-nil, is invoked once per evaluated point as
+	// it completes. Calls are serialized but arrive in completion
+	// order, not Index order; the final Result is always Index-ordered
+	// regardless.
+	OnResult func(Point, Outcome)
+}
+
+// Result is a completed sweep: the normalized grid, its points in
+// enumeration order, one Outcome per point, the Pareto-optimal subset,
+// per-axis sensitivity tables and evaluator statistics. Identical
+// grids produce byte-identical serialized Results regardless of
+// worker count.
+type Result struct {
+	// Grid is the normalized grid that was swept.
+	Grid Grid `json:"grid"`
+	// Points and Outcomes are parallel slices in Index order.
+	Points []Point `json:"-"`
+	// Outcomes holds one evaluation per point.
+	Outcomes []Outcome `json:"-"`
+	// Records is the serialized view of Points/Outcomes.
+	Records []Record `json:"results"`
+	// ParetoIndices lists the indices of the non-dominated points
+	// (maximize GFLOPS, minimize Slices and BdGBps), in Index order.
+	ParetoIndices []int `json:"pareto"`
+	// Sensitivity holds one table per grid axis with at least two
+	// distinct values.
+	Sensitivity []SensitivityTable `json:"sensitivity"`
+	// Stats reports evaluation and memoization counts.
+	Stats Stats `json:"stats"`
+}
+
+// Record pairs a point with its outcome for serialization.
+type Record struct {
+	// Point is the design-space coordinate.
+	Point Point `json:"point"`
+	// Outcome is its evaluation.
+	Outcome Outcome `json:"outcome"`
+}
+
+// Run evaluates every point of the grid on a bounded worker pool and
+// reduces the outcomes to a Pareto frontier and sensitivity tables.
+// The context cancels the sweep between points: Run then returns
+// ctx.Err() after all in-flight evaluations drain (no goroutines are
+// leaked). Results are deterministic: scheduling affects only the
+// order OnResult observes, never the returned Result.
+func Run(ctx context.Context, g Grid, opts Options) (*Result, error) {
+	norm, err := g.normalized()
+	if err != nil {
+		return nil, err
+	}
+	points := norm.Points()
+	if len(points) == 0 {
+		return nil, fmt.Errorf("sweep: empty grid")
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+
+	ev := newEvaluator()
+	outcomes := make([]Outcome, len(points))
+	jobs := make(chan int, len(points))
+	for i := range points {
+		jobs <- i
+	}
+	close(jobs)
+
+	var (
+		wg       sync.WaitGroup
+		notifyMu sync.Mutex
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if ctx.Err() != nil {
+					return
+				}
+				outcomes[i] = ev.evaluate(points[i], norm.Method)
+				if opts.OnResult != nil {
+					notifyMu.Lock()
+					opts.OnResult(points[i], outcomes[i])
+					notifyMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	ev.mu.Lock()
+	stats := ev.stats
+	ev.mu.Unlock()
+	stats.Points = len(points)
+	for i := range outcomes {
+		if !outcomes[i].OK {
+			stats.Errors++
+		}
+	}
+
+	pareto := markPareto(outcomes)
+	res := &Result{
+		Grid:          norm,
+		Points:        points,
+		Outcomes:      outcomes,
+		ParetoIndices: pareto,
+		Sensitivity:   sensitivity(points, outcomes),
+		Stats:         stats,
+	}
+	res.Records = make([]Record, len(points))
+	for i := range points {
+		res.Records[i] = Record{Point: points[i], Outcome: outcomes[i]}
+	}
+	return res, nil
+}
+
+// Best returns the feasible point with the highest GFLOPS (ties break
+// toward the lowest Index, so the result is deterministic), or -1 if
+// every point was infeasible.
+func (r *Result) Best() int {
+	best := -1
+	for i := range r.Outcomes {
+		if !r.Outcomes[i].OK {
+			continue
+		}
+		if best < 0 || r.Outcomes[i].GFLOPS > r.Outcomes[best].GFLOPS {
+			best = i
+		}
+	}
+	return best
+}

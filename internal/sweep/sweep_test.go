@@ -1,0 +1,297 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// bigGrid is a >=100-point model-method LU grid used by the
+// determinism tests: 21 bf values x 6 pipeline depths = 126 points.
+func bigGrid() Grid {
+	bf := []int{-1}
+	for v := 0; v <= 3000; v += 150 {
+		bf = append(bf, v)
+	}
+	return Grid{
+		Apps: []string{"lu"},
+		BF:   bf[:21],
+		L:    []int{-1, 1, 2, 3, 4, 6},
+	}
+}
+
+func runJSON(t *testing.T, g Grid, workers int) []byte {
+	t.Helper()
+	res, err := Run(context.Background(), g, Options{Workers: workers})
+	if err != nil {
+		t.Fatalf("Run(workers=%d): %v", workers, err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	g := bigGrid()
+	if n := g.NumPoints(); n < 100 {
+		t.Fatalf("grid has %d points, want >= 100", n)
+	}
+	one := runJSON(t, g, 1)
+	eight := runJSON(t, g, 8)
+	if !bytes.Equal(one, eight) {
+		t.Fatalf("JSON output differs between -workers=1 (%d bytes) and -workers=8 (%d bytes)", len(one), len(eight))
+	}
+	// A third run with the default pool must also match.
+	def := runJSON(t, g, 0)
+	if !bytes.Equal(one, def) {
+		t.Fatalf("JSON output differs between -workers=1 and default workers")
+	}
+}
+
+func TestDeterministicCSV(t *testing.T) {
+	g := bigGrid()
+	runCSV := func(workers int) []byte {
+		res, err := Run(context.Background(), g, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteCSV(&buf); err != nil {
+			t.Fatalf("WriteCSV: %v", err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(runCSV(1), runCSV(8)) {
+		t.Fatal("CSV output differs between worker counts")
+	}
+}
+
+func TestCancellationNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	seen := 0
+	_, err := Run(ctx, bigGrid(), Options{
+		Workers: 4,
+		OnResult: func(Point, Outcome) {
+			seen++
+			if seen == 5 {
+				cancel()
+			}
+		},
+	})
+	if err != context.Canceled {
+		t.Fatalf("Run after cancel: err=%v, want context.Canceled", err)
+	}
+	// Workers exit once they observe cancellation; poll until the
+	// goroutine count settles back to the baseline.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutine leak after cancellation: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+func TestMemoizationSharesSubProblems(t *testing.T) {
+	res, err := Run(context.Background(), bigGrid(), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats
+	// All 126 points share one machine/device/PE combination: the
+	// placement must be solved exactly once, and looked up once per
+	// feasible point.
+	if s.PlaceSolves != 1 {
+		t.Errorf("PlaceSolves = %d, want 1", s.PlaceSolves)
+	}
+	if s.PlaceLookups != s.Points {
+		t.Errorf("PlaceLookups = %d, want %d (one per point)", s.PlaceLookups, s.Points)
+	}
+	// The bf=-1 column all solves the same Equation 4 instance; the
+	// l=-1 row solves Equation 5 once per distinct bf.
+	if s.PartitionSolves >= s.PartitionLookups {
+		t.Errorf("no partition memo hits: solves=%d lookups=%d", s.PartitionSolves, s.PartitionLookups)
+	}
+}
+
+func TestParetoFrontier(t *testing.T) {
+	// Sweep the PE axis: smaller arrays cost fewer slices but deliver
+	// less throughput, so several points should be mutually
+	// non-dominated, and every dominated point must be excluded.
+	g := Grid{Apps: []string{"lu"}, PEs: []int{2, 4, 6, 8, 10, 12}}
+	res, err := Run(context.Background(), g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ParetoIndices) == 0 {
+		t.Fatal("empty Pareto frontier")
+	}
+	for _, i := range res.ParetoIndices {
+		if !res.Outcomes[i].OK {
+			t.Errorf("infeasible point %d on frontier", i)
+		}
+		if !res.Outcomes[i].Pareto {
+			t.Errorf("frontier point %d not marked Pareto", i)
+		}
+		for j := range res.Outcomes {
+			if j != i && res.Outcomes[j].OK && dominates(res.Outcomes[j], res.Outcomes[i]) {
+				t.Errorf("frontier point %d is dominated by %d", i, j)
+			}
+		}
+	}
+	// k=10 does not fit the XC2VP50: 29000 slices > 23616.
+	for i, pt := range res.Points {
+		if pt.PEs >= 10 && res.Outcomes[i].OK {
+			t.Errorf("PEs=%d unexpectedly feasible on xd1", pt.PEs)
+		}
+		if pt.PEs == 8 && !res.Outcomes[i].OK {
+			t.Errorf("PEs=8 unexpectedly infeasible: %s", res.Outcomes[i].Err)
+		}
+	}
+}
+
+func TestSensitivityTables(t *testing.T) {
+	res, err := Run(context.Background(), bigGrid(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"bf": 21, "l": 6}
+	got := map[string]int{}
+	for _, tab := range res.Sensitivity {
+		got[tab.Param] = len(tab.Rows)
+	}
+	for param, rows := range want {
+		if got[param] != rows {
+			t.Errorf("sensitivity[%s]: %d rows, want %d", param, got[param], rows)
+		}
+	}
+	if len(res.Sensitivity) != len(want) {
+		t.Errorf("got %d sensitivity tables (%v), want %d", len(res.Sensitivity), got, len(want))
+	}
+}
+
+func TestSimMethodSmallLU(t *testing.T) {
+	g := Grid{
+		Apps: []string{"lu"},
+		N:    []int{120}, B: []int{40},
+		Modes:  []string{"hybrid", "processor-only"},
+		Method: MethodSim,
+	}
+	res, err := Run(context.Background(), g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range res.Outcomes {
+		if !o.OK {
+			t.Fatalf("point %d infeasible: %s", i, o.Err)
+		}
+		if o.GFLOPS <= 0 || o.Seconds <= 0 {
+			t.Errorf("point %d: GFLOPS=%v Seconds=%v", i, o.GFLOPS, o.Seconds)
+		}
+		if o.Binding == "" {
+			t.Errorf("point %d: no measured binding", i)
+		}
+	}
+	// The hybrid point uses the FPGA, so some stripe rows land on it.
+	if res.Outcomes[0].BF <= 0 {
+		t.Errorf("hybrid BF = %d, want > 0", res.Outcomes[0].BF)
+	}
+	if res.Outcomes[1].BF != 0 {
+		t.Errorf("processor-only BF = %d, want 0", res.Outcomes[1].BF)
+	}
+}
+
+func TestSimMethodSmallFWAndMM(t *testing.T) {
+	g := Grid{
+		Apps: []string{"fw", "mm"},
+		N:    []int{96}, B: []int{16},
+		Method: MethodSim,
+	}
+	res, err := Run(context.Background(), g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range res.Outcomes {
+		if !o.OK {
+			t.Fatalf("point %d (%s) infeasible: %s", i, res.Points[i].App, o.Err)
+		}
+		if o.GFLOPS <= 0 {
+			t.Errorf("point %d (%s): GFLOPS=%v", i, res.Points[i].App, o.GFLOPS)
+		}
+	}
+}
+
+func TestInfeasiblePointsReported(t *testing.T) {
+	// b=3000 is not a multiple of p-1=7 on 8 nodes.
+	g := Grid{Apps: []string{"lu"}, Nodes: []int{8}}
+	res, err := Run(context.Background(), g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcomes[0].OK {
+		t.Fatal("expected infeasible outcome")
+	}
+	if res.Stats.Errors != 1 {
+		t.Errorf("Stats.Errors = %d, want 1", res.Stats.Errors)
+	}
+	if res.Outcomes[0].Err == "" {
+		t.Error("infeasible outcome missing Err")
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	cases := []struct {
+		g    Grid
+		want string
+	}{
+		{Grid{Apps: []string{"qr"}}, "unknown app"},
+		{Grid{Machines: []string{"bluegene"}}, "unknown preset"},
+		{Grid{Modes: []string{"quantum"}}, "unknown mode"},
+		{Grid{Method: "guess"}, "unknown method"},
+	}
+	for _, c := range cases {
+		if err := c.g.Validate(); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Validate(%+v) = %v, want %q", c.g, err, c.want)
+		}
+	}
+	if err := (Grid{}).Validate(); err != nil {
+		t.Errorf("zero grid invalid: %v", err)
+	}
+}
+
+func TestReadGridRejectsUnknownFields(t *testing.T) {
+	_, err := ReadGrid(strings.NewReader(`{"block_sizes": [100]}`))
+	if err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	g, err := ReadGrid(strings.NewReader(`{"apps": ["mm"], "pes": [4, 8]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumPoints() != 2 {
+		t.Errorf("NumPoints = %d, want 2", g.NumPoints())
+	}
+}
+
+func TestPointsEnumerationOrder(t *testing.T) {
+	g := Grid{Apps: []string{"lu", "mm"}, PEs: []int{4, 8}}
+	pts := g.Points()
+	if len(pts) != 4 {
+		t.Fatalf("len(points) = %d, want 4", len(pts))
+	}
+	wantApps := []string{"lu", "lu", "mm", "mm"}
+	wantPEs := []int{4, 8, 4, 8}
+	for i, pt := range pts {
+		if pt.Index != i || pt.App != wantApps[i] || pt.PEs != wantPEs[i] {
+			t.Errorf("point %d = %+v, want app=%s pes=%d", i, pt, wantApps[i], wantPEs[i])
+		}
+	}
+}

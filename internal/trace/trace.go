@@ -1,9 +1,3 @@
-// Package trace records simulation activity for inspection. Two
-// consumers plug into the engine: the legacy Collector attaches to the
-// raw (time, proc, action) trace hook and renders a text timeline or
-// CSV, while the Recorder implements sim.Observer and captures typed
-// spans for the metrics registry, the overlap report, and the
-// Perfetto exporter.
 package trace
 
 import (
