@@ -1,0 +1,101 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: codesign
+cpu: AMD EPYC
+BenchmarkSimEngine-8   	     500	   2507540 ns/op	    3312 B/op	      32 allocs/op
+BenchmarkHeadline-8    	       1	1594057152 ns/op	1835753 allocs/op
+BenchmarkDesignSpaceSweep/sim-8         	      10	  15800000 ns/op	 2989881 B/op	   51610 allocs/op
+PASS
+ok  	codesign	12.3s
+pkg: codesign/internal/sim
+BenchmarkEventLoopSelf-8   	     200	     25961 ns/op	  38529573 events/s	    1520 B/op	       8 allocs/op
+PASS
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		key            string
+		nsOp, allocsOp float64
+	}{
+		{"codesign.BenchmarkSimEngine", 2507540, 32},
+		{"codesign.BenchmarkHeadline", 1594057152, 1835753},
+		{"codesign.BenchmarkDesignSpaceSweep/sim", 15800000, 51610},
+		{"codesign/internal/sim.BenchmarkEventLoopSelf", 25961, 8},
+	}
+	if len(got) != len(cases) {
+		t.Errorf("parsed %d benchmarks, want %d: %v", len(got), len(cases), got)
+	}
+	for _, c := range cases {
+		e, ok := got[c.key]
+		if !ok {
+			t.Errorf("missing %s", c.key)
+			continue
+		}
+		if e.NsOp != c.nsOp || e.AllocsOp != c.allocsOp {
+			t.Errorf("%s = %+v, want ns_op %v allocs_op %v", c.key, e, c.nsOp, c.allocsOp)
+		}
+	}
+}
+
+func TestParseBenchCustomMetricIgnored(t *testing.T) {
+	got, err := parseBench(strings.NewReader(
+		"BenchmarkX-16 100 50 ns/op 123 events/s 7 allocs/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := got["BenchmarkX"]
+	if e.NsOp != 50 || e.AllocsOp != 7 {
+		t.Errorf("got %+v, want ns_op 50 allocs_op 7", e)
+	}
+}
+
+func TestCheck(t *testing.T) {
+	base := Baseline{Benchmarks: map[string]Entry{
+		"a.BenchmarkFast": {NsOp: 100, AllocsOp: 10},
+		"a.BenchmarkGone": {NsOp: 100, AllocsOp: 10},
+	}}
+
+	// Within tolerance: 2.9x time (< 3x), 1.4x allocs (< 1.5x).
+	got := map[string]Entry{
+		"a.BenchmarkFast": {NsOp: 290, AllocsOp: 14},
+		"a.BenchmarkGone": {NsOp: 100, AllocsOp: 10},
+	}
+	if fails := check(base, got, 3.0, 1.5); len(fails) != 0 {
+		t.Errorf("unexpected failures: %v", fails)
+	}
+
+	// Time regression, alloc regression, and a missing benchmark.
+	got = map[string]Entry{
+		"a.BenchmarkFast": {NsOp: 301, AllocsOp: 16},
+	}
+	fails := check(base, got, 3.0, 1.5)
+	if len(fails) != 3 {
+		t.Fatalf("got %d failures, want 3: %v", len(fails), fails)
+	}
+	for i, want := range []string{"ns/op", "allocs/op", "missing"} {
+		if !strings.Contains(fails[i], want) {
+			t.Errorf("failure %d = %q, want it to mention %q", i, fails[i], want)
+		}
+	}
+}
+
+func TestCheckImprovementPasses(t *testing.T) {
+	base := Baseline{Benchmarks: map[string]Entry{
+		"a.BenchmarkX": {NsOp: 1000, AllocsOp: 100},
+	}}
+	got := map[string]Entry{"a.BenchmarkX": {NsOp: 10, AllocsOp: 0}}
+	if fails := check(base, got, 3.0, 1.5); len(fails) != 0 {
+		t.Errorf("improvement flagged as regression: %v", fails)
+	}
+}

@@ -55,15 +55,20 @@ func (ps PhaseStats) TotalBusy() float64 {
 func ClassifyPhases(spans []sim.SpanEvent, expected map[string]model.Binding) []PhaseStats {
 	byPhase := make(map[string]*PhaseStats)
 	var order []string
+	var last *PhaseStats // consecutive spans usually share a phase
 	for _, s := range spans {
 		if s.End <= s.Start && s.Bytes == 0 {
 			continue
 		}
-		ps := byPhase[s.Phase]
-		if ps == nil {
-			ps = &PhaseStats{Phase: s.Phase, Start: s.Start, End: s.End}
-			byPhase[s.Phase] = ps
-			order = append(order, s.Phase)
+		ps := last
+		if ps == nil || ps.Phase != s.Phase {
+			ps = byPhase[s.Phase]
+			if ps == nil {
+				ps = &PhaseStats{Phase: s.Phase, Start: s.Start, End: s.End}
+				byPhase[s.Phase] = ps
+				order = append(order, s.Phase)
+			}
+			last = ps
 		}
 		if s.Start < ps.Start {
 			ps.Start = s.Start

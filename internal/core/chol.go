@@ -347,7 +347,7 @@ func (cr *cholRun) runCompute(pr *sim.Proc, node *machine.Node, me, t int) {
 		var done *sim.Signal
 		if ch.fpgaCycles > 0 {
 			a := node.Accel
-			done = a.Launch(fmt.Sprintf("chol.fpga.%d.%d.%d.%d", t, j.u, j.v, me), func(fp *sim.Proc) {
+			done = a.Launch(sim.Name("chol.fpga", t, j.u, j.v, me), func(fp *sim.Proc) {
 				fp.SetPhase("opmm")
 				a.WaitOperands(fp, ch.fpgaLag)
 				a.Compute(fp, ch.fpgaCycles)
@@ -394,7 +394,7 @@ func (cr *cholRun) forwardResult(pr *sim.Proc, me, t int, j *cholJob) {
 	ownerNode := cr.sys.Nodes[owner]
 	it := cr.iters[t]
 	b := cr.cfg.B
-	cr.sys.Eng.Go(fmt.Sprintf("chol.opms.%d.%d.%d", t, j.u, j.v), func(mp *sim.Proc) {
+	cr.sys.Eng.Go(sim.Name("chol.opms", t, j.u, j.v), func(mp *sim.Proc) {
 		mp.SetPhase("opms")
 		unpack := float64(b*b*machine.WordBytes) / cr.lp.Bn
 		sub := cpu.SubtractFlops(b)

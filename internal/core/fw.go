@@ -324,7 +324,7 @@ func (fr *fwRun) runOps(pr *sim.Proc, node *machine.Node, t, ph int, ops []fwOp,
 		a := node.Accel
 		cycles := float64(len(fpgaOps)) * fr.blockCycles
 		lag := fr.tmem // first block's stream exposed
-		done = a.Launch(fmt.Sprintf("fw.fpga.%d.%d.%d", t, ph, node.ID), func(fp *sim.Proc) {
+		done = a.Launch(sim.Name("fw.fpga", t, ph, node.ID), func(fp *sim.Proc) {
 			fp.SetPhase("op")
 			a.WaitOperands(fp, lag)
 			a.Compute(fp, cycles)

@@ -468,8 +468,8 @@ func (lr *luRun) sendJob(pr *sim.Proc, node *machine.Node, t int, j *luJob) *sim
 	}
 	if lr.cfg.InterruptibleRoutines {
 		src := node.ID
-		done := sim.NewSignal(lr.sys.Eng, fmt.Sprintf("lu.sent.%d.%d.%d", t, j.u, j.v))
-		lr.sys.Eng.Go(fmt.Sprintf("lu.send.%d.%d.%d", t, j.u, j.v), func(sp *sim.Proc) {
+		done := sim.NewSignal(lr.sys.Eng, sim.Name("lu.sent", t, j.u, j.v))
+		lr.sys.Eng.Go(sim.Name("lu.send", t, j.u, j.v), func(sp *sim.Proc) {
 			sp.SetPhase("broadcast")
 			lr.sys.Fab.Multicast(sp, src, dsts, bytes)
 			deliver()
@@ -513,7 +513,7 @@ func (lr *luRun) runCompute(pr *sim.Proc, node *machine.Node, me, t int) {
 		var done *sim.Signal
 		if ch.fpgaCycles > 0 {
 			a := node.Accel
-			done = a.Launch(fmt.Sprintf("lu.fpga.%d.%d.%d.%d", t, j.u, j.v, me), func(fp *sim.Proc) {
+			done = a.Launch(sim.Name("lu.fpga", t, j.u, j.v, me), func(fp *sim.Proc) {
 				fp.SetPhase("opmm")
 				a.WaitOperands(fp, ch.fpgaLag)
 				a.Compute(fp, ch.fpgaCycles)
@@ -566,7 +566,7 @@ func (lr *luRun) forwardResult(pr *sim.Proc, me, t int, j *luJob) {
 	ownerNode := lr.sys.Nodes[owner]
 	it := lr.iters[t]
 	b := lr.cfg.B
-	lr.sys.Eng.Go(fmt.Sprintf("lu.opms.%d.%d.%d", t, j.u, j.v), func(mp *sim.Proc) {
+	lr.sys.Eng.Go(sim.Name("lu.opms", t, j.u, j.v), func(mp *sim.Proc) {
 		mp.SetPhase("opms")
 		unpack := float64(lr.cfg.B*lr.cfg.B*machine.WordBytes) / lr.lp.Bn
 		ownerNode.ChargeCPU(mp, sim.CatNetwork, 0, unpack)

@@ -212,7 +212,7 @@ func RunQR(cfg QRConfig) (*QRResult, error) {
 					var done *sim.Signal
 					if ch.fpgaCycles > 0 {
 						acc := node.Accel
-						done = acc.Launch(fmt.Sprintf("qr.fpga.%d.%d.%d", t, j, me), func(fp *sim.Proc) {
+						done = acc.Launch(sim.Name("qr.fpga", t, j, me), func(fp *sim.Proc) {
 							fp.SetPhase("update")
 							acc.WaitOperands(fp, ch.fpgaLag)
 							acc.Compute(fp, ch.fpgaCycles)

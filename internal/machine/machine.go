@@ -176,7 +176,11 @@ type Accelerator struct {
 	// min(raw path, one word per design cycle).
 	DRAM *mem.DRAM
 	// Array serializes use of the PE array.
-	Array         *sim.Resource
+	Array *sim.Resource
+	// fillName is the precomputed Array.Name()+".fill" stage name:
+	// WaitOperands runs once per FPGA job, so building the string
+	// there showed up in sweep allocation profiles.
+	fillName      string
 	node          *Node
 	coordinations int64
 	jobs          int64
@@ -203,10 +207,11 @@ func (s *System) InstallDesign(d fpga.Design) error {
 		array := sim.NewResource(s.Eng, fmt.Sprintf("fpga%d", n.ID), 1)
 		array.SetDevice(sim.DeviceFPGA)
 		n.Accel = &Accelerator{
-			Placed: placed,
-			DRAM:   mem.NewDRAM(s.Eng, EffectiveBd(s.Cfg.RawFPGADRAMBandwidth, placed.FreqHz)),
-			Array:  array,
-			node:   n,
+			Placed:   placed,
+			DRAM:     mem.NewDRAM(s.Eng, EffectiveBd(s.Cfg.RawFPGADRAMBandwidth, placed.FreqHz)),
+			Array:    array,
+			fillName: array.Name() + ".fill",
+			node:     n,
 		}
 	}
 	return nil
@@ -253,7 +258,7 @@ func (a *Accelerator) Compute(fp *sim.Proc, cycles float64) {
 // emitted as a DMA span against the array's fill stage so overlap
 // accounting attributes it to memory traffic, not FPGA compute.
 func (a *Accelerator) WaitOperands(fp *sim.Proc, dt float64) {
-	fp.WaitSpanOn(sim.CatDMA, sim.DeviceDRAM, a.Array.Name()+".fill", 0, dt)
+	fp.WaitSpanOn(sim.CatDMA, sim.DeviceDRAM, a.fillName, 0, dt)
 }
 
 // Stream charges a DRAM<->FPGA transfer of the given bytes.

@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"codesign/internal/fabric"
 	"codesign/internal/sim"
@@ -90,7 +91,7 @@ func (w *World) box(dst, src, tag int) *sim.Mailbox {
 	k := boxKey{dst, src, tag}
 	mb, ok := w.boxes[k]
 	if !ok {
-		mb = sim.NewMailbox(w.eng, fmt.Sprintf("mpi %d<-%d tag%d", dst, src, tag))
+		mb = sim.NewMailbox(w.eng, pairName("mpi", dst, "<-", src, tag))
 		w.boxes[k] = mb
 	}
 	return mb
@@ -261,4 +262,20 @@ func (r *Rank) Allreduce(tag int, value float64, op string) float64 {
 	red := r.Reduce(0, tag, value, op)
 	out := r.Bcast(0, tag, 8, red)
 	return out.(float64)
+}
+
+// pairName composes the "op A<-B tagT" / "op A->B tagT" names of the
+// point-to-point channels and helper signals, byte-identical to
+// fmt.Sprintf(op+" %d"+sep+"%d tag%d", a, b, tag) without the fmt
+// overhead — these names are built per message on the hot path.
+func pairName(op string, a int, sep string, b, tag int) string {
+	buf := make([]byte, 0, len(op)+len(sep)+28)
+	buf = append(buf, op...)
+	buf = append(buf, ' ')
+	buf = strconv.AppendInt(buf, int64(a), 10)
+	buf = append(buf, sep...)
+	buf = strconv.AppendInt(buf, int64(b), 10)
+	buf = append(buf, " tag"...)
+	buf = strconv.AppendInt(buf, int64(tag), 10)
+	return string(buf)
 }

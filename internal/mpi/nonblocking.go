@@ -37,9 +37,9 @@ func (rq *Request) Test() bool { return rq.done.Fired() }
 // has been delivered to the destination queue.
 func (r *Rank) Isend(dst, tag, bytes int, payload any) *Request {
 	w := r.world
-	done := sim.NewSignal(w.eng, fmt.Sprintf("isend %d->%d tag%d", r.id, dst, tag))
+	done := sim.NewSignal(w.eng, pairName("isend", r.id, "->", dst, tag))
 	src := r.id
-	w.eng.Go(fmt.Sprintf("mpi.isend.%d.%d.%d", src, dst, tag), func(sp *sim.Proc) {
+	w.eng.Go(sim.Name("mpi.isend", src, dst, tag), func(sp *sim.Proc) {
 		w.fab.Transfer(sp, src, dst, bytes)
 		w.box(dst, src, tag).Put(Message{Src: src, Tag: tag, Bytes: bytes, Payload: payload})
 		done.Fire()
@@ -50,10 +50,10 @@ func (r *Rank) Isend(dst, tag, bytes int, payload any) *Request {
 // Irecv starts a nonblocking receive for a message from src with tag.
 func (r *Rank) Irecv(src, tag int) *Request {
 	w := r.world
-	done := sim.NewSignal(w.eng, fmt.Sprintf("irecv %d<-%d tag%d", r.id, src, tag))
+	done := sim.NewSignal(w.eng, pairName("irecv", r.id, "<-", src, tag))
 	rq := &Request{done: done}
 	me := r.id
-	w.eng.Go(fmt.Sprintf("mpi.irecv.%d.%d.%d", me, src, tag), func(sp *sim.Proc) {
+	w.eng.Go(sim.Name("mpi.irecv", me, src, tag), func(sp *sim.Proc) {
 		m := w.box(me, src, tag).Get(sp).(Message)
 		rq.msg = &m
 		done.Fire()

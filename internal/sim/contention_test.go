@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// Contention-edge coverage for the head-indexed FIFO queues in
+// mailbox.go and resource.go: zero-duration holds, same-timestamp tie
+// ordering under the scheduler's (time, sequence) total order, ring
+// reuse across many park/wake cycles, and observers registered while
+// the simulation is already running.
+
+func TestResourceZeroDurationUse(t *testing.T) {
+	e := New()
+	r := NewResource(e, "r", 1)
+	var order []string
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("p%d", i)
+		e.Go(name, func(p *Proc) {
+			r.Use(p, 0)
+			order = append(order, p.Name())
+		})
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 0 {
+		t.Fatalf("zero-duration holds advanced the clock to %v", e.Now())
+	}
+	want := "p0 p1 p2 p3 p4 p5 p6 p7"
+	if got := strings.Join(order, " "); got != want {
+		t.Fatalf("service order %q, want FIFO %q", got, want)
+	}
+	if r.QueueLen() != 0 || r.InUse() != 0 {
+		t.Fatalf("resource not drained: queue=%d inUse=%d", r.QueueLen(), r.InUse())
+	}
+	if r.ContentionSeconds() != 0 {
+		t.Fatalf("zero-duration contention accounted %v seconds", r.ContentionSeconds())
+	}
+}
+
+func TestResourceSameTimestampTieOrder(t *testing.T) {
+	// All eight processes request the resource at t=1 (after staggered
+	// spawns they re-converge via WaitUntil). Ties must break by park
+	// order — which here is spawn order — on every run.
+	run := func() string {
+		e := New()
+		r := NewResource(e, "r", 1)
+		var order []string
+		for i := 0; i < 8; i++ {
+			name := fmt.Sprintf("p%d", i)
+			e.Go(name, func(p *Proc) {
+				p.WaitUntil(1)
+				r.Use(p, 0.5)
+				order = append(order, fmt.Sprintf("%s@%.1f", p.Name(), p.Now()))
+			})
+		}
+		if err := e.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		return strings.Join(order, " ")
+	}
+	first := run()
+	if !strings.HasPrefix(first, "p0@1.5 p1@2.0 p2@2.5") {
+		t.Fatalf("tie ordering broke FIFO: %s", first)
+	}
+	for i := 0; i < 5; i++ {
+		if got := run(); got != first {
+			t.Fatalf("nondeterministic tie ordering:\n%s\nvs\n%s", first, got)
+		}
+	}
+}
+
+func TestResourceWaiterRingReuse(t *testing.T) {
+	// Repeated contention cycles must reuse the waiter array: after the
+	// queue drains it rewinds to the start instead of growing.
+	e := New()
+	r := NewResource(e, "r", 1)
+	for i := 0; i < 4; i++ {
+		e.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+			for k := 0; k < 100; k++ {
+				r.Use(p, 1)
+			}
+		})
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if c := cap(r.waiters); c > 4 {
+		t.Fatalf("waiter ring grew to cap %d over steady contention, want <= 4", c)
+	}
+}
+
+func TestMailboxSameTimestampFIFO(t *testing.T) {
+	// Several messages deposited at the same instant drain in Put order,
+	// and parked receivers wake in park order — one message each.
+	e := New()
+	mb := NewMailbox(e, "mb")
+	var got []string
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("rx%d", i)
+		e.Go(name, func(p *Proc) {
+			got = append(got, fmt.Sprintf("%s<-%v", p.Name(), mb.Get(p)))
+		})
+	}
+	e.Go("tx", func(p *Proc) {
+		p.Wait(1)
+		for i := 0; i < 4; i++ {
+			mb.Put(i)
+		}
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	want := "rx0<-0 rx1<-1 rx2<-2 rx3<-3"
+	if s := strings.Join(got, " "); s != want {
+		t.Fatalf("delivery %q, want %q", s, want)
+	}
+	if mb.Len() != 0 {
+		t.Fatalf("mailbox left %d messages", mb.Len())
+	}
+}
+
+func TestMailboxRingReuse(t *testing.T) {
+	// Steady produce/consume traffic rewinds the message ring rather
+	// than growing it, and zero-duration wakeups deliver at the sender's
+	// timestamp.
+	e := New()
+	mb := NewMailbox(e, "mb")
+	e.Go("rx", func(p *Proc) {
+		for k := 0; k < 500; k++ {
+			v := mb.Get(p).(int)
+			if v != k {
+				t.Errorf("got %d, want %d", v, k)
+			}
+			if p.Now() != float64(k) {
+				t.Errorf("message %d delivered at t=%v, want %d", k, p.Now(), k)
+			}
+		}
+	})
+	e.Go("tx", func(p *Proc) {
+		for k := 0; k < 500; k++ {
+			mb.Put(k)
+			p.Wait(1)
+		}
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if c := cap(mb.queue); c > 4 {
+		t.Fatalf("message ring grew to cap %d over steady traffic, want <= 4", c)
+	}
+	if c := cap(mb.waiters); c > 2 {
+		t.Fatalf("waiter ring grew to cap %d, want <= 2", c)
+	}
+}
+
+// tallyObserver counts deliveries and remembers span start times.
+type tallyObserver struct {
+	events int
+	starts []float64
+}
+
+func (o *tallyObserver) Event(t float64, proc, action string) { o.events++ }
+func (o *tallyObserver) Span(s SpanEvent)                     { o.starts = append(o.starts, s.Start) }
+
+func TestObserverRegisteredMidRun(t *testing.T) {
+	// An observer attached at t=5 (from an At callback, i.e. scheduler
+	// context) sees exactly the spans that complete afterwards; the
+	// already-running simulation is undisturbed.
+	e := New()
+	var late tallyObserver
+	e.At(5, func() { e.Observe(&late) })
+	e.Go("p", func(p *Proc) {
+		for k := 0; k < 10; k++ {
+			p.WaitSpan(CatCompute, "r", 0, 1) // spans end at t=1..10
+		}
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	// The At(5) callback and the span ending at t=5 tie on time, and
+	// the callback's event was scheduled first (at setup, before the
+	// proc parked at t=4), so it wins the (time, sequence) tie-break:
+	// the observer sees the [4,5] span too — six spans ending at
+	// t=5..10.
+	if len(late.starts) != 6 {
+		t.Fatalf("late observer saw %d spans, want 6 (starts %v)", len(late.starts), late.starts)
+	}
+	if late.starts[0] != 4 {
+		t.Fatalf("first observed span starts at %v, want 4", late.starts[0])
+	}
+	if late.events == 0 {
+		t.Fatal("late observer saw no raw events")
+	}
+}
+
+func TestDeadlockReportSortedOrder(t *testing.T) {
+	// The deadlock message must list blocked processes in sorted name
+	// order regardless of spawn or block order.
+	e := New()
+	mb := NewMailbox(e, "never")
+	r := NewResource(e, "held", 1)
+	e.Go("zeta", func(p *Proc) { mb.Get(p) })
+	e.Go("alpha", func(p *Proc) {
+		r.Acquire(p)
+		mb.Get(p)
+	})
+	e.Go("mid", func(p *Proc) { r.Acquire(p) })
+	err := e.Run(0)
+	if err == nil {
+		t.Fatal("expected deadlock")
+	}
+	msg := err.Error()
+	ia, im, iz := strings.Index(msg, "\n  alpha:"), strings.Index(msg, "\n  mid:"), strings.Index(msg, "\n  zeta:")
+	if ia < 0 || im < 0 || iz < 0 || !(ia < im && im < iz) {
+		t.Fatalf("deadlock report not in sorted order:\n%s", msg)
+	}
+	for i := 0; i < 3; i++ {
+		e2 := New()
+		mb2 := NewMailbox(e2, "never")
+		r2 := NewResource(e2, "held", 1)
+		e2.Go("zeta", func(p *Proc) { mb2.Get(p) })
+		e2.Go("alpha", func(p *Proc) {
+			r2.Acquire(p)
+			mb2.Get(p)
+		})
+		e2.Go("mid", func(p *Proc) { r2.Acquire(p) })
+		if err2 := e2.Run(0); err2 == nil || err2.Error() != msg {
+			t.Fatalf("deadlock report unstable:\n%v\nvs\n%s", err2, msg)
+		}
+	}
+}

@@ -1,20 +1,41 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
 	"sort"
+	"sync"
 )
 
 // Engine owns the virtual clock and the event queue.
+//
+// Scheduling is cooperative and single-threaded in effect: although
+// every process runs on its own goroutine (so its body can block in
+// ordinary Go code), exactly one goroutine — the "baton holder" — is
+// ever runnable. The holder pops events and either executes scheduler
+// callbacks inline or hands the baton to the next process with a single
+// buffered-channel send. A process that blocks and immediately becomes
+// the next runnable process resumes itself without any goroutine
+// switch at all. See DESIGN.md "Engine internals".
 type Engine struct {
-	now     float64
-	seq     int64
-	queue   eventHeap
-	procs   []*Proc
-	blocked map[*Proc]string
-	failure error
-	running bool
+	now      float64
+	seq      int64
+	queue    eventQueue
+	procs    []*Proc
+	nblocked int
+	failure  error
+	running  bool
+	until    float64
+	horizon  bool
+	aborting bool
+
+	// done is signaled (buffered, exactly once per Run) by whichever
+	// baton holder finds nothing left to run: queue empty, horizon
+	// reached, or a process panic.
+	done chan struct{}
+	// abortAck serializes the teardown handshake of abortBlocked.
+	abortAck chan struct{}
+
 	// Trace, if non-nil, receives one call per interesting engine
 	// action (process resume, wait, block). Useful for debugging and
 	// for the timeline exporter. It remains the legacy adapter onto
@@ -24,60 +45,223 @@ type Engine struct {
 	Trace func(t float64, proc, action string)
 
 	observers []Observer
+
+	// waitReasons caches the formatted "wait %.3gs" / "wait until
+	// %.3g" block-reason strings by duration bits, so a traced run
+	// pays one fmt.Sprintf per distinct duration instead of one per
+	// event. Untraced runs never touch it. waitFront is a
+	// direct-mapped cache in front of the map: simulated charges
+	// repeat the same handful of durations (stripe times, DMA rates),
+	// so most lookups hit here without hashing a map key.
+	waitReasons map[waitKey]*parkReason
+	waitFront   [waitFrontSize]waitFrontEntry
+}
+
+// waitFrontSize is the direct-mapped wait-reason cache size (a power
+// of two so the hash reduces with a shift).
+const waitFrontSize = 32
+
+// waitFrontEntry is one slot of the direct-mapped wait-reason cache.
+type waitFrontEntry struct {
+	key waitKey
+	why *parkReason
 }
 
 // New returns an empty engine with the clock at 0.
 func New() *Engine {
-	return &Engine{blocked: make(map[*Proc]string)}
+	return &Engine{
+		done:     make(chan struct{}, 1),
+		abortAck: make(chan struct{}, 1),
+	}
 }
 
 // Now returns the current virtual time in seconds.
 func (e *Engine) Now() float64 { return e.now }
 
+// event is one queue entry: a process resume (p != nil) or a
+// scheduler-context callback (fn != nil). Events order by (t, seq);
+// seq is unique per engine, so the order is a strict total order and
+// any heap yields the identical pop sequence.
 type event struct {
 	t   float64
 	seq int64
+	p   *Proc
 	fn  func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
+// eventQueue is a binary min-heap of events ordered by (t, seq),
+// implemented directly on a slice: pushes and pops stay free of the
+// interface boxing container/heap would charge per operation, and
+// popped slots are zeroed so the backing array cannot retain process
+// pointers or callback closures (a real leak on long runs otherwise).
+type eventQueue struct {
+	ev []event
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
-func (e *Engine) schedule(t float64, fn func()) {
+
+func (q *eventQueue) len() int { return len(q.ev) }
+
+func (q *eventQueue) less(i, j int) bool {
+	if q.ev[i].t != q.ev[j].t {
+		return q.ev[i].t < q.ev[j].t
+	}
+	return q.ev[i].seq < q.ev[j].seq
+}
+
+func (q *eventQueue) push(ev event) {
+	q.ev = append(q.ev, ev)
+	i := len(q.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.ev[i], q.ev[parent] = q.ev[parent], q.ev[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event, clearing the vacated slot.
+func (q *eventQueue) pop() event {
+	top := q.ev[0]
+	n := len(q.ev) - 1
+	q.ev[0] = q.ev[n]
+	q.ev[n] = event{} // do not retain p / fn in the backing array
+	q.ev = q.ev[:n]
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		child := l
+		if r < n && q.less(r, l) {
+			child = r
+		}
+		if !q.less(child, i) {
+			break
+		}
+		q.ev[i], q.ev[child] = q.ev[child], q.ev[i]
+		i = child
+	}
+	return top
+}
+
+// reset empties the queue, zeroing every slot so the backing array
+// retains no references, and keeps the capacity for reuse.
+func (q *eventQueue) reset() {
+	for i := range q.ev {
+		q.ev[i] = event{}
+	}
+	q.ev = q.ev[:0]
+}
+
+// queuePool recycles event-queue backing arrays across engines: a
+// design-space sweep runs hundreds of short simulations, and the grown
+// queue of a finished run seeds the next engine's.
+var queuePool = sync.Pool{New: func() any { return make([]event, 0, 64) }}
+
+func (e *Engine) schedule(t float64, p *Proc, fn func()) {
 	if t < e.now {
 		t = e.now
 	}
+	if e.queue.ev == nil {
+		e.queue.ev = queuePool.Get().([]event)
+	}
 	e.seq++
-	heap.Push(&e.queue, event{t: t, seq: e.seq, fn: fn})
+	e.queue.push(event{t: t, seq: e.seq, p: p, fn: fn})
 }
+
+// scheduleProc enqueues a resume of p at time t without allocating.
+func (e *Engine) scheduleProc(t float64, p *Proc) { e.schedule(t, p, nil) }
 
 // At schedules fn to run at absolute virtual time t (or now, if t is in
 // the past). fn runs in scheduler context and must not block.
-func (e *Engine) At(t float64, fn func()) { e.schedule(t, fn) }
+func (e *Engine) At(t float64, fn func()) { e.schedule(t, nil, fn) }
 
 // abortError unwinds a process goroutine when the engine shuts down.
 type abortError struct{}
+
+// Park-reason kinds; see Proc.park.
+const (
+	parkOn    = iota // parked on a primitive carrying its own reason
+	parkWait         // Wait(dt): "wait %.3gs"
+	parkUntil        // WaitUntil(t): "wait until %.3g"
+)
+
+// parkReason is a cached pair of block-reason strings: the bare reason
+// (deadlock reports) and its "block: "-prefixed trace action. The
+// primitives (Resource, Mailbox, Signal, Barrier) build one at
+// construction; wait reasons are interned per duration in the engine's
+// cache. Either way the hot path never formats strings.
+type parkReason struct {
+	reason string
+	action string
+}
+
+func newParkReason(reason string) *parkReason {
+	return &parkReason{reason: reason, action: "block: " + reason}
+}
+
+// waitKey interns one wait reason: the park kind plus the duration's
+// bit pattern.
+type waitKey struct {
+	kind int
+	bits uint64
+}
+
+// waitReasonCacheLimit bounds the interning cache; a simulation with
+// more distinct wait durations than this falls back to formatting per
+// event (correct, just slower).
+const waitReasonCacheLimit = 1 << 14
+
+// waitReason returns the cached (or newly formatted) reason pair for a
+// timed wait. Only called on traced runs.
+func (e *Engine) waitReason(kind int, d float64) *parkReason {
+	key := waitKey{kind: kind, bits: math.Float64bits(d)}
+	slot := &e.waitFront[(key.bits^uint64(kind))*0x9E3779B97F4A7C15>>59&(waitFrontSize-1)]
+	if slot.why != nil && slot.key == key {
+		return slot.why
+	}
+	r, ok := e.waitReasons[key]
+	if !ok {
+		r = newParkReason(formatWaitReason(kind, d))
+		if e.waitReasons == nil {
+			e.waitReasons = make(map[waitKey]*parkReason)
+		}
+		if len(e.waitReasons) < waitReasonCacheLimit {
+			e.waitReasons[key] = r
+		}
+	}
+	*slot = waitFrontEntry{key: key, why: r}
+	return r
+}
+
+func formatWaitReason(kind int, d float64) string {
+	if kind == parkUntil {
+		return fmt.Sprintf("wait until %.3g", d)
+	}
+	return fmt.Sprintf("wait %.3gs", d)
+}
 
 // Proc is a simulated process. All Proc methods must be called from the
 // process's own function body (they yield to the scheduler).
 type Proc struct {
 	eng     *Engine
 	name    string
-	resume  chan bool // true = run, false = abort
-	yield   chan struct{}
+	resume  chan bool // buffered(1): true = run, false = abort
 	done    bool
 	aborted bool
+	blocked bool
 	pv      any    // recovered panic value, if any
 	phase   string // telemetry phase annotation, see SetPhase
+
+	// Why the process is parked, recorded without formatting:
+	// parkKind selects the reason family, parkDur the wait duration,
+	// parkWhy the primitive's preformatted reason (parkOn only).
+	parkKind int
+	parkDur  float64
+	parkWhy  *parkReason
 }
 
 // Name returns the process name given to Go.
@@ -89,34 +273,32 @@ func (p *Proc) Engine() *Engine { return p.eng }
 // Now returns the current virtual time.
 func (p *Proc) Now() float64 { return p.eng.now }
 
+// reason formats why the process is blocked (deadlock reports only;
+// the trace path uses the cached parkReason instead).
+func (p *Proc) reason() string {
+	if p.parkKind == parkOn {
+		if p.parkWhy != nil {
+			return p.parkWhy.reason
+		}
+		return "blocked"
+	}
+	return formatWaitReason(p.parkKind, p.parkDur)
+}
+
 // Go spawns a process that starts at the current virtual time. The
 // function fn runs in its own goroutine but only while it holds the
 // scheduler's baton; it advances time via p.Wait and friends.
 func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{eng: e, name: name, resume: make(chan bool), yield: make(chan struct{})}
-	e.procs = append(e.procs, p)
-	go func() {
-		run := <-p.resume
-		defer func() {
-			r := recover()
-			if _, ok := r.(abortError); ok {
-				r = nil
-			}
-			p.pv = r
-			p.done = true
-			p.yield <- struct{}{}
-		}()
-		if run {
-			fn(p)
-		}
-	}()
-	e.schedule(e.now, func() { e.runProc(p) })
-	return p
+	return e.spawn(e.now, name, fn)
 }
 
 // GoAt spawns a process that starts at absolute virtual time t.
 func (e *Engine) GoAt(t float64, name string, fn func(p *Proc)) *Proc {
-	p := &Proc{eng: e, name: name, resume: make(chan bool), yield: make(chan struct{})}
+	return e.spawn(t, name, fn)
+}
+
+func (e *Engine) spawn(t float64, name string, fn func(p *Proc)) *Proc {
+	p := &Proc{eng: e, name: name, resume: make(chan bool, 1)}
 	e.procs = append(e.procs, p)
 	go func() {
 		run := <-p.resume
@@ -127,40 +309,96 @@ func (e *Engine) GoAt(t float64, name string, fn func(p *Proc)) *Proc {
 			}
 			p.pv = r
 			p.done = true
-			p.yield <- struct{}{}
+			e.procExit(p)
 		}()
 		if run {
 			fn(p)
 		}
 	}()
-	e.schedule(t, func() { e.runProc(p) })
+	e.scheduleProc(t, p)
 	return p
 }
 
-// runProc hands the baton to p and waits for it to yield back.
-func (e *Engine) runProc(p *Proc) {
-	if p.done {
+// procExit runs on a process goroutine as its final act: it either
+// acknowledges an engine teardown, stops the run on a panic, or passes
+// the baton onward.
+func (e *Engine) procExit(p *Proc) {
+	if e.aborting {
+		e.abortAck <- struct{}{}
 		return
 	}
-	delete(e.blocked, p)
-	e.emitEvent(e.now, p.name, "resume")
-	p.resume <- true
-	<-p.yield
-	if p.done && p.pv != nil && e.failure == nil {
-		e.failure = fmt.Errorf("sim: process %q panicked: %v", p.name, p.pv)
+	if p.pv != nil {
+		if e.failure == nil {
+			e.failure = fmt.Errorf("sim: process %q panicked: %v", p.name, p.pv)
+		}
+		e.done <- struct{}{}
+		return
+	}
+	e.dispatch(nil)
+}
+
+// dispatch advances the event loop while holding the baton. It pops
+// events, runs scheduler callbacks inline, and on reaching a process
+// resume either reports it as self (the caller parks and resumes in
+// one step, no goroutine switch) or wakes the target and gives the
+// baton away. When nothing remains runnable — queue empty, horizon
+// reached, or failure — it signals Run and returns false.
+func (e *Engine) dispatch(self *Proc) (resumedSelf bool) {
+	for {
+		if e.queue.len() == 0 {
+			e.done <- struct{}{}
+			return false
+		}
+		if e.until > 0 && e.queue.ev[0].t > e.until {
+			e.now = e.until
+			e.horizon = true
+			e.done <- struct{}{}
+			return false
+		}
+		ev := e.queue.pop()
+		e.now = ev.t
+		if ev.p == nil {
+			ev.fn() // scheduler-context callback
+			continue
+		}
+		p := ev.p
+		if p.done {
+			continue
+		}
+		if p.blocked {
+			p.blocked = false
+			e.nblocked--
+		}
+		e.emitEvent(e.now, p.name, "resume")
+		if p == self {
+			return true
+		}
+		p.resume <- true
+		return false
 	}
 }
 
 // park yields the baton back to the scheduler; the caller must have
-// already arranged for a future resume. reason is recorded for deadlock
-// reports.
-func (p *Proc) park(reason string) {
+// already arranged for a future resume. The reason (recorded without
+// formatting for deadlock reports, and as a cached string for traces)
+// is given by kind/why/dur; see parkOn and friends.
+func (p *Proc) park(kind int, why *parkReason, dur float64) {
 	if p.aborted {
 		panic(abortError{})
 	}
-	p.eng.blocked[p] = reason
-	p.eng.emitEvent(p.eng.now, p.name, "block: "+reason)
-	p.yield <- struct{}{}
+	e := p.eng
+	p.blocked = true
+	e.nblocked++
+	p.parkKind, p.parkWhy, p.parkDur = kind, why, dur
+	if e.Trace != nil || len(e.observers) > 0 {
+		if why == nil {
+			why = e.waitReason(kind, dur)
+		}
+		e.emitEvent(e.now, p.name, why.action)
+	}
+	if e.dispatch(p) {
+		return // next runnable process is this one: no switch needed
+	}
 	if run := <-p.resume; !run {
 		p.aborted = true
 		panic(abortError{})
@@ -174,24 +412,30 @@ func (p *Proc) Wait(dt float64) {
 		dt = 0
 	}
 	e := p.eng
-	e.schedule(e.now+dt, func() { e.runProc(p) })
-	p.park(fmt.Sprintf("wait %.3gs", dt))
+	e.scheduleProc(e.now+dt, p)
+	p.park(parkWait, nil, dt)
 }
 
 // WaitUntil advances to absolute virtual time t (no-op if t <= now).
 func (p *Proc) WaitUntil(t float64) {
 	e := p.eng
-	e.schedule(t, func() { e.runProc(p) })
-	p.park(fmt.Sprintf("wait until %.3g", t))
+	e.scheduleProc(t, p)
+	p.park(parkUntil, nil, t)
 }
 
 // Deadlock describes processes blocked forever at the end of a run.
 type Deadlock struct {
+	// Time is the virtual time the simulation stalled at.
 	Time float64
-	// Stuck maps process names to the reason each was blocked.
+	// Stuck maps process names to the reason each was blocked. When
+	// several blocked processes share a name, the reason of the most
+	// recently spawned one wins, deterministically (processes are
+	// scanned in spawn order).
 	Stuck map[string]string
 }
 
+// Error renders the report with process names in sorted order, so the
+// message is stable across runs for tests and CI diffs.
 func (d *Deadlock) Error() string {
 	names := make([]string, 0, len(d.Stuck))
 	for n := range d.Stuck {
@@ -217,25 +461,20 @@ func (e *Engine) Run(until float64) error {
 	e.running = true
 	defer func() { e.running = false }()
 
-	horizon := false
-	for len(e.queue) > 0 && e.failure == nil {
-		ev := heap.Pop(&e.queue).(event)
-		if until > 0 && ev.t > until {
-			e.now = until
-			horizon = true
-			break
-		}
-		e.now = ev.t
-		ev.fn()
-	}
+	e.until = until
+	e.horizon = false
+	e.dispatch(nil) // hold the baton until the first process resume
+	<-e.done
 
 	var err error
 	if e.failure != nil {
 		err = e.failure
-	} else if !horizon && len(e.blocked) > 0 {
-		d := &Deadlock{Time: e.now, Stuck: make(map[string]string, len(e.blocked))}
-		for p, reason := range e.blocked {
-			d.Stuck[p.name] = reason
+	} else if !e.horizon && e.nblocked > 0 {
+		d := &Deadlock{Time: e.now, Stuck: make(map[string]string, e.nblocked)}
+		for _, p := range e.procs {
+			if p.blocked {
+				d.Stuck[p.name] = p.reason()
+			}
 		}
 		err = d
 	}
@@ -244,17 +483,24 @@ func (e *Engine) Run(until float64) error {
 }
 
 // abortBlocked unwinds every live process — parked or never started —
-// so its goroutine exits.
+// so its goroutine exits, then recycles the event queue's scratch.
 func (e *Engine) abortBlocked() {
+	e.aborting = true
 	for _, p := range e.procs {
 		if p.done {
 			continue
 		}
+		p.blocked = false
 		p.resume <- false
-		<-p.yield
+		<-e.abortAck
 	}
-	e.blocked = make(map[*Proc]string)
-	// Drain events referencing aborted procs; runProc is a no-op for
-	// done procs so simply clear the queue.
-	e.queue = e.queue[:0]
+	e.aborting = false
+	e.nblocked = 0
+	// Drop events referencing finished procs and return the cleared
+	// backing array to the pool for the next engine.
+	e.queue.reset()
+	if ev := e.queue.ev; ev != nil {
+		e.queue.ev = nil
+		queuePool.Put(ev)
+	}
 }

@@ -4,54 +4,100 @@ package sim
 // virtual time: Put never blocks, Get blocks the receiver until a
 // message is available. It is the primitive under the MPI layer and the
 // FPGA status registers.
+//
+// Both the message queue and the waiter queue are head-indexed rings
+// over a reusable backing array: popping advances the head (clearing
+// the slot so payloads are not retained) and an emptied queue rewinds
+// to the array's start, so steady-state Put/Get traffic allocates
+// nothing.
 type Mailbox struct {
 	eng     *Engine
 	name    string
 	queue   []any
+	qhead   int
 	waiters []*Proc
+	whead   int
+	why     *parkReason
 }
 
 // NewMailbox creates an empty mailbox.
 func NewMailbox(e *Engine, name string) *Mailbox {
-	return &Mailbox{eng: e, name: name}
+	return &Mailbox{eng: e, name: name, why: newParkReason("recv " + name)}
 }
 
 // Len returns the number of queued messages.
-func (m *Mailbox) Len() int { return len(m.queue) }
+func (m *Mailbox) Len() int { return len(m.queue) - m.qhead }
+
+// popMsg removes and returns the oldest message. The caller must have
+// checked Len() > 0.
+func (m *Mailbox) popMsg() any {
+	v := m.queue[m.qhead]
+	m.queue[m.qhead] = nil
+	m.qhead++
+	if m.qhead == len(m.queue) {
+		m.queue = m.queue[:0]
+		m.qhead = 0
+	}
+	return v
+}
 
 // Put deposits v and wakes one waiting receiver. It may be called from
 // process or scheduler context.
 func (m *Mailbox) Put(v any) {
+	if m.qhead > 0 && len(m.queue) == cap(m.queue) {
+		// A persistent backlog never drains, so popMsg's rewind never
+		// fires; compact the live window to the front instead of letting
+		// append grow the array forever. Vacated slots are cleared so
+		// payloads are not retained.
+		n := copy(m.queue, m.queue[m.qhead:])
+		for i := n; i < len(m.queue); i++ {
+			m.queue[i] = nil
+		}
+		m.queue = m.queue[:n]
+		m.qhead = 0
+	}
 	m.queue = append(m.queue, v)
-	if len(m.waiters) > 0 {
-		next := m.waiters[0]
-		m.waiters = m.waiters[1:]
+	if m.whead < len(m.waiters) {
+		next := m.waiters[m.whead]
+		m.waiters[m.whead] = nil
+		m.whead++
+		if m.whead == len(m.waiters) {
+			m.waiters = m.waiters[:0]
+			m.whead = 0
+		}
 		e := m.eng
-		e.schedule(e.now, func() { e.runProc(next) })
+		e.scheduleProc(e.now, next)
 	}
 }
 
 // Get removes and returns the oldest message, blocking p until one
 // arrives.
 func (m *Mailbox) Get(p *Proc) any {
-	for len(m.queue) == 0 {
+	for m.Len() == 0 {
+		if m.whead > 0 && len(m.waiters) == cap(m.waiters) {
+			// Same compaction as Put's message ring, for the receiver
+			// queue: many parked receivers that are never all woken at
+			// once would otherwise grow the array without bound.
+			n := copy(m.waiters, m.waiters[m.whead:])
+			for i := n; i < len(m.waiters); i++ {
+				m.waiters[i] = nil
+			}
+			m.waiters = m.waiters[:n]
+			m.whead = 0
+		}
 		m.waiters = append(m.waiters, p)
-		p.park("recv " + m.name)
+		p.park(parkOn, m.why, 0)
 	}
-	v := m.queue[0]
-	m.queue = m.queue[1:]
-	return v
+	return m.popMsg()
 }
 
 // TryGet removes and returns the oldest message without blocking; ok is
 // false if the mailbox is empty.
 func (m *Mailbox) TryGet() (v any, ok bool) {
-	if len(m.queue) == 0 {
+	if m.Len() == 0 {
 		return nil, false
 	}
-	v = m.queue[0]
-	m.queue = m.queue[1:]
-	return v, true
+	return m.popMsg(), true
 }
 
 // Signal is a broadcast condition: processes Wait on it, and Fire
@@ -62,6 +108,7 @@ type Signal struct {
 	name    string
 	fired   bool
 	waiters []*Proc
+	why     *parkReason
 }
 
 // NewSignal creates an unfired signal.
@@ -77,11 +124,11 @@ func (s *Signal) Fired() bool { return s.fired }
 func (s *Signal) Fire() {
 	s.fired = true
 	e := s.eng
-	for _, p := range s.waiters {
-		w := p
-		e.schedule(e.now, func() { e.runProc(w) })
+	for i, p := range s.waiters {
+		s.waiters[i] = nil
+		e.scheduleProc(e.now, p)
 	}
-	s.waiters = nil
+	s.waiters = s.waiters[:0]
 }
 
 // Reset re-arms the signal.
@@ -93,8 +140,11 @@ func (s *Signal) Wait(p *Proc) {
 	if s.fired {
 		return
 	}
+	if s.why == nil {
+		s.why = newParkReason("signal " + s.name)
+	}
 	s.waiters = append(s.waiters, p)
-	p.park("signal " + s.name)
+	p.park(parkOn, s.why, 0)
 }
 
 // Barrier synchronizes n processes: each calls Arrive, and all resume
@@ -105,6 +155,7 @@ type Barrier struct {
 	n       int
 	arrived int
 	waiters []*Proc
+	why     *parkReason
 }
 
 // NewBarrier creates a barrier for n processes.
@@ -112,7 +163,7 @@ func NewBarrier(e *Engine, name string, n int) *Barrier {
 	if n < 1 {
 		panic("sim: barrier size must be >= 1")
 	}
-	return &Barrier{eng: e, name: name, n: n}
+	return &Barrier{eng: e, name: name, n: n, why: newParkReason("barrier " + name)}
 }
 
 // Arrive blocks p until all n participants have arrived.
@@ -121,13 +172,13 @@ func (b *Barrier) Arrive(p *Proc) {
 	if b.arrived == b.n {
 		b.arrived = 0
 		e := b.eng
-		for _, w := range b.waiters {
-			w := w
-			e.schedule(e.now, func() { e.runProc(w) })
+		for i, w := range b.waiters {
+			b.waiters[i] = nil
+			e.scheduleProc(e.now, w)
 		}
-		b.waiters = nil
+		b.waiters = b.waiters[:0]
 		return
 	}
 	b.waiters = append(b.waiters, p)
-	p.park("barrier " + b.name)
+	p.park(parkOn, b.why, 0)
 }

@@ -26,6 +26,7 @@ const (
 	CatIdle
 )
 
+// String names the category ("compute", "dma", "network", ...).
 func (c Category) String() string {
 	switch c {
 	case CatCompute:
@@ -64,6 +65,7 @@ const (
 	DeviceLink
 )
 
+// String names the device kind ("cpu", "fpga", "dram", "link").
 func (d Device) String() string {
 	switch d {
 	case DeviceUnknown:
@@ -88,12 +90,19 @@ func (d Device) String() string {
 // Proc.SetPhase); Resource names the resource the span occupied and
 // Device tags what kind of hardware that resource is.
 type SpanEvent struct {
-	Category   Category
-	Device     Device
-	Proc       string
-	Resource   string
-	Phase      string
-	Bytes      int64
+	// Category classifies the activity (compute, DMA, network, sync).
+	Category Category
+	// Device tags the hardware kind the span occupied.
+	Device Device
+	// Proc names the emitting process.
+	Proc string
+	// Resource names the resource the span occupied ("" if none).
+	Resource string
+	// Phase is the process's phase annotation at emission time.
+	Phase string
+	// Bytes is the payload a data-movement span carried (0 otherwise).
+	Bytes int64
+	// Start and End bound the interval in virtual seconds.
 	Start, End float64
 }
 
@@ -109,7 +118,10 @@ func (s SpanEvent) Duration() float64 { return s.End - s.Start }
 // resume/block); Span delivers completed typed spans. An observer that
 // cares about only one stream implements the other as a no-op.
 type Observer interface {
+	// Event receives one raw engine action (resume, block) as it
+	// happens.
 	Event(t float64, proc, action string)
+	// Span receives one completed typed span as its interval ends.
 	Span(s SpanEvent)
 }
 

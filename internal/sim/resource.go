@@ -12,7 +12,12 @@ type Resource struct {
 	device   Device
 	capacity int
 	inUse    int
-	waiters  []waiter
+	// waiters is a head-indexed FIFO over a reusable backing array
+	// (see Mailbox): popped slots are cleared and a drained queue
+	// rewinds, so steady-state contention allocates nothing.
+	waiters []waiter
+	whead   int
+	why     *parkReason
 
 	// utilization accounting
 	lastChange float64
@@ -34,7 +39,7 @@ func NewResource(e *Engine, name string, capacity int) *Resource {
 	if capacity < 1 {
 		panic(fmt.Sprintf("sim: resource %q capacity %d < 1", name, capacity))
 	}
-	return &Resource{eng: e, name: name, capacity: capacity}
+	return &Resource{eng: e, name: name, capacity: capacity, why: newParkReason("acquire " + name)}
 }
 
 // Name returns the resource name.
@@ -52,7 +57,7 @@ func (r *Resource) Device() Device { return r.device }
 func (r *Resource) InUse() int { return r.inUse }
 
 // QueueLen returns the number of processes waiting.
-func (r *Resource) QueueLen() int { return len(r.waiters) }
+func (r *Resource) QueueLen() int { return len(r.waiters) - r.whead }
 
 func (r *Resource) accumulate() {
 	r.busyInt += float64(r.inUse) * (r.eng.now - r.lastChange)
@@ -70,8 +75,20 @@ func (r *Resource) Acquire(p *Proc) {
 		return
 	}
 	since := r.eng.now
+	if r.whead > 0 && len(r.waiters) == cap(r.waiters) {
+		// Compact instead of growing: under persistent contention the
+		// queue never drains, so the rewind in Release never fires and
+		// append would reallocate forever. Shift the live window to the
+		// front and clear the vacated tail so old entries are released.
+		n := copy(r.waiters, r.waiters[r.whead:])
+		for i := n; i < len(r.waiters); i++ {
+			r.waiters[i] = waiter{}
+		}
+		r.waiters = r.waiters[:n]
+		r.whead = 0
+	}
 	r.waiters = append(r.waiters, waiter{p: p, since: since})
-	p.park("acquire " + r.name)
+	p.park(parkOn, r.why, 0)
 	// The releaser handed us the unit directly; we resume at the
 	// current time with the unit already accounted as in use.
 	waited := r.eng.now - since
@@ -102,13 +119,18 @@ func (r *Resource) Release() {
 	if r.inUse <= 0 {
 		panic(fmt.Sprintf("sim: release of idle resource %q", r.name))
 	}
-	if len(r.waiters) > 0 {
+	if r.whead < len(r.waiters) {
 		// Hand the unit directly to the next waiter: utilization is
 		// unchanged, the waiter resumes at the current time.
-		next := r.waiters[0].p
-		r.waiters = r.waiters[1:]
+		next := r.waiters[r.whead].p
+		r.waiters[r.whead] = waiter{}
+		r.whead++
+		if r.whead == len(r.waiters) {
+			r.waiters = r.waiters[:0]
+			r.whead = 0
+		}
 		e := r.eng
-		e.schedule(e.now, func() { e.runProc(next) })
+		e.scheduleProc(e.now, next)
 		return
 	}
 	r.accumulate()
@@ -157,7 +179,7 @@ func (r *Resource) Acquires() int64 { return r.acquires }
 // makespan on a hot resource).
 func (r *Resource) ContentionSeconds() float64 {
 	s := r.waitInt
-	for _, w := range r.waiters {
+	for _, w := range r.waiters[r.whead:] {
 		s += r.eng.now - w.since
 	}
 	return s

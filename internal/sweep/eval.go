@@ -140,10 +140,24 @@ type evaluator struct {
 	place map[placeKey]placeVal
 	part  map[partKey]partVal
 	stats Stats
+
+	// recs recycles span recorders across MethodSim grid points so
+	// workers reuse warmed buffers instead of regrowing a span slice
+	// per simulation. Recorders are returned by measured.
+	recs sync.Pool
 }
 
 func newEvaluator() *evaluator {
-	return &evaluator{place: make(map[placeKey]placeVal), part: make(map[partKey]partVal)}
+	ev := &evaluator{place: make(map[placeKey]placeVal), part: make(map[partKey]partVal)}
+	ev.recs.New = func() any { return trace.NewRecorder() }
+	return ev
+}
+
+// recorder checks out a reset span recorder from the pool.
+func (ev *evaluator) recorder() *trace.Recorder {
+	rec := ev.recs.Get().(*trace.Recorder)
+	rec.Reset()
+	return rec
 }
 
 // placed returns the memoized pseudo place-and-route solution for the
@@ -365,12 +379,13 @@ func (ev *evaluator) evalLU(r resolved, method string) Outcome {
 		return out
 	}
 
-	rec := trace.NewRecorder()
+	rec := ev.recorder()
 	res, err := core.RunLU(core.LUConfig{
 		Machine: cfg, N: n, B: b, PEs: r.k, BF: r.pt.BF, L: r.pt.L,
-		Mode: r.mode, Telemetry: true, Observer: rec,
+		Mode: r.mode, Observer: rec,
 	})
 	if err != nil {
+		ev.recs.Put(rec)
 		return fail(err)
 	}
 	expect, _ := res.Model.StripeBinding(res.BF)
@@ -435,12 +450,13 @@ func (ev *evaluator) evalFW(r resolved, method string) Outcome {
 	if r.mode != core.Hybrid {
 		gridL1 = -1 // RunFW derives baseline splits itself
 	}
-	rec := trace.NewRecorder()
+	rec := ev.recorder()
 	res, err := core.RunFW(core.FWConfig{
 		Machine: cfg, N: n, B: b, PEs: r.k, L1: gridL1,
-		Mode: r.mode, Telemetry: true, Observer: rec,
+		Mode: r.mode, Observer: rec,
 	})
 	if err != nil {
+		ev.recs.Put(rec)
 		return fail(err)
 	}
 	expect, _ := res.Model.PhaseBinding(res.L1, res.L2)
@@ -498,12 +514,13 @@ func (ev *evaluator) evalMM(r resolved, method string) Outcome {
 		return out
 	}
 
-	rec := trace.NewRecorder()
+	rec := ev.recorder()
 	res, err := core.RunMM(core.MMConfig{
 		Machine: cfg, N: n, PEs: r.k, BF: r.pt.BF,
-		Mode: r.mode, Telemetry: true, Observer: rec,
+		Mode: r.mode, Observer: rec,
 	})
 	if err != nil {
+		ev.recs.Put(rec)
 		return fail(err)
 	}
 	expect, _ := res.Model.StripeBinding(res.BF)
@@ -515,15 +532,20 @@ func (ev *evaluator) evalMM(r resolved, method string) Outcome {
 // measured finishes a MethodSim outcome: measured throughput, the
 // Section 4.5 prediction, the telemetry overlap efficiency, and the
 // dominant phase's measured binding from the internal/analysis
-// bottleneck classifier.
+// bottleneck classifier. It consumes rec — the span digest runs on the
+// recorder's buffer in place and the recorder returns to the pool — so
+// callers must not touch rec afterwards.
 func (ev *evaluator) measured(out Outcome, res *core.Result, pred model.Prediction,
 	rec *trace.Recorder, expected map[string]model.Binding, fill func(*Outcome)) Outcome {
+	defer ev.recs.Put(rec)
 	out.GFLOPS, out.Seconds, out.PredictedGFLOPS = res.GFLOPS, res.Seconds, pred.GFLOPS
-	if res.Telemetry != nil {
-		out.OverlapEfficiency = res.Telemetry.Overlap.Efficiency()
-	}
+	// Digest the sweep's own recorder instead of asking the run for a
+	// full telemetry summary: ComputeOverlap over the same span stream
+	// and makespan yields the identical efficiency at a fraction of the
+	// cost (no per-process/per-resource digest per grid point).
+	out.OverlapEfficiency = trace.ComputeOverlap(rec.SpansView(), res.Seconds).Efficiency()
 	fill(&out)
-	phases := analysis.ClassifyPhases(rec.Spans(), expected)
+	phases := analysis.ClassifyPhases(rec.SpansView(), expected)
 	var busiest *analysis.PhaseStats
 	for i := range phases {
 		if phases[i].Phase == "" {

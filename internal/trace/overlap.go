@@ -3,8 +3,10 @@ package trace
 import (
 	"fmt"
 	"io"
+	"slices"
 	"sort"
 	"strings"
+	"sync"
 
 	"codesign/internal/sim"
 )
@@ -23,6 +25,7 @@ import (
 // hidden, which is what Eqs. (4)-(6) of the paper balance for and what
 // the Sec. 4.5 prediction max(Ttp, Ttf) assumes is perfect.
 type Overlap struct {
+	// Makespan is the accounting window: the run's final virtual time.
 	Makespan float64
 
 	// Total busy seconds per class, summed across all processes and
@@ -65,6 +68,7 @@ const (
 	NumSpanClasses
 )
 
+// String names the class as the model writes it ("Tf", "Tp", ...).
 func (c SpanClass) String() string {
 	switch c {
 	case ClassTf:
@@ -108,18 +112,42 @@ func Classify(s sim.SpanEvent) SpanClass {
 	}
 }
 
+// edge is one interval endpoint in the overlap sweep: a class opens at
+// a span start and closes at its end.
+type edge struct {
+	t     float64
+	class SpanClass
+}
+
+// edgePool recycles the sweep's endpoint scratch arrays: a design-space
+// sweep calls ComputeOverlap once per grid point over thousands of
+// spans, and the buffers are pointer-free so pooling them is safe.
+var edgePool = sync.Pool{New: func() any { s := make([]edge, 0, 1024); return &s }}
+
 // ComputeOverlap runs the sweep over the spans. makespan extends the
 // accounting window past the last span end (the tail is idle); pass
 // the engine's final virtual time.
+//
+// The sweep is a two-way merge of close and open endpoints rather than
+// a sort of the combined edge list: recorders hand over spans in
+// emission order, where end times are already nondecreasing, so only
+// the start endpoints need sorting (verified, and sorted as a
+// fallback, for callers that pass reordered spans). Closes merge ahead
+// of opens at the same instant so zero-length overlaps do not linger;
+// order among equal-time endpoints of the same kind is irrelevant to
+// the attribution because only intervals between distinct times carry
+// weight.
 func ComputeOverlap(spans []sim.SpanEvent, makespan float64) Overlap {
 	o := Overlap{Makespan: makespan}
 
-	type edge struct {
-		t     float64
-		class SpanClass
-		delta int
-	}
-	edges := make([]edge, 0, 2*len(spans))
+	sp0, ep0 := edgePool.Get().(*[]edge), edgePool.Get().(*[]edge)
+	starts, ends := (*sp0)[:0], (*ep0)[:0]
+	defer func() {
+		*sp0, *ep0 = starts[:0], ends[:0]
+		edgePool.Put(sp0)
+		edgePool.Put(ep0)
+	}()
+	startsSorted, endsSorted := true, true
 	for _, s := range spans {
 		if s.End <= s.Start {
 			continue
@@ -138,19 +166,31 @@ func ComputeOverlap(spans []sim.SpanEvent, makespan float64) Overlap {
 		case ClassSync:
 			o.BusySync += d
 		}
-		edges = append(edges, edge{t: s.Start, class: cl, delta: +1})
-		edges = append(edges, edge{t: s.End, class: cl, delta: -1})
-	}
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].t != edges[j].t {
-			return edges[i].t < edges[j].t
+		if len(starts) > 0 && s.Start < starts[len(starts)-1].t {
+			startsSorted = false
 		}
-		// Close before open at the same instant so zero-length
-		// overlaps do not linger; order within a time is irrelevant
-		// to the attribution because intervals between distinct
-		// times carry the weight.
-		return edges[i].delta < edges[j].delta
-	})
+		if len(ends) > 0 && s.End < ends[len(ends)-1].t {
+			endsSorted = false
+		}
+		starts = append(starts, edge{t: s.Start, class: cl})
+		ends = append(ends, edge{t: s.End, class: cl})
+	}
+	byTime := func(a, b edge) int {
+		switch {
+		case a.t < b.t:
+			return -1
+		case a.t > b.t:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if !startsSorted {
+		slices.SortFunc(starts, byTime)
+	}
+	if !endsSorted {
+		slices.SortFunc(ends, byTime)
+	}
 
 	var active [NumSpanClasses]int
 	attribute := func(from, to float64) {
@@ -175,21 +215,35 @@ func ComputeOverlap(spans []sim.SpanEvent, makespan float64) Overlap {
 	}
 
 	prev := 0.0
-	for _, ed := range edges {
+	si := 0
+	for _, ed := range ends {
+		// Opens strictly before this close happen first; an open at
+		// exactly ed.t merges after the close.
+		for si < len(starts) && starts[si].t < ed.t {
+			attribute(prev, starts[si].t)
+			prev = starts[si].t
+			active[starts[si].class]++
+			si++
+		}
 		attribute(prev, ed.t)
 		prev = ed.t
-		active[ed.class] += ed.delta
+		active[ed.class]--
 	}
+	// Every interval closes, so no starts can remain once ends drain.
 	attribute(prev, makespan)
 	return o
 }
 
 // ProcStats summarizes one process's activity.
 type ProcStats struct {
-	Name    string
-	Busy    float64 // seconds in compute/DMA/network spans
-	Waiting float64 // seconds queued on contended resources
-	Bytes   int64   // payload bytes its spans carried
+	// Name is the process name.
+	Name string
+	// Busy is seconds in compute/DMA/network spans.
+	Busy float64
+	// Waiting is seconds queued on contended resources.
+	Waiting float64
+	// Bytes is payload bytes its spans carried.
+	Bytes int64
 }
 
 // Utilization returns Busy / makespan.
@@ -202,30 +256,42 @@ func (p ProcStats) Utilization(makespan float64) float64 {
 
 // ResourceStats summarizes one resource's activity as seen by spans.
 type ResourceStats struct {
-	Name       string
-	Busy       float64 // seconds held by typed spans
-	Contention float64 // seconds processes spent queued on it
-	Spans      int64
-	Bytes      int64
+	// Name is the resource name.
+	Name string
+	// Busy is seconds held by typed spans.
+	Busy float64
+	// Contention is seconds processes spent queued on it.
+	Contention float64
+	// Spans counts the spans that named the resource.
+	Spans int64
+	// Bytes is payload bytes those spans carried.
+	Bytes int64
 }
 
 // Summary is the per-run telemetry digest attached to application
 // results and printed by the CLIs. All fields derive from virtual time.
 type Summary struct {
+	// Makespan is the run's final virtual time.
 	Makespan float64
-	Spans    int
-	Events   int
+	// Spans is the number of typed spans the run emitted.
+	Spans int
+	// Events is the number of raw engine events (resume/block).
+	Events int
 
 	// DRAMBytes counts payload on DMA spans; NetworkBytes counts
 	// payload on network wire spans. Instrumentation attaches bytes
 	// only to the span that moves them (wire or DMA stream), never to
 	// processor-side pack/unpack, so these do not double count.
-	DRAMBytes    int64
+	DRAMBytes int64
+	// NetworkBytes counts payload on network wire spans (see DRAMBytes).
 	NetworkBytes int64
 
-	Procs     []ProcStats
+	// Procs holds per-process stats, sorted by name.
+	Procs []ProcStats
+	// Resources holds per-resource stats, sorted by name.
 	Resources []ResourceStats
-	Overlap   Overlap
+	// Overlap is the run's overlap decomposition.
+	Overlap Overlap
 }
 
 // Fill populates a metrics registry from the summary so external

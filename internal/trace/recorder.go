@@ -51,6 +51,13 @@ func (r *Recorder) Spans() []sim.SpanEvent {
 	return out
 }
 
+// SpansView returns the recorded spans without copying. The slice
+// aliases the recorder's buffer: it is valid until the next Span or
+// Reset call, and callers must not modify or retain it. Hot paths
+// (the design-space sweep digests a span stream per grid point) use it
+// to avoid a per-run copy; everyone else should prefer Spans.
+func (r *Recorder) SpansView() []sim.SpanEvent { return r.spans }
+
 // Events returns the recorded raw events (empty unless KeepEvents).
 func (r *Recorder) Events() []Event {
 	out := make([]Event, len(r.events))

@@ -13,8 +13,11 @@ import (
 
 // Event is one recorded engine action.
 type Event struct {
-	Time   float64
-	Proc   string
+	// Time is the virtual time of the action.
+	Time float64
+	// Proc names the process the action concerns.
+	Proc string
+	// Action is the engine's action string ("resume", "block: ...").
 	Action string
 }
 
@@ -82,7 +85,9 @@ func (c *Collector) WriteCSV(w io.Writer) error {
 
 // Span is a contiguous busy interval of one process.
 type Span struct {
-	Proc       string
+	// Proc names the process.
+	Proc string
+	// Start and End bound the interval in virtual seconds.
 	Start, End float64
 }
 
