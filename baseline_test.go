@@ -56,6 +56,31 @@ func TestHeadlineMatchesCommittedBaseline(t *testing.T) {
 		len(deltas), len(old.Metrics), baselineFile, baselineFile)
 }
 
+// TestHeadlineIdleFaultLayerMatchesBaseline pins the fault layer's
+// zero-cost-when-unused contract at the top of the stack: with an
+// injector installed into every LU and FW run but no faults configured,
+// the whole headline suite must still match the committed baseline at
+// zero tolerance.
+func TestHeadlineIdleFaultLayerMatchesBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full headline run")
+	}
+	old, err := analysis.ReadBaselineFile(baselineFile)
+	if err != nil {
+		t.Fatalf("reading committed baseline: %v", err)
+	}
+	fresh, err := exper.HeadlineWithIdleFaultLayer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deltas := analysis.Diff(old, fresh, 0); len(deltas) != 0 {
+		for _, d := range deltas {
+			t.Log(d)
+		}
+		t.Fatalf("idle fault layer shifted %d of %d headline metrics", len(deltas), len(old.Metrics))
+	}
+}
+
 // TestHeadlineDeterministic runs the suite twice in-process and demands
 // identical values — the property that lets the gate use zero
 // tolerance.

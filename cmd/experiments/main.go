@@ -52,6 +52,8 @@ var experiments = []struct {
 		func(bool) (*exper.Table, error) { return exper.Sensitivity() }},
 	{"designspace", "PE-array design-space sweep reproducing the paper's XD1 choice",
 		func(bool) (*exper.Table, error) { return exper.DesignSpace() }},
+	{"degraded", "degraded-mode repartitioning under injected faults",
+		func(bool) (*exper.Table, error) { return exper.Degraded() }},
 }
 
 func main() {

@@ -9,6 +9,7 @@
 //	hybridsim -app lu -n 300 -b 60 -pes 4 -functional   # with real data
 //	hybridsim -app lu -analyze                          # critical path + bottlenecks
 //	hybridsim -app fw -machine xt3 -n 6144 -b 256 -pes 8
+//	hybridsim -app lu -faults faults.json -seed 7       # degraded-mode run + resilience report
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 
 	"codesign/internal/analysis"
 	"codesign/internal/core"
+	"codesign/internal/fault"
 	"codesign/internal/machine"
 	"codesign/internal/model"
 	"codesign/internal/sim"
@@ -28,7 +30,7 @@ import (
 func main() {
 	var o options
 	flag.StringVar(&o.App, "app", "lu", "application: lu, fw, mm, chol, qr or cg")
-	flag.StringVar(&o.Machine, "machine", "xd1", "machine preset: xd1, xt3, src6, rasc")
+	flag.StringVar(&o.Machine, "machine", "xd1", "machine preset (xd1, xt3, src6, rasc) or a machine JSON `file`")
 	flag.IntVar(&o.N, "n", 30000, "problem size")
 	flag.IntVar(&o.B, "b", 3000, "block size")
 	flag.IntVar(&o.PEs, "pes", 0, "FPGA PE count (0 = largest that fits)")
@@ -37,7 +39,8 @@ func main() {
 	flag.IntVar(&o.L, "l", -1, "LU: panel pipeline depth (-1 = solve Eq. 5)")
 	flag.IntVar(&o.L1, "l1", -1, "FW: processor ops per phase (-1 = solve Eq. 6)")
 	flag.BoolVar(&o.Functional, "functional", false, "carry real matrices and verify the result")
-	flag.Int64Var(&o.Seed, "seed", 1, "functional input seed")
+	flag.Int64Var(&o.Seed, "seed", 1, "functional input seed, or the fault spec seed with -faults")
+	flag.StringVar(&o.Faults, "faults", "", "inject faults from spec JSON `file` (lu and fw) and print the resilience report")
 	flag.BoolVar(&o.Timeline, "timeline", false, "print a per-process activity timeline (small runs only)")
 	flag.BoolVar(&o.Metrics, "metrics", false, "print per-run utilization and the Tp/Tf/Tmem/Tcomm overlap report")
 	flag.BoolVar(&o.Analyze, "analyze", false, "print the critical path, per-phase bottleneck attribution and resource timelines")
@@ -45,6 +48,11 @@ func main() {
 	flag.StringVar(&o.MetricsOut, "metrics-out", "", "write the run's metrics registry as CSV to `file`")
 	flag.StringVar(&o.SpansOut, "spans-out", "", "write the raw typed spans as CSV to `file`")
 	flag.Parse()
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			o.SeedSet = true
+		}
+	})
 
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "hybridsim:", err)
@@ -62,6 +70,10 @@ type options struct {
 	BF, L, L1  int
 	Functional bool
 	Seed       int64
+	// SeedSet records whether -seed was passed explicitly; only then
+	// does it override the fault spec's own seed.
+	SeedSet    bool
+	Faults     string
 	Timeline   bool
 	Metrics    bool
 	Analyze    bool
@@ -71,7 +83,7 @@ type options struct {
 }
 
 func machineByName(name string) (machine.Config, error) {
-	return machine.Preset(name)
+	return machine.Resolve(name)
 }
 
 func modeByName(name string) (core.Mode, error) {
@@ -97,6 +109,31 @@ func run(o options) error {
 		return err
 	}
 	fmt.Printf("machine: %s (%d nodes)\n", mc.Name, mc.Nodes)
+
+	// -faults runs the app three ways: nominal (the baseline), with the
+	// spec's faults under observed-telemetry detection (the run that is
+	// printed), and with an oracle detector that knows the spec in
+	// advance. Injectors are stateful, so each run gets a fresh one.
+	var spec *fault.Spec
+	var inj *fault.Injector
+	if o.Faults != "" {
+		if o.App != "lu" && o.App != "fw" {
+			return fmt.Errorf("-faults supports lu and fw, not %q", o.App)
+		}
+		spec, err = fault.Load(o.Faults)
+		if err != nil {
+			return err
+		}
+		if o.SeedSet {
+			spec.Seed = o.Seed
+		}
+		inj, err = fault.New(spec, mc.Nodes)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("faults:  %d events from %s (seed %d, detector threshold %.2g, window %gs)\n",
+			len(inj.Events()), o.Faults, spec.Seed, inj.Threshold(), inj.Window())
+	}
 
 	var col *trace.Collector
 	var hook func(float64, string, string)
@@ -138,7 +175,7 @@ func run(o options) error {
 		r, err := core.RunLU(core.LUConfig{
 			Machine: mc, N: o.N, B: o.B, PEs: o.PEs, BF: o.BF, L: o.L,
 			Mode: md, Functional: o.Functional, Seed: o.Seed, Trace: hook,
-			Observer: obs, Telemetry: telemetry,
+			Observer: obs, Telemetry: telemetry, Faults: inj,
 		})
 		if err != nil {
 			return err
@@ -151,7 +188,7 @@ func run(o options) error {
 		r, err := core.RunFW(core.FWConfig{
 			Machine: mc, N: o.N, B: o.B, PEs: o.PEs, L1: o.L1,
 			Mode: md, Functional: o.Functional, Seed: o.Seed, Trace: hook,
-			Observer: obs, Telemetry: telemetry,
+			Observer: obs, Telemetry: telemetry, Faults: inj,
 		})
 		if err != nil {
 			return err
@@ -214,6 +251,11 @@ func run(o options) error {
 		return fmt.Errorf("unknown app %q (want lu, fw, mm, chol, qr or cg)", o.App)
 	}
 
+	if inj != nil {
+		if err := printResilience(o, mc, md, spec, res, len(inj.Events())); err != nil {
+			return fmt.Errorf("resilience: %w", err)
+		}
+	}
 	if o.Analyze {
 		rep := analysis.Analyze(rec.Spans(), res.Seconds, analysis.Options{Expected: expected})
 		fmt.Println()
@@ -243,6 +285,52 @@ func run(o options) error {
 			len(rec.Spans()), o.TraceOut)
 	}
 	return nil
+}
+
+// printResilience re-runs the app fault-free and with an oracle
+// detector, then prints the resilience summary for the faulted run
+// already in res.
+func printResilience(o options, mc machine.Config, md core.Mode, spec *fault.Spec, res *core.Result, events int) error {
+	ref := func(in *fault.Injector) (float64, error) {
+		if o.App == "lu" {
+			r, err := core.RunLU(core.LUConfig{Machine: mc, N: o.N, B: o.B,
+				PEs: o.PEs, BF: o.BF, L: o.L, Mode: md, Faults: in})
+			if err != nil {
+				return 0, err
+			}
+			return r.Seconds, nil
+		}
+		r, err := core.RunFW(core.FWConfig{Machine: mc, N: o.N, B: o.B,
+			PEs: o.PEs, L1: o.L1, Mode: md, Faults: in})
+		if err != nil {
+			return 0, err
+		}
+		return r.Seconds, nil
+	}
+	nominal, err := ref(nil)
+	if err != nil {
+		return fmt.Errorf("nominal reference: %w", err)
+	}
+	oinj, err := fault.New(spec.WithOracle(), mc.Nodes)
+	if err != nil {
+		return err
+	}
+	oracle, err := ref(oinj)
+	if err != nil {
+		return fmt.Errorf("oracle reference: %w", err)
+	}
+	r := &analysis.Resilience{
+		BaselineSeconds: nominal,
+		FaultedSeconds:  res.Seconds,
+		OracleSeconds:   oracle,
+		DeadNodes:       res.DeadNodes,
+		FaultEvents:     events,
+	}
+	for _, rp := range res.Repartitions {
+		r.RepartitionTimes = append(r.RepartitionTimes, rp.Time)
+	}
+	fmt.Println()
+	return r.WriteReport(os.Stdout)
 }
 
 // writeTo creates path and streams write into it, closing cleanly.
@@ -300,6 +388,17 @@ func printCommon(r *core.Result) {
 	fmt.Printf("coordinations:     %d register handshakes\n", r.Coordinations)
 	fmt.Printf("utilization:       cpu %.1f%%  fpga %.1f%%\n",
 		100*r.Utilization(r.CPUBusy), 100*r.Utilization(r.FPGABusy))
+	for _, rp := range r.Repartitions {
+		cells := fmt.Sprintf("repartition:       t=%.2fs iter %d (%s, %d live)", rp.Time, rp.Iteration, rp.Reason, rp.Live)
+		if rp.L1 > 0 || rp.L2 > 0 {
+			fmt.Printf("%s l1=%d l2=%d\n", cells, rp.L1, rp.L2)
+		} else {
+			fmt.Printf("%s bf=%d bp=%d l=%d\n", cells, rp.BF, rp.BP, rp.L)
+		}
+	}
+	if len(r.DeadNodes) > 0 {
+		fmt.Printf("dead nodes:        %v\n", r.DeadNodes)
+	}
 	if r.Checked {
 		fmt.Printf("functional check:  max residual %.3g vs sequential reference\n", r.MaxResidual)
 	}

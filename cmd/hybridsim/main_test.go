@@ -118,3 +118,27 @@ func TestRunExportFiles(t *testing.T) {
 		t.Fatal("metrics CSV missing overlap.efficiency")
 	}
 }
+
+func TestRunWithFaults(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "faults.json")
+	spec := `{"seed": 3, "window": 0.001, "events": [
+		{"kind": "throttle-bd", "node": 1, "start": 0, "factor": 0.5}]}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o := small("lu")
+	o.Functional = false // degraded mode reshapes the schedule under real data
+	o.Metrics = false
+	o.Faults = path
+	if err := run(o); err != nil {
+		t.Fatalf("faulted lu run: %v", err)
+	}
+
+	// Non-LU/FW apps cannot degrade; the flag must be rejected up front.
+	bad := small("mm")
+	bad.Faults = path
+	if err := run(bad); err == nil {
+		t.Fatal("mm accepted -faults")
+	}
+}

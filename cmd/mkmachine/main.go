@@ -6,6 +6,7 @@
 //
 //	mkmachine list                 # available presets
 //	mkmachine show xd1             # parameters, PE capacity, clocks
+//	mkmachine show mybox.json      # same, for a machine JSON file
 //	mkmachine solve xd1            # Eq. 4/5/6 partitions at paper sizes
 //	mkmachine solve xt3 -b 2400    # partitions for another block size
 package main
@@ -20,13 +21,6 @@ import (
 	"codesign/internal/machine"
 	"codesign/internal/model"
 )
-
-var presets = map[string]func() machine.Config{
-	"xd1":  machine.XD1,
-	"xt3":  machine.XT3DRC,
-	"src6": machine.SRC6,
-	"rasc": machine.RASC,
-}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -53,18 +47,19 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mkmachine {list | show <preset> | solve <preset> [-b N] [-fwb N]}")
+	fmt.Fprintln(os.Stderr, "usage: mkmachine {list | show <machine> | solve <machine> [-b N] [-fwb N]}")
+	fmt.Fprintln(os.Stderr, "  <machine> is a preset name (try 'list') or a machine JSON file")
 }
 
 func withPreset(args []string, f func(machine.Config, []string) error) error {
 	if len(args) < 1 {
-		return fmt.Errorf("preset name required (try 'list')")
+		return fmt.Errorf("machine name or JSON file required (try 'list')")
 	}
-	p, ok := presets[args[0]]
-	if !ok {
-		return fmt.Errorf("unknown preset %q (try 'list')", args[0])
+	cfg, err := machine.Resolve(args[0])
+	if err != nil {
+		return err
 	}
-	return f(p(), args[1:])
+	return f(cfg, args[1:])
 }
 
 func list() error {

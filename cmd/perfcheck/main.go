@@ -117,11 +117,23 @@ func check(base Baseline, got map[string]Entry, timeTol, allocTol float64) []str
 			fails = append(fails, fmt.Sprintf("%s: missing from benchmark output", k))
 			continue
 		}
+		// Ratio gates are undefined against a zero baseline, so each
+		// metric handles zero explicitly instead of multiplying into a
+		// vacuous bound. A zero ns/op baseline carries no information
+		// (benchmarks cannot take zero time) and is skipped; a zero
+		// allocs/op baseline is a meaningful promise — the zero-allocation
+		// hot path — and gates absolutely: any measured allocation is a
+		// regression no tolerance can excuse.
 		if want.NsOp > 0 && have.NsOp > want.NsOp*timeTol {
 			fails = append(fails, fmt.Sprintf("%s: %.0f ns/op exceeds baseline %.0f ns/op x %.2g tolerance",
 				k, have.NsOp, want.NsOp, timeTol))
 		}
-		if want.AllocsOp > 0 && have.AllocsOp > want.AllocsOp*allocTol {
+		if want.AllocsOp == 0 {
+			if have.AllocsOp > 0 {
+				fails = append(fails, fmt.Sprintf("%s: %.0f allocs/op regressed from a zero-alloc baseline",
+					k, have.AllocsOp))
+			}
+		} else if have.AllocsOp > want.AllocsOp*allocTol {
 			fails = append(fails, fmt.Sprintf("%s: %.0f allocs/op exceeds baseline %.0f allocs/op x %.2g tolerance",
 				k, have.AllocsOp, want.AllocsOp, allocTol))
 		}

@@ -99,3 +99,34 @@ func TestCheckImprovementPasses(t *testing.T) {
 		t.Errorf("improvement flagged as regression: %v", fails)
 	}
 }
+
+func TestCheckZeroAllocBaseline(t *testing.T) {
+	// A zero allocs/op baseline (the zero-allocation hot path) must gate
+	// absolutely: the old ratio guard skipped it entirely, so any alloc
+	// regression sailed through.
+	base := Baseline{Benchmarks: map[string]Entry{
+		"a.BenchmarkZeroAlloc": {NsOp: 1000, AllocsOp: 0},
+	}}
+	got := map[string]Entry{"a.BenchmarkZeroAlloc": {NsOp: 1000, AllocsOp: 3}}
+	fails := check(base, got, 3.0, 1.5)
+	if len(fails) != 1 || !strings.Contains(fails[0], "zero-alloc") {
+		t.Fatalf("zero-alloc regression not caught: %v", fails)
+	}
+	// Staying at zero passes.
+	got["a.BenchmarkZeroAlloc"] = Entry{NsOp: 1000, AllocsOp: 0}
+	if fails := check(base, got, 3.0, 1.5); len(fails) != 0 {
+		t.Errorf("clean zero-alloc run flagged: %v", fails)
+	}
+}
+
+func TestCheckZeroTimeBaselineSkipped(t *testing.T) {
+	// A zero ns/op baseline carries no information; it must neither
+	// divide to +Inf nor fail every run.
+	base := Baseline{Benchmarks: map[string]Entry{
+		"a.BenchmarkOdd": {NsOp: 0, AllocsOp: 10},
+	}}
+	got := map[string]Entry{"a.BenchmarkOdd": {NsOp: 12345, AllocsOp: 10}}
+	if fails := check(base, got, 3.0, 1.5); len(fails) != 0 {
+		t.Errorf("zero time baseline produced failures: %v", fails)
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"codesign/internal/analysis"
 	"codesign/internal/core"
 	"codesign/internal/exper"
+	"codesign/internal/fault"
 	"codesign/internal/machine"
 	"codesign/internal/model"
 	"codesign/internal/sim"
@@ -336,3 +337,53 @@ func RunSweep(ctx context.Context, g SweepGrid, opts SweepOptions) (*SweepResult
 // MachinePreset returns a fresh copy of a named machine preset
 // ("xd1", "xt3", "src6", "rasc").
 func MachinePreset(name string) (MachineConfig, error) { return machine.Preset(name) }
+
+// Fault injection and degraded-mode resilience (internal/fault,
+// DESIGN.md §9). A FaultSpec describes deterministic seed-driven
+// faults; an injector built from it plugs into LUConfig.Faults or
+// FWConfig.Faults, dilating the affected subsystem's charges while the
+// design detects the divergence and re-solves its partition mid-run.
+// See also cmd/hybridsim -faults.
+type (
+	// FaultSpec is the JSON fault specification: scheduled events,
+	// seed-expanded random batches and detection tuning.
+	FaultSpec = fault.Spec
+	// FaultEvent is one scheduled fault.
+	FaultEvent = fault.Event
+	// FaultKind names one fault mechanism.
+	FaultKind = fault.Kind
+	// FaultInjector applies a spec's faults to a run as deterministic
+	// time dilation and collects the observed-rate telemetry that
+	// drives divergence detection.
+	FaultInjector = fault.Injector
+	// Resilience folds a nominal, a faulted and an oracle run into the
+	// degraded-mode report (makespan inflation, recovery lag,
+	// repartition history).
+	Resilience = analysis.Resilience
+)
+
+// Fault kinds.
+const (
+	// FaultThrottleBd throttles a node's FPGA-DRAM bandwidth (Bd).
+	FaultThrottleBd = fault.ThrottleBd
+	// FaultThrottleBn throttles a node's network bandwidth (Bn).
+	FaultThrottleBn = fault.ThrottleBn
+	// FaultCPUSlow slows a node's processor (Op·Fp) — a straggler.
+	FaultCPUSlow = fault.CPUSlow
+	// FaultFPGAStall stalls a node's FPGA for the window (Of·Ff).
+	FaultFPGAStall = fault.FPGAStall
+	// FaultNodeKill removes a node permanently (fail-stop).
+	FaultNodeKill = fault.NodeKill
+)
+
+// NewFaultInjector validates a spec against the node count, expands its
+// random batches from the spec seed and returns the injector to place
+// in a run config. The same spec and seed always produce the same
+// faults.
+func NewFaultInjector(spec *FaultSpec, nodes int) (*FaultInjector, error) {
+	return fault.New(spec, nodes)
+}
+
+// LoadFaultSpec reads and parses a fault spec JSON file, rejecting
+// unknown fields.
+func LoadFaultSpec(path string) (*FaultSpec, error) { return fault.Load(path) }

@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+)
+
+// Resilience summarizes a faulted run against its references: the
+// nominal (fault-free) run and, when available, the oracle run in which
+// the detector repartitions against the configured ground truth
+// immediately. The gap between faulted and oracle makespans is the cost
+// of detection latency — what a perfect detector would claw back.
+type Resilience struct {
+	// BaselineSeconds is the fault-free makespan.
+	BaselineSeconds float64
+	// FaultedSeconds is the makespan with faults and observed-telemetry
+	// detection.
+	FaultedSeconds float64
+	// OracleSeconds is the makespan with faults and oracle detection;
+	// 0 when no oracle run was performed.
+	OracleSeconds float64
+	// RepartitionTimes are the virtual times the faulted run re-solved
+	// its partition, in order.
+	RepartitionTimes []float64
+	// DeadNodes lists the ranks lost to kill faults.
+	DeadNodes []int
+	// FaultEvents is the number of expanded fault events injected.
+	FaultEvents int
+}
+
+// Repartitions returns how many times the faulted run re-solved its
+// partition.
+func (r *Resilience) Repartitions() int { return len(r.RepartitionTimes) }
+
+// MakespanInflation is the fractional slowdown of the faulted run over
+// the fault-free baseline (0.25 = 25% slower). Zero when the baseline
+// is missing or non-positive.
+func (r *Resilience) MakespanInflation() float64 {
+	if r.BaselineSeconds <= 0 {
+		return 0
+	}
+	return r.FaultedSeconds/r.BaselineSeconds - 1
+}
+
+// OracleInflation is the fractional slowdown of the oracle run over the
+// fault-free baseline — the unavoidable cost of the faults themselves,
+// with detection latency removed. Zero when either reference is missing.
+func (r *Resilience) OracleInflation() float64 {
+	if r.BaselineSeconds <= 0 || r.OracleSeconds <= 0 {
+		return 0
+	}
+	return r.OracleSeconds/r.BaselineSeconds - 1
+}
+
+// RecoveryLag is the makespan the observed-telemetry detector left on
+// the table relative to the oracle, in seconds. Zero when no oracle run
+// was performed.
+func (r *Resilience) RecoveryLag() float64 {
+	if r.OracleSeconds <= 0 {
+		return 0
+	}
+	return r.FaultedSeconds - r.OracleSeconds
+}
+
+// WriteReport renders the resilience summary the -faults flag prints.
+func (r *Resilience) WriteReport(w io.Writer) error {
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p("resilience (%d fault events)\n", r.FaultEvents); err != nil {
+		return err
+	}
+	if err := p("  %-22s %12.6g s\n", "nominal makespan", r.BaselineSeconds); err != nil {
+		return err
+	}
+	if err := p("  %-22s %12.6g s  (+%.1f%%)\n", "faulted makespan",
+		r.FaultedSeconds, 100*r.MakespanInflation()); err != nil {
+		return err
+	}
+	if r.OracleSeconds > 0 {
+		if err := p("  %-22s %12.6g s  (+%.1f%%)\n", "oracle makespan",
+			r.OracleSeconds, 100*r.OracleInflation()); err != nil {
+			return err
+		}
+		if err := p("  %-22s %12.6g s\n", "recovery lag", r.RecoveryLag()); err != nil {
+			return err
+		}
+	}
+	if err := p("  %-22s %12d\n", "repartitions", r.Repartitions()); err != nil {
+		return err
+	}
+	for i, t := range r.RepartitionTimes {
+		if err := p("    repartition %-8d %12.6g s\n", i+1, t); err != nil {
+			return err
+		}
+	}
+	if len(r.DeadNodes) > 0 {
+		if err := p("  %-22s %v\n", "dead nodes", r.DeadNodes); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package analysis_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"codesign/internal/analysis"
+)
+
+func TestResilienceRatios(t *testing.T) {
+	r := &analysis.Resilience{
+		BaselineSeconds:  1000,
+		FaultedSeconds:   1300,
+		OracleSeconds:    1200,
+		RepartitionTimes: []float64{150, 410},
+		DeadNodes:        []int{3},
+		FaultEvents:      2,
+	}
+	if got := r.MakespanInflation(); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("MakespanInflation = %g, want 0.3", got)
+	}
+	if got := r.OracleInflation(); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("OracleInflation = %g, want 0.2", got)
+	}
+	if got := r.RecoveryLag(); math.Abs(got-100) > 1e-12 {
+		t.Errorf("RecoveryLag = %g, want 100", got)
+	}
+	if got := r.Repartitions(); got != 2 {
+		t.Errorf("Repartitions = %d, want 2", got)
+	}
+}
+
+func TestResilienceMissingReferences(t *testing.T) {
+	// No oracle run: lag and oracle inflation must read 0, not -1300.
+	r := &analysis.Resilience{BaselineSeconds: 1000, FaultedSeconds: 1300}
+	if got := r.RecoveryLag(); got != 0 {
+		t.Errorf("RecoveryLag without oracle = %g, want 0", got)
+	}
+	if got := r.OracleInflation(); got != 0 {
+		t.Errorf("OracleInflation without oracle = %g, want 0", got)
+	}
+	// Degenerate baseline must not divide by zero.
+	r = &analysis.Resilience{FaultedSeconds: 1300}
+	if got := r.MakespanInflation(); got != 0 {
+		t.Errorf("MakespanInflation without baseline = %g, want 0", got)
+	}
+}
+
+func TestResilienceReport(t *testing.T) {
+	r := &analysis.Resilience{
+		BaselineSeconds:  1000,
+		FaultedSeconds:   1300,
+		OracleSeconds:    1200,
+		RepartitionTimes: []float64{150},
+		DeadNodes:        []int{3},
+		FaultEvents:      2,
+	}
+	var buf bytes.Buffer
+	if err := r.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"2 fault events", "nominal makespan", "+30.0%",
+		"oracle makespan", "+20.0%", "recovery lag",
+		"repartitions", "dead nodes", "[3]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Without an oracle run the oracle lines disappear.
+	buf.Reset()
+	r.OracleSeconds = 0
+	if err := r.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "oracle") || strings.Contains(buf.String(), "recovery lag") {
+		t.Errorf("oracle lines printed without an oracle run:\n%s", buf.String())
+	}
+}

@@ -160,8 +160,8 @@ func RunCholesky(cfg CholConfig) (*CholResult, error) {
 	cr := &cholRun{cfg: cfg, sys: sys, lp: lp, nb: cfg.N / cfg.B, bf: bf, l: l, stripes: cfg.B / k}
 	// Per-job charges are the LU opMM charges; SYRK (diagonal) jobs
 	// halve the compute terms at run time.
-	lu := &luRun{cfg: LUConfig{Machine: cfg.Machine, N: cfg.N, B: cfg.B, Mode: cfg.Mode}, sys: sys, lp: lp, bf: bf, stripes: cr.stripes}
-	cr.charge = lu.chargeForBF(proc, bf)
+	lu := &luRun{cfg: LUConfig{Machine: cfg.Machine, N: cfg.N, B: cfg.B, Mode: cfg.Mode}, sys: sys, lp: lp, lpLive: lp, gemmRate: proc.Rate(cpu.DGEMM), bf: bf, stripes: cr.stripes}
+	cr.charge = lu.chargeForBF(bf)
 	_, _, _, tcomm := lp.StripeTimes(bf)
 	cr.sendTime = float64(cr.stripes) * tcomm
 

@@ -66,6 +66,13 @@ type Result struct {
 	// the model's Tp/Tf/Tmem/Tcomm terms. Nil unless the run's config
 	// enabled Telemetry.
 	Telemetry *trace.Summary
+	// Repartitions lists every mid-run re-solve of the partition
+	// equations a fault injector triggered, in order. Empty without
+	// fault injection.
+	Repartitions []Repartition
+	// DeadNodes lists the nodes lost to injected kill faults by the end
+	// of the run, in node order. Empty without fault injection.
+	DeadNodes []int
 }
 
 // Utilization returns mean busy fraction of the given per-node series.

@@ -6,6 +6,7 @@ import (
 
 	"codesign/internal/cpu"
 	"codesign/internal/dist"
+	"codesign/internal/fault"
 	"codesign/internal/fpga"
 	"codesign/internal/machine"
 	"codesign/internal/matrix"
@@ -43,6 +44,12 @@ type FWConfig struct {
 	// Seed and Density drive functional graph generation.
 	Seed    int64
 	Density float64
+	// Faults, when non-nil, enables fault injection and degraded mode:
+	// the pivot-column owner re-solves Equation (6) at iteration
+	// boundaries when sustained rate divergence is detected. Node-kill
+	// faults are rejected — the contiguous block-column distribution
+	// cannot shed an owner. Incompatible with Functional.
+	Faults *fault.Injector
 }
 
 // FWResult extends Result with the FW-specific configuration.
@@ -75,6 +82,10 @@ type fwRun struct {
 	bcast []*sim.Mailbox
 
 	d *matrix.Dense // functional distance matrix
+
+	// Degraded-mode state, used only under fault injection.
+	tracker      *faultTracker
+	repartitions []Repartition
 }
 
 func (fr *fwRun) blk(u, v int) *matrix.Dense {
@@ -114,6 +125,17 @@ func RunFW(cfg FWConfig) (*FWResult, error) {
 	if err := sys.InstallDesign(design); err != nil {
 		return nil, err
 	}
+	if cfg.Faults != nil {
+		if cfg.Functional {
+			return nil, fmt.Errorf("core: functional checking cannot run under fault injection")
+		}
+		if cfg.Faults.HasDeaths() {
+			return nil, fmt.Errorf("core: fw cannot survive node kills: the contiguous block-column distribution has no surviving owner for a dead node's columns")
+		}
+		if err := sys.InstallFaults(cfg.Faults); err != nil {
+			return nil, err
+		}
+	}
 	accel := sys.Nodes[0].Accel
 	proc := sys.Nodes[0].Proc
 
@@ -131,7 +153,13 @@ func RunFW(cfg FWConfig) (*FWResult, error) {
 	}
 
 	fr := &fwRun{cfg: cfg, sys: sys, fp: fp, nb: cfg.N / cfg.B}
-	fr.cols = dist.NewColumnBlocks(fr.nb, p)
+	if cfg.Faults != nil {
+		fr.tracker = newFaultTracker(cfg.Faults)
+	}
+	fr.cols, err = dist.CheckedColumnBlocks(fr.nb, p)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	fr.colsPer = fr.cols.PerNode()
 	fr.tp, fr.tf, fr.tmem, fr.tcomm = fp.BlockTimes()
 	fr.blockCycles = design.Cycles(cfg.B)
@@ -208,6 +236,9 @@ func RunFW(cfg FWConfig) (*FWResult, error) {
 		res.IterationSeconds = append(res.IterationSeconds, tEnd-prev)
 		prev = tEnd
 	}
+	if cfg.Faults != nil {
+		res.Repartitions = fr.repartitions
+	}
 	summarizeTelemetry(rec, end, &res.Result)
 	if cfg.Functional && ref != nil {
 		res.Checked = true
@@ -222,6 +253,13 @@ func RunFW(cfg FWConfig) (*FWResult, error) {
 func (fr *fwRun) runIteration(pr *sim.Proc, node *machine.Node, me, t int) {
 	tq := fr.owner(t)
 	nb := fr.nb
+
+	// Degraded mode: node 0 samples the divergence tracker once per
+	// iteration boundary and re-solves the Equation (6) split when the
+	// observed rates have drifted from the ones it was solved against.
+	if fr.tracker != nil && me == 0 {
+		fr.maybeRepartition(pr.Now(), t)
+	}
 
 	// rowSeq is the broadcast order of op22 row blocks (all rows but t).
 	rowAt := func(ph int) int { // for phases 1..nb-1
@@ -288,6 +326,33 @@ func (fr *fwRun) runIteration(pr *sim.Proc, node *machine.Node, me, t int) {
 		}
 		fr.runOps(pr, node, t, ph, ops, nFPGA)
 	}
+}
+
+// maybeRepartition re-solves the whole-task split against the observed
+// degradation when the tracker fires. A caller-pinned L1 (>= 0) and the
+// baselines stay pinned, but the detection is still recorded so the
+// resilience report shows recovery lag either way.
+func (fr *fwRun) maybeRepartition(now float64, t int) {
+	d, fire := fr.tracker.sample(now)
+	if !fire {
+		return
+	}
+	if fr.cfg.Mode == Hybrid && fr.cfg.L1 < 0 {
+		l1, l2 := fr.fp.Repartition(fr.cfg.N, d)
+		total := fr.colsPer
+		if l1 > total {
+			l1, l2 = total, 0
+		}
+		if l2 > total {
+			l1, l2 = 0, total
+		}
+		fr.l1, fr.l2 = l1, l2
+	}
+	fr.repartitions = append(fr.repartitions, Repartition{
+		Time: now, Iteration: t, Reason: "divergence",
+		Live: fr.sys.Cfg.Nodes, L1: fr.l1, L2: fr.l2,
+		Factors: d.Normalized(),
+	})
 }
 
 type fwOpKind int

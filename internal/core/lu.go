@@ -6,6 +6,7 @@ import (
 
 	"codesign/internal/cpu"
 	"codesign/internal/dist"
+	"codesign/internal/fault"
 	"codesign/internal/fpga"
 	"codesign/internal/machine"
 	"codesign/internal/matrix"
@@ -61,6 +62,13 @@ type LUConfig struct {
 	// paper reserves for dependency-heavy tasks, applied where it does
 	// not belong).
 	WholeTaskOpMM bool
+	// Faults, when non-nil, is installed into every charging path of the
+	// machine (see machine.System.InstallFaults) and enables degraded
+	// mode: at iteration boundaries the run re-solves Equations (4) and
+	// (5) when sustained rate divergence is detected and drops dead
+	// nodes from the schedule. Injectors are stateful — build a fresh
+	// one per run. Incompatible with Functional.
+	Faults *fault.Injector
 }
 
 // LUResult extends Result with the LU-specific configuration and the
@@ -89,6 +97,41 @@ type luIter struct {
 	pending int // opMS operations outstanding
 	done    *sim.Signal
 	bar     *sim.Barrier
+	// panel is the node running this iteration's panel operations.
+	panel int
+	// members are the nodes participating (sorted); nil means all of
+	// them (the static, fault-free schedule).
+	members []int
+}
+
+// isMember reports whether node me participates in the iteration.
+func (it *luIter) isMember(me int) bool {
+	if it.members == nil {
+		return true
+	}
+	for _, m := range it.members {
+		if m == me {
+			return true
+		}
+	}
+	return false
+}
+
+// count returns the participant count (p when members is nil).
+func (it *luIter) count(p int) int {
+	if it.members == nil {
+		return p
+	}
+	return len(it.members)
+}
+
+// first returns the lowest participating node (the iteration-latency
+// recorder).
+func (it *luIter) first() int {
+	if it.members == nil {
+		return 0
+	}
+	return it.members[0]
 }
 
 // luRun bundles everything the node processes need.
@@ -113,6 +156,24 @@ type luRun struct {
 	rec *trace.Recorder // telemetry recorder (nil when disabled)
 
 	a *matrix.Dense // functional matrix (nil when timing-only)
+
+	// cyc is the block distribution, cached off the forwardResult hot
+	// path.
+	cyc dist.Cyclic
+	// gemmRate is the processor's full-rate dgemm throughput, kept so
+	// charges can be rebuilt after a repartition.
+	gemmRate float64
+
+	// Degraded-mode state, used only when inj is non-nil.
+	inj    *fault.Injector
+	lpLive model.LUParams // lp with P tracking the live node count
+	live   []int          // currently live nodes, sorted
+	dyn    map[int]*luIter
+	// tracker decides when observed rates have diverged enough to
+	// re-solve the partition.
+	tracker      *faultTracker
+	repartitions []Repartition
+	failure      error
 }
 
 func (lr *luRun) blk(u, v int) *matrix.Dense {
@@ -120,13 +181,22 @@ func (lr *luRun) blk(u, v int) *matrix.Dense {
 	return lr.a.View(u*b, v*b, b, b)
 }
 
-// computeNodes lists the nodes that perform opMM in iteration t
-// (everyone but the panel node).
-func (lr *luRun) computeNodes(t int) []int {
-	p := lr.sys.Cfg.Nodes
-	out := make([]int, 0, p-1)
-	for i := 0; i < p; i++ {
-		if i != t%p {
+// computeNodes lists the nodes that perform opMM in iteration it
+// (every participant but the panel node).
+func (lr *luRun) computeNodes(it *luIter) []int {
+	if it.members == nil {
+		p := lr.sys.Cfg.Nodes
+		out := make([]int, 0, p-1)
+		for i := 0; i < p; i++ {
+			if i != it.panel {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	out := make([]int, 0, len(it.members)-1)
+	for _, i := range it.members {
+		if i != it.panel {
 			out = append(out, i)
 		}
 	}
@@ -167,6 +237,14 @@ func RunLU(cfg LUConfig) (*LUResult, error) {
 	if err := sys.InstallDesign(fpga.NewMatMul(k)); err != nil {
 		return nil, err
 	}
+	if cfg.Faults != nil {
+		if cfg.Functional {
+			return nil, fmt.Errorf("core: functional checking cannot run under fault injection")
+		}
+		if err := sys.InstallFaults(cfg.Faults); err != nil {
+			return nil, err
+		}
+	}
 	accel := sys.Nodes[0].Accel
 	proc := sys.Nodes[0].Proc
 
@@ -206,7 +284,22 @@ func RunLU(cfg LUConfig) (*LUResult, error) {
 	}
 
 	lr := &luRun{cfg: cfg, sys: sys, lp: lp, nb: cfg.N / cfg.B, bf: bf, bp: cfg.B - bf, l: l, stripes: cfg.B / k, rec: rec}
-	lr.chargeModel(proc)
+	lr.cyc, err = dist.CheckedCyclic(lr.nb, p)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	lr.gemmRate = proc.Rate(cpu.DGEMM)
+	lr.lpLive = lp
+	if cfg.Faults != nil {
+		lr.inj = cfg.Faults
+		lr.dyn = make(map[int]*luIter)
+		lr.tracker = newFaultTracker(cfg.Faults)
+		lr.live = make([]int, p)
+		for i := range lr.live {
+			lr.live[i] = i
+		}
+	}
+	lr.chargeModel()
 
 	// Functional state and reference.
 	var ref *matrix.Dense
@@ -219,21 +312,28 @@ func RunLU(cfg LUConfig) (*LUResult, error) {
 		}
 	}
 
-	// Coordination structures.
+	// Coordination structures. Under fault injection the per-iteration
+	// state is created lazily at each iteration boundary instead, so
+	// membership can shrink as nodes die (the construction itself
+	// schedules no engine events, so an injector with no faults stays
+	// byte-identical to this eager path).
 	for i := 0; i < p; i++ {
 		lr.boxes = append(lr.boxes, sim.NewMailbox(sys.Eng, fmt.Sprintf("lu.jobs%d", i)))
 	}
-	for t := 0; t < lr.nb; t++ {
-		rem := lr.nb - 1 - t
-		it := &luIter{
-			pending: rem * rem,
-			done:    sim.NewSignal(sys.Eng, fmt.Sprintf("lu.iter%d.done", t)),
-			bar:     sim.NewBarrier(sys.Eng, fmt.Sprintf("lu.iter%d.bar", t), p),
+	if lr.inj == nil {
+		for t := 0; t < lr.nb; t++ {
+			rem := lr.nb - 1 - t
+			it := &luIter{
+				pending: rem * rem,
+				done:    sim.NewSignal(sys.Eng, fmt.Sprintf("lu.iter%d.done", t)),
+				bar:     sim.NewBarrier(sys.Eng, fmt.Sprintf("lu.iter%d.bar", t), p),
+				panel:   t % p,
+			}
+			if it.pending == 0 {
+				it.done.Fire()
+			}
+			lr.iters = append(lr.iters, it)
 		}
-		if it.pending == 0 {
-			it.done.Fire()
-		}
-		lr.iters = append(lr.iters, it)
 	}
 
 	return lr.execute(ref)
@@ -253,32 +353,36 @@ type jobCharge struct {
 // One job is a whole b×b block multiplication; stripe-level pipelining
 // is aggregated (the stripe-granular view is simulated by RunOpMM for
 // Figure 5) with the first stripe's transfer exposed as FPGA start lag.
-func (lr *luRun) chargeModel(proc *cpu.Processor) {
+// It reads lpLive (nominal rates, live node count) and bf, so a
+// repartition rebuilds the charges by calling it again — always from
+// the NOMINAL parameters: the physical slowdown is applied once, by the
+// dilation hooks, at charge time.
+func (lr *luRun) chargeModel() {
 	switch lr.cfg.Mode {
 	case ProcessorOnly:
-		lr.charge = lr.chargeForBF(proc, 0)
+		lr.charge = lr.chargeForBF(0)
 	case FPGAOnly:
-		lr.charge = lr.chargeForBF(proc, lr.cfg.B)
+		lr.charge = lr.chargeForBF(lr.cfg.B)
 	default:
 		if lr.cfg.WholeTaskOpMM {
 			// Ablation: alternate whole jobs between the resources.
-			lr.charge = lr.chargeForBF(proc, lr.cfg.B)
-			alt := lr.chargeForBF(proc, 0)
+			lr.charge = lr.chargeForBF(lr.cfg.B)
+			alt := lr.chargeForBF(0)
 			lr.alt = &alt
 		} else {
-			lr.charge = lr.chargeForBF(proc, lr.bf)
+			lr.charge = lr.chargeForBF(lr.bf)
 		}
 	}
-	_, _, _, tcomm := lr.lp.StripeTimes(lr.bf)
+	_, _, _, tcomm := lr.lpLive.StripeTimes(lr.bf)
 	lr.sendTime = float64(lr.stripes) * tcomm // panel node, per job multicast
 }
 
 // chargeForBF builds the per-job charges for a given row split.
-func (lr *luRun) chargeForBF(proc *cpu.Processor, bf int) jobCharge {
+func (lr *luRun) chargeForBF(bf int) jobCharge {
 	b := float64(lr.cfg.B)
-	pm1 := float64(lr.sys.Cfg.Nodes - 1)
+	pm1 := float64(lr.lpLive.P - 1)
 	st := float64(lr.stripes)
-	_, tp, tmem, tcomm := lr.lp.StripeTimes(bf)
+	_, tp, tmem, tcomm := lr.lpLive.StripeTimes(bf)
 
 	var c jobCharge
 	c.cpuRecv = st * tcomm // message unpack
@@ -286,10 +390,10 @@ func (lr *luRun) chargeForBF(proc *cpu.Processor, bf int) jobCharge {
 	case bf == 0:
 		// All software: one square-ish dgemm at the full library rate;
 		// no DMA, no FPGA.
-		c.cpuGemm = 2 * b * b * b / (pm1 * proc.Rate(cpu.DGEMM))
+		c.cpuGemm = 2 * b * b * b / (pm1 * lr.gemmRate)
 	case bf == lr.cfg.B:
 		c.cpuDMA = st * tmem
-		c.fpgaCycles = b * b * b / (float64(lr.lp.K) * pm1)
+		c.fpgaCycles = b * b * b / (float64(lr.lpLive.K) * pm1)
 	default:
 		c.cpuDMA = st * tmem
 		c.cpuGemm = st * tp
@@ -319,6 +423,95 @@ func (lr *luRun) chargeFor(j *luJob) jobCharge {
 	return lr.charge
 }
 
+// iter returns iteration t's coordination state — pre-built on the
+// fault-free path, created lazily at the iteration boundary in degraded
+// mode (where membership may have shrunk). Returns nil once the run has
+// failed (too few live nodes).
+func (lr *luRun) iter(t int) *luIter {
+	if lr.inj == nil {
+		return lr.iters[t]
+	}
+	if it, ok := lr.dyn[t]; ok {
+		return it
+	}
+	if lr.failure != nil {
+		return nil
+	}
+	now := lr.sys.Eng.Now()
+	lr.maybeRepartition(now, t)
+	if lr.failure != nil {
+		return nil
+	}
+	members := lr.live
+	rem := lr.nb - 1 - t
+	it := &luIter{
+		pending: rem * rem,
+		done:    sim.NewSignal(lr.sys.Eng, fmt.Sprintf("lu.iter%d.done", t)),
+		bar:     sim.NewBarrier(lr.sys.Eng, fmt.Sprintf("lu.iter%d.bar", t), len(members)),
+		panel:   members[t%len(members)],
+		members: members,
+	}
+	if it.pending == 0 {
+		it.done.Fire()
+	}
+	lr.dyn[t] = it
+	return it
+}
+
+// maybeRepartition runs once per iteration boundary (first process to
+// arrive): it refreshes the live set, samples the divergence tracker,
+// and re-solves the partition when a node died or the observed rates
+// diverged from the ones the current partition was solved against.
+func (lr *luRun) maybeRepartition(now float64, t int) {
+	live := make([]int, 0, len(lr.live))
+	for _, i := range lr.live {
+		if lr.inj.Alive(i, now) {
+			live = append(live, i)
+		}
+	}
+	died := len(live) < len(lr.live)
+	if died {
+		if len(live) < 2 {
+			lr.failure = fmt.Errorf("core: lu iteration %d: %d node(s) alive at t=%gs, need >= 2 (panel + compute)",
+				t, len(live), now)
+			return
+		}
+		lr.live = live
+		lr.lpLive.P = len(live)
+	}
+	d, fire := lr.tracker.sample(now)
+	if !died && !fire {
+		return
+	}
+	if !fire {
+		// Death without a divergence trigger: re-solve against the
+		// factors the current partition already assumes.
+		d = lr.tracker.estimate()
+	}
+	lr.applyRepartition(now, t, d, died)
+}
+
+// applyRepartition re-solves Equations (4)/(5) against the degraded
+// live parameters and rebuilds the per-job charges from the nominal
+// ones. Partition knobs the caller pinned (BF/L >= 0) stay pinned.
+func (lr *luRun) applyRepartition(now float64, t int, d model.Degradation, died bool) {
+	if lr.cfg.Mode == Hybrid && !lr.cfg.WholeTaskOpMM && lr.cfg.BF < 0 {
+		lr.bf, lr.bp = lr.lpLive.Degraded(d).SolvePartition()
+	}
+	if lr.cfg.L < 0 {
+		lr.l = lr.lpLive.Degraded(d).SolveL(lr.bf)
+	}
+	lr.chargeModel()
+	reason := "divergence"
+	if died {
+		reason = "node-death"
+	}
+	lr.repartitions = append(lr.repartitions, Repartition{
+		Time: now, Iteration: t, Reason: reason, Live: len(lr.live),
+		BF: lr.bf, BP: lr.bp, L: lr.l, Factors: d.Normalized(),
+	})
+}
+
 // execute spawns the node programs, runs the simulation, and assembles
 // the results.
 func (lr *luRun) execute(ref *matrix.Dense) (*LUResult, error) {
@@ -331,15 +524,20 @@ func (lr *luRun) execute(ref *matrix.Dense) (*LUResult, error) {
 		me := i
 		sys.Eng.Go(fmt.Sprintf("node%d.cpu", me), func(pr *sim.Proc) {
 			for t := 0; t < lr.nb; t++ {
-				if me == t%p {
-					lr.runPanel(pr, node, t)
-				} else {
-					lr.runCompute(pr, node, me, t)
+				it := lr.iter(t)
+				if it == nil || !it.isMember(me) {
+					// Run failed, or this node died at the iteration
+					// boundary (fail-stop): leave the schedule.
+					return
 				}
-				it := lr.iters[t]
+				if me == it.panel {
+					lr.runPanel(pr, node, t, it)
+				} else {
+					lr.runCompute(pr, node, me, t, it)
+				}
 				it.done.Wait(pr)
 				it.bar.Arrive(pr)
-				if me == 0 {
+				if me == it.first() {
 					iterEnd[t] = pr.Now()
 				}
 			}
@@ -349,6 +547,9 @@ func (lr *luRun) execute(ref *matrix.Dense) (*LUResult, error) {
 	end, err := sys.Run()
 	if err != nil {
 		return nil, fmt.Errorf("core: lu simulation: %w", err)
+	}
+	if lr.failure != nil {
+		return nil, lr.failure
 	}
 
 	n := float64(lr.cfg.N)
@@ -371,6 +572,10 @@ func (lr *luRun) execute(ref *matrix.Dense) (*LUResult, error) {
 		res.IterationSeconds = append(res.IterationSeconds, t-prev)
 		prev = t
 	}
+	if lr.inj != nil {
+		res.Repartitions = lr.repartitions
+		res.DeadNodes = lr.inj.DeadBy(end)
+	}
 	summarizeTelemetry(lr.rec, end, &res.Result)
 	if lr.cfg.Functional && ref != nil {
 		res.Checked = true
@@ -382,10 +587,11 @@ func (lr *luRun) execute(ref *matrix.Dense) (*LUResult, error) {
 // runPanel is iteration t on the panel node: opLU, then the opL/opU
 // sequence, releasing opMM jobs to the compute nodes l at a time
 // (Equation 5's pipeline).
-func (lr *luRun) runPanel(pr *sim.Proc, node *machine.Node, t int) {
+func (lr *luRun) runPanel(pr *sim.Proc, node *machine.Node, t int, it *luIter) {
 	cfg := lr.cfg
 	b := cfg.B
 	nb := lr.nb
+	dsts := lr.computeNodes(it)
 	pr.SetPhase("panel")
 	defer pr.SetPhase("")
 
@@ -403,7 +609,7 @@ func (lr *luRun) runPanel(pr *sim.Proc, node *machine.Node, t int) {
 		for limit != 0 && len(ready) > 0 {
 			j := ready[0]
 			ready = ready[1:]
-			if s := lr.sendJob(pr, node, t, j); s != nil {
+			if s := lr.sendJob(pr, node, t, j, dsts); s != nil {
 				inFlight = append(inFlight, s)
 			}
 			if limit > 0 {
@@ -439,7 +645,7 @@ func (lr *luRun) runPanel(pr *sim.Proc, node *machine.Node, t int) {
 	for _, s := range inFlight {
 		s.Wait(pr)
 	}
-	for _, dst := range lr.computeNodes(t) {
+	for _, dst := range dsts {
 		lr.boxes[dst].Put(luSentinel{t: t})
 	}
 }
@@ -458,9 +664,8 @@ func (lr *luRun) newJob(t, u, v int) *luJob {
 // serialization the paper blames for its 86% prediction ratio) and a
 // completion signal is returned so the caller can drain before sending
 // the iteration sentinel.
-func (lr *luRun) sendJob(pr *sim.Proc, node *machine.Node, t int, j *luJob) *sim.Signal {
+func (lr *luRun) sendJob(pr *sim.Proc, node *machine.Node, t int, j *luJob, dsts []int) *sim.Signal {
 	bytes := 2 * lr.cfg.B * lr.cfg.B * machine.WordBytes
-	dsts := lr.computeNodes(t)
 	deliver := func() {
 		for _, dst := range dsts {
 			lr.boxes[dst].Put(j)
@@ -488,15 +693,15 @@ func (lr *luRun) sendJob(pr *sim.Proc, node *machine.Node, t int, j *luJob) *sim
 // runCompute is iteration t on a compute node: process the job stream —
 // FPGA share launched first, CPU share meanwhile — then scatter the
 // result slice to the opMS owner.
-func (lr *luRun) runCompute(pr *sim.Proc, node *machine.Node, me, t int) {
-	cn := lr.computeNodes(t)
+func (lr *luRun) runCompute(pr *sim.Proc, node *machine.Node, me, t int, it *luIter) {
+	cn := lr.computeNodes(it)
 	ci := 0
 	for idx, n := range cn {
 		if n == me {
 			ci = idx
 		}
 	}
-	w := lr.cfg.B / (lr.sys.Cfg.Nodes - 1) // result columns per node
+	w := lr.cfg.B / len(cn) // result columns per node
 	pr.SetPhase("opmm")
 	defer pr.SetPhase("")
 	for {
@@ -543,28 +748,32 @@ func (lr *luRun) runCompute(pr *sim.Proc, node *machine.Node, me, t int) {
 		if done != nil {
 			node.Accel.AwaitDone(pr, done)
 		}
-		lr.forwardResult(pr, me, t, j)
+		lr.forwardResult(pr, me, t, j, it)
 	}
 }
 
 // forwardResult sends this node's slice of the job result to the opMS
 // owner (t” = max{u,v} in the paper's data distribution) and, once all
-// slices arrive, schedules the subtraction on the owner's processor.
-func (lr *luRun) forwardResult(pr *sim.Proc, me, t int, j *luJob) {
+// slices arrive, schedules the subtraction on the owner's processor. A
+// dead owner's update is remapped onto a surviving node.
+func (lr *luRun) forwardResult(pr *sim.Proc, me, t int, j *luJob, it *luIter) {
 	p := lr.sys.Cfg.Nodes
-	owner := dist.NewCyclic(lr.nb, p).UpdateOwner(j.u, j.v)
-	sliceBytes := lr.cfg.B * lr.cfg.B / (p - 1) * machine.WordBytes
+	owner := lr.cyc.UpdateOwner(j.u, j.v)
+	if it.members != nil && !it.isMember(owner) {
+		owner = it.members[owner%len(it.members)]
+	}
+	nc := it.count(p) - 1 // compute nodes contributing a slice
+	sliceBytes := lr.cfg.B * lr.cfg.B / nc * machine.WordBytes
 	prevPhase := pr.Phase()
 	pr.SetPhase("scatter")
 	lr.sys.Fab.Transfer(pr, me, owner, sliceBytes)
 	pr.SetPhase(prevPhase)
 	j.arrived++
-	if j.arrived < p-1 {
+	if j.arrived < nc {
 		return
 	}
 	// Last slice in: run opMS on the owner's processor.
 	ownerNode := lr.sys.Nodes[owner]
-	it := lr.iters[t]
 	b := lr.cfg.B
 	lr.sys.Eng.Go(sim.Name("lu.opms", t, j.u, j.v), func(mp *sim.Proc) {
 		mp.SetPhase("opms")

@@ -125,8 +125,8 @@ func RunQR(cfg QRConfig) (*QRResult, error) {
 	// trailing-column job is collective like opMM: each of the p-1
 	// compute nodes applies the panel to its b/(p-1) column slice,
 	// 4·rows·b²/(p-1) flops — the LU charge scaled by 2·rows/b.
-	lu := &luRun{cfg: LUConfig{Machine: cfg.Machine, N: cfg.N, B: b, Mode: cfg.Mode}, sys: sys, lp: lp, bf: bf, stripes: b / k}
-	baseCharge := lu.chargeForBF(proc, bf)
+	lu := &luRun{cfg: LUConfig{Machine: cfg.Machine, N: cfg.N, B: b, Mode: cfg.Mode}, sys: sys, lp: lp, lpLive: lp, gemmRate: proc.Rate(cpu.DGEMM), bf: bf, stripes: b / k}
+	baseCharge := lu.chargeForBF(bf)
 	chargeFor := func(rows int) jobCharge {
 		s := 2 * float64(rows) / float64(b)
 		c := baseCharge

@@ -12,11 +12,23 @@ type Cyclic struct {
 }
 
 // NewCyclic builds the distribution for an nb×nb grid over p nodes.
+// It panics on bad geometry — use CheckedCyclic when nb and p derive
+// from user input.
 func NewCyclic(nb, p int) Cyclic {
-	if nb < 1 || p < 1 {
-		panic(fmt.Sprintf("dist: bad cyclic geometry nb=%d p=%d", nb, p))
+	c, err := CheckedCyclic(nb, p)
+	if err != nil {
+		panic(err.Error())
 	}
-	return Cyclic{NB: nb, P: p}
+	return c
+}
+
+// CheckedCyclic is NewCyclic returning an error instead of panicking,
+// for geometry derived from user-supplied configuration.
+func CheckedCyclic(nb, p int) (Cyclic, error) {
+	if nb < 1 || p < 1 {
+		return Cyclic{}, fmt.Errorf("dist: bad cyclic geometry nb=%d p=%d", nb, p)
+	}
+	return Cyclic{NB: nb, P: p}, nil
 }
 
 // Owner returns the node storing block (u, v).
@@ -95,12 +107,24 @@ type ColumnBlocks struct {
 	NB, P int
 }
 
-// NewColumnBlocks builds the distribution; p must divide nb.
+// NewColumnBlocks builds the distribution; p must divide nb. It panics
+// on bad geometry — use CheckedColumnBlocks when nb and p derive from
+// user input.
 func NewColumnBlocks(nb, p int) ColumnBlocks {
-	if nb < 1 || p < 1 || nb%p != 0 {
-		panic(fmt.Sprintf("dist: bad column geometry nb=%d p=%d", nb, p))
+	d, err := CheckedColumnBlocks(nb, p)
+	if err != nil {
+		panic(err.Error())
 	}
-	return ColumnBlocks{NB: nb, P: p}
+	return d
+}
+
+// CheckedColumnBlocks is NewColumnBlocks returning an error instead of
+// panicking, for geometry derived from user-supplied configuration.
+func CheckedColumnBlocks(nb, p int) (ColumnBlocks, error) {
+	if nb < 1 || p < 1 || nb%p != 0 {
+		return ColumnBlocks{}, fmt.Errorf("dist: bad column geometry nb=%d p=%d", nb, p)
+	}
+	return ColumnBlocks{NB: nb, P: p}, nil
 }
 
 // PerNode returns the block columns per node.

@@ -172,3 +172,20 @@ func TestColumnBlocksOutOfRange(t *testing.T) {
 		}()
 	}
 }
+
+func TestCheckedConstructors(t *testing.T) {
+	if _, err := CheckedCyclic(0, 4); err == nil {
+		t.Error("CheckedCyclic accepted nb=0")
+	}
+	if _, err := CheckedColumnBlocks(10, 4); err == nil {
+		t.Error("CheckedColumnBlocks accepted indivisible geometry")
+	}
+	c, err := CheckedCyclic(10, 4)
+	if err != nil || c != NewCyclic(10, 4) {
+		t.Errorf("CheckedCyclic(10,4) = %+v, %v", c, err)
+	}
+	d, err := CheckedColumnBlocks(8, 4)
+	if err != nil || d != NewColumnBlocks(8, 4) {
+		t.Errorf("CheckedColumnBlocks(8,4) = %+v, %v", d, err)
+	}
+}

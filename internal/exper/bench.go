@@ -5,6 +5,7 @@ import (
 
 	"codesign/internal/analysis"
 	"codesign/internal/core"
+	"codesign/internal/fault"
 	"codesign/internal/trace"
 )
 
@@ -16,14 +17,34 @@ import (
 // re-runs it under -check; because the simulator is deterministic, the
 // same build must reproduce every metric bit-exactly, so any diff is a
 // behavior change in the code, not noise.
-func Headline() (*analysis.Baseline, error) {
+func Headline() (*analysis.Baseline, error) { return headline(false) }
+
+// HeadlineWithIdleFaultLayer is Headline with a no-fault injector
+// installed into every LU and FW run. The fault layer's contract is
+// zero cost when idle: this suite must be byte-identical to Headline's,
+// which the repository-level baseline gate pins at zero tolerance.
+func HeadlineWithIdleFaultLayer() (*analysis.Baseline, error) { return headline(true) }
+
+func headline(idleFaults bool) (*analysis.Baseline, error) {
 	b := analysis.NewBaseline()
+	// Injectors are stateful (they accumulate observation telemetry),
+	// so every run gets a fresh one.
+	newInj := func() (*fault.Injector, error) {
+		if !idleFaults {
+			return nil, nil
+		}
+		return fault.New(&fault.Spec{}, 6)
+	}
 
 	// LU at the paper's size, all three designs. The hybrid run also
 	// contributes its solved partition, telemetry and critical path.
 	rec := trace.NewRecorder()
+	inj, err := newInj()
+	if err != nil {
+		return nil, err
+	}
 	lu, err := core.RunLU(core.LUConfig{N: 30000, B: 3000, BF: -1, L: -1,
-		Mode: core.Hybrid, Telemetry: true, Observer: rec})
+		Mode: core.Hybrid, Telemetry: true, Observer: rec, Faults: inj})
 	if err != nil {
 		return nil, err
 	}
@@ -39,7 +60,11 @@ func Headline() (*analysis.Baseline, error) {
 	b.Set("lu.hybrid.critical_path_s", analysis.PathTotal(luPath))
 
 	for _, m := range []core.Mode{core.ProcessorOnly, core.FPGAOnly} {
-		r, err := core.RunLU(core.LUConfig{N: 30000, B: 3000, BF: -1, L: -1, Mode: m})
+		inj, err := newInj()
+		if err != nil {
+			return nil, err
+		}
+		r, err := core.RunLU(core.LUConfig{N: 30000, B: 3000, BF: -1, L: -1, Mode: m, Faults: inj})
 		if err != nil {
 			return nil, err
 		}
@@ -49,8 +74,11 @@ func Headline() (*analysis.Baseline, error) {
 
 	// FW at the Section 6.2 throughput-equivalent size, all designs.
 	rec = trace.NewRecorder()
+	if inj, err = newInj(); err != nil {
+		return nil, err
+	}
 	fw, err := core.RunFW(core.FWConfig{N: 18432, B: 256, L1: -1,
-		Mode: core.Hybrid, Telemetry: true, Observer: rec})
+		Mode: core.Hybrid, Telemetry: true, Observer: rec, Faults: inj})
 	if err != nil {
 		return nil, err
 	}
@@ -65,7 +93,11 @@ func Headline() (*analysis.Baseline, error) {
 	b.Set("fw.hybrid.critical_path_s", analysis.PathTotal(fwPath))
 
 	for _, m := range []core.Mode{core.ProcessorOnly, core.FPGAOnly} {
-		r, err := core.RunFW(core.FWConfig{N: 18432, B: 256, L1: -1, Mode: m})
+		inj, err := newInj()
+		if err != nil {
+			return nil, err
+		}
+		r, err := core.RunFW(core.FWConfig{N: 18432, B: 256, L1: -1, Mode: m, Faults: inj})
 		if err != nil {
 			return nil, err
 		}
@@ -74,12 +106,18 @@ func Headline() (*analysis.Baseline, error) {
 	}
 
 	// Figure anchors: the optima the paper calls out.
-	lu3, err := core.RunLU(core.LUConfig{N: 30000, B: 3000, BF: 1280, L: 3, Mode: core.Hybrid})
+	if inj, err = newInj(); err != nil {
+		return nil, err
+	}
+	lu3, err := core.RunLU(core.LUConfig{N: 30000, B: 3000, BF: 1280, L: 3, Mode: core.Hybrid, Faults: inj})
 	if err != nil {
 		return nil, err
 	}
 	b.Set("lu.bf1280_l3.iter0_s", lu3.IterationSeconds[0])
-	fw2, err := core.RunFW(core.FWConfig{N: 18432, B: 256, L1: 2, Mode: core.Hybrid})
+	if inj, err = newInj(); err != nil {
+		return nil, err
+	}
+	fw2, err := core.RunFW(core.FWConfig{N: 18432, B: 256, L1: 2, Mode: core.Hybrid, Faults: inj})
 	if err != nil {
 		return nil, err
 	}

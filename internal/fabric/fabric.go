@@ -21,7 +21,9 @@ type Config struct {
 	Latency float64
 }
 
-func (c Config) validate() error {
+// Validate checks the interconnect parameters are physical, returning
+// an error naming the offending field.
+func (c Config) Validate() error {
 	if c.Nodes < 1 {
 		return fmt.Errorf("fabric: need at least one node, got %d", c.Nodes)
 	}
@@ -43,6 +45,9 @@ type Fabric struct {
 	eng     *sim.Engine
 	egress  []*sim.Resource
 	ingress []*sim.Resource
+	// dilate, when non-nil for a source node, maps a nominal wire time
+	// starting now to its fault-degraded duration (a Bn throttle).
+	dilate []func(start, dt float64) float64
 
 	// statistics
 	messages int64
@@ -51,7 +56,7 @@ type Fabric struct {
 
 // New builds the interconnect in engine e.
 func New(e *sim.Engine, cfg Config) (*Fabric, error) {
-	if err := cfg.validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	f := &Fabric{cfg: cfg, eng: e}
@@ -76,6 +81,30 @@ func (f *Fabric) Nodes() int { return f.cfg.Nodes }
 // size: latency + bytes/bandwidth.
 func (f *Fabric) TransferTime(bytes int) float64 {
 	return f.cfg.Latency + float64(bytes)/f.cfg.LinkBandwidth
+}
+
+// SetDilation installs a fault-injection hook on node's outbound wire
+// time (a Bn throttle): every transfer or multicast sourced at node has
+// its nominal wire time mapped through fn. Nil removes the hook; the
+// hot path is untouched when no node has one installed.
+func (f *Fabric) SetDilation(node int, fn func(start, dt float64) float64) {
+	f.checkNode(node)
+	if f.dilate == nil {
+		f.dilate = make([]func(start, dt float64) float64, f.cfg.Nodes)
+	}
+	f.dilate[node] = fn
+}
+
+// wireTime returns the (possibly fault-dilated) wire time for a message
+// sourced at src.
+func (f *Fabric) wireTime(src, bytes int) float64 {
+	dt := f.TransferTime(bytes)
+	if f.dilate != nil {
+		if fn := f.dilate[src]; fn != nil {
+			return fn(f.eng.Now(), dt)
+		}
+	}
+	return dt
 }
 
 // Transfer moves bytes from src to dst, blocking the calling process for
@@ -110,7 +139,7 @@ func (f *Fabric) Transfer(p *sim.Proc, src, dst, bytes int) {
 	// span, so network byte totals never double count.
 	f.egress[src].Acquire(p)
 	f.ingress[dst].Acquire(p)
-	p.WaitSpanOn(sim.CatNetwork, sim.DeviceLink, f.egress[src].Name(), int64(bytes), f.TransferTime(bytes))
+	p.WaitSpanOn(sim.CatNetwork, sim.DeviceLink, f.egress[src].Name(), int64(bytes), f.wireTime(src, bytes))
 	f.ingress[dst].Release()
 	f.egress[src].Release()
 }
@@ -134,7 +163,7 @@ func (f *Fabric) Multicast(p *sim.Proc, src int, dsts []int, bytes int) {
 	f.egress[src].Acquire(p)
 	// The span carries the replicated payload (bytes per receiver) so
 	// telemetry byte totals match Bytes().
-	p.WaitSpanOn(sim.CatNetwork, sim.DeviceLink, f.egress[src].Name(), int64(bytes)*int64(len(dsts)), f.TransferTime(bytes))
+	p.WaitSpanOn(sim.CatNetwork, sim.DeviceLink, f.egress[src].Name(), int64(bytes)*int64(len(dsts)), f.wireTime(src, bytes))
 	f.egress[src].Release()
 }
 

@@ -1,0 +1,32 @@
+// Package fault is a deterministic, seed-driven fault-injection layer
+// for the simulator: scheduled or probabilistic events that throttle a
+// node's FPGA-DRAM bandwidth (Bd) or network bandwidth (Bn), stall an
+// FPGA for a reconfiguration window, slow a CPU (straggler), or kill a
+// node outright.
+//
+// The injector does not schedule engine events of its own. Instead it
+// is installed as time-dilation hooks on the charging paths of
+// internal/machine, internal/mem and internal/fabric (see
+// machine.System.InstallFaults): every charge the simulation would make
+// at its nominal duration is passed through Injector.Dilate, which
+// integrates the configured piecewise-constant rate factors over the
+// charge interval. A charge that overlaps no fault window is returned
+// bit-identically, so a run with an empty (or nil) spec produces
+// byte-identical simulation output and spans to a run without the
+// fault layer — the property the BENCH_baseline.json gate relies on.
+// Faults therefore surface as ordinary simulation events: the same
+// Device-tagged spans the healthy run emits, stretched by the fault.
+//
+// The injector also keeps per-node, per-class accumulators of nominal
+// versus dilated seconds. TakeObserved condenses them into effective
+// rate factors — the telemetry signal internal/core's repartitioning
+// trigger compares against the factors behind its current Eq. 4/5/6
+// solution. ActiveFactors exposes the configured (ground-truth) factors
+// instead, for the oracle runs that know the fault in advance.
+//
+// Probabilistic events are expanded from the spec's seed at
+// construction time with math/rand's deterministic generator, so the
+// same seed and spec always produce the same event list: same seed +
+// same spec => byte-identical simulation across runs and sweep worker
+// counts.
+package fault

@@ -1,0 +1,362 @@
+package fault
+
+import (
+	"math"
+	"sort"
+)
+
+// Class identifies the machine subsystem a fault degrades.
+type Class int
+
+// The dilation classes, one per paper parameter family.
+const (
+	// ClassCPU covers processor charges (Op·Fp degradation).
+	ClassCPU Class = iota
+	// ClassFPGA covers FPGA array compute (Of·Ff degradation).
+	ClassFPGA
+	// ClassDRAM covers FPGA-DRAM streaming (Bd degradation).
+	ClassDRAM
+	// ClassNet covers outbound wire time (Bn degradation).
+	ClassNet
+
+	numClasses
+)
+
+// String names the class after the model parameter it degrades.
+func (c Class) String() string {
+	switch c {
+	case ClassCPU:
+		return "cpu"
+	case ClassFPGA:
+		return "fpga"
+	case ClassDRAM:
+		return "bd"
+	case ClassNet:
+		return "bn"
+	}
+	return "class?"
+}
+
+// Factors are effective rate multipliers per class, 1 = nominal. A zero
+// field from TakeObserved means "no observation" for that class.
+type Factors struct {
+	// CPU scales the processor's sustained rates.
+	CPU float64
+	// FPGA scales the design clock Ff.
+	FPGA float64
+	// DRAM scales the streaming bandwidth Bd.
+	DRAM float64
+	// Net scales the network bandwidth Bn.
+	Net float64
+}
+
+// Nominal returns all-ones Factors.
+func Nominal() Factors { return Factors{CPU: 1, FPGA: 1, DRAM: 1, Net: 1} }
+
+// get returns the factor for one class.
+func (f Factors) get(c Class) float64 {
+	switch c {
+	case ClassCPU:
+		return f.CPU
+	case ClassFPGA:
+		return f.FPGA
+	case ClassDRAM:
+		return f.DRAM
+	}
+	return f.Net
+}
+
+// set stores the factor for one class.
+func (f *Factors) set(c Class, v float64) {
+	switch c {
+	case ClassCPU:
+		f.CPU = v
+	case ClassFPGA:
+		f.FPGA = v
+	case ClassDRAM:
+		f.DRAM = v
+	default:
+		f.Net = v
+	}
+}
+
+// segment is one disjoint window of degraded rate: during [start, end)
+// the subsystem delivers factor of its nominal throughput (factor 0 =
+// fully stalled).
+type segment struct {
+	start, end float64
+	factor     float64
+}
+
+// accum tracks nominal vs. dilated seconds charged to one (node, class)
+// since the last TakeObserved.
+type accum struct {
+	nominal, actual float64
+}
+
+// Injector holds the expanded fault schedule and the observation state
+// of one run. An Injector is stateful (it accumulates telemetry) and
+// must not be shared between runs — build one per simulation.
+type Injector struct {
+	nodes  int
+	events []Event
+	segs   [][]segment // indexed [node*numClasses + class]
+	dead   []float64   // per node: earliest kill time, +Inf if none
+	acc    []accum     // indexed like segs
+	// last carries each (node, class)'s most recent observed ratio
+	// across windows with no new charges (a throttled node that is the
+	// panel node for an iteration performs no DMA — its silence must
+	// not read as recovery). 0 = never observed.
+	last      []float64
+	threshold float64
+	window    float64
+	oracle    bool
+	hasDeaths bool
+}
+
+// New validates spec against the node count, expands its probabilistic
+// entries from the seed, and returns a ready-to-install injector. A nil
+// spec yields a valid injector with no faults.
+func New(spec *Spec, nodes int) (*Injector, error) {
+	if spec == nil {
+		spec = &Spec{}
+	}
+	events, err := spec.expand(nodes)
+	if err != nil {
+		return nil, err
+	}
+	in := &Injector{
+		nodes:     nodes,
+		events:    events,
+		segs:      make([][]segment, nodes*int(numClasses)),
+		dead:      make([]float64, nodes),
+		acc:       make([]accum, nodes*int(numClasses)),
+		last:      make([]float64, nodes*int(numClasses)),
+		threshold: spec.Threshold,
+		window:    spec.Window,
+		oracle:    spec.Oracle,
+	}
+	if in.threshold == 0 {
+		in.threshold = DefaultThreshold
+	}
+	if in.window == 0 {
+		in.window = DefaultWindow
+	}
+	if in.oracle {
+		// The oracle reacts to the configured ground truth immediately.
+		in.threshold = 1e-9
+		in.window = 0
+	}
+	for i := range in.dead {
+		in.dead[i] = math.Inf(1)
+	}
+	// Group raw windows per (node, class), then flatten overlaps into
+	// disjoint segments whose factors multiply.
+	windows := make([][]segment, len(in.segs))
+	for _, e := range events {
+		if e.Kind == NodeKill {
+			if e.Start < in.dead[e.Node] {
+				in.dead[e.Node] = e.Start
+			}
+			in.hasDeaths = true
+			continue
+		}
+		c, ok := e.Kind.class()
+		if !ok {
+			continue
+		}
+		end := math.Inf(1)
+		if e.Duration > 0 {
+			end = e.Start + e.Duration
+		}
+		factor := e.Factor
+		if e.Kind == FPGAStall {
+			factor = 0
+		}
+		k := e.Node*int(numClasses) + int(c)
+		windows[k] = append(windows[k], segment{start: e.Start, end: end, factor: factor})
+	}
+	for k, ws := range windows {
+		in.segs[k] = flatten(ws)
+	}
+	return in, nil
+}
+
+// flatten turns possibly-overlapping windows into sorted disjoint
+// segments; where windows overlap their factors multiply (two
+// half-speed throttles make a quarter-speed one). Identity stretches
+// are dropped so the no-overlap fast path stays trivial.
+func flatten(ws []segment) []segment {
+	if len(ws) == 0 {
+		return nil
+	}
+	bounds := make([]float64, 0, 2*len(ws))
+	for _, w := range ws {
+		bounds = append(bounds, w.start, w.end)
+	}
+	sort.Float64s(bounds)
+	out := make([]segment, 0, len(bounds))
+	for i := 0; i+1 < len(bounds); i++ {
+		lo, hi := bounds[i], bounds[i+1]
+		if hi <= lo {
+			continue
+		}
+		f := 1.0
+		for _, w := range ws {
+			if w.start <= lo && hi <= w.end {
+				f *= w.factor
+			}
+		}
+		if f == 1 {
+			continue
+		}
+		if n := len(out); n > 0 && out[n-1].end == lo && out[n-1].factor == f {
+			out[n-1].end = hi // merge adjacent equal-factor stretches
+			continue
+		}
+		out = append(out, segment{start: lo, end: hi, factor: f})
+	}
+	return out
+}
+
+// Nodes returns the node count the injector was built for.
+func (in *Injector) Nodes() int { return in.nodes }
+
+// Events returns the expanded, sorted event list (scheduled plus
+// seed-drawn probabilistic events).
+func (in *Injector) Events() []Event { return in.events }
+
+// Oracle reports whether detection uses the configured ground truth.
+func (in *Injector) Oracle() bool { return in.oracle }
+
+// Threshold returns the effective divergence-detection threshold.
+func (in *Injector) Threshold() float64 { return in.threshold }
+
+// Window returns the effective sustained-divergence window in seconds.
+func (in *Injector) Window() float64 { return in.window }
+
+// HasDeaths reports whether any node-kill event is scheduled.
+func (in *Injector) HasDeaths() bool { return in.hasDeaths }
+
+// Alive reports whether the node is still up at virtual time now.
+func (in *Injector) Alive(node int, now float64) bool {
+	if node < 0 || node >= in.nodes {
+		return false
+	}
+	return now < in.dead[node]
+}
+
+// DeadBy lists the nodes whose kill time is at or before now, in node
+// order.
+func (in *Injector) DeadBy(now float64) []int {
+	var out []int
+	for i, d := range in.dead {
+		if d <= now {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Dilate maps a nominal charge of dt seconds beginning at start on the
+// given node and class to its degraded duration, integrating the
+// configured rate factors over the interval. A charge overlapping no
+// fault window is returned bit-identically. The nominal and dilated
+// durations are accumulated for TakeObserved.
+func (in *Injector) Dilate(c Class, node int, start, dt float64) float64 {
+	if node < 0 || node >= in.nodes || dt <= 0 {
+		return dt
+	}
+	k := node*int(numClasses) + int(c)
+	out := dilate(in.segs[k], start, dt)
+	in.acc[k].nominal += dt
+	in.acc[k].actual += out
+	return out
+}
+
+// dilate integrates work through the disjoint degraded segments: the
+// charge carries dt seconds of nominal-rate work, and each segment
+// delivers factor seconds of work per wall second (0 = stalled).
+func dilate(segs []segment, start, dt float64) float64 {
+	if len(segs) == 0 {
+		return dt
+	}
+	i := sort.Search(len(segs), func(i int) bool { return segs[i].end > start })
+	if i == len(segs) || segs[i].start >= start+dt {
+		return dt // no overlap: bit-identical nominal duration
+	}
+	remaining := dt
+	t := start
+	for ; i < len(segs); i++ {
+		s := segs[i]
+		if s.start > t {
+			gap := s.start - t
+			if gap >= remaining {
+				t += remaining
+				remaining = 0
+				break
+			}
+			t = s.start
+			remaining -= gap
+		}
+		if s.factor <= 0 {
+			t = s.end // no progress during a stall window
+			continue
+		}
+		capacity := (s.end - t) * s.factor
+		if capacity >= remaining {
+			t += remaining / s.factor
+			remaining = 0
+			break
+		}
+		remaining -= capacity
+		t = s.end
+	}
+	return t + remaining - start
+}
+
+// ActiveFactors returns, per class, the lowest configured rate factor
+// across all nodes at the instant now — the ground truth the oracle
+// repartitions against.
+func (in *Injector) ActiveFactors(now float64) Factors {
+	f := Nominal()
+	for node := 0; node < in.nodes; node++ {
+		for c := Class(0); c < numClasses; c++ {
+			segs := in.segs[node*int(numClasses)+int(c)]
+			i := sort.Search(len(segs), func(i int) bool { return segs[i].end > now })
+			if i < len(segs) && segs[i].start <= now && segs[i].factor < f.get(c) {
+				f.set(c, segs[i].factor)
+			}
+		}
+	}
+	return f
+}
+
+// TakeObserved condenses the accumulated telemetry into effective rate
+// factors — per class, the lowest nominal/dilated ratio across nodes —
+// and resets the accumulators. A (node, class) that charged nothing
+// since the last call keeps its previous ratio: a throttled node can
+// fall silent for a whole window (the panel node does no DMA) and that
+// silence must not read as recovery. A class no node has ever charged
+// reports 0 (callers should keep their previous estimate).
+func (in *Injector) TakeObserved() Factors {
+	var f Factors
+	for node := 0; node < in.nodes; node++ {
+		for c := Class(0); c < numClasses; c++ {
+			k := node*int(numClasses) + int(c)
+			a := in.acc[k]
+			in.acc[k] = accum{}
+			if a.actual > 0 && a.nominal > 0 {
+				in.last[k] = a.nominal / a.actual
+			}
+			r := in.last[k]
+			if r == 0 {
+				continue
+			}
+			if cur := f.get(c); cur == 0 || r < cur {
+				f.set(c, r)
+			}
+		}
+	}
+	return f
+}

@@ -1,0 +1,154 @@
+package machine
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"codesign/internal/cpu"
+	"codesign/internal/fabric"
+	"codesign/internal/fpga"
+)
+
+// fileConfig is the JSON schema for user-supplied machine files: flat
+// scalar fields plus processor and device names resolved against the
+// built-in component tables. Bandwidths are bytes/s, latency seconds.
+type fileConfig struct {
+	Name              string  `json:"name"`
+	Nodes             int     `json:"nodes"`
+	Processor         string  `json:"processor"`
+	Device            string  `json:"device"`
+	FPGADRAMBandwidth float64 `json:"fpga_dram_bandwidth"`
+	SRAMBanks         int     `json:"sram_banks"`
+	SRAMBankBytes     int64   `json:"sram_bank_bytes"`
+	SRAMBandwidth     float64 `json:"sram_bandwidth"`
+	LinkBandwidth     float64 `json:"link_bandwidth"`
+	LinksPerNode      int     `json:"links_per_node"`
+	LatencySeconds    float64 `json:"latency_seconds"`
+}
+
+// processors maps JSON processor names to their builders.
+var processors = map[string]func() *cpu.Processor{
+	"opteron22": cpu.Opteron22,
+}
+
+// devices maps JSON device names to the FPGA part table.
+var devices = map[string]func() fpga.Device{
+	"xc2vp50":   fpga.XC2VP50,
+	"xc4vlx160": fpga.XC4VLX160,
+	"xc4vlx200": fpga.XC4VLX200,
+}
+
+// names returns a map's keys, sorted lexically, for error messages.
+func names[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParseJSON builds a Config from a machine JSON document. Unknown
+// fields are rejected (catching typos), and every parameter a run would
+// otherwise only trip over deep inside mem or fabric is validated here
+// with an error naming the offending JSON field.
+func ParseJSON(data []byte) (Config, error) {
+	var fc fileConfig
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&fc); err != nil {
+		return Config{}, fmt.Errorf("machine: %w", err)
+	}
+	// Each check names the JSON field so a bad file is fixable without
+	// reading this source.
+	checks := []struct {
+		bad   bool
+		field string
+		got   any
+	}{
+		{fc.Nodes < 1, "nodes", fc.Nodes},
+		{fc.FPGADRAMBandwidth <= 0, "fpga_dram_bandwidth", fc.FPGADRAMBandwidth},
+		{fc.SRAMBanks < 1, "sram_banks", fc.SRAMBanks},
+		{fc.SRAMBankBytes < 1, "sram_bank_bytes", fc.SRAMBankBytes},
+		{fc.SRAMBandwidth <= 0, "sram_bandwidth", fc.SRAMBandwidth},
+		{fc.LinkBandwidth <= 0, "link_bandwidth", fc.LinkBandwidth},
+		{fc.LinksPerNode < 1, "links_per_node", fc.LinksPerNode},
+	}
+	for _, c := range checks {
+		if c.bad {
+			return Config{}, fmt.Errorf("machine: field %q must be positive, got %v", c.field, c.got)
+		}
+	}
+	if fc.LatencySeconds < 0 {
+		return Config{}, fmt.Errorf("machine: field %q must be non-negative, got %v",
+			"latency_seconds", fc.LatencySeconds)
+	}
+	proc, ok := processors[strings.ToLower(fc.Processor)]
+	if !ok {
+		return Config{}, fmt.Errorf("machine: field %q: unknown processor %q (want one of %s)",
+			"processor", fc.Processor, strings.Join(names(processors), ", "))
+	}
+	dev, ok := devices[strings.ToLower(fc.Device)]
+	if !ok {
+		return Config{}, fmt.Errorf("machine: field %q: unknown device %q (want one of %s)",
+			"device", fc.Device, strings.Join(names(devices), ", "))
+	}
+	name := fc.Name
+	if name == "" {
+		name = fmt.Sprintf("custom (%d nodes)", fc.Nodes)
+	}
+	c := Config{
+		Name:                 name,
+		Nodes:                fc.Nodes,
+		Processor:            proc,
+		Device:               dev(),
+		RawFPGADRAMBandwidth: fc.FPGADRAMBandwidth,
+		SRAMBanks:            fc.SRAMBanks,
+		SRAMBankBytes:        fc.SRAMBankBytes,
+		SRAMBandwidth:        fc.SRAMBandwidth,
+		Fabric: fabric.Config{
+			Nodes:         fc.Nodes,
+			LinkBandwidth: fc.LinkBandwidth,
+			LinksPerNode:  fc.LinksPerNode,
+			Latency:       fc.LatencySeconds,
+		},
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+// LoadFile reads and parses a machine JSON file.
+func LoadFile(path string) (Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, err
+	}
+	c, err := ParseJSON(data)
+	if err != nil {
+		return Config{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return c, nil
+}
+
+// Resolve maps a CLI machine argument to a Config: a preset name
+// ("xd1", "xt3", ...) or, when the argument looks like a path or an
+// existing file, a machine JSON file.
+func Resolve(nameOrPath string) (Config, error) {
+	if c, err := Preset(nameOrPath); err == nil {
+		return c, nil
+	}
+	if strings.ContainsAny(nameOrPath, "/\\.") {
+		return LoadFile(nameOrPath)
+	}
+	if _, err := os.Stat(nameOrPath); err == nil {
+		return LoadFile(nameOrPath)
+	}
+	return Config{}, fmt.Errorf("machine: %q is neither a preset (%s) nor a readable JSON file",
+		nameOrPath, strings.Join(PresetNames(), ", "))
+}

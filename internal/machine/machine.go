@@ -5,6 +5,7 @@ import (
 
 	"codesign/internal/cpu"
 	"codesign/internal/fabric"
+	"codesign/internal/fault"
 	"codesign/internal/fpga"
 	"codesign/internal/mem"
 	"codesign/internal/mpi"
@@ -124,7 +125,12 @@ func RASC() Config {
 	}
 }
 
-func (c Config) validate() error {
+// Validate checks the configuration is buildable, returning an error
+// naming the offending field. It subsumes every panic the lower layers
+// (mem SRAM geometry, fabric endpoints) would otherwise raise mid-build,
+// so configurations from user input (machine JSON files, sweep grids)
+// fail with an error instead of crashing deep in a run.
+func (c Config) Validate() error {
 	if c.Nodes < 1 {
 		return fmt.Errorf("machine: need at least one node")
 	}
@@ -132,12 +138,21 @@ func (c Config) validate() error {
 		return fmt.Errorf("machine: no processor model")
 	}
 	if c.RawFPGADRAMBandwidth <= 0 {
-		return fmt.Errorf("machine: non-positive FPGA-DRAM bandwidth")
+		return fmt.Errorf("machine: non-positive FPGA-DRAM bandwidth %g", c.RawFPGADRAMBandwidth)
+	}
+	if c.SRAMBanks < 1 {
+		return fmt.Errorf("machine: need at least one SRAM bank, got %d", c.SRAMBanks)
+	}
+	if c.SRAMBankBytes < 1 {
+		return fmt.Errorf("machine: non-positive SRAM bank size %d", c.SRAMBankBytes)
+	}
+	if c.SRAMBandwidth <= 0 {
+		return fmt.Errorf("machine: non-positive SRAM bandwidth %g", c.SRAMBandwidth)
 	}
 	if c.Fabric.Nodes != c.Nodes {
 		return fmt.Errorf("machine: fabric has %d endpoints for %d nodes", c.Fabric.Nodes, c.Nodes)
 	}
-	return nil
+	return c.Fabric.Validate()
 }
 
 // Node is one compute blade.
@@ -151,13 +166,24 @@ type Node struct {
 	Device  fpga.Device
 	Accel   *Accelerator
 	sys     *System
+	// dilate, when non-nil, maps a nominal processor charge to its
+	// fault-degraded duration, keyed by the charge's span category so
+	// DMA charges can degrade with Bd while compute degrades with the
+	// CPU straggler factor.
+	dilate func(cat sim.Category, start, dt float64) float64
+}
+
+// SetDilation installs a fault-injection hook on the node's processor
+// charges. Nil removes it; the hot path is untouched when unset.
+func (n *Node) SetDilation(f func(cat sim.Category, start, dt float64) float64) {
+	n.dilate = f
 }
 
 // ComputeCPU charges the node processor with flops of the given routine
 // class, holding the CPU busy for the modeled duration. The hold is
 // emitted as a compute span on the node's CPU resource.
 func (n *Node) ComputeCPU(p *sim.Proc, r cpu.Routine, flops float64) {
-	n.CPUBusy.UseCat(p, sim.CatCompute, 0, n.Proc.Time(r, flops))
+	n.ChargeCPU(p, sim.CatCompute, 0, n.Proc.Time(r, flops))
 }
 
 // ChargeCPU holds the node processor for dt seconds and emits a typed
@@ -165,6 +191,9 @@ func (n *Node) ComputeCPU(p *sim.Proc, r cpu.Routine, flops float64) {
 // charges (unpack time, operand staging) where the category and moved
 // bytes are known to the caller.
 func (n *Node) ChargeCPU(p *sim.Proc, cat sim.Category, bytes int64, dt float64) {
+	if n.dilate != nil {
+		dt = n.dilate(cat, n.sys.Eng.Now(), dt)
+	}
 	n.CPUBusy.UseCat(p, cat, bytes, dt)
 }
 
@@ -184,7 +213,14 @@ type Accelerator struct {
 	node          *Node
 	coordinations int64
 	jobs          int64
+	// dilate, when non-nil, maps nominal array compute time to its
+	// fault-degraded duration (an FPGA reconfiguration stall).
+	dilate func(start, dt float64) float64
 }
+
+// SetDilation installs a fault-injection hook on the accelerator's
+// array compute time. Nil removes it.
+func (a *Accelerator) SetDilation(f func(start, dt float64) float64) { a.dilate = f }
 
 // EffectiveBd returns the design-limited DRAM bandwidth.
 func EffectiveBd(raw, freqHz float64) float64 {
@@ -249,16 +285,24 @@ func (a *Accelerator) Run(p *sim.Proc, name string, run func(fp *sim.Proc)) {
 
 // Compute charges the PE array with a cycle count at the placed clock.
 // The hold is emitted as an FPGA compute span on the array resource.
+// With a fault hook installed the nominal duration is dilated first, so
+// a reconfiguration stall stretches the same span a healthy run emits.
 func (a *Accelerator) Compute(fp *sim.Proc, cycles float64) {
-	a.Array.UseCat(fp, sim.CatCompute, 0, a.Placed.CyclesToSeconds(cycles))
+	dt := a.Placed.CyclesToSeconds(cycles)
+	if a.dilate != nil {
+		dt = a.dilate(a.node.sys.Eng.Now(), dt)
+	}
+	a.Array.UseCat(fp, sim.CatCompute, 0, dt)
 }
 
 // WaitOperands charges the FPGA job dt seconds of operand staging —
 // pipeline-fill lag while the processor streams the first operands in —
 // emitted as a DMA span against the array's fill stage so overlap
-// accounting attributes it to memory traffic, not FPGA compute.
+// accounting attributes it to memory traffic, not FPGA compute. The lag
+// rides the DRAM path, so it degrades with the same Bd faults as
+// explicit streams.
 func (a *Accelerator) WaitOperands(fp *sim.Proc, dt float64) {
-	fp.WaitSpanOn(sim.CatDMA, sim.DeviceDRAM, a.fillName, 0, dt)
+	fp.WaitSpanOn(sim.CatDMA, sim.DeviceDRAM, a.fillName, 0, a.DRAM.Dilated(fp.Now(), dt))
 }
 
 // Stream charges a DRAM<->FPGA transfer of the given bytes.
@@ -281,7 +325,7 @@ type System struct {
 
 // New builds the system described by cfg.
 func New(cfg Config) (*System, error) {
-	if err := cfg.validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	eng := sim.New()
@@ -303,6 +347,48 @@ func New(cfg Config) (*System, error) {
 		})
 	}
 	return s, nil
+}
+
+// InstallFaults wires a fault injector into every charging path of the
+// built system: processor charges (CPU straggler / Bd-paced DMA /
+// network unpack), FPGA-DRAM streams and operand fill (Bd throttle),
+// outbound wire time (Bn throttle), array compute (reconfiguration
+// stalls), and MPI rank liveness (node kills). Call it after
+// InstallDesign so the per-node accelerators exist; a nil injector is a
+// no-op. The hooks only dilate charge durations — no engine events are
+// scheduled — so an injector with no configured faults leaves the
+// simulation byte-identical.
+func (s *System) InstallFaults(inj *fault.Injector) error {
+	if inj == nil {
+		return nil
+	}
+	if inj.Nodes() != s.Cfg.Nodes {
+		return fmt.Errorf("machine: fault spec targets %d nodes, system has %d", inj.Nodes(), s.Cfg.Nodes)
+	}
+	for i, n := range s.Nodes {
+		node := i
+		n.SetDilation(func(cat sim.Category, start, dt float64) float64 {
+			// DMA charges are paced by the FPGA-DRAM path; everything
+			// else the processor does (compute, unpack) is CPU-bound.
+			if cat == sim.CatDMA {
+				return inj.Dilate(fault.ClassDRAM, node, start, dt)
+			}
+			return inj.Dilate(fault.ClassCPU, node, start, dt)
+		})
+		s.Fab.SetDilation(node, func(start, dt float64) float64 {
+			return inj.Dilate(fault.ClassNet, node, start, dt)
+		})
+		if n.Accel != nil {
+			n.Accel.DRAM.SetDilation(func(start, dt float64) float64 {
+				return inj.Dilate(fault.ClassDRAM, node, start, dt)
+			})
+			n.Accel.SetDilation(func(start, dt float64) float64 {
+				return inj.Dilate(fault.ClassFPGA, node, start, dt)
+			})
+		}
+	}
+	s.World.SetLiveness(inj.Alive)
+	return nil
 }
 
 // Spawn runs body as node i's processor program, attached to MPI rank i.

@@ -16,6 +16,7 @@ type DRAM struct {
 	BandwidthBytes float64
 	chann          *sim.Resource
 	bytesStreamed  int64
+	dilate         func(start, dt float64) float64
 }
 
 // NewDRAM creates a DRAM with the given FPGA-visible bandwidth and a
@@ -33,6 +34,23 @@ func NewDRAM(e *sim.Engine, bandwidthBytes float64) *DRAM {
 // StreamTime returns the unloaded time to stream the given bytes.
 func (d *DRAM) StreamTime(bytes int) float64 { return float64(bytes) / d.BandwidthBytes }
 
+// SetDilation installs a fault-injection hook mapping a nominal stream
+// duration starting at virtual time start to its degraded duration (a
+// Bd throttle). Nil removes the hook; the hot path is untouched when
+// none is installed.
+func (d *DRAM) SetDilation(f func(start, dt float64) float64) { d.dilate = f }
+
+// Dilated applies the installed dilation hook to a nominal duration
+// (identity when no hook is installed). Exposed so charges modeled off
+// the DRAM path — the accelerator's operand fill lag — degrade with the
+// same Bd faults as explicit streams.
+func (d *DRAM) Dilated(start, dt float64) float64 {
+	if d.dilate == nil {
+		return dt
+	}
+	return d.dilate(start, dt)
+}
+
 // Stream transfers bytes between DRAM and the FPGA, blocking the calling
 // process for bytes/Bd plus any channel queueing. The transfer is
 // emitted as a DMA span carrying the payload size.
@@ -41,7 +59,7 @@ func (d *DRAM) Stream(p *sim.Proc, bytes int) {
 		panic(fmt.Sprintf("mem: negative stream size %d", bytes))
 	}
 	d.bytesStreamed += int64(bytes)
-	d.chann.UseCat(p, sim.CatDMA, int64(bytes), d.StreamTime(bytes))
+	d.chann.UseCat(p, sim.CatDMA, int64(bytes), d.Dilated(d.eng.Now(), d.StreamTime(bytes)))
 }
 
 // BytesStreamed returns the cumulative FPGA<->DRAM traffic.

@@ -1,0 +1,92 @@
+package model
+
+// Degradation scales the nominal machine parameters to their observed
+// effective values — the bridge between the fault layer's telemetry and
+// the partition equations. Each field is a rate multiplier in (0, 1]
+// with 1 = nominal; a zero field means "no new observation" and is
+// treated as nominal. Factors are floored at 1e-3 so a fully stalled
+// subsystem still yields a finite, solvable parameter set.
+type Degradation struct {
+	// CPU scales the processor's sustained rates (Op·Fp).
+	CPU float64
+	// FPGA scales the design clock Ff (Of·Ff).
+	FPGA float64
+	// Bd scales the FPGA-DRAM streaming bandwidth.
+	Bd float64
+	// Bn scales the network bandwidth.
+	Bn float64
+}
+
+// minFactor keeps degraded parameters positive so the closed-form
+// solvers stay finite.
+const minFactor = 1e-3
+
+func clampFactor(f float64) float64 {
+	if f == 0 {
+		return 1
+	}
+	if f < minFactor {
+		return minFactor
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// Normalized returns the degradation with zero fields promoted to
+// nominal and all factors clamped into [1e-3, 1].
+func (d Degradation) Normalized() Degradation {
+	return Degradation{
+		CPU:  clampFactor(d.CPU),
+		FPGA: clampFactor(d.FPGA),
+		Bd:   clampFactor(d.Bd),
+		Bn:   clampFactor(d.Bn),
+	}
+}
+
+// Nominal reports whether the normalized degradation leaves every
+// parameter at its nominal value.
+func (d Degradation) Nominal() bool {
+	return d.Normalized() == Degradation{CPU: 1, FPGA: 1, Bd: 1, Bn: 1}
+}
+
+// Degraded returns the LU parameters scaled by the degradation: the
+// processor rates by CPU, the design clock by FPGA, and the bandwidths
+// by Bd/Bn. This is how degraded rates re-enter Equation (4)/(5).
+func (lp LUParams) Degraded(d Degradation) LUParams {
+	d = d.Normalized()
+	lp.StripeRate *= d.CPU
+	lp.LURate *= d.CPU
+	lp.TrsmRate *= d.CPU
+	lp.Ff *= d.FPGA
+	lp.Bd *= d.Bd
+	lp.Bn *= d.Bn
+	return lp
+}
+
+// Repartition re-solves Equations (4) and (5) against the degraded
+// parameters: the row split (bf, bp) that balances the slowed
+// resources, and the pipeline depth l that hides the panel under it.
+func (lp LUParams) Repartition(d Degradation) (bf, bp, l int) {
+	dlp := lp.Degraded(d)
+	bf, bp = dlp.SolvePartition()
+	return bf, bp, dlp.SolveL(bf)
+}
+
+// Degraded returns the FW parameters scaled by the degradation, the
+// Equation (6) analogue of LUParams.Degraded.
+func (fp FWParams) Degraded(d Degradation) FWParams {
+	d = d.Normalized()
+	fp.FWRate *= d.CPU
+	fp.Ff *= d.FPGA
+	fp.Bd *= d.Bd
+	fp.Bn *= d.Bn
+	return fp
+}
+
+// Repartition re-solves Equation (6) against the degraded parameters
+// for an n×n problem, returning the new whole-task split per phase.
+func (fp FWParams) Repartition(n int, d Degradation) (l1, l2 int) {
+	return fp.Degraded(d).SolveSplit(n)
+}

@@ -1,0 +1,78 @@
+package model
+
+import "testing"
+
+func TestDegradationNormalized(t *testing.T) {
+	d := Degradation{}.Normalized()
+	if d != (Degradation{CPU: 1, FPGA: 1, Bd: 1, Bn: 1}) {
+		t.Fatalf("zero degradation should normalize to nominal, got %+v", d)
+	}
+	if !(Degradation{}).Nominal() || !(Degradation{CPU: 1, FPGA: 1, Bd: 1, Bn: 1}).Nominal() {
+		t.Fatal("nominal degradation not recognized")
+	}
+	if (Degradation{CPU: 0.5}).Nominal() {
+		t.Fatal("degraded CPU reported nominal")
+	}
+	clamped := Degradation{CPU: 1e-9, FPGA: 2}.Normalized()
+	if clamped.CPU != minFactor || clamped.FPGA != 1 {
+		t.Fatalf("clamping failed: %+v", clamped)
+	}
+}
+
+func TestRepartitionIdentityAtNominal(t *testing.T) {
+	lp := xd1LU()
+	bf0, bp0 := lp.SolvePartition()
+	l0 := lp.SolveL(bf0)
+	bf, bp, l := lp.Repartition(Degradation{})
+	if bf != bf0 || bp != bp0 || l != l0 {
+		t.Fatalf("nominal repartition moved the solution: (%d,%d,%d) vs (%d,%d,%d)", bf, bp, l, bf0, bp0, l0)
+	}
+}
+
+func TestRepartitionShiftsTowardHealthyResource(t *testing.T) {
+	lp := xd1LU()
+	bf0, _ := lp.SolvePartition()
+
+	// A slowed CPU should push rows onto the FPGA.
+	bfSlowCPU, _, _ := lp.Repartition(Degradation{CPU: 0.3})
+	if bfSlowCPU <= bf0 {
+		t.Errorf("slow CPU: bf %d -> %d, want an increase", bf0, bfSlowCPU)
+	}
+	// A slowed FPGA clock should pull rows back to the processor.
+	bfSlowFPGA, _, _ := lp.Repartition(Degradation{FPGA: 0.3})
+	if bfSlowFPGA >= bf0 {
+		t.Errorf("slow FPGA: bf %d -> %d, want a decrease", bf0, bfSlowFPGA)
+	}
+	// Degraded Bd raises Tmem, which Equation (4) charges to the
+	// processor side (the CPU streams the FPGA's operands), so the
+	// solver offloads more compute rows onto the FPGA.
+	bfSlowBd, _, _ := lp.Repartition(Degradation{Bd: 0.2})
+	if bfSlowBd <= bf0 {
+		t.Errorf("slow Bd: bf %d -> %d, want an increase", bf0, bfSlowBd)
+	}
+	// All splits stay feasible.
+	for _, bf := range []int{bfSlowCPU, bfSlowFPGA, bfSlowBd} {
+		if bf < 0 || bf > lp.B || bf%lp.K != 0 {
+			t.Errorf("infeasible bf %d", bf)
+		}
+	}
+}
+
+func TestFWRepartitionShiftsSplit(t *testing.T) {
+	fp := xd1FW()
+	const n = 18432
+	l10, l20 := fp.SolveSplit(n)
+	if l10+l20 != fp.OpsPerPhase(n) {
+		t.Fatalf("split does not cover the phase: %d+%d != %d", l10, l20, fp.OpsPerPhase(n))
+	}
+	l1, l2 := fp.Repartition(n, Degradation{CPU: 0.25})
+	if l1+l2 != fp.OpsPerPhase(n) {
+		t.Fatalf("degraded split does not cover the phase: %d+%d", l1, l2)
+	}
+	if l1 >= l10 {
+		t.Errorf("slow CPU: l1 %d -> %d, want fewer CPU tasks", l10, l1)
+	}
+	if l1b, _ := fp.Repartition(n, Degradation{FPGA: 0.1}); l1b <= l10 {
+		t.Errorf("slow FPGA: l1 %d -> %d, want more CPU tasks", l10, l1b)
+	}
+}

@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -8,6 +9,10 @@ import (
 	"codesign/internal/fabric"
 	"codesign/internal/sim"
 )
+
+// ErrDeadRank reports that a message's destination rank was lost to an
+// injected node-kill fault and stayed unreachable through every retry.
+var ErrDeadRank = errors.New("mpi: destination rank is dead")
 
 // Message is a delivered payload with its envelope.
 type Message struct {
@@ -27,6 +32,18 @@ type World struct {
 	fab   *fabric.Fabric
 	boxes map[boxKey]*sim.Mailbox
 	stats map[boxKey]*channelAgg
+	// alive, when non-nil, reports whether a rank is still reachable at
+	// a virtual time (installed by machine.System.InstallFaults).
+	alive func(rank int, now float64) bool
+}
+
+// SetLiveness installs the rank-liveness oracle consulted by SendRetry.
+// Nil (the default) treats every rank as alive.
+func (w *World) SetLiveness(f func(rank int, now float64) bool) { w.alive = f }
+
+// Alive reports whether rank is reachable at virtual time now.
+func (w *World) Alive(rank int, now float64) bool {
+	return w.alive == nil || w.alive(rank, now)
 }
 
 type channelAgg struct {
@@ -127,6 +144,38 @@ func (r *Rank) Send(dst, tag, bytes int, payload any) {
 	w.count(r.id, dst, tag, bytes)
 	w.fab.Transfer(r.proc, r.id, dst, bytes)
 	w.box(dst, r.id, tag).Put(Message{Src: r.id, Tag: tag, Bytes: bytes, Payload: payload})
+}
+
+// RetryPolicy bounds SendRetry's attempts to reach a dead rank.
+type RetryPolicy struct {
+	// Attempts is the number of delivery attempts (minimum 1).
+	Attempts int
+	// Timeout is the virtual time charged per failed attempt — the
+	// handshake timeout a real MPI layer would burn before retrying.
+	Timeout float64
+}
+
+// SendRetry is Send with degraded-mode semantics: if the destination
+// rank is dead (per the installed liveness oracle), each attempt
+// charges the caller the policy's timeout before re-checking, and after
+// the last attempt an error wrapping ErrDeadRank is returned instead of
+// blocking forever. A live destination delivers exactly like Send.
+func (r *Rank) SendRetry(dst, tag, bytes int, payload any, pol RetryPolicy) error {
+	attempts := pol.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	for i := 0; i < attempts; i++ {
+		if r.world.Alive(dst, r.proc.Now()) {
+			r.Send(dst, tag, bytes, payload)
+			return nil
+		}
+		if pol.Timeout > 0 {
+			r.proc.Wait(pol.Timeout)
+		}
+	}
+	return fmt.Errorf("mpi: send %d->%d tag %d failed after %d attempts: %w",
+		r.id, dst, tag, attempts, ErrDeadRank)
 }
 
 // Recv blocks until a message with the given source and tag arrives and

@@ -1,0 +1,86 @@
+package mpi
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"codesign/internal/sim"
+)
+
+func TestSendRetryDeliversWhenAlive(t *testing.T) {
+	e, w := worldOf(t, 2, 100)
+	w.SetLiveness(func(rank int, now float64) bool { return true })
+	var got Message
+	var sendErr error
+	spawnRanks(e, w, func(r *Rank, p *sim.Proc) {
+		if r.ID() == 0 {
+			sendErr = r.SendRetry(1, 3, 200, "up", RetryPolicy{Attempts: 3, Timeout: 10})
+		} else {
+			got = r.Recv(0, 3)
+		}
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if sendErr != nil {
+		t.Fatalf("SendRetry to live rank failed: %v", sendErr)
+	}
+	if got.Payload != "up" {
+		t.Fatalf("payload %v", got.Payload)
+	}
+	if e.Now() != 2 { // no timeout charged on the fast path
+		t.Fatalf("clock %v, want 2", e.Now())
+	}
+}
+
+func TestSendRetryTimesOutOnDeadRank(t *testing.T) {
+	e, w := worldOf(t, 2, 100)
+	w.SetLiveness(func(rank int, now float64) bool { return rank != 1 })
+	var sendErr error
+	e.Go("rank0", func(p *sim.Proc) {
+		r := w.Attach(p, 0)
+		sendErr = r.SendRetry(1, 3, 200, "lost", RetryPolicy{Attempts: 3, Timeout: 0.5})
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(sendErr, ErrDeadRank) {
+		t.Fatalf("want ErrDeadRank, got %v", sendErr)
+	}
+	if math.Abs(e.Now()-1.5) > 1e-12 { // 3 attempts × 0.5 s timeout
+		t.Fatalf("clock %v, want 1.5 (three timeouts charged)", e.Now())
+	}
+	if w.fab.Messages() != 0 {
+		t.Fatalf("dead-rank send still hit the wire: %d messages", w.fab.Messages())
+	}
+}
+
+func TestSendRetryRecoversMidRun(t *testing.T) {
+	// Rank 1 is "down" until t=1, then reachable again — SendRetry's
+	// second attempt succeeds after one timeout charge.
+	e, w := worldOf(t, 2, 100)
+	w.SetLiveness(func(rank int, now float64) bool { return rank != 1 || now >= 1 })
+	var sendErr error
+	var got Message
+	spawnRanks(e, w, func(r *Rank, p *sim.Proc) {
+		if r.ID() == 0 {
+			sendErr = r.SendRetry(1, 9, 100, "back", RetryPolicy{Attempts: 2, Timeout: 1})
+		} else {
+			got = r.Recv(0, 9)
+		}
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if sendErr != nil || got.Payload != "back" {
+		t.Fatalf("err=%v payload=%v", sendErr, got.Payload)
+	}
+}
+
+func TestAliveDefaultsToTrue(t *testing.T) {
+	_, w := worldOf(t, 2, 100)
+	if !w.Alive(0, 0) || !w.Alive(1, 1e9) {
+		t.Fatal("nil liveness oracle should report every rank alive")
+	}
+}

@@ -21,6 +21,20 @@ type Options struct {
 	OnResult func(Point, Outcome)
 }
 
+// safeEvaluate runs one point's evaluation, converting a panic from a
+// degenerate coordinate (reached deep in model or dist arithmetic the
+// evaluator's own feasibility checks did not anticipate) into an
+// infeasible Outcome. One bad point must cost one grid cell, never the
+// whole sweep: a panic in a worker goroutine would kill the process.
+func safeEvaluate(eval func() Outcome) (out Outcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = Outcome{Err: fmt.Sprintf("panic: %v", r)}
+		}
+	}()
+	return eval()
+}
+
 // Result is a completed sweep: the normalized grid, its points in
 // enumeration order, one Outcome per point, the Pareto-optimal subset,
 // per-axis sensitivity tables and evaluator statistics. Identical
@@ -96,7 +110,9 @@ func Run(ctx context.Context, g Grid, opts Options) (*Result, error) {
 				if ctx.Err() != nil {
 					return
 				}
-				outcomes[i] = ev.evaluate(points[i], norm.Method)
+				outcomes[i] = safeEvaluate(func() Outcome {
+					return ev.evaluate(points[i], norm.Method)
+				})
 				if opts.OnResult != nil {
 					notifyMu.Lock()
 					opts.OnResult(points[i], outcomes[i])

@@ -295,3 +295,20 @@ func TestPointsEnumerationOrder(t *testing.T) {
 		}
 	}
 }
+
+func TestPanickingPointRecordedInfeasible(t *testing.T) {
+	// The worker pool's recover backstop: a panic while evaluating one
+	// point becomes that point's infeasible outcome instead of killing
+	// the process (and with it the whole sweep).
+	out := safeEvaluate(func() Outcome { panic("bad cyclic geometry") })
+	if out.OK {
+		t.Fatal("panicking evaluation reported OK")
+	}
+	if !strings.Contains(out.Err, "panic: bad cyclic geometry") {
+		t.Fatalf("err %q does not carry the panic reason", out.Err)
+	}
+	clean := safeEvaluate(func() Outcome { return Outcome{OK: true} })
+	if !clean.OK || clean.Err != "" {
+		t.Fatalf("clean evaluation altered: %+v", clean)
+	}
+}
