@@ -22,8 +22,12 @@ import (
 	"os"
 
 	"codesign/internal/analysis"
+	"codesign/internal/cli"
 	"codesign/internal/exper"
 )
+
+// log is the tool's shared leveled stderr logger (-v/-q adjust it).
+var log = cli.NewLogger("experiments", os.Stderr)
 
 var experiments = []struct {
 	name string
@@ -62,22 +66,23 @@ func main() {
 	benchJSON := flag.String("bench-json", "", "run the headline benchmark suite and write its baseline JSON to `file`")
 	check := flag.String("check", "", "re-run the headline suite and fail on any metric diff against baseline `file`")
 	tol := flag.Float64("tol", 0, "relative tolerance for -check (0 = demand bit-exact equality)")
+	log.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *benchJSON != "" && *check != "" {
-		fmt.Fprintln(os.Stderr, "experiments: -bench-json and -check are mutually exclusive")
+		log.Errorf("-bench-json and -check are mutually exclusive")
 		os.Exit(2)
 	}
 	if *benchJSON != "" {
 		if err := writeBaseline(*benchJSON); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
+			log.Errorf("%v", err)
 			os.Exit(1)
 		}
 		return
 	}
 	if *check != "" {
 		if err := checkBaseline(*check, *tol); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
+			log.Errorf("%v", err)
 			os.Exit(1)
 		}
 		return
@@ -111,7 +116,7 @@ func main() {
 			found = true
 			t, err := e.run(*full)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+				log.Errorf("%s: %v", name, err)
 				os.Exit(1)
 			}
 			var werr error
@@ -121,12 +126,12 @@ func main() {
 				werr = t.Write(os.Stdout)
 			}
 			if werr != nil {
-				fmt.Fprintln(os.Stderr, "experiments:", werr)
+				log.Errorf("%v", werr)
 				os.Exit(1)
 			}
 		}
 		if !found {
-			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (try 'list')\n", name)
+			log.Errorf("unknown experiment %q (try 'list')", name)
 			os.Exit(2)
 		}
 	}
@@ -162,7 +167,7 @@ func checkBaseline(path string, tol float64) error {
 		return nil
 	}
 	for _, d := range deltas {
-		fmt.Fprintln(os.Stderr, "  ", d)
+		log.Warnf("diverges: %v", d)
 	}
 	return fmt.Errorf("%d of %d metrics diverge from %s (tol %g); if the change is intended, regenerate with: go run ./cmd/experiments -bench-json %s",
 		len(deltas), len(old.Metrics), path, tol, path)

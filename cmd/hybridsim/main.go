@@ -10,6 +10,7 @@
 //	hybridsim -app lu -analyze                          # critical path + bottlenecks
 //	hybridsim -app fw -machine xt3 -n 6144 -b 256 -pes 8
 //	hybridsim -app lu -faults faults.json -seed 7       # degraded-mode run + resilience report
+//	hybridsim -app lu -faults faults.json -obs :9469    # live /metrics + pprof during the run
 package main
 
 import (
@@ -17,15 +18,21 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"codesign/internal/analysis"
+	"codesign/internal/cli"
 	"codesign/internal/core"
 	"codesign/internal/fault"
 	"codesign/internal/machine"
 	"codesign/internal/model"
+	"codesign/internal/obs"
 	"codesign/internal/sim"
 	"codesign/internal/trace"
 )
+
+// log is the tool's shared leveled stderr logger (-v/-q adjust it).
+var log = cli.NewLogger("hybridsim", os.Stderr)
 
 func main() {
 	var o options
@@ -47,6 +54,9 @@ func main() {
 	flag.StringVar(&o.TraceOut, "trace-out", "", "write a Chrome/Perfetto trace_event JSON file of the run")
 	flag.StringVar(&o.MetricsOut, "metrics-out", "", "write the run's metrics registry as CSV to `file`")
 	flag.StringVar(&o.SpansOut, "spans-out", "", "write the raw typed spans as CSV to `file`")
+	flag.StringVar(&o.Obs, "obs", "", "serve /metrics, /statusz and pprof on `addr` during the run")
+	flag.DurationVar(&o.ObsHold, "obs-hold", 0, "keep the -obs server up this long after the run completes")
+	log.AddFlags(flag.CommandLine)
 	flag.Parse()
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "seed" {
@@ -55,7 +65,7 @@ func main() {
 	})
 
 	if err := run(o); err != nil {
-		fmt.Fprintln(os.Stderr, "hybridsim:", err)
+		log.Errorf("%v", err)
 		os.Exit(1)
 	}
 }
@@ -80,6 +90,8 @@ type options struct {
 	TraceOut   string
 	MetricsOut string
 	SpansOut   string
+	Obs        string
+	ObsHold    time.Duration
 }
 
 func machineByName(name string) (machine.Config, error) {
@@ -135,6 +147,33 @@ func run(o options) error {
 			len(inj.Events()), o.Faults, spec.Seed, inj.Threshold(), inj.Window())
 	}
 
+	// -obs publishes live engine counters, fault gauges and core
+	// repartition metrics for the duration of the run. reg stays nil
+	// otherwise, which keeps every metric site on its no-op path.
+	var reg *obs.Registry
+	if o.Obs != "" {
+		reg = obs.NewRegistry()
+		ctr := &sim.Counters{}
+		ctr.Publish(reg)
+		sim.InstallCounters(ctr)
+		defer sim.InstallCounters(nil)
+		if inj != nil {
+			inj.Publish(reg)
+		}
+		srv, err := obs.Serve(o.Obs, reg)
+		if err != nil {
+			return fmt.Errorf("obs: %w", err)
+		}
+		defer srv.Close()
+		log.Infof("serving metrics on http://%s/metrics", srv.Addr)
+		if o.ObsHold > 0 {
+			defer func() {
+				log.Infof("run done; holding metrics server for %v", o.ObsHold)
+				time.Sleep(o.ObsHold)
+			}()
+		}
+	}
+
 	var col *trace.Collector
 	var hook func(float64, string, string)
 	if o.Timeline {
@@ -145,7 +184,7 @@ func run(o options) error {
 		defer func() {
 			fmt.Println("\nactivity timeline (# = busy):")
 			if err := col.WriteTimeline(os.Stdout, 100, 0); err != nil {
-				fmt.Fprintln(os.Stderr, "hybridsim: timeline:", err)
+				log.Errorf("timeline: %v", err)
 			}
 		}()
 	}
@@ -155,10 +194,10 @@ func run(o options) error {
 	// recorder exists: a typed nil *trace.Recorder inside a non-nil
 	// interface would still be invoked by the engine.
 	var rec *trace.Recorder
-	var obs sim.Observer
+	var spanObs sim.Observer
 	if o.TraceOut != "" || o.SpansOut != "" || o.Analyze {
 		rec = trace.NewRecorder()
-		obs = rec
+		spanObs = rec
 	}
 	// -metrics-out exports the telemetry summary, so it implies
 	// summarization even without the printed -metrics report.
@@ -175,7 +214,7 @@ func run(o options) error {
 		r, err := core.RunLU(core.LUConfig{
 			Machine: mc, N: o.N, B: o.B, PEs: o.PEs, BF: o.BF, L: o.L,
 			Mode: md, Functional: o.Functional, Seed: o.Seed, Trace: hook,
-			Observer: obs, Telemetry: telemetry, Faults: inj,
+			Observer: spanObs, Telemetry: telemetry, Faults: inj, Metrics: reg,
 		})
 		if err != nil {
 			return err
@@ -188,7 +227,7 @@ func run(o options) error {
 		r, err := core.RunFW(core.FWConfig{
 			Machine: mc, N: o.N, B: o.B, PEs: o.PEs, L1: o.L1,
 			Mode: md, Functional: o.Functional, Seed: o.Seed, Trace: hook,
-			Observer: obs, Telemetry: telemetry, Faults: inj,
+			Observer: spanObs, Telemetry: telemetry, Faults: inj, Metrics: reg,
 		})
 		if err != nil {
 			return err
@@ -201,7 +240,7 @@ func run(o options) error {
 		r, err := core.RunMM(core.MMConfig{
 			Machine: mc, N: o.N, PEs: o.PEs, BF: o.BF,
 			Mode: md, Functional: o.Functional, Seed: o.Seed,
-			Observer: obs, Telemetry: telemetry,
+			Observer: spanObs, Telemetry: telemetry,
 		})
 		if err != nil {
 			return err
@@ -214,7 +253,7 @@ func run(o options) error {
 		r, err := core.RunQR(core.QRConfig{
 			Machine: mc, N: o.N, B: o.B, PEs: o.PEs, BF: o.BF,
 			Mode: md, Functional: o.Functional, Seed: o.Seed,
-			Observer: obs, Telemetry: telemetry,
+			Observer: spanObs, Telemetry: telemetry,
 		})
 		if err != nil {
 			return err
@@ -227,7 +266,7 @@ func run(o options) error {
 		r, err := core.RunCG(core.CGConfig{
 			Machine: mc, N: o.N, PEs: o.PEs, RowsFPGA: o.BF,
 			Mode: md, Seed: o.Seed,
-			Observer: obs, Telemetry: telemetry,
+			Observer: spanObs, Telemetry: telemetry,
 		})
 		if err != nil {
 			return err
@@ -238,7 +277,7 @@ func run(o options) error {
 		r, err := core.RunCholesky(core.CholConfig{
 			Machine: mc, N: o.N, B: o.B, PEs: o.PEs, BF: o.BF, L: o.L,
 			Mode: md, Functional: o.Functional, Seed: o.Seed,
-			Observer: obs, Telemetry: telemetry,
+			Observer: spanObs, Telemetry: telemetry,
 		})
 		if err != nil {
 			return err
@@ -405,7 +444,7 @@ func printCommon(r *core.Result) {
 	if r.Telemetry != nil {
 		fmt.Println()
 		if err := r.Telemetry.WriteReport(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "hybridsim: metrics:", err)
+			log.Errorf("metrics: %v", err)
 		}
 	}
 }

@@ -16,11 +16,15 @@ import (
 	"fmt"
 	"os"
 
+	"codesign/internal/cli"
 	"codesign/internal/cpu"
 	"codesign/internal/fpga"
 	"codesign/internal/machine"
 	"codesign/internal/model"
 )
+
+// log is the tool's shared leveled stderr logger.
+var log = cli.NewLogger("mkmachine", os.Stderr)
 
 func main() {
 	if len(os.Args) < 2 {
@@ -41,7 +45,7 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mkmachine:", err)
+		log.Errorf("%v", err)
 		os.Exit(1)
 	}
 }

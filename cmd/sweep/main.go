@@ -12,9 +12,12 @@
 //	sweep -apps lu,fw -machines xd1,xt3 -csv sweep.csv
 //	sweep -grid grid.json -workers 4              # declarative JSON grid
 //	sweep -apps mm -n 3072,6144,12288 -method sim # simulate, don't model
+//	sweep -grid grid.json -progress               # live stderr ticker with ETA
+//	sweep -grid grid.json -obs 127.0.0.1:9469     # serve /metrics + pprof while sweeping
 //
 // The JSON/CSV output is deterministic: identical grids produce
-// byte-identical files regardless of -workers.
+// byte-identical files regardless of -workers; neither -progress nor
+// -obs changes the result bytes.
 package main
 
 import (
@@ -22,10 +25,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
+	"codesign/internal/cli"
+	"codesign/internal/obs"
+	"codesign/internal/sim"
 	"codesign/internal/sweep"
 )
 
@@ -45,11 +53,16 @@ func main() {
 	flag.IntVar(&o.Workers, "workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	flag.StringVar(&o.JSONOut, "out", "", "write full results as JSON to `file` (\"-\" = stdout)")
 	flag.StringVar(&o.CSVOut, "csv", "", "write per-point results as CSV to `file` (\"-\" = stdout)")
-	flag.BoolVar(&o.Quiet, "q", false, "suppress the frontier/summary report")
+	flag.BoolVar(&o.Quiet, "q", false, "suppress the frontier/summary report and progress logging")
+	flag.BoolVar(&o.Verbose, "v", false, "verbose: also log debug detail")
+	flag.BoolVar(&o.Progress, "progress", false, "log live progress with ETA to stderr")
+	flag.StringVar(&o.Obs, "obs", "", "serve /metrics, /statusz and pprof on `addr` while sweeping")
+	flag.DurationVar(&o.ObsHold, "obs-hold", 0, "keep the -obs server up this long after the sweep completes")
 	flag.Parse()
 
+	o.Log = cli.NewLogger("sweep", os.Stderr)
 	if err := run(o, os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "sweep:", err)
+		o.Log.Errorf("%v", err)
 		os.Exit(1)
 	}
 }
@@ -72,6 +85,14 @@ type options struct {
 	JSONOut  string
 	CSVOut   string
 	Quiet    bool
+	Verbose  bool
+	Progress bool
+	Obs      string
+	ObsHold  time.Duration
+	Log      *cli.Logger
+	// obsReady, when non-nil, receives the bound -obs listen address
+	// before the sweep starts (tests use it with an ephemeral :0 port).
+	obsReady func(addr string)
 }
 
 // grid builds the sweep grid: from the -grid file when given,
@@ -112,11 +133,63 @@ func (o options) grid() (sweep.Grid, error) {
 }
 
 func run(o options, stdout io.Writer) error {
+	log := o.Log
+	if log == nil {
+		log = cli.NewLogger("sweep", os.Stderr)
+	}
+	switch {
+	case o.Quiet:
+		log.SetLevel(slog.LevelError)
+	case o.Verbose:
+		log.SetLevel(slog.LevelDebug)
+	}
+
 	g, err := o.grid()
 	if err != nil {
 		return err
 	}
-	res, err := sweep.Run(context.Background(), g, sweep.Options{Workers: o.Workers})
+
+	// Both -progress and -obs hang off the same OnProgress hook; the
+	// sinks compose so neither knows about the other.
+	var sinks []func(sweep.Progress)
+	if o.Progress {
+		sinks = append(sinks, progressTicker(log, time.Second))
+	}
+	if o.Obs != "" {
+		reg := obs.NewRegistry()
+		sinks = append(sinks, obsProgressSink(reg, g.NumPoints()))
+		// Engines are constructed deep inside core.Run*, so the only
+		// way to count them is the process-wide default sink.
+		ctr := &sim.Counters{}
+		ctr.Publish(reg)
+		sim.InstallCounters(ctr)
+		defer sim.InstallCounters(nil)
+		srv, err := obs.Serve(o.Obs, reg)
+		if err != nil {
+			return fmt.Errorf("obs: %w", err)
+		}
+		defer srv.Close()
+		log.Infof("serving metrics on http://%s/metrics", srv.Addr)
+		if o.obsReady != nil {
+			o.obsReady(srv.Addr)
+		}
+		if o.ObsHold > 0 {
+			defer func() {
+				log.Infof("sweep done; holding metrics server for %v", o.ObsHold)
+				time.Sleep(o.ObsHold)
+			}()
+		}
+	}
+	opts := sweep.Options{Workers: o.Workers}
+	if len(sinks) > 0 {
+		opts.OnProgress = func(p sweep.Progress) {
+			for _, sink := range sinks {
+				sink(p)
+			}
+		}
+	}
+
+	res, err := sweep.Run(context.Background(), g, opts)
 	if err != nil {
 		return err
 	}

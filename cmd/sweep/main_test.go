@@ -2,10 +2,15 @@ package main
 
 import (
 	"bytes"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"codesign/internal/cli"
 )
 
 func TestRunInlineAxesDeterministic(t *testing.T) {
@@ -62,6 +67,83 @@ func TestRunGridFileAndCSV(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "pareto frontier") {
 		t.Errorf("summary report missing frontier section:\n%s", buf.String())
+	}
+}
+
+func TestRunObsServesMetricsDuringSweep(t *testing.T) {
+	var buf bytes.Buffer
+	fetched := make(chan string, 1)
+	err := run(options{
+		Apps: "lu", Machines: "xd1", Modes: "hybrid",
+		Nodes: "0", N: "0", B: "0", PEs: "2,4,6,8", BF: "-1", L: "-1",
+		Method: "sim", Workers: 2, Quiet: true,
+		Obs: "127.0.0.1:0",
+		obsReady: func(addr string) {
+			// Poll /metrics while the sweep runs; keep the last body so
+			// the final fetch reflects completed work.
+			go func() {
+				var last string
+				for i := 0; i < 200; i++ {
+					resp, err := http.Get("http://" + addr + "/metrics")
+					if err != nil {
+						break // server closed: sweep finished
+					}
+					body, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					last = string(body)
+					time.Sleep(2 * time.Millisecond)
+				}
+				fetched <- last
+			}()
+		},
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := <-fetched
+	for _, want := range []string{
+		"sweep_points_total 4",
+		"sweep_points_done",
+		"sweep_place_hit_rate",
+		"sweep_partition_hit_rate",
+		"sweep_point_seconds_bucket",
+		`sweep_worker_busy_seconds{worker="0"}`,
+		"sim_handoffs_total",
+		"sim_self_resumes_total",
+		"sim_events_popped_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// A sim-method sweep runs real engines, so the process-wide counter
+	// sink must have seen events by the last scrape.
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "sim_events_popped_total ") {
+			if strings.TrimPrefix(line, "sim_events_popped_total ") == "0" {
+				t.Errorf("sim counters never incremented: %s", line)
+			}
+		}
+	}
+}
+
+func TestRunProgressTicker(t *testing.T) {
+	var stderr bytes.Buffer
+	log := cli.NewLogger("sweep", &stderr)
+	err := run(options{
+		Apps: "lu", Machines: "xd1", Modes: "hybrid",
+		Nodes: "0", N: "0", B: "0", PEs: "2,4,6,8", BF: "-1", L: "-1",
+		Method: "model", Workers: 2, Quiet: false, Progress: true, Log: log,
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ticker always reports the final point even on a fast sweep.
+	if !strings.Contains(stderr.String(), "sweep: 4/4 (100.0%)") {
+		t.Errorf("no final progress line in stderr:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "eta=0s") {
+		t.Errorf("final progress line missing settled ETA:\n%s", stderr.String())
 	}
 }
 

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"codesign/internal/cli"
+	"codesign/internal/obs"
+	"codesign/internal/sweep"
+)
+
+// obsProgressSink registers the sweep_* metric family on reg and
+// returns the OnProgress callback that keeps it current. total is the
+// grid size (known before the run starts, so /metrics shows the
+// denominator from the first scrape).
+func obsProgressSink(reg *obs.Registry, total int) func(sweep.Progress) {
+	reg.Gauge("sweep_points_total", "design points in the grid").Set(float64(total))
+	done := reg.Gauge("sweep_points_done", "design points evaluated so far")
+	infeasible := reg.Gauge("sweep_points_infeasible", "completed points found infeasible")
+	errored := reg.Gauge("sweep_points_errored", "completed points whose evaluation panicked")
+	elapsed := reg.Gauge("sweep_elapsed_seconds", "wall-clock seconds since the sweep started")
+	rate := reg.Gauge("sweep_rate_points_per_second", "completion rate over a moving window")
+	eta := reg.Gauge("sweep_eta_seconds", "estimated seconds to completion (-1 = unknown)")
+	placeHit := reg.Gauge("sweep_place_hit_rate", "fraction of place-and-route lookups served from memo")
+	partHit := reg.Gauge("sweep_partition_hit_rate", "fraction of partition solves served from memo")
+	pointSec := reg.Histogram("sweep_point_seconds", "per-point evaluation latency",
+		obs.ExpBuckets(1e-4, 10, 7))
+	return func(p sweep.Progress) {
+		done.Set(float64(p.Done))
+		infeasible.Set(float64(p.Infeasible))
+		errored.Set(float64(p.Errored))
+		elapsed.Set(p.Elapsed.Seconds())
+		rate.Set(p.Rate)
+		eta.Set(p.ETA.Seconds())
+		placeHit.Set(p.Stats.PlaceHitRate())
+		partHit.Set(p.Stats.PartitionHitRate())
+		pointSec.Observe(p.PointSeconds)
+		for w, busy := range p.WorkerBusy {
+			reg.Gauge(fmt.Sprintf(`sweep_worker_busy_seconds{worker="%d"}`, w),
+				"per-worker cumulative evaluation time").Set(busy.Seconds())
+		}
+	}
+}
+
+// progressTicker returns an OnProgress callback that logs a one-line
+// status at most once per interval (and always on the final point):
+//
+//	sweep: 84/126 (66.7%) infeasible=9 rate=31.2/s eta=1s place-hit=99% part-hit=84%
+func progressTicker(log *cli.Logger, interval time.Duration) func(sweep.Progress) {
+	var last time.Time
+	return func(p sweep.Progress) {
+		now := time.Now()
+		if p.Done < p.Total && now.Sub(last) < interval {
+			return
+		}
+		last = now
+		etaStr := "?"
+		if p.ETA >= 0 {
+			etaStr = p.ETA.Round(time.Second).String()
+		}
+		log.Infof("%d/%d (%.1f%%) infeasible=%d errored=%d rate=%.1f/s eta=%s place-hit=%.0f%% part-hit=%.0f%%",
+			p.Done, p.Total, p.Percent(), p.Infeasible, p.Errored,
+			p.Rate, etaStr, 100*p.Stats.PlaceHitRate(), 100*p.Stats.PartitionHitRate())
+	}
+}

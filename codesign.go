@@ -309,6 +309,9 @@ type (
 	SweepOutcome = sweep.Outcome
 	// SweepOptions tunes a sweep run (worker count, progress callback).
 	SweepOptions = sweep.Options
+	// SweepProgress is the live snapshot delivered to
+	// SweepOptions.OnProgress after each completed point.
+	SweepProgress = sweep.Progress
 	// SweepResult is a completed sweep: outcomes in deterministic
 	// order, the Pareto frontier and per-axis sensitivity tables.
 	SweepResult = sweep.Result

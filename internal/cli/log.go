@@ -1,0 +1,143 @@
+// Package cli holds the small pieces every command in cmd/ shares,
+// chiefly a leveled stderr logger with the conventional "tool:
+// message" prefix. It exists so the tools agree on flag names (-v,
+// -q), message shape and level semantics instead of each rolling its
+// own fmt.Fprintf(os.Stderr, ...) calls.
+//
+// The logger is a thin skin over log/slog: levels and structured
+// attributes come from slog, while the handler renders the terse
+// single-line form terminal users expect from a Unix tool rather than
+// slog's key=value text format.
+package cli
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync"
+)
+
+// Logger is a leveled stderr logger for a command-line tool. Every
+// line it emits is prefixed "tool: " (and, for non-info levels,
+// "tool: level: ") so interleaved output from pipelines stays
+// attributable. The zero value is unusable; construct with NewLogger.
+type Logger struct {
+	s     *slog.Logger
+	level *slog.LevelVar
+}
+
+// NewLogger returns a Logger writing single-line messages for the
+// named tool to w (conventionally os.Stderr) at Info level and above.
+func NewLogger(tool string, w io.Writer) *Logger {
+	lv := new(slog.LevelVar)
+	h := &lineHandler{mu: new(sync.Mutex), w: w, tool: tool, level: lv}
+	return &Logger{s: slog.New(h), level: lv}
+}
+
+// AddFlags registers the conventional verbosity flags on fs:
+// -v lowers the threshold to Debug, -q raises it to Error (quiet
+// tools still report failures). The flags take effect when fs is
+// parsed; -q wins if both are given.
+func (l *Logger) AddFlags(fs *flag.FlagSet) {
+	fs.BoolFunc("v", "verbose: also log debug detail", func(string) error {
+		if l.level.Level() > slog.LevelDebug {
+			l.level.Set(slog.LevelDebug)
+		}
+		return nil
+	})
+	fs.BoolFunc("q", "quiet: log errors only", func(string) error {
+		l.level.Set(slog.LevelError)
+		return nil
+	})
+}
+
+// SetLevel sets the minimum level a message needs to be emitted.
+func (l *Logger) SetLevel(lv slog.Level) { l.level.Set(lv) }
+
+// Verbose reports whether debug messages are currently emitted.
+func (l *Logger) Verbose() bool { return l.level.Level() <= slog.LevelDebug }
+
+// Quiet reports whether info messages are currently suppressed.
+func (l *Logger) Quiet() bool { return l.level.Level() > slog.LevelInfo }
+
+// Errorf logs a formatted message at Error level.
+func (l *Logger) Errorf(format string, args ...any) {
+	l.s.Error(fmt.Sprintf(format, args...))
+}
+
+// Warnf logs a formatted message at Warn level.
+func (l *Logger) Warnf(format string, args ...any) {
+	l.s.Warn(fmt.Sprintf(format, args...))
+}
+
+// Infof logs a formatted message at Info level.
+func (l *Logger) Infof(format string, args ...any) {
+	l.s.Info(fmt.Sprintf(format, args...))
+}
+
+// Debugf logs a formatted message at Debug level (emitted only
+// under -v).
+func (l *Logger) Debugf(format string, args ...any) {
+	l.s.Debug(fmt.Sprintf(format, args...))
+}
+
+// lineHandler renders slog records as "tool: message" lines. Info is
+// unprefixed beyond the tool name; other levels insert a lowercased
+// level word, matching the long-standing Unix convention
+// ("grep: warning: ..."). Attrs attached via slog's structured API are
+// appended as " k=v" pairs.
+type lineHandler struct {
+	mu    *sync.Mutex
+	w     io.Writer
+	tool  string
+	level slog.Leveler
+	attrs string
+}
+
+// Enabled implements slog.Handler.
+func (h *lineHandler) Enabled(_ context.Context, lv slog.Level) bool {
+	return lv >= h.level.Level()
+}
+
+// Handle implements slog.Handler: it writes the record as one line
+// under the handler mutex so concurrent workers never interleave.
+func (h *lineHandler) Handle(_ context.Context, r slog.Record) error {
+	var b strings.Builder
+	b.WriteString(h.tool)
+	b.WriteString(": ")
+	if r.Level != slog.LevelInfo {
+		b.WriteString(strings.ToLower(r.Level.String()))
+		b.WriteString(": ")
+	}
+	b.WriteString(r.Message)
+	b.WriteString(h.attrs)
+	r.Attrs(func(a slog.Attr) bool {
+		fmt.Fprintf(&b, " %s=%v", a.Key, a.Value)
+		return true
+	})
+	b.WriteByte('\n')
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, err := io.WriteString(h.w, b.String())
+	return err
+}
+
+// WithAttrs implements slog.Handler by pre-rendering the attrs into
+// the line suffix.
+func (h *lineHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	nh := *h
+	var b strings.Builder
+	b.WriteString(h.attrs)
+	for _, a := range attrs {
+		fmt.Fprintf(&b, " %s=%v", a.Key, a.Value)
+	}
+	nh.attrs = b.String()
+	return &nh
+}
+
+// WithGroup implements slog.Handler; groups are flattened (the tools
+// here never nest them).
+func (h *lineHandler) WithGroup(string) slog.Handler { return h }

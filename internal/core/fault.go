@@ -1,11 +1,26 @@
 package core
 
 import (
+	"fmt"
 	"math"
 
 	"codesign/internal/fault"
 	"codesign/internal/model"
+	"codesign/internal/obs"
 )
+
+// recordRepartition publishes one repartition to the run's metrics
+// registry: a core_repartitions_total counter keyed by reason and the
+// core_live_nodes gauge. A nil registry (observability off) makes this
+// a no-op, keeping fault recovery free of metric plumbing by default.
+func recordRepartition(reg *obs.Registry, reason string, live int) {
+	if reg == nil {
+		return
+	}
+	reg.Counter(fmt.Sprintf(`core_repartitions_total{reason=%q}`, reason),
+		"mid-run partition re-solves by trigger").Inc()
+	reg.Gauge("core_live_nodes", "nodes still participating in the run").Set(float64(live))
+}
 
 // Repartition records one mid-run re-solve of the design equations: the
 // virtual time and iteration it took effect, what triggered it, how many

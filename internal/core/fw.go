@@ -11,6 +11,7 @@ import (
 	"codesign/internal/machine"
 	"codesign/internal/matrix"
 	"codesign/internal/model"
+	"codesign/internal/obs"
 	"codesign/internal/sim"
 )
 
@@ -50,6 +51,10 @@ type FWConfig struct {
 	// faults are rejected — the contiguous block-column distribution
 	// cannot shed an owner. Incompatible with Functional.
 	Faults *fault.Injector
+	// Metrics, when non-nil, receives live core_* observability samples
+	// (repartition counts by reason, live-node gauge). Publishing never
+	// changes simulated results.
+	Metrics *obs.Registry
 }
 
 // FWResult extends Result with the FW-specific configuration.
@@ -353,6 +358,7 @@ func (fr *fwRun) maybeRepartition(now float64, t int) {
 		Live: fr.sys.Cfg.Nodes, L1: fr.l1, L2: fr.l2,
 		Factors: d.Normalized(),
 	})
+	recordRepartition(fr.cfg.Metrics, "divergence", fr.sys.Cfg.Nodes)
 }
 
 type fwOpKind int

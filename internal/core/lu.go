@@ -11,6 +11,7 @@ import (
 	"codesign/internal/machine"
 	"codesign/internal/matrix"
 	"codesign/internal/model"
+	"codesign/internal/obs"
 	"codesign/internal/sim"
 	"codesign/internal/trace"
 )
@@ -69,6 +70,10 @@ type LUConfig struct {
 	// nodes from the schedule. Injectors are stateful — build a fresh
 	// one per run. Incompatible with Functional.
 	Faults *fault.Injector
+	// Metrics, when non-nil, receives live core_* observability samples
+	// (repartition counts by reason, live-node gauge). Publishing never
+	// changes simulated results.
+	Metrics *obs.Registry
 }
 
 // LUResult extends Result with the LU-specific configuration and the
@@ -510,6 +515,7 @@ func (lr *luRun) applyRepartition(now float64, t int, d model.Degradation, died 
 		Time: now, Iteration: t, Reason: reason, Live: len(lr.live),
 		BF: lr.bf, BP: lr.bp, L: lr.l, Factors: d.Normalized(),
 	})
+	recordRepartition(lr.cfg.Metrics, reason, len(lr.live))
 }
 
 // execute spawns the node programs, runs the simulation, and assembles

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"codesign/internal/fault"
+	"codesign/internal/obs"
+)
+
+// A faulted LU run with a metrics registry attached must publish the
+// repartition counters and fault gauges — and must not change the
+// simulated result relative to the same run without metrics.
+func TestLUFaultMetricsPublished(t *testing.T) {
+	spec := &fault.Spec{
+		Window: 50,
+		Events: []fault.Event{
+			{Kind: fault.ThrottleBd, Node: 1, Start: 100, Duration: 500, Factor: 0.25},
+		},
+	}
+	cfg := LUConfig{N: 30000, B: 3000, BF: -1, L: -1, Mode: Hybrid}
+
+	plainCfg := cfg
+	plainCfg.Faults = mustInjector(t, spec, 6)
+	plain, err := RunLU(plainCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	obsCfg := cfg
+	obsCfg.Faults = mustInjector(t, spec, 6)
+	obsCfg.Faults.Publish(reg)
+	obsCfg.Metrics = reg
+	res, err := RunLU(obsCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if res.Seconds != plain.Seconds {
+		t.Fatalf("metrics changed the run: %v != %v", res.Seconds, plain.Seconds)
+	}
+	if len(res.Repartitions) == 0 {
+		t.Fatal("throttle triggered no repartition")
+	}
+	got := reg.Counter(`core_repartitions_total{reason="divergence"}`, "").Value()
+	if got != int64(len(res.Repartitions)) {
+		t.Errorf("core_repartitions_total{divergence} = %d, want %d", got, len(res.Repartitions))
+	}
+	if live := reg.Gauge("core_live_nodes", "").Value(); live != 6 {
+		t.Errorf("core_live_nodes = %g, want 6", live)
+	}
+	if d := reg.Counter("fault_dilations_total", "").Value(); d == 0 {
+		t.Error("no charges flowed through the published injector")
+	}
+	if r := reg.Gauge(`fault_degradation_ratio{node="1",class="bd"}`, "").Value(); r <= 0 || r > 1 {
+		t.Errorf("fault_degradation_ratio out of range: %g", r)
+	}
+}
+
+// A node-death repartition reports under its own reason label and drops
+// the live-node gauge below the full complement.
+func TestLUNodeKillMetrics(t *testing.T) {
+	spec := &fault.Spec{
+		Events: []fault.Event{{Kind: fault.NodeKill, Node: 2, Start: 200}},
+	}
+	reg := obs.NewRegistry()
+	cfg := LUConfig{N: 30000, B: 3000, BF: -1, L: -1, Mode: Hybrid,
+		Faults: mustInjector(t, spec, 6), Metrics: reg}
+	cfg.Faults.Publish(reg)
+	res, err := RunLU(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.DeadNodes) != 1 {
+		t.Fatalf("DeadNodes = %v, want one loss", res.DeadNodes)
+	}
+	if got := reg.Counter(`core_repartitions_total{reason="node-death"}`, "").Value(); got == 0 {
+		t.Error("node death published no repartition count")
+	}
+	if live := reg.Gauge("core_live_nodes", "").Value(); live != 5 {
+		t.Errorf("core_live_nodes = %g, want 5", live)
+	}
+}

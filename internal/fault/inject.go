@@ -112,6 +112,9 @@ type Injector struct {
 	window    float64
 	oracle    bool
 	hasDeaths bool
+	// m is the optional metrics sink Publish installs; nil keeps
+	// Dilate's hot path free of observability work.
+	m *metrics
 }
 
 // New validates spec against the node count, expands its probabilistic
@@ -271,6 +274,12 @@ func (in *Injector) Dilate(c Class, node int, start, dt float64) float64 {
 	out := dilate(in.segs[k], start, dt)
 	in.acc[k].nominal += dt
 	in.acc[k].actual += out
+	if in.m != nil {
+		in.m.dilations.Inc()
+		if g := in.m.degradation[k]; g != nil {
+			g.Set(dt / out)
+		}
+	}
 	return out
 }
 

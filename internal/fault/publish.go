@@ -1,0 +1,59 @@
+package fault
+
+import (
+	"fmt"
+
+	"codesign/internal/obs"
+)
+
+// metrics is the injector's optional observability sink. When nil (the
+// default) Dilate performs only a nil check; when installed by Publish
+// it keeps one live degradation gauge per scheduled (node, class) plus
+// a dilation counter, all updated with atomic stores so concurrent
+// /metrics scrapes never race the simulation.
+type metrics struct {
+	dilations   *obs.Counter
+	degradation []*obs.Gauge // indexed like segs; nil where nothing is scheduled
+}
+
+// Publish registers the injector's fault_* metric family on r and
+// turns on live updates from Dilate:
+//
+//	fault_events_total                          expanded schedule size
+//	fault_node_kills                            scheduled kill events
+//	fault_dilations_total                       charges routed through Dilate
+//	fault_degradation_ratio{node="N",class="C"} nominal/dilated ratio of the
+//	                                            most recent charge (1 = full speed)
+//
+// Ratio gauges exist only for (node, class) pairs with scheduled
+// degradation, so an undisturbed subsystem never clutters /metrics.
+// Call Publish once, before the run starts.
+func (in *Injector) Publish(r *obs.Registry) {
+	kills := 0
+	for _, e := range in.events {
+		if e.Kind == NodeKill {
+			kills++
+		}
+	}
+	r.Gauge("fault_events_total", "injected fault events in the expanded schedule").
+		Set(float64(len(in.events)))
+	r.Gauge("fault_node_kills", "scheduled node-kill events").Set(float64(kills))
+	m := &metrics{
+		dilations:   r.Counter("fault_dilations_total", "nominal charges routed through the injector"),
+		degradation: make([]*obs.Gauge, len(in.segs)),
+	}
+	for node := 0; node < in.nodes; node++ {
+		for c := Class(0); c < numClasses; c++ {
+			k := node*int(numClasses) + int(c)
+			if len(in.segs[k]) == 0 {
+				continue
+			}
+			g := r.Gauge(
+				fmt.Sprintf(`fault_degradation_ratio{node="%d",class="%s"}`, node, c),
+				"nominal/dilated duration ratio of the latest charge (1 = nominal)")
+			g.Set(1)
+			m.degradation[k] = g
+		}
+	}
+	in.m = m
+}

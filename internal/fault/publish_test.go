@@ -1,0 +1,74 @@
+package fault
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"codesign/internal/obs"
+)
+
+func TestPublishDegradationGauges(t *testing.T) {
+	spec := &Spec{Events: []Event{
+		{Kind: ThrottleBd, Node: 1, Start: 100, Duration: 500, Factor: 0.25},
+		{Kind: NodeKill, Node: 3, Start: 900},
+	}}
+	in, err := New(spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	in.Publish(reg)
+
+	if got := reg.Gauge("fault_events_total", "").Value(); got != 2 {
+		t.Errorf("fault_events_total = %g, want 2", got)
+	}
+	if got := reg.Gauge("fault_node_kills", "").Value(); got != 1 {
+		t.Errorf("fault_node_kills = %g, want 1", got)
+	}
+
+	g := reg.Gauge(`fault_degradation_ratio{node="1",class="bd"}`, "")
+	if got := g.Value(); got != 1 {
+		t.Errorf("initial degradation ratio = %g, want 1", got)
+	}
+	// A charge entirely inside the quarter-speed window dilates 4x, so
+	// the live ratio gauge drops to 0.25.
+	if out := in.Dilate(ClassDRAM, 1, 200, 10); out != 40 {
+		t.Fatalf("Dilate = %g, want 40", out)
+	}
+	if got := g.Value(); got != 0.25 {
+		t.Errorf("in-window degradation ratio = %g, want 0.25", got)
+	}
+	// A charge after the window is nominal and the gauge recovers.
+	if out := in.Dilate(ClassDRAM, 1, 1000, 10); out != 10 {
+		t.Fatalf("post-window Dilate = %g, want 10", out)
+	}
+	if got := g.Value(); got != 1 {
+		t.Errorf("post-window degradation ratio = %g, want 1", got)
+	}
+	if got := reg.Counter("fault_dilations_total", "").Value(); got != 2 {
+		t.Errorf("fault_dilations_total = %d, want 2", got)
+	}
+
+	// Only the scheduled (node, class) pair grew a ratio gauge.
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "fault_degradation_ratio{"); n != 1 {
+		t.Errorf("%d degradation gauges exported, want 1 (scheduled pairs only)", n)
+	}
+}
+
+func TestPublishNotInstalledNoDilateEffect(t *testing.T) {
+	in, err := New(&Spec{Events: []Event{
+		{Kind: ThrottleBd, Node: 0, Start: 0, Duration: 10, Factor: 0.5},
+	}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without Publish the metrics sink stays nil and Dilate still works.
+	if out := in.Dilate(ClassDRAM, 0, 0, 5); out != 10 {
+		t.Errorf("Dilate without metrics = %g, want 10", out)
+	}
+}

@@ -1,0 +1,29 @@
+// Package obs is the process-wide runtime observability layer: a
+// dependency-free metrics subsystem (atomic counters, gauges and
+// fixed-bucket histograms), a named registry with stable-sorted
+// snapshots, Prometheus text-format and stable-JSON exposition, and an
+// HTTP server mounting /metrics, /healthz, a JSON /statusz and
+// net/http/pprof.
+//
+// Where internal/trace is post-hoc — typed spans digested after a run
+// finishes — obs is live: a long design-space sweep or a future
+// codesignd server publishes counters while it works, and an operator
+// (or a scrape loop) reads them mid-flight. The package deliberately
+// has no third-party dependencies and no background goroutines of its
+// own besides the HTTP server the caller asks for, so importing it
+// costs nothing.
+//
+// Concurrency: every metric is safe for concurrent use (atomic
+// operations only, no locks on the hot path). Registration is
+// get-or-create and idempotent, so independent subsystems can claim
+// the same series without coordinating. Snapshots are stable: series
+// sort by (family, series name), never by map iteration order, so two
+// snapshots of identical state serialize byte-identically — the same
+// discipline the repository's BENCH_baseline.json gate relies on.
+//
+// Metric naming follows the Prometheus exposition conventions: a bare
+// family name ("sweep_points_done") or a family plus a fixed label set
+// baked into the series name ("sweep_worker_busy_seconds{worker=\"3\"}").
+// The registry treats the full string as the series identity and the
+// part before '{' as the family for HELP/TYPE grouping.
+package obs

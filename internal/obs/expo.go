@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// formatValue renders a float the way the Prometheus text format
+// expects: shortest round-trip representation, with +Inf/-Inf/NaN
+// spelled out.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// seriesName splices a label into a series name that may already carry
+// a label block: seriesName(`x{a="1"}`, `le`, `0.5`) = `x{a="1",le="0.5"}`.
+func seriesName(name, label, value string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:len(name)-1] + `,` + label + `="` + value + `"}`
+	}
+	return name + `{` + label + `="` + value + `"}`
+}
+
+// WritePrometheus writes every series in the Prometheus text
+// exposition format (version 0.0.4): one HELP/TYPE header per family,
+// then the series values, with histograms expanded into cumulative
+// _bucket/_sum/_count series. Output is stable-sorted and
+// byte-deterministic for identical registry state.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	lastFamily := ""
+	for _, s := range r.Snapshot() {
+		fam := family(s.Name)
+		if fam != lastFamily {
+			if s.Help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", fam, s.Help)
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", fam, s.Kind)
+			lastFamily = fam
+		}
+		if s.Kind == "histogram" {
+			for _, b := range s.Buckets {
+				fmt.Fprintf(bw, "%s %d\n",
+					seriesName(fam+"_bucket", "le", formatValue(float64(b.UpperBound))), b.Count)
+			}
+			fmt.Fprintf(bw, "%s_sum %s\n", fam, formatValue(float64(s.Sum)))
+			fmt.Fprintf(bw, "%s_count %d\n", fam, s.Count)
+			continue
+		}
+		fmt.Fprintf(bw, "%s %s\n", s.Name, formatValue(float64(s.Value)))
+	}
+	return bw.Flush()
+}
+
+// Float is a float64 that marshals non-finite values as JSON strings
+// ("+Inf", "-Inf", "NaN") instead of failing the whole document the
+// way encoding/json does — a histogram's last bucket bound is always
+// +Inf.
+type Float float64
+
+// MarshalJSON renders finite values as numbers and non-finite ones as
+// their Prometheus spelling, quoted.
+func (v Float) MarshalJSON() ([]byte, error) {
+	f := float64(v)
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return []byte(`"` + formatValue(f) + `"`), nil
+	}
+	return []byte(formatValue(f)), nil
+}
+
+// WriteJSON writes the snapshot as an indented JSON array of samples.
+// Series order is the snapshot's stable (family, name) order — never
+// map iteration order — so identical registry state yields
+// byte-identical documents, the same discipline as the repository's
+// baseline gates.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric: events popped, points
+// evaluated, repartitions fired. All methods are safe for concurrent
+// use and allocation-free.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n < 0 is a programmer error; the counter does not check,
+// but exposition reports whatever was accumulated).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down: points in flight, an ETA,
+// a degradation ratio. The value is a float64 stored atomically, so
+// readers never observe a torn write.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d to the current value with a compare-and-swap loop.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		v := math.Float64frombits(old) + d
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket distribution with deterministic bucket
+// boundaries set at construction. Buckets follow the Prometheus "le"
+// convention: observation v lands in the first bucket whose upper
+// bound is >= v, and values above every bound land in the implicit
+// +Inf bucket. Observations are lock-free.
+type Histogram struct {
+	bounds []float64      // sorted upper bounds, immutable after construction
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Int64
+	sum    Gauge
+}
+
+// newHistogram copies and sorts the bounds so the caller's slice stays
+// untouched and the boundary order is deterministic regardless of how
+// the caller built it.
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v: the "le" bucket
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// Bounds returns the bucket upper bounds (excluding the implicit +Inf
+// bucket). The caller must not modify the returned slice.
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// ExpBuckets returns n bucket bounds starting at start and growing by
+// factor: start, start*factor, start*factor^2, ... The boundaries are
+// computed by repeated multiplication, which is deterministic across
+// runs and platforms for the same (start, factor, n).
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if n < 1 || start <= 0 || factor <= 1 {
+		panic("obs: ExpBuckets needs n >= 1, start > 0, factor > 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n bucket bounds starting at start and stepping
+// by width: start, start+width, start+2*width, ... Boundaries are
+// computed by repeated addition, deterministically.
+func LinearBuckets(start, width float64, n int) []float64 {
+	if n < 1 || width <= 0 {
+		panic("obs: LinearBuckets needs n >= 1, width > 0")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v += width
+	}
+	return out
+}

@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Errorf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge = %g, want 1.5", got)
+	}
+}
+
+func TestHistogramLeSemantics(t *testing.T) {
+	h := newHistogram([]float64{1, 10, 100})
+	// A value exactly on a bound belongs to that bound's bucket (the
+	// Prometheus "le" convention), values above every bound to +Inf.
+	for _, v := range []float64{0.5, 1, 10, 99, 100, 1000} {
+		h.Observe(v)
+	}
+	want := []int64{2, 1, 2, 1} // le=1: {0.5, 1}; le=10: {10}; le=100: {99, 100}; +Inf: {1000}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 6 {
+		t.Errorf("count = %d, want 6", h.Count())
+	}
+	if h.Sum() != 0.5+1+10+99+100+1000 {
+		t.Errorf("sum = %g", h.Sum())
+	}
+}
+
+func TestBucketBoundaryDeterminism(t *testing.T) {
+	// Boundaries are built by repeated multiplication/addition, so two
+	// independent constructions must be bit-identical element-wise —
+	// the property that keeps /metrics output stable across processes.
+	a, b := ExpBuckets(1e-6, 10, 9), ExpBuckets(1e-6, 10, 9)
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			t.Errorf("ExpBuckets[%d]: %x != %x", i, a[i], b[i])
+		}
+	}
+	l1, l2 := LinearBuckets(0.5, 0.25, 16), LinearBuckets(0.5, 0.25, 16)
+	for i := range l1 {
+		if math.Float64bits(l1[i]) != math.Float64bits(l2[i]) {
+			t.Errorf("LinearBuckets[%d]: %x != %x", i, l1[i], l2[i])
+		}
+	}
+	h1 := NewRegistry().Histogram("h", "", ExpBuckets(1e-3, 10, 5))
+	h2 := NewRegistry().Histogram("h", "", ExpBuckets(1e-3, 10, 5))
+	for i := range h1.Bounds() {
+		if h1.Bounds()[i] != h2.Bounds()[i] {
+			t.Errorf("histogram bounds differ at %d", i)
+		}
+	}
+}
+
+// golden builds the registry whose exposition the golden files pin.
+func golden() *Registry {
+	r := NewRegistry()
+	r.Counter("sweep_points_done_total", "design points evaluated so far").Add(37)
+	r.Gauge("sweep_eta_seconds", "estimated seconds to completion").Set(12.5)
+	r.Gauge(`sweep_worker_busy_seconds{worker="0"}`, "per-worker evaluation time").Set(3.25)
+	r.Gauge(`sweep_worker_busy_seconds{worker="1"}`, "per-worker evaluation time").Set(2.75)
+	h := r.Histogram("sweep_point_seconds", "per-point evaluation latency", ExpBuckets(0.001, 10, 4))
+	for _, v := range []float64{0.0004, 0.002, 0.03, 0.03, 7} {
+		h.Observe(v)
+	}
+	r.Func("sim_handoffs_total", "baton handoffs between engine processes", func() float64 { return 123456 })
+	return r
+}
+
+// checkGolden compares got against the named testdata file, rewriting
+// it under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run go test ./internal/obs -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file:\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := golden().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.prom", buf.Bytes())
+}
+
+func TestJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := golden().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.json", buf.Bytes())
+}
+
+func TestSnapshotOrderIndependentOfRegistration(t *testing.T) {
+	// Build the same logical registry in reverse registration order;
+	// the serialized output must be byte-identical (stable sort, not
+	// map iteration).
+	r := NewRegistry()
+	r.Func("sim_handoffs_total", "baton handoffs between engine processes", func() float64 { return 123456 })
+	h := r.Histogram("sweep_point_seconds", "per-point evaluation latency", ExpBuckets(0.001, 10, 4))
+	for _, v := range []float64{0.0004, 0.002, 0.03, 0.03, 7} {
+		h.Observe(v)
+	}
+	r.Gauge(`sweep_worker_busy_seconds{worker="1"}`, "per-worker evaluation time").Set(2.75)
+	r.Gauge(`sweep_worker_busy_seconds{worker="0"}`, "per-worker evaluation time").Set(3.25)
+	r.Gauge("sweep_eta_seconds", "estimated seconds to completion").Set(12.5)
+	r.Counter("sweep_points_done_total", "design points evaluated so far").Add(37)
+
+	var a, b bytes.Buffer
+	if err := golden().WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("Prometheus output depends on registration order:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	a.Reset()
+	b.Reset()
+	if err := golden().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("JSON output depends on registration order")
+	}
+}
+
+func TestRegistryConcurrentHammer(t *testing.T) {
+	// GOMAXPROCS goroutines race get-or-create and updates on one
+	// registry; the race detector (CI's race job) checks safety and the
+	// final counts check that no increment was lost.
+	r := NewRegistry()
+	workers := runtime.GOMAXPROCS(0)
+	const perWorker = 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("hammer_total", "shared counter").Inc()
+				r.Gauge("hammer_gauge", "shared gauge").Set(float64(i))
+				r.Histogram("hammer_seconds", "shared histogram", []float64{0.5}).Observe(0.25)
+				if i%1000 == 0 {
+					r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	want := int64(workers) * perWorker
+	if got := r.Counter("hammer_total", "").Value(); got != want {
+		t.Errorf("counter lost increments: %d, want %d", got, want)
+	}
+	if got := r.Histogram("hammer_seconds", "", nil).Count(); got != want {
+		t.Errorf("histogram lost observations: %d, want %d", got, want)
+	}
+}
+
+func TestKindClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	for _, name := range []string{"", "0bad", "has space", `{label="only"}`} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("invalid name %q accepted", name)
+				}
+			}()
+			NewRegistry().Counter(name, "")
+		}()
+	}
+}

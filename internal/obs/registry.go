@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind classifies a registered series for exposition.
+type Kind int
+
+// The metric kinds. KindFunc series expose as gauges whose value is
+// read at snapshot time.
+const (
+	// KindCounter is a monotonically increasing count.
+	KindCounter Kind = iota
+	// KindGauge is a settable instantaneous value.
+	KindGauge
+	// KindHistogram is a fixed-bucket distribution.
+	KindHistogram
+	// KindFunc is a gauge whose value is computed at snapshot time.
+	KindFunc
+)
+
+// String names the kind in Prometheus TYPE vocabulary ("counter",
+// "gauge", "histogram"; func series report as "gauge").
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// entry is one registered series.
+type entry struct {
+	name   string // full series name, possibly with a {label="v"} suffix
+	family string // name up to the label block
+	help   string
+	kind   Kind
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	fn     func() float64
+}
+
+// Registry is a named collection of metrics. Registration is
+// get-or-create: asking twice for the same name and kind returns the
+// same metric, so independent subsystems share series without
+// coordinating. All methods are safe for concurrent use; metric
+// updates themselves never touch the registry lock.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+// family splits the HELP/TYPE grouping name off a series name:
+// everything before the first '{'.
+func family(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// validName enforces the Prometheus name charset on the family part
+// ([a-zA-Z_:][a-zA-Z0-9_:]*); the label block, if any, is taken as-is.
+func validName(name string) bool {
+	fam := family(name)
+	if fam == "" {
+		return false
+	}
+	for i, r := range fam {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// get returns the series, creating it with mk on first use. It panics
+// on an invalid name or a kind clash — both programmer errors: two
+// subsystems claiming one name as different kinds cannot both be
+// served.
+func (r *Registry) get(name, help string, kind Kind, mk func(*entry)) *entry {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, e.kind))
+		}
+		return e
+	}
+	e := &entry{name: name, family: family(name), help: help, kind: kind}
+	mk(e)
+	r.entries[name] = e
+	return e
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.get(name, help, KindCounter, func(e *entry) { e.c = &Counter{} }).c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.get(name, help, KindGauge, func(e *entry) { e.g = &Gauge{} }).g
+}
+
+// Histogram returns the named histogram, creating it on first use with
+// the given bucket upper bounds (see ExpBuckets, LinearBuckets). The
+// bounds of an already-registered histogram win; callers are expected
+// to agree on them.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	return r.get(name, help, KindHistogram, func(e *entry) { e.h = newHistogram(bounds) }).h
+}
+
+// Func registers a gauge whose value is computed by fn at snapshot
+// time — the bridge for subsystems that already keep their own atomic
+// state (e.g. the sim engine's counters). fn must be safe to call from
+// any goroutine. Re-registering the same name replaces the function.
+func (r *Registry) Func(name, help string, fn func() float64) {
+	e := r.get(name, help, KindFunc, func(e *entry) {})
+	r.mu.Lock()
+	e.fn = fn
+	r.mu.Unlock()
+}
+
+// Bucket is one cumulative histogram bucket of a snapshot: the count
+// of observations with value <= UpperBound.
+type Bucket struct {
+	// UpperBound is the bucket's inclusive upper bound (+Inf for the
+	// final bucket, serialized as the string "+Inf").
+	UpperBound Float `json:"le"`
+	// Count is the cumulative observation count at this bound.
+	Count int64 `json:"count"`
+}
+
+// Sample is one series of a snapshot. Counter, gauge and func series
+// carry Value; histograms carry Count, Sum and cumulative Buckets
+// (ending with the +Inf bucket).
+type Sample struct {
+	// Name is the full series name including any label block.
+	Name string `json:"name"`
+	// Kind is the Prometheus TYPE ("counter", "gauge", "histogram").
+	Kind string `json:"kind"`
+	// Help is the series' registered help text.
+	Help string `json:"help,omitempty"`
+	// Value is the scalar value of a counter, gauge or func series.
+	Value Float `json:"value"`
+	// Count is a histogram's observation count.
+	Count int64 `json:"observations,omitempty"`
+	// Sum is a histogram's observation sum.
+	Sum Float `json:"sum,omitempty"`
+	// Buckets are a histogram's cumulative buckets (the final entry is
+	// the +Inf bucket and equals Count).
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot captures every series, stable-sorted by (family, name) so
+// identical registry state yields identical output regardless of
+// registration or map iteration order.
+func (r *Registry) Snapshot() []Sample {
+	r.mu.Lock()
+	entries := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].family != entries[j].family {
+			return entries[i].family < entries[j].family
+		}
+		return entries[i].name < entries[j].name
+	})
+	out := make([]Sample, 0, len(entries))
+	for _, e := range entries {
+		s := Sample{Name: e.name, Kind: e.kind.String(), Help: e.help}
+		switch e.kind {
+		case KindCounter:
+			s.Value = Float(e.c.Value())
+		case KindGauge:
+			s.Value = Float(e.g.Value())
+		case KindFunc:
+			if e.fn != nil {
+				s.Value = Float(e.fn())
+			}
+		case KindHistogram:
+			// Read per-bucket counts first, then derive the cumulative
+			// view; Count/Sum may drift a hair ahead of the buckets
+			// under concurrent observation, which exposition tolerates.
+			h := e.h
+			s.Count = h.Count()
+			s.Sum = Float(h.Sum())
+			var cum int64
+			s.Buckets = make([]Bucket, len(h.counts))
+			for i := range h.counts {
+				cum += h.counts[i].Load()
+				le := math.Inf(1)
+				if i < len(h.bounds) {
+					le = h.bounds[i]
+				}
+				s.Buckets[i] = Bucket{UpperBound: Float(le), Count: cum}
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}

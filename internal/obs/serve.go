@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	"time"
+)
+
+// NewMux builds the observability HTTP mux over the registry:
+//
+//	/metrics        Prometheus text exposition
+//	/metrics.json   stable-JSON snapshot (same series, same order)
+//	/healthz        liveness probe ("ok")
+//	/statusz        JSON process status (uptime, runtime, snapshot)
+//	/debug/pprof/   the standard net/http/pprof profiling handlers
+//
+// This is the exact surface a long-running server (codesignd) mounts;
+// cmd/sweep -obs serves it for the duration of a sweep.
+func NewMux(r *Registry) *http.ServeMux {
+	start := time.Now()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		r.WriteJSON(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(Status{
+			PID:           os.Getpid(),
+			Go:            runtime.Version(),
+			GOMAXPROCS:    runtime.GOMAXPROCS(0),
+			NumGoroutine:  runtime.NumGoroutine(),
+			UptimeSeconds: time.Since(start).Seconds(),
+			Metrics:       r.Snapshot(),
+		})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Status is the /statusz document: process identity, runtime state and
+// the full metrics snapshot in one scrape.
+type Status struct {
+	// PID is the process id.
+	PID int `json:"pid"`
+	// Go is the runtime version the binary was built with.
+	Go string `json:"go"`
+	// GOMAXPROCS is the scheduler's processor limit.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// NumGoroutine is the live goroutine count at scrape time.
+	NumGoroutine int `json:"goroutines"`
+	// UptimeSeconds is time since the mux was built.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Metrics is the registry snapshot.
+	Metrics []Sample `json:"metrics"`
+}
+
+// Server is a running observability HTTP server; Close shuts it down.
+type Server struct {
+	// Addr is the bound listen address (with the real port when the
+	// caller asked for ":0").
+	Addr string
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr (e.g. "localhost:9090", or "127.0.0.1:0" for an
+// ephemeral port) and serves the observability mux in a background
+// goroutine until Close. The returned Server's Addr carries the
+// resolved address, so callers can print or scrape it.
+func Serve(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: NewMux(r)}
+	go srv.Serve(ln)
+	return &Server{Addr: ln.Addr().String(), ln: ln, srv: srv}, nil
+}
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error {
+	return s.srv.Close()
+}

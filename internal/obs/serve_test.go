@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// get fetches a path from the test server and returns status and body.
+func get(t *testing.T, addr, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("demo_events_total", "events seen").Add(7)
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	if code, body := get(t, srv.Addr, "/healthz"); code != 200 || body != "ok\n" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+
+	code, body := get(t, srv.Addr, "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{"# TYPE demo_events_total counter", "demo_events_total 7"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, srv.Addr, "/metrics.json")
+	if code != 200 {
+		t.Fatalf("/metrics.json status %d", code)
+	}
+	var samples []Sample
+	if err := json.Unmarshal([]byte(body), &samples); err != nil {
+		t.Fatalf("/metrics.json not valid JSON: %v\n%s", err, body)
+	}
+	if len(samples) != 1 || samples[0].Name != "demo_events_total" || samples[0].Value != 7 {
+		t.Errorf("unexpected /metrics.json samples: %+v", samples)
+	}
+
+	code, body = get(t, srv.Addr, "/statusz")
+	if code != 200 {
+		t.Fatalf("/statusz status %d", code)
+	}
+	var st Status
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/statusz not valid JSON: %v\n%s", err, body)
+	}
+	if st.PID <= 0 || st.Go == "" || len(st.Metrics) != 1 {
+		t.Errorf("unexpected /statusz: %+v", st)
+	}
+
+	if code, _ := get(t, srv.Addr, "/debug/pprof/"); code != 200 {
+		t.Errorf("/debug/pprof/ status %d", code)
+	}
+	if code, body := get(t, srv.Addr, "/debug/pprof/cmdline"); code != 200 || body == "" {
+		t.Errorf("/debug/pprof/cmdline = %d %q", code, body)
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("256.0.0.1:bad", NewRegistry()); err == nil {
+		t.Error("bad listen address accepted")
+	}
+}

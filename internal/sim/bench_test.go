@@ -131,3 +131,38 @@ func BenchmarkObservedWaits(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkEngineCounters prices the engine-counter sink on the
+// handoff-heavy loop of BenchmarkEventLoopHandoff: "off" is the
+// default nil sink (the counting sites must cost only a nil check, so
+// its numbers track BenchmarkEventLoopHandoff), "on" pays one atomic
+// add per counted action. cmd/perfcheck gates both against
+// BENCH_speed.json — in particular allocs/op, which must not move at
+// all when counting is enabled.
+func BenchmarkEngineCounters(b *testing.B) {
+	loop := func(b *testing.B, ctr *sim.Counters) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e := sim.New()
+			e.SetCounters(ctr)
+			for j := 0; j < 8; j++ {
+				e.Go("p", func(p *sim.Proc) {
+					for k := 0; k < 1000; k++ {
+						p.Wait(1)
+					}
+				})
+			}
+			if err := e.Run(0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { loop(b, nil) })
+	b.Run("on", func(b *testing.B) {
+		var ctr sim.Counters
+		loop(b, &ctr)
+		if ctr.EventsPopped.Load() == 0 {
+			b.Fatal("counters recorded nothing")
+		}
+	})
+}

@@ -46,6 +46,11 @@ type Engine struct {
 
 	observers []Observer
 
+	// ctr, when non-nil, receives engine-loop event counts (see
+	// Counters). Nil by default: every counting site is gated on a nil
+	// check so an unobserved engine pays nothing.
+	ctr *Counters
+
 	// waitReasons caches the formatted "wait %.3gs" / "wait until
 	// %.3g" block-reason strings by duration bits, so a traced run
 	// pays one fmt.Sprintf per distinct duration instead of one per
@@ -67,11 +72,13 @@ type waitFrontEntry struct {
 	why *parkReason
 }
 
-// New returns an empty engine with the clock at 0.
+// New returns an empty engine with the clock at 0. The engine
+// inherits the process-wide counter sink, if InstallCounters set one.
 func New() *Engine {
 	return &Engine{
 		done:     make(chan struct{}, 1),
 		abortAck: make(chan struct{}, 1),
+		ctr:      defaultCounters.Load(),
 	}
 }
 
@@ -300,6 +307,9 @@ func (e *Engine) GoAt(t float64, name string, fn func(p *Proc)) *Proc {
 func (e *Engine) spawn(t float64, name string, fn func(p *Proc)) *Proc {
 	p := &Proc{eng: e, name: name, resume: make(chan bool, 1)}
 	e.procs = append(e.procs, p)
+	if e.ctr != nil {
+		e.ctr.Spawns.Add(1)
+	}
 	go func() {
 		run := <-p.resume
 		defer func() {
@@ -357,7 +367,13 @@ func (e *Engine) dispatch(self *Proc) (resumedSelf bool) {
 		}
 		ev := e.queue.pop()
 		e.now = ev.t
+		if e.ctr != nil {
+			e.ctr.EventsPopped.Add(1)
+		}
 		if ev.p == nil {
+			if e.ctr != nil {
+				e.ctr.Callbacks.Add(1)
+			}
 			ev.fn() // scheduler-context callback
 			continue
 		}
@@ -371,7 +387,13 @@ func (e *Engine) dispatch(self *Proc) (resumedSelf bool) {
 		}
 		e.emitEvent(e.now, p.name, "resume")
 		if p == self {
+			if e.ctr != nil {
+				e.ctr.SelfResumes.Add(1)
+			}
 			return true
+		}
+		if e.ctr != nil {
+			e.ctr.Handoffs.Add(1)
 		}
 		p.resume <- true
 		return false
@@ -502,5 +524,8 @@ func (e *Engine) abortBlocked() {
 	if ev := e.queue.ev; ev != nil {
 		e.queue.ev = nil
 		queuePool.Put(ev)
+		if e.ctr != nil {
+			e.ctr.QueueRecycles.Add(1)
+		}
 	}
 }

@@ -55,6 +55,9 @@ func (m *Mailbox) Put(v any) {
 		}
 		m.queue = m.queue[:n]
 		m.qhead = 0
+		if m.eng.ctr != nil {
+			m.eng.ctr.Compactions.Add(1)
+		}
 	}
 	m.queue = append(m.queue, v)
 	if m.whead < len(m.waiters) {
@@ -84,6 +87,9 @@ func (m *Mailbox) Get(p *Proc) any {
 			}
 			m.waiters = m.waiters[:n]
 			m.whead = 0
+			if m.eng.ctr != nil {
+				m.eng.ctr.Compactions.Add(1)
+			}
 		}
 		m.waiters = append(m.waiters, p)
 		p.park(parkOn, m.why, 0)

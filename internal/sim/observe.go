@@ -140,6 +140,9 @@ func (e *Engine) Observe(o Observer) {
 // that synthesize their own spans (outside the Proc.WaitSpan and
 // Resource paths) may use it directly.
 func (e *Engine) EmitSpan(s SpanEvent) {
+	if e.ctr != nil {
+		e.ctr.SpansEmitted.Add(1)
+	}
 	for _, o := range e.observers {
 		o.Span(s)
 	}

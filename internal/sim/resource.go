@@ -86,6 +86,9 @@ func (r *Resource) Acquire(p *Proc) {
 		}
 		r.waiters = r.waiters[:n]
 		r.whead = 0
+		if r.eng.ctr != nil {
+			r.eng.ctr.Compactions.Add(1)
+		}
 	}
 	r.waiters = append(r.waiters, waiter{p: p, since: since})
 	p.park(parkOn, r.why, 0)

@@ -1,0 +1,137 @@
+package sweep
+
+import (
+	"strings"
+	"time"
+)
+
+// Progress is a live snapshot of a running sweep, delivered to
+// Options.OnProgress after each completed point. It carries everything
+// a progress line, an ETA display or a metrics exporter needs without
+// touching the sweep's internals.
+type Progress struct {
+	// Total is the grid size; Done the points completed so far
+	// (Done == Total on the final call).
+	Total, Done int
+	// Infeasible counts completed points whose evaluation was
+	// infeasible (a design that does not fit, a divisibility
+	// violation); Errored counts points whose evaluation panicked and
+	// was converted to an infeasible outcome.
+	Infeasible, Errored int
+	// Stats is the memoizer traffic so far (Points is left 0 until the
+	// run completes); use its hit-rate helpers for live cache
+	// visibility.
+	Stats Stats
+	// Elapsed is wall-clock time since Run started evaluating.
+	Elapsed time.Duration
+	// PointSeconds is the evaluation wall time of the point that
+	// triggered this callback.
+	PointSeconds float64
+	// Rate is the completion rate in points/second over a moving
+	// window of recent completions (0 until two points complete).
+	Rate float64
+	// ETA estimates the remaining wall-clock time from Rate; it is
+	// negative while no estimate exists and 0 on the final call.
+	ETA time.Duration
+	// WorkerBusy is each worker's cumulative evaluation time, indexed
+	// by worker; the slice is freshly allocated per callback and may
+	// be retained.
+	WorkerBusy []time.Duration
+}
+
+// Percent returns completion in [0, 100].
+func (p Progress) Percent() float64 {
+	if p.Total == 0 {
+		return 0
+	}
+	return 100 * float64(p.Done) / float64(p.Total)
+}
+
+// PlaceHitRate returns the fraction of place-and-route lookups served
+// from the memo cache (0 before any lookup).
+func (s Stats) PlaceHitRate() float64 {
+	if s.PlaceLookups == 0 {
+		return 0
+	}
+	return float64(s.PlaceLookups-s.PlaceSolves) / float64(s.PlaceLookups)
+}
+
+// PartitionHitRate returns the fraction of partition-solve lookups
+// served from the memo cache (0 before any lookup).
+func (s Stats) PartitionHitRate() float64 {
+	if s.PartitionLookups == 0 {
+		return 0
+	}
+	return float64(s.PartitionLookups-s.PartitionSolves) / float64(s.PartitionLookups)
+}
+
+// rateWindowSize bounds the moving completion window the ETA derives
+// from: big enough to smooth worker-count jitter, small enough to
+// track rate shifts (model-mode points after a sim-mode stretch).
+const rateWindowSize = 32
+
+// progressTracker accumulates per-completion state for OnProgress.
+// All mutation happens under Run's notify mutex, so it needs no
+// locking of its own.
+type progressTracker struct {
+	total int
+	start time.Time
+	done  int
+	infes int
+	errs  int
+	busy  []time.Duration
+	// times is a ring of the most recent completion timestamps.
+	times [rateWindowSize]time.Time
+	n     int
+}
+
+func newProgressTracker(total, workers int) *progressTracker {
+	return &progressTracker{total: total, start: time.Now(), busy: make([]time.Duration, workers)}
+}
+
+// completed folds one finished point into the tracker and returns the
+// snapshot to publish. worker is the index of the evaluating worker,
+// d its wall-clock evaluation time.
+func (pt *progressTracker) completed(out *Outcome, stats Stats, worker int, d time.Duration) Progress {
+	now := time.Now()
+	pt.done++
+	if !out.OK {
+		if strings.HasPrefix(out.Err, "panic:") {
+			pt.errs++
+		} else {
+			pt.infes++
+		}
+	}
+	pt.busy[worker] += d
+	pt.times[pt.n%rateWindowSize] = now
+	pt.n++
+
+	p := Progress{
+		Total: pt.total, Done: pt.done,
+		Infeasible: pt.infes, Errored: pt.errs,
+		Stats:        stats,
+		Elapsed:      now.Sub(pt.start),
+		PointSeconds: d.Seconds(),
+		ETA:          -1,
+		WorkerBusy:   append([]time.Duration(nil), pt.busy...),
+	}
+	// Rate over the window: count completions between the oldest
+	// retained timestamp and now.
+	if pt.n >= 2 {
+		span := pt.n
+		if span > rateWindowSize {
+			span = rateWindowSize
+		}
+		oldest := pt.times[(pt.n-span)%rateWindowSize]
+		if dt := now.Sub(oldest).Seconds(); dt > 0 {
+			p.Rate = float64(span-1) / dt
+		}
+	}
+	switch {
+	case pt.done == pt.total:
+		p.ETA = 0
+	case p.Rate > 0:
+		p.ETA = time.Duration(float64(pt.total-pt.done) / p.Rate * float64(time.Second))
+	}
+	return p
+}

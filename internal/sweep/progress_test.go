@@ -1,0 +1,138 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+)
+
+func TestOnProgressCoversEveryPoint(t *testing.T) {
+	g := bigGrid()
+	total := g.NumPoints()
+	var snaps []Progress
+	results := 0
+	res, err := Run(context.Background(), g, Options{
+		Workers:  4,
+		OnResult: func(Point, Outcome) { results++ },
+		OnProgress: func(p Progress) {
+			// OnResult for the same point precedes OnProgress, and both
+			// are serialized, so the result count always covers Done.
+			if results < p.Done {
+				t.Errorf("progress Done=%d saw only %d OnResult calls", p.Done, results)
+			}
+			snaps = append(snaps, p)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != total {
+		t.Fatalf("got %d progress callbacks, want %d", len(snaps), total)
+	}
+	for i, p := range snaps {
+		if p.Done != i+1 || p.Total != total {
+			t.Fatalf("snapshot %d: Done=%d Total=%d, want Done=%d Total=%d", i, p.Done, p.Total, i+1, total)
+		}
+		if len(p.WorkerBusy) != 4 {
+			t.Fatalf("snapshot %d: %d worker-busy entries, want 4", i, len(p.WorkerBusy))
+		}
+		if p.PointSeconds < 0 || p.Elapsed < 0 {
+			t.Fatalf("snapshot %d: negative timing %+v", i, p)
+		}
+	}
+	last := snaps[len(snaps)-1]
+	if last.ETA != 0 {
+		t.Errorf("final ETA = %v, want 0", last.ETA)
+	}
+	if got := last.Percent(); got != 100 {
+		t.Errorf("final Percent = %g, want 100", got)
+	}
+	if last.Infeasible+last.Errored != res.Stats.Errors {
+		t.Errorf("Infeasible+Errored = %d+%d, want Stats.Errors = %d",
+			last.Infeasible, last.Errored, res.Stats.Errors)
+	}
+	if last.Stats.PlaceLookups == 0 {
+		t.Error("final snapshot carries no memoizer stats")
+	}
+	var busy time.Duration
+	for _, d := range last.WorkerBusy {
+		busy += d
+	}
+	if busy <= 0 {
+		t.Error("no worker accumulated busy time")
+	}
+}
+
+func TestOnProgressETABecomesFinite(t *testing.T) {
+	sawEstimate := false
+	_, err := Run(context.Background(), bigGrid(), Options{
+		Workers: 2,
+		OnProgress: func(p Progress) {
+			if p.Done < p.Total && p.ETA >= 0 {
+				sawEstimate = true
+			}
+			if p.Done < p.Total && p.Rate > 0 && p.ETA < 0 {
+				t.Errorf("rate %g known but ETA withheld at Done=%d", p.Rate, p.Done)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawEstimate {
+		t.Error("no mid-run snapshot carried an ETA estimate")
+	}
+}
+
+func TestStatsHitRates(t *testing.T) {
+	s := Stats{PlaceLookups: 100, PlaceSolves: 1, PartitionLookups: 50, PartitionSolves: 10}
+	if got := s.PlaceHitRate(); got != 0.99 {
+		t.Errorf("PlaceHitRate = %g, want 0.99", got)
+	}
+	if got := s.PartitionHitRate(); got != 0.8 {
+		t.Errorf("PartitionHitRate = %g, want 0.8", got)
+	}
+	var zero Stats
+	if zero.PlaceHitRate() != 0 || zero.PartitionHitRate() != 0 {
+		t.Error("zero-traffic hit rates must be 0, not NaN")
+	}
+}
+
+func TestProgressClassifiesPanicsAsErrored(t *testing.T) {
+	pt := newProgressTracker(3, 1)
+	snap := pt.completed(&Outcome{OK: true}, Stats{}, 0, time.Millisecond)
+	if snap.Infeasible != 0 || snap.Errored != 0 {
+		t.Errorf("OK outcome misclassified: %+v", snap)
+	}
+	snap = pt.completed(&Outcome{Err: "partition: b not divisible"}, Stats{}, 0, time.Millisecond)
+	if snap.Infeasible != 1 || snap.Errored != 0 {
+		t.Errorf("infeasible outcome misclassified: %+v", snap)
+	}
+	snap = pt.completed(&Outcome{Err: "panic: index out of range"}, Stats{}, 0, time.Millisecond)
+	if snap.Infeasible != 1 || snap.Errored != 1 {
+		t.Errorf("panicking outcome misclassified: %+v", snap)
+	}
+	if snap.Done != 3 || snap.ETA != 0 {
+		t.Errorf("final tracker snapshot: %+v", snap)
+	}
+}
+
+func TestProgressDeterminismUnaffected(t *testing.T) {
+	// Attaching OnProgress must not change the Result bytes.
+	plain := runJSON(t, bigGrid(), 4)
+	res, err := Run(context.Background(), bigGrid(), Options{
+		Workers:    4,
+		OnProgress: func(Progress) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(plain) != buf.String() {
+		t.Error("OnProgress changed the serialized Result")
+	}
+}

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // Options tunes a sweep run. The zero value is a sensible default:
-// one worker per CPU, no progress callback.
+// one worker per CPU and no callbacks — Run then reports nothing until
+// it returns the completed Result.
 type Options struct {
 	// Workers bounds the evaluation pool; <= 0 uses
 	// runtime.GOMAXPROCS(0). Worker count never changes results, only
@@ -19,6 +21,14 @@ type Options struct {
 	// order, not Index order; the final Result is always Index-ordered
 	// regardless.
 	OnResult func(Point, Outcome)
+	// OnProgress, when non-nil, is invoked once per completed point
+	// with a live snapshot of the whole run. Calls are serialized (and
+	// serialized against OnResult, which for the same point always
+	// precedes them) and arrive in completion order; unless the context
+	// cancels the sweep early, the final call has Done == Total and
+	// ETA == 0. The callback runs on a worker goroutine, so a slow
+	// callback slows the sweep.
+	OnProgress func(Progress)
 }
 
 // safeEvaluate runs one point's evaluation, converting a panic from a
@@ -101,25 +111,39 @@ func Run(ctx context.Context, g Grid, opts Options) (*Result, error) {
 	var (
 		wg       sync.WaitGroup
 		notifyMu sync.Mutex
+		tracker  *progressTracker
 	)
+	if opts.OnProgress != nil {
+		tracker = newProgressTracker(len(points), workers)
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range jobs {
 				if ctx.Err() != nil {
 					return
 				}
+				start := time.Now()
 				outcomes[i] = safeEvaluate(func() Outcome {
 					return ev.evaluate(points[i], norm.Method)
 				})
-				if opts.OnResult != nil {
+				elapsed := time.Since(start)
+				if opts.OnResult != nil || tracker != nil {
 					notifyMu.Lock()
-					opts.OnResult(points[i], outcomes[i])
+					if opts.OnResult != nil {
+						opts.OnResult(points[i], outcomes[i])
+					}
+					if tracker != nil {
+						ev.mu.Lock()
+						stats := ev.stats
+						ev.mu.Unlock()
+						opts.OnProgress(tracker.completed(&outcomes[i], stats, worker, elapsed))
+					}
 					notifyMu.Unlock()
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
