@@ -54,6 +54,8 @@ func main() {
 	flag.StringVar(&o.TraceOut, "trace-out", "", "write a Chrome/Perfetto trace_event JSON file of the run")
 	flag.StringVar(&o.MetricsOut, "metrics-out", "", "write the run's metrics registry as CSV to `file`")
 	flag.StringVar(&o.SpansOut, "spans-out", "", "write the raw typed spans as CSV to `file`")
+	flag.StringVar(&o.SpansJSON, "spans-json", "", "write the typed spans with run metadata as JSONL to `file` (tracediff input)")
+	flag.StringVar(&o.DiffAgainst, "diff-against", "", "diff this run against a persisted span `file` (JSONL or CSV) and print the differential analysis")
 	flag.StringVar(&o.Obs, "obs", "", "serve /metrics, /statusz and pprof on `addr` during the run")
 	flag.DurationVar(&o.ObsHold, "obs-hold", 0, "keep the -obs server up this long after the run completes")
 	log.AddFlags(flag.CommandLine)
@@ -90,8 +92,12 @@ type options struct {
 	TraceOut   string
 	MetricsOut string
 	SpansOut   string
-	Obs        string
-	ObsHold    time.Duration
+	// SpansJSON persists the span stream with run metadata (JSONL).
+	SpansJSON string
+	// DiffAgainst diffs this run against a persisted span file.
+	DiffAgainst string
+	Obs         string
+	ObsHold     time.Duration
 }
 
 func machineByName(name string) (machine.Config, error) {
@@ -189,13 +195,16 @@ func run(o options) error {
 		}()
 	}
 
-	// The recorder doubles as the span sink for -trace-out, -analyze
-	// and -spans-out. Keep the Observer interface value nil unless a
-	// recorder exists: a typed nil *trace.Recorder inside a non-nil
-	// interface would still be invoked by the engine.
+	// The recorder doubles as the span sink for -trace-out, -analyze,
+	// -spans-out, -spans-json and -diff-against; -faults records too,
+	// so the resilience report can attribute the dilation to phases.
+	// Keep the Observer interface value nil unless a recorder exists: a
+	// typed nil *trace.Recorder inside a non-nil interface would still
+	// be invoked by the engine.
 	var rec *trace.Recorder
 	var spanObs sim.Observer
-	if o.TraceOut != "" || o.SpansOut != "" || o.Analyze {
+	if o.TraceOut != "" || o.SpansOut != "" || o.Analyze ||
+		o.SpansJSON != "" || o.DiffAgainst != "" || o.Faults != "" {
 		rec = trace.NewRecorder()
 		spanObs = rec
 	}
@@ -291,8 +300,26 @@ func run(o options) error {
 	}
 
 	if inj != nil {
-		if err := printResilience(o, mc, md, spec, res, len(inj.Events())); err != nil {
+		if err := printResilience(o, mc, md, spec, res, rec, len(inj.Events())); err != nil {
 			return fmt.Errorf("resilience: %w", err)
+		}
+	}
+	if o.DiffAgainst != "" {
+		meta, baseSpans, err := trace.ReadSpansFile(o.DiffAgainst)
+		if err != nil {
+			return fmt.Errorf("diff-against: %w", err)
+		}
+		baseLabel := meta.Label
+		if baseLabel == "" {
+			baseLabel = o.DiffAgainst
+		}
+		cmp := analysis.Compare(
+			analysis.Run{Label: baseLabel, Makespan: meta.Makespan, Spans: baseSpans},
+			analysis.Run{Label: "this run", Makespan: res.Seconds, Spans: rec.SpansView(), Expected: expected},
+		)
+		fmt.Println()
+		if err := cmp.WriteReport(os.Stdout); err != nil {
+			return fmt.Errorf("diff-against: %w", err)
 		}
 	}
 	if o.Analyze {
@@ -316,6 +343,15 @@ func run(o options) error {
 		}
 		fmt.Printf("spans:             %d spans -> %s\n", len(rec.Spans()), o.SpansOut)
 	}
+	if o.SpansJSON != "" {
+		meta := trace.Meta{App: o.App, Machine: mc.Name, Label: o.App, Makespan: res.Seconds}
+		if err := writeTo(o.SpansJSON, func(w io.Writer) error {
+			return rec.WriteSpans(w, meta)
+		}); err != nil {
+			return fmt.Errorf("spans-json: %w", err)
+		}
+		fmt.Printf("spans:             %d spans -> %s (JSONL, tracediff input)\n", len(rec.SpansView()), o.SpansJSON)
+	}
 	if o.TraceOut != "" {
 		if err := writeTo(o.TraceOut, rec.WritePerfetto); err != nil {
 			return fmt.Errorf("trace-out: %w", err)
@@ -328,25 +364,28 @@ func run(o options) error {
 
 // printResilience re-runs the app fault-free and with an oracle
 // detector, then prints the resilience summary for the faulted run
-// already in res.
-func printResilience(o options, mc machine.Config, md core.Mode, spec *fault.Spec, res *core.Result, events int) error {
-	ref := func(in *fault.Injector) (float64, error) {
+// already in res. The nominal reference records its spans so the
+// report can attribute the dilation to phases (rec holds the faulted
+// run's spans).
+func printResilience(o options, mc machine.Config, md core.Mode, spec *fault.Spec, res *core.Result, rec *trace.Recorder, events int) error {
+	ref := func(in *fault.Injector, obs sim.Observer) (float64, error) {
 		if o.App == "lu" {
 			r, err := core.RunLU(core.LUConfig{Machine: mc, N: o.N, B: o.B,
-				PEs: o.PEs, BF: o.BF, L: o.L, Mode: md, Faults: in})
+				PEs: o.PEs, BF: o.BF, L: o.L, Mode: md, Faults: in, Observer: obs})
 			if err != nil {
 				return 0, err
 			}
 			return r.Seconds, nil
 		}
 		r, err := core.RunFW(core.FWConfig{Machine: mc, N: o.N, B: o.B,
-			PEs: o.PEs, L1: o.L1, Mode: md, Faults: in})
+			PEs: o.PEs, L1: o.L1, Mode: md, Faults: in, Observer: obs})
 		if err != nil {
 			return 0, err
 		}
 		return r.Seconds, nil
 	}
-	nominal, err := ref(nil)
+	nomRec := trace.NewRecorder()
+	nominal, err := ref(nil, nomRec)
 	if err != nil {
 		return fmt.Errorf("nominal reference: %w", err)
 	}
@@ -354,7 +393,7 @@ func printResilience(o options, mc machine.Config, md core.Mode, spec *fault.Spe
 	if err != nil {
 		return err
 	}
-	oracle, err := ref(oinj)
+	oracle, err := ref(oinj, nil)
 	if err != nil {
 		return fmt.Errorf("oracle reference: %w", err)
 	}
@@ -367,6 +406,12 @@ func printResilience(o options, mc machine.Config, md core.Mode, spec *fault.Spe
 	}
 	for _, rp := range res.Repartitions {
 		r.RepartitionTimes = append(r.RepartitionTimes, rp.Time)
+	}
+	if rec != nil {
+		r.AttributeOverhead(
+			analysis.Run{Makespan: nominal, Spans: nomRec.SpansView()},
+			analysis.Run{Makespan: res.Seconds, Spans: rec.SpansView()},
+		)
 	}
 	fmt.Println()
 	return r.WriteReport(os.Stdout)

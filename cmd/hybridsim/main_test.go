@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"codesign/internal/core"
+	"codesign/internal/trace"
 )
 
 func TestMachineByName(t *testing.T) {
@@ -116,6 +117,38 @@ func TestRunExportFiles(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("metrics CSV missing overlap.efficiency")
+	}
+}
+
+func TestRunSpansJSONAndDiffAgainst(t *testing.T) {
+	dir := t.TempDir()
+	o := small("lu")
+	o.Metrics, o.Functional = false, false
+	o.SpansJSON = filepath.Join(dir, "base.spans")
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	meta, spans, err := trace.ReadSpansFile(o.SpansJSON)
+	if err != nil {
+		t.Fatalf("persisted spans unreadable: %v", err)
+	}
+	if meta.App != "lu" || meta.Makespan <= 0 || len(spans) == 0 {
+		t.Fatalf("bad persisted meta %+v with %d spans", meta, len(spans))
+	}
+
+	// A second run with a different design diffs against the archive.
+	o2 := small("lu")
+	o2.Metrics, o2.Functional = false, false
+	o2.PEs = 2
+	o2.DiffAgainst = o.SpansJSON
+	if err := run(o2); err != nil {
+		t.Fatalf("diff-against: %v", err)
+	}
+
+	// A bad base file is a clean error, not a panic.
+	o2.DiffAgainst = filepath.Join(dir, "missing.spans")
+	if err := run(o2); err == nil {
+		t.Fatal("missing -diff-against file accepted")
 	}
 }
 

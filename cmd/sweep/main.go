@@ -53,6 +53,7 @@ func main() {
 	flag.IntVar(&o.Workers, "workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	flag.StringVar(&o.JSONOut, "out", "", "write full results as JSON to `file` (\"-\" = stdout)")
 	flag.StringVar(&o.CSVOut, "csv", "", "write per-point results as CSV to `file` (\"-\" = stdout)")
+	flag.StringVar(&o.ArchiveSpans, "archive-spans", "", "re-simulate the Pareto frontier and persist each point's spans as JSONL under `dir` (tracediff inputs)")
 	flag.BoolVar(&o.Quiet, "q", false, "suppress the frontier/summary report and progress logging")
 	flag.BoolVar(&o.Verbose, "v", false, "verbose: also log debug detail")
 	flag.BoolVar(&o.Progress, "progress", false, "log live progress with ETA to stderr")
@@ -84,12 +85,15 @@ type options struct {
 	Workers  int
 	JSONOut  string
 	CSVOut   string
-	Quiet    bool
-	Verbose  bool
-	Progress bool
-	Obs      string
-	ObsHold  time.Duration
-	Log      *cli.Logger
+	// ArchiveSpans persists the frontier's span streams under a
+	// directory for later differential analysis.
+	ArchiveSpans string
+	Quiet        bool
+	Verbose      bool
+	Progress     bool
+	Obs          string
+	ObsHold      time.Duration
+	Log          *cli.Logger
 	// obsReady, when non-nil, receives the bound -obs listen address
 	// before the sweep starts (tests use it with an ephemeral :0 port).
 	obsReady func(addr string)
@@ -202,6 +206,13 @@ func run(o options, stdout io.Writer) error {
 		if err := writeTo(o.CSVOut, stdout, res.WriteCSV); err != nil {
 			return fmt.Errorf("csv: %w", err)
 		}
+	}
+	if o.ArchiveSpans != "" {
+		paths, err := sweep.ArchiveFrontierSpans(res, o.ArchiveSpans)
+		if err != nil {
+			return fmt.Errorf("archive-spans: %w", err)
+		}
+		log.Infof("archived %d frontier span files under %s", len(paths), o.ArchiveSpans)
 	}
 	if o.Quiet {
 		return nil

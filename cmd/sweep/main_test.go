@@ -70,6 +70,32 @@ func TestRunGridFileAndCSV(t *testing.T) {
 	}
 }
 
+func TestRunArchiveSpans(t *testing.T) {
+	dir := t.TempDir()
+	spansDir := filepath.Join(dir, "frontier")
+	var buf bytes.Buffer
+	err := run(options{
+		Apps: "lu", Machines: "xd1", Modes: "hybrid",
+		Nodes: "0", N: "120", B: "40", PEs: "0", BF: "-1", L: "-1",
+		Method: "sim", ArchiveSpans: spansDir, Quiet: true,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(spansDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no frontier span files archived")
+	}
+	for _, e := range entries {
+		if !strings.HasPrefix(e.Name(), "point-") || !strings.HasSuffix(e.Name(), ".spans") {
+			t.Fatalf("unexpected archive file %q", e.Name())
+		}
+	}
+}
+
 func TestRunObsServesMetricsDuringSweep(t *testing.T) {
 	var buf bytes.Buffer
 	fetched := make(chan string, 1)

@@ -34,6 +34,7 @@ package codesign
 
 import (
 	"context"
+	"io"
 
 	"codesign/internal/analysis"
 	"codesign/internal/core"
@@ -390,3 +391,65 @@ func NewFaultInjector(spec *FaultSpec, nodes int) (*FaultInjector, error) {
 // LoadFaultSpec reads and parses a fault spec JSON file, rejecting
 // unknown fields.
 func LoadFaultSpec(path string) (*FaultSpec, error) { return fault.Load(path) }
+
+// Differential run analysis (internal/trace persistence +
+// internal/analysis.Compare, DESIGN.md §11). Persist a run's span
+// stream with WriteSpans, reload it (or an old WriteSpansCSV dump)
+// with ReadSpansFile, and explain the difference between two runs with
+// CompareRuns: the makespan delta decomposes into per-phase and
+// per-resource contributions that sum exactly to the attributed total,
+// the critical paths are diffed, and bottleneck-binding transitions
+// are reported against the Eq. 4-6 predictions. See also
+// cmd/tracediff, hybridsim -spans-json/-diff-against and
+// cmd/sweep -archive-spans.
+type (
+	// SpanMeta is the run metadata header of a persisted span stream.
+	SpanMeta = trace.Meta
+	// SpanRecord is the serialized form of one SpanEvent — the single
+	// schema shared by the JSONL, CSV and Perfetto exporters.
+	SpanRecord = trace.SpanRecord
+	// ComparisonRun is one side of a differential comparison: a label,
+	// a makespan, the span stream, and optional expected bindings.
+	ComparisonRun = analysis.Run
+	// Comparison is the full differential analysis of two runs.
+	Comparison = analysis.Comparison
+	// ComparisonPhaseDelta is one phase's contribution to the makespan
+	// delta, split into busy/wait/idle movement.
+	ComparisonPhaseDelta = analysis.PhaseDelta
+	// ComparisonResourceDelta is one resource's contribution.
+	ComparisonResourceDelta = analysis.ResourceDelta
+	// ComparisonBindingShift reports one phase's bottleneck-binding
+	// transition between the two runs.
+	ComparisonBindingShift = analysis.BindingShift
+	// ComparisonCritPath diffs the two runs' critical paths.
+	ComparisonCritPath = analysis.CritPathDiff
+	// FaultPhaseOverhead is one phase's share of a faulted run's
+	// dilation (Resilience.Overheads).
+	FaultPhaseOverhead = analysis.PhaseOverhead
+)
+
+// CompareRuns runs the differential analysis engine over two runs.
+// Render the result with (*Comparison).WriteReport (human table) or
+// (*Comparison).WriteJSON (byte-deterministic JSON).
+func CompareRuns(base, cand ComparisonRun) *Comparison { return analysis.Compare(base, cand) }
+
+// WriteSpans persists a span stream as versioned JSONL: one metadata
+// header line followed by one SpanRecord per span.
+func WriteSpans(w io.Writer, meta SpanMeta, spans []SpanEvent) error {
+	return trace.WriteSpans(w, meta, spans)
+}
+
+// ReadSpans reads a JSONL span stream written by WriteSpans.
+func ReadSpans(r io.Reader) (SpanMeta, []SpanEvent, error) { return trace.ReadSpans(r) }
+
+// ReadSpansFile reads a persisted span file, sniffing the format: the
+// JSONL of WriteSpans or the CSV of (*Recorder).WriteSpansCSV (old or
+// new header).
+func ReadSpansFile(path string) (SpanMeta, []SpanEvent, error) { return trace.ReadSpansFile(path) }
+
+// ArchiveFrontierSpans re-simulates every Pareto-optimal point of a
+// completed sweep and persists each span stream as JSONL under dir,
+// returning the files written.
+func ArchiveFrontierSpans(res *SweepResult, dir string) ([]string, error) {
+	return sweep.ArchiveFrontierSpans(res, dir)
+}

@@ -29,15 +29,20 @@ type Options struct {
 
 // Report is the full attribution of one run.
 type Report struct {
+	// Makespan is the run's virtual finish time in seconds.
 	Makespan float64
 
 	// CriticalPath is the chain of hops whose durations partition
 	// [0, makespan]; CriticalPathTotal is their sum (equal to Makespan
 	// up to float summation order).
-	CriticalPath      []Hop
+	CriticalPath []Hop
+	// CriticalPathTotal is the summed duration of CriticalPath.
 	CriticalPathTotal float64
 
-	Phases    []PhaseStats
+	// Phases is the per-phase busy-time breakdown and bottleneck
+	// classification, ordered by first span start.
+	Phases []PhaseStats
+	// Timelines is the per-resource binned activity, ordered by name.
 	Timelines []ResourceTimeline
 }
 

@@ -19,7 +19,9 @@ const BaselineSchema = 1
 // deterministic, so the same build always serializes identical bytes —
 // which is what lets -check demand a zero diff against a fresh rerun.
 type Baseline struct {
-	Schema  int                `json:"schema"`
+	// Schema is the file's schema version (see BaselineSchema).
+	Schema int `json:"schema"`
+	// Metrics maps metric name to its recorded value.
 	Metrics map[string]float64 `json:"metrics"`
 }
 
@@ -92,7 +94,9 @@ func ReadBaselineFile(path string) (*Baseline, error) {
 
 // Delta is one metric's divergence between two baselines.
 type Delta struct {
-	Name     string
+	// Name is the diverging metric's name.
+	Name string
+	// Old and New are the metric's values in the two baselines.
 	Old, New float64
 	// Rel is |New-Old| normalized by max(|Old|, |New|); 0 for an exact
 	// match, meaningless when Missing or Extra is set.
@@ -102,6 +106,7 @@ type Delta struct {
 	Missing, Extra bool
 }
 
+// String renders the delta as a one-line human diagnostic.
 func (d Delta) String() string {
 	switch {
 	case d.Missing:

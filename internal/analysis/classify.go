@@ -32,13 +32,15 @@ type PhaseStats struct {
 	// balanced — the partitioning did its job — and the named side won
 	// only narrowly.
 	Binding model.Binding
-	Margin  float64
+	// Margin is the normalized imbalance behind Binding.
+	Margin float64
 
 	// Expected is the analytic model's predicted binding for the phase
 	// (BindNone when the caller supplied no prediction), and Agree
 	// whether measurement matched it.
 	Expected model.Binding
-	Agree    bool
+	// Agree reports whether Binding matched Expected.
+	Agree bool
 }
 
 // TotalBusy returns the phase's classified work: Tf+Tp+Tmem+Tcomm.

@@ -1,0 +1,894 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"codesign/internal/model"
+	"codesign/internal/sim"
+	"codesign/internal/trace"
+)
+
+// CompareSchema is the schema version stamped into Comparison JSON;
+// bump it when field names or semantics change incompatibly.
+const CompareSchema = 1
+
+// Run is one side of a differential comparison: a recorded span stream
+// plus the context needed to attribute and classify it.
+type Run struct {
+	// Label names the run in reports ("nominal", a file path, ...).
+	Label string
+	// Makespan is the run's total virtual seconds; 0 derives it from
+	// the latest span end.
+	Makespan float64
+	// Spans is the run's typed span stream.
+	Spans []sim.SpanEvent
+	// Expected maps phase label to the Eq. 4–6 predicted binding
+	// (optional; nil disables the prediction comparison).
+	Expected map[string]model.Binding
+}
+
+// ClassSeconds splits attributed exposed time into the model's cost
+// classes (Tf, Tp, Tmem, Tcomm), sync waiting, and idle slack. Unlike
+// the busy sums in PhaseStats, these never double count: every instant
+// of the run is attributed to exactly one (class, phase, resource).
+type ClassSeconds struct {
+	// Tf is FPGA compute seconds.
+	Tf float64 `json:"tf_s"`
+	// Tp is processor compute seconds.
+	Tp float64 `json:"tp_s"`
+	// Tmem is DRAM streaming seconds.
+	Tmem float64 `json:"tmem_s"`
+	// Tcomm is network communication seconds.
+	Tcomm float64 `json:"tcomm_s"`
+	// Sync is time queued on contended resources.
+	Sync float64 `json:"sync_s"`
+	// Idle is time with no recorded span active.
+	Idle float64 `json:"idle_s"`
+}
+
+// Busy sums the classified work classes (Tf+Tp+Tmem+Tcomm) in fixed
+// order.
+func (c ClassSeconds) Busy() float64 { return c.Tf + c.Tp + c.Tmem + c.Tcomm }
+
+// Total sums all classes including waiting and idle, in fixed order.
+func (c ClassSeconds) Total() float64 { return c.Busy() + c.Sync + c.Idle }
+
+// PhaseDelta is one phase's share of the makespan delta. Base and Cand
+// are the exposed seconds the timeline attribution assigned to the
+// phase on each side; the deltas are computed from them in a fixed
+// summation order so the delta-attribution invariant (see Recompute)
+// holds bit-exactly and survives a JSON round-trip.
+type PhaseDelta struct {
+	// Phase is the span phase label ("" for unlabeled activity and
+	// idle slack).
+	Phase string `json:"phase"`
+	// Base and Cand are attributed exposed seconds per class.
+	Base ClassSeconds `json:"base"`
+	// Cand is the candidate side's attributed seconds.
+	Cand ClassSeconds `json:"cand"`
+	// BusyDelta, WaitDelta and IdleDelta split the contribution into
+	// classified-work, sync-wait and idle-slack movement.
+	BusyDelta float64 `json:"busy_delta_s"`
+	// WaitDelta is the sync-wait movement.
+	WaitDelta float64 `json:"wait_delta_s"`
+	// IdleDelta is the idle-slack movement.
+	IdleDelta float64 `json:"idle_delta_s"`
+	// Contribution is this phase's share of the makespan delta:
+	// BusyDelta + WaitDelta + IdleDelta, summed in that order.
+	Contribution float64 `json:"contribution_s"`
+}
+
+// Recompute rederives the deltas from the stored per-class seconds
+// using Compare's exact summation order. The delta-attribution
+// invariant — property-tested — is that the returned values equal the
+// stored BusyDelta/WaitDelta/IdleDelta/Contribution bit-for-bit.
+func (pd PhaseDelta) Recompute() (busy, wait, idle, contribution float64) {
+	busy = (pd.Cand.Tf - pd.Base.Tf) + (pd.Cand.Tp - pd.Base.Tp) +
+		(pd.Cand.Tmem - pd.Base.Tmem) + (pd.Cand.Tcomm - pd.Base.Tcomm)
+	wait = pd.Cand.Sync - pd.Base.Sync
+	idle = pd.Cand.Idle - pd.Base.Idle
+	contribution = busy + wait + idle
+	return busy, wait, idle, contribution
+}
+
+// ResourceDelta is one resource's share of the makespan delta, from the
+// same single-owner timeline attribution as PhaseDelta (resource "" is
+// activity with no resource, plus idle slack).
+type ResourceDelta struct {
+	// Resource names the resource ("" for none/idle).
+	Resource string `json:"resource"`
+	// Base and Cand are attributed exposed seconds per class.
+	Base ClassSeconds `json:"base"`
+	// Cand is the candidate side's attributed seconds.
+	Cand ClassSeconds `json:"cand"`
+	// BusyDelta, WaitDelta and IdleDelta split the contribution as in
+	// PhaseDelta.
+	BusyDelta float64 `json:"busy_delta_s"`
+	// WaitDelta is the sync-wait movement.
+	WaitDelta float64 `json:"wait_delta_s"`
+	// IdleDelta is the idle-slack movement.
+	IdleDelta float64 `json:"idle_delta_s"`
+	// Contribution is this resource's share of the makespan delta.
+	Contribution float64 `json:"contribution_s"`
+}
+
+// AlignedGroup summarizes span alignment for one activity key: spans
+// with the same (process, resource, phase, category) are paired across
+// the runs by occurrence index; surpluses on either side are the spans
+// that entered or left.
+type AlignedGroup struct {
+	// Proc, Resource, Phase and Category form the alignment key.
+	Proc string `json:"process,omitempty"`
+	// Resource is the alignment key's resource name.
+	Resource string `json:"resource,omitempty"`
+	// Phase is the alignment key's phase label.
+	Phase string `json:"phase,omitempty"`
+	// Category is the span category name.
+	Category string `json:"category"`
+	// BaseCount and CandCount are span counts on each side.
+	BaseCount int `json:"base_count"`
+	// CandCount is the candidate-side span count.
+	CandCount int `json:"cand_count"`
+	// BaseSeconds and CandSeconds are total span seconds on each side.
+	BaseSeconds float64 `json:"base_s"`
+	// CandSeconds is the candidate-side total span seconds.
+	CandSeconds float64 `json:"cand_s"`
+	// Delta is CandSeconds - BaseSeconds.
+	Delta float64 `json:"delta_s"`
+}
+
+// Alignment is the span-level pairing between the two runs.
+type Alignment struct {
+	// Matched is the number of occurrence-index-paired spans.
+	Matched int `json:"matched"`
+	// BaseOnly counts spans that left (surplus occurrences on base).
+	BaseOnly int `json:"base_only"`
+	// CandOnly counts spans that entered (surplus on candidate).
+	CandOnly int `json:"cand_only"`
+	// MatchedDelta sums duration movement over matched pairs.
+	MatchedDelta float64 `json:"matched_delta_s"`
+	// Groups lists the biggest movers by |Delta| (capped; see
+	// TotalGroups for how many keys existed).
+	Groups []AlignedGroup `json:"groups,omitempty"`
+	// TotalGroups is the number of distinct alignment keys.
+	TotalGroups int `json:"total_groups"`
+}
+
+// maxAlignedGroups caps the alignment table in reports and JSON.
+const maxAlignedGroups = 32
+
+// PathEntry aggregates critical-path seconds for one activity key on
+// both sides of a comparison.
+type PathEntry struct {
+	// Proc, Resource, Phase and Category identify the activity.
+	Proc string `json:"process,omitempty"`
+	// Resource is the activity's resource name.
+	Resource string `json:"resource,omitempty"`
+	// Phase is the activity's phase label.
+	Phase string `json:"phase,omitempty"`
+	// Category is the span category name ("idle" for slack hops).
+	Category string `json:"category"`
+	// BaseSeconds and CandSeconds are critical-path seconds per side.
+	BaseSeconds float64 `json:"base_s"`
+	// CandSeconds is the candidate-side critical-path seconds.
+	CandSeconds float64 `json:"cand_s"`
+	// Delta is CandSeconds - BaseSeconds.
+	Delta float64 `json:"delta_s"`
+}
+
+// CritPathDiff compares the two runs' critical paths (see
+// ExtractCriticalPath): which activities entered the path, which left,
+// and which stayed but grew or shrank.
+type CritPathDiff struct {
+	// BaseHops and CandHops are the path lengths in hops.
+	BaseHops int `json:"base_hops"`
+	// CandHops is the candidate path's hop count.
+	CandHops int `json:"cand_hops"`
+	// Entered lists activities on the candidate path only.
+	Entered []PathEntry `json:"entered,omitempty"`
+	// Left lists activities on the base path only.
+	Left []PathEntry `json:"left,omitempty"`
+	// Changed lists activities on both paths whose seconds moved,
+	// biggest |Delta| first.
+	Changed []PathEntry `json:"changed,omitempty"`
+}
+
+// BindingShift compares one phase's measured bottleneck class across
+// the runs against the Eq. 4–6 predictions (see ClassifyPhases). A
+// phase present on only one side has empty strings on the other.
+type BindingShift struct {
+	// Phase is the span phase label.
+	Phase string `json:"phase"`
+	// BaseBinding and CandBinding name the measured binding per side.
+	BaseBinding string `json:"base_binding,omitempty"`
+	// CandBinding is the candidate side's measured binding.
+	CandBinding string `json:"cand_binding,omitempty"`
+	// BaseMargin and CandMargin are the normalized imbalances.
+	BaseMargin float64 `json:"base_margin"`
+	// CandMargin is the candidate side's normalized imbalance.
+	CandMargin float64 `json:"cand_margin"`
+	// BaseExpected and CandExpected name the predicted binding ("" when
+	// no prediction was supplied).
+	BaseExpected string `json:"base_expected,omitempty"`
+	// CandExpected is the candidate side's predicted binding.
+	CandExpected string `json:"cand_expected,omitempty"`
+	// Shifted reports whether the measured binding moved (or the phase
+	// exists on only one side).
+	Shifted bool `json:"shifted"`
+}
+
+// Comparison is the result of diffing two runs. Marshaling it produces
+// byte-deterministic JSON: every field is a struct or slice with fixed
+// order, never a map.
+type Comparison struct {
+	// Schema is CompareSchema.
+	Schema int `json:"schema"`
+	// BaseLabel and CandLabel name the two runs.
+	BaseLabel string `json:"base_label,omitempty"`
+	// CandLabel names the candidate run.
+	CandLabel string `json:"cand_label,omitempty"`
+	// BaseMakespan and CandMakespan are the runs' total seconds.
+	BaseMakespan float64 `json:"base_makespan_s"`
+	// CandMakespan is the candidate run's total seconds.
+	CandMakespan float64 `json:"cand_makespan_s"`
+	// MakespanDelta is CandMakespan - BaseMakespan.
+	MakespanDelta float64 `json:"makespan_delta_s"`
+	// AttributedDelta is the in-order sum of the per-phase
+	// Contribution values; AttributedSum reproduces it bit-exactly
+	// (the delta-attribution invariant).
+	AttributedDelta float64 `json:"attributed_delta_s"`
+	// Residual is MakespanDelta - AttributedDelta: the floating-point
+	// summation remainder of regrouping the timeline by phase,
+	// property-tested to be ulp-scale relative to the makespans.
+	Residual float64 `json:"residual_s"`
+	// ResourceAttributedDelta is the in-order sum of the per-resource
+	// Contribution values (same timeline, regrouped by resource).
+	ResourceAttributedDelta float64 `json:"resource_attributed_delta_s"`
+	// Phases decomposes the delta by phase, sorted by phase name.
+	Phases []PhaseDelta `json:"phases"`
+	// Resources decomposes the delta by resource, sorted by name.
+	Resources []ResourceDelta `json:"resources"`
+	// Alignment pairs spans across the runs by identity key.
+	Alignment Alignment `json:"alignment"`
+	// CritPath diffs the two critical paths.
+	CritPath CritPathDiff `json:"critical_path"`
+	// Bindings lists per-phase bottleneck transitions.
+	Bindings []BindingShift `json:"bindings"`
+}
+
+// AttributedSum re-sums the per-phase contributions in listed order.
+// The delta-attribution invariant is AttributedSum() == AttributedDelta
+// bit-for-bit, including after a JSON round-trip.
+func (c *Comparison) AttributedSum() float64 {
+	var s float64
+	for _, pd := range c.Phases {
+		s += pd.Contribution
+	}
+	return s
+}
+
+// ResourceAttributedSum re-sums the per-resource contributions in
+// listed order; it equals ResourceAttributedDelta bit-for-bit.
+func (c *Comparison) ResourceAttributedSum() float64 {
+	var s float64
+	for _, rd := range c.Resources {
+		s += rd.Contribution
+	}
+	return s
+}
+
+// Compare diffs a candidate run against a base run. It attributes every
+// instant of each run's timeline to exactly one (class, phase,
+// resource) — overlapping spans resolve by class priority (Tf before Tp
+// before Tmem before Tcomm before sync), then lexicographic phase and
+// resource — so the per-phase and per-resource decompositions of the
+// makespan delta each sum to the whole delta with no double counting.
+// On top of that it aligns spans by identity key and occurrence index,
+// diffs the two critical paths, and reports bottleneck-class
+// transitions against the runs' Eq. 4–6 predictions.
+func Compare(base, cand Run) *Comparison {
+	baseMk := effectiveMakespan(base)
+	candMk := effectiveMakespan(cand)
+	c := &Comparison{
+		Schema:       CompareSchema,
+		BaseLabel:    base.Label,
+		CandLabel:    cand.Label,
+		BaseMakespan: baseMk,
+		CandMakespan: candMk,
+	}
+	c.MakespanDelta = candMk - baseMk
+
+	bp, br := attributeTimeline(base.Spans, baseMk)
+	cp, cr := attributeTimeline(cand.Spans, candMk)
+	c.Phases = phaseDeltas(bp, cp)
+	c.Resources = resourceDeltas(br, cr)
+	c.AttributedDelta = c.AttributedSum()
+	c.ResourceAttributedDelta = c.ResourceAttributedSum()
+	c.Residual = c.MakespanDelta - c.AttributedDelta
+
+	c.Alignment = alignSpans(base.Spans, cand.Spans)
+	c.CritPath = diffCritPaths(
+		ExtractCriticalPath(base.Spans, baseMk),
+		ExtractCriticalPath(cand.Spans, candMk),
+	)
+	c.Bindings = bindingShifts(base, cand)
+	return c
+}
+
+// effectiveMakespan returns the run's makespan, deriving it from the
+// latest span end when unset.
+func effectiveMakespan(r Run) float64 {
+	if r.Makespan > 0 {
+		return r.Makespan
+	}
+	var max float64
+	for _, sp := range r.Spans {
+		if sp.End > max {
+			max = sp.End
+		}
+	}
+	return max
+}
+
+// classIdleIdx is the attribution index for idle slack; the real
+// overlap classes occupy indices 0..NumSpanClasses-1.
+const classIdleIdx = int(trace.NumSpanClasses)
+
+// classTotals is attributed seconds per overlap class plus idle.
+type classTotals [trace.NumSpanClasses + 1]float64
+
+// seconds converts attributed totals to the exported ClassSeconds.
+func (t *classTotals) seconds() ClassSeconds {
+	if t == nil {
+		return ClassSeconds{}
+	}
+	return ClassSeconds{
+		Tf:    t[trace.ClassTf],
+		Tp:    t[trace.ClassTp],
+		Tmem:  t[trace.ClassTmem],
+		Tcomm: t[trace.ClassTcomm],
+		Sync:  t[trace.ClassSync],
+		Idle:  t[classIdleIdx],
+	}
+}
+
+// attrKey identifies one active attribution candidate in the sweep.
+type attrKey struct {
+	class    trace.SpanClass
+	phase    string
+	resource string
+}
+
+// cmpEdge is one interval endpoint in the attribution sweep.
+type cmpEdge struct {
+	t    float64
+	key  attrKey
+	open bool
+}
+
+// attributeTimeline sweeps the span stream and attributes every instant
+// of [0, makespan] to exactly one (class, phase, resource): the highest
+// priority class active at that instant, tie-broken by lexicographic
+// (phase, resource). Instants with no active span are idle, attributed
+// to phase "" and resource "". The returned maps hold per-phase and
+// per-resource totals; each partitions the makespan exactly (up to
+// float summation order).
+func attributeTimeline(spans []sim.SpanEvent, makespan float64) (byPhase, byResource map[string]*classTotals) {
+	byPhase = map[string]*classTotals{}
+	byResource = map[string]*classTotals{}
+	if makespan <= 0 {
+		return byPhase, byResource
+	}
+	edges := make([]cmpEdge, 0, 2*len(spans))
+	for _, sp := range spans {
+		start, end := sp.Start, sp.End
+		if start < 0 {
+			start = 0
+		}
+		if end > makespan {
+			end = makespan
+		}
+		if end <= start {
+			continue
+		}
+		k := attrKey{class: trace.Classify(sp), phase: sp.Phase, resource: sp.Resource}
+		edges = append(edges, cmpEdge{t: start, key: k, open: true}, cmpEdge{t: end, key: k})
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].t < edges[j].t })
+
+	active := map[attrKey]int{}
+	var classCount [trace.NumSpanClasses]int
+	add := func(m map[string]*classTotals, name string, idx int, d float64) {
+		t := m[name]
+		if t == nil {
+			t = &classTotals{}
+			m[name] = t
+		}
+		t[idx] += d
+	}
+	emit := func(from, to float64) {
+		if to <= from {
+			return
+		}
+		d := to - from
+		for c := trace.SpanClass(0); c < trace.NumSpanClasses; c++ {
+			if classCount[c] == 0 {
+				continue
+			}
+			// Lexicographically smallest (phase, resource) of the
+			// winning class; min over a map is order-independent, so
+			// this is deterministic.
+			best := attrKey{}
+			found := false
+			for k, n := range active {
+				if n <= 0 || k.class != c {
+					continue
+				}
+				if !found || k.phase < best.phase ||
+					(k.phase == best.phase && k.resource < best.resource) {
+					best = k
+					found = true
+				}
+			}
+			add(byPhase, best.phase, int(c), d)
+			add(byResource, best.resource, int(c), d)
+			return
+		}
+		add(byPhase, "", classIdleIdx, d)
+		add(byResource, "", classIdleIdx, d)
+	}
+
+	prev := 0.0
+	for i := 0; i < len(edges); {
+		t := edges[i].t
+		emit(prev, t)
+		for i < len(edges) && edges[i].t == t {
+			e := edges[i]
+			if e.open {
+				active[e.key]++
+				classCount[e.key.class]++
+			} else {
+				active[e.key]--
+				if active[e.key] == 0 {
+					delete(active, e.key)
+				}
+				classCount[e.key.class]--
+			}
+			i++
+		}
+		prev = t
+	}
+	emit(prev, makespan)
+	return byPhase, byResource
+}
+
+// sortedUnion returns the sorted union of the two maps' keys.
+func sortedUnion(a, b map[string]*classTotals) []string {
+	seen := map[string]bool{}
+	var names []string
+	for k := range a {
+		if !seen[k] {
+			seen[k] = true
+			names = append(names, k)
+		}
+	}
+	for k := range b {
+		if !seen[k] {
+			seen[k] = true
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// phaseDeltas builds the per-phase decomposition from the two sides'
+// attributed totals.
+func phaseDeltas(base, cand map[string]*classTotals) []PhaseDelta {
+	names := sortedUnion(base, cand)
+	out := make([]PhaseDelta, 0, len(names))
+	for _, name := range names {
+		pd := PhaseDelta{Phase: name, Base: base[name].seconds(), Cand: cand[name].seconds()}
+		pd.BusyDelta, pd.WaitDelta, pd.IdleDelta, pd.Contribution = pd.Recompute()
+		out = append(out, pd)
+	}
+	return out
+}
+
+// resourceDeltas builds the per-resource decomposition.
+func resourceDeltas(base, cand map[string]*classTotals) []ResourceDelta {
+	names := sortedUnion(base, cand)
+	out := make([]ResourceDelta, 0, len(names))
+	for _, name := range names {
+		rd := ResourceDelta{Resource: name, Base: base[name].seconds(), Cand: cand[name].seconds()}
+		pd := PhaseDelta{Base: rd.Base, Cand: rd.Cand}
+		rd.BusyDelta, rd.WaitDelta, rd.IdleDelta, rd.Contribution = pd.Recompute()
+		out = append(out, rd)
+	}
+	return out
+}
+
+// alignKey is the span-identity key used for occurrence alignment.
+type alignKey struct {
+	proc, resource, phase string
+	category              sim.Category
+}
+
+// alignSpans pairs the two runs' spans by (process, resource, phase,
+// category) and occurrence index (emission order within the key).
+func alignSpans(base, cand []sim.SpanEvent) Alignment {
+	type side struct {
+		durs    []float64
+		seconds float64
+	}
+	collect := func(spans []sim.SpanEvent) map[alignKey]*side {
+		m := map[alignKey]*side{}
+		for _, sp := range spans {
+			k := alignKey{proc: sp.Proc, resource: sp.Resource, phase: sp.Phase, category: sp.Category}
+			s := m[k]
+			if s == nil {
+				s = &side{}
+				m[k] = s
+			}
+			d := sp.End - sp.Start
+			s.durs = append(s.durs, d)
+			s.seconds += d
+		}
+		return m
+	}
+	bm, cm := collect(base), collect(cand)
+
+	keys := make([]alignKey, 0, len(bm))
+	seen := map[alignKey]bool{}
+	for k := range bm {
+		seen[k] = true
+		keys = append(keys, k)
+	}
+	for k := range cm {
+		if !seen[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.proc != b.proc {
+			return a.proc < b.proc
+		}
+		if a.resource != b.resource {
+			return a.resource < b.resource
+		}
+		if a.phase != b.phase {
+			return a.phase < b.phase
+		}
+		return a.category < b.category
+	})
+
+	var al Alignment
+	groups := make([]AlignedGroup, 0, len(keys))
+	for _, k := range keys {
+		var b, c side
+		if s := bm[k]; s != nil {
+			b = *s
+		}
+		if s := cm[k]; s != nil {
+			c = *s
+		}
+		n := len(b.durs)
+		if len(c.durs) < n {
+			n = len(c.durs)
+		}
+		al.Matched += n
+		al.BaseOnly += len(b.durs) - n
+		al.CandOnly += len(c.durs) - n
+		for i := 0; i < n; i++ {
+			al.MatchedDelta += c.durs[i] - b.durs[i]
+		}
+		groups = append(groups, AlignedGroup{
+			Proc: k.proc, Resource: k.resource, Phase: k.phase,
+			Category:  k.category.String(),
+			BaseCount: len(b.durs), CandCount: len(c.durs),
+			BaseSeconds: b.seconds, CandSeconds: c.seconds,
+			Delta: c.seconds - b.seconds,
+		})
+	}
+	al.TotalGroups = len(groups)
+	// SliceStable keeps the sorted key order for equal |Delta|.
+	sort.SliceStable(groups, func(i, j int) bool {
+		return abs(groups[i].Delta) > abs(groups[j].Delta)
+	})
+	if len(groups) > maxAlignedGroups {
+		groups = groups[:maxAlignedGroups]
+	}
+	al.Groups = groups
+	return al
+}
+
+// diffCritPaths aggregates each path's hops by activity key and splits
+// the keys into entered / left / changed.
+func diffCritPaths(base, cand []Hop) CritPathDiff {
+	type key struct {
+		proc, resource, phase string
+		category              sim.Category
+	}
+	sum := func(path []Hop) map[key]float64 {
+		m := map[key]float64{}
+		for _, h := range path {
+			m[key{h.Proc, h.Resource, h.Phase, h.Category}] += h.Duration()
+		}
+		return m
+	}
+	bm, cm := sum(base), sum(cand)
+	d := CritPathDiff{BaseHops: len(base), CandHops: len(cand)}
+	keys := make([]key, 0, len(bm)+len(cm))
+	for k := range bm {
+		keys = append(keys, k)
+	}
+	for k := range cm {
+		if _, ok := bm[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.proc != b.proc {
+			return a.proc < b.proc
+		}
+		if a.resource != b.resource {
+			return a.resource < b.resource
+		}
+		if a.phase != b.phase {
+			return a.phase < b.phase
+		}
+		return a.category < b.category
+	})
+	for _, k := range keys {
+		bs, inBase := bm[k]
+		cs, inCand := cm[k]
+		e := PathEntry{
+			Proc: k.proc, Resource: k.resource, Phase: k.phase,
+			Category:    k.category.String(),
+			BaseSeconds: bs, CandSeconds: cs, Delta: cs - bs,
+		}
+		switch {
+		case !inBase:
+			d.Entered = append(d.Entered, e)
+		case !inCand:
+			d.Left = append(d.Left, e)
+		case e.Delta != 0:
+			d.Changed = append(d.Changed, e)
+		}
+	}
+	sort.SliceStable(d.Entered, func(i, j int) bool { return d.Entered[i].CandSeconds > d.Entered[j].CandSeconds })
+	sort.SliceStable(d.Left, func(i, j int) bool { return d.Left[i].BaseSeconds > d.Left[j].BaseSeconds })
+	sort.SliceStable(d.Changed, func(i, j int) bool { return abs(d.Changed[i].Delta) > abs(d.Changed[j].Delta) })
+	return d
+}
+
+// bindingShifts runs the per-phase bottleneck classifier on both sides
+// and lines the results up, base-side phase order first and
+// candidate-only phases appended.
+func bindingShifts(base, cand Run) []BindingShift {
+	bp := ClassifyPhases(base.Spans, base.Expected)
+	cp := ClassifyPhases(cand.Spans, cand.Expected)
+	cm := map[string]PhaseStats{}
+	for _, ps := range cp {
+		cm[ps.Phase] = ps
+	}
+	expectedName := func(b model.Binding) string {
+		if b == model.BindNone {
+			return ""
+		}
+		return b.String()
+	}
+	var out []BindingShift
+	seen := map[string]bool{}
+	for _, b := range bp {
+		seen[b.Phase] = true
+		s := BindingShift{
+			Phase:        b.Phase,
+			BaseBinding:  b.Binding.String(),
+			BaseMargin:   b.Margin,
+			BaseExpected: expectedName(b.Expected),
+		}
+		if c, ok := cm[b.Phase]; ok {
+			s.CandBinding = c.Binding.String()
+			s.CandMargin = c.Margin
+			s.CandExpected = expectedName(c.Expected)
+			s.Shifted = s.BaseBinding != s.CandBinding
+		} else {
+			s.Shifted = true
+		}
+		out = append(out, s)
+	}
+	for _, c := range cp {
+		if seen[c.Phase] {
+			continue
+		}
+		out = append(out, BindingShift{
+			Phase:        c.Phase,
+			CandBinding:  c.Binding.String(),
+			CandMargin:   c.Margin,
+			CandExpected: expectedName(c.Expected),
+			Shifted:      true,
+		})
+	}
+	return out
+}
+
+// abs is math.Abs without the import — the comparisons here never see
+// NaN or signed zero distinctions that matter.
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// WriteJSON serializes the comparison as indented JSON with a trailing
+// newline. Every field is a struct or slice, so the bytes are
+// deterministic for equal inputs.
+func (c *Comparison) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// phaseLabel renders "" as a readable placeholder in reports.
+func phaseLabel(p string) string {
+	if p == "" {
+		return "(unlabeled)"
+	}
+	return p
+}
+
+// WriteReport renders the comparison as a human table: makespans, the
+// phase decomposition sorted by |contribution|, the biggest resource
+// movers, critical-path churn, and bottleneck transitions.
+func (c *Comparison) WriteReport(w io.Writer) error {
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	baseLabel, candLabel := c.BaseLabel, c.CandLabel
+	if baseLabel == "" {
+		baseLabel = "base"
+	}
+	if candLabel == "" {
+		candLabel = "cand"
+	}
+	rel := 0.0
+	if c.BaseMakespan > 0 {
+		rel = 100 * c.MakespanDelta / c.BaseMakespan
+	}
+	if err := p("differential analysis: %s -> %s\n", baseLabel, candLabel); err != nil {
+		return err
+	}
+	if err := p("  makespan  %.6g s -> %.6g s   (delta %+.6g s, %+.2f%%)\n",
+		c.BaseMakespan, c.CandMakespan, c.MakespanDelta, rel); err != nil {
+		return err
+	}
+	if err := p("  attributed %+.6g s across %d phases (residual %.3g s)\n\n",
+		c.AttributedDelta, len(c.Phases), c.Residual); err != nil {
+		return err
+	}
+
+	if err := p("phase contributions (%s - %s)\n", candLabel, baseLabel); err != nil {
+		return err
+	}
+	if err := p("  %-14s %14s %12s %12s %12s\n", "phase", "contribution", "busy", "wait", "idle"); err != nil {
+		return err
+	}
+	byMagnitude := make([]PhaseDelta, len(c.Phases))
+	copy(byMagnitude, c.Phases)
+	sort.SliceStable(byMagnitude, func(i, j int) bool {
+		return abs(byMagnitude[i].Contribution) > abs(byMagnitude[j].Contribution)
+	})
+	for _, pd := range byMagnitude {
+		if err := p("  %-14s %+14.6g %+12.6g %+12.6g %+12.6g\n",
+			phaseLabel(pd.Phase), pd.Contribution, pd.BusyDelta, pd.WaitDelta, pd.IdleDelta); err != nil {
+			return err
+		}
+	}
+	if err := p("  %-14s %+14.6g\n\n", "total", c.AttributedDelta); err != nil {
+		return err
+	}
+
+	if len(c.Resources) > 0 {
+		if err := p("resource contributions (top movers)\n"); err != nil {
+			return err
+		}
+		res := make([]ResourceDelta, len(c.Resources))
+		copy(res, c.Resources)
+		sort.SliceStable(res, func(i, j int) bool {
+			return abs(res[i].Contribution) > abs(res[j].Contribution)
+		})
+		if len(res) > 8 {
+			res = res[:8]
+		}
+		for _, rd := range res {
+			name := rd.Resource
+			if name == "" {
+				name = "(none)"
+			}
+			if err := p("  %-14s %+14.6g %+12.6g busy %+12.6g wait\n",
+				name, rd.Contribution, rd.BusyDelta, rd.WaitDelta); err != nil {
+				return err
+			}
+		}
+		if err := p("\n"); err != nil {
+			return err
+		}
+	}
+
+	if err := p("critical path: %d -> %d hops (%d entered, %d left, %d changed)\n",
+		c.CritPath.BaseHops, c.CritPath.CandHops,
+		len(c.CritPath.Entered), len(c.CritPath.Left), len(c.CritPath.Changed)); err != nil {
+		return err
+	}
+	printEntries := func(title string, entries []PathEntry, limit int) error {
+		if len(entries) == 0 {
+			return nil
+		}
+		if err := p("  %s\n", title); err != nil {
+			return err
+		}
+		if len(entries) > limit {
+			entries = entries[:limit]
+		}
+		for _, e := range entries {
+			if err := p("    %-10s %-14s %-12s %-8s %+12.6g s\n",
+				e.Proc, e.Resource, phaseLabel(e.Phase), e.Category, e.Delta); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := printEntries("entered", c.CritPath.Entered, 6); err != nil {
+		return err
+	}
+	if err := printEntries("left", c.CritPath.Left, 6); err != nil {
+		return err
+	}
+	if err := printEntries("changed", c.CritPath.Changed, 6); err != nil {
+		return err
+	}
+	if err := p("\n"); err != nil {
+		return err
+	}
+
+	if len(c.Bindings) > 0 {
+		if err := p("bottleneck transitions\n"); err != nil {
+			return err
+		}
+		for _, b := range c.Bindings {
+			mark := " "
+			if b.Shifted {
+				mark = "*"
+			}
+			from, to := b.BaseBinding, b.CandBinding
+			if from == "" {
+				from = "(absent)"
+			}
+			if to == "" {
+				to = "(absent)"
+			}
+			line := fmt.Sprintf("%s %-14s %-10s -> %-10s (margin %.3f -> %.3f)",
+				mark, phaseLabel(b.Phase), from, to, b.BaseMargin, b.CandMargin)
+			if b.BaseExpected != "" || b.CandExpected != "" {
+				line += fmt.Sprintf("  expected %s -> %s", b.BaseExpected, b.CandExpected)
+			}
+			if err := p("  %s\n", line); err != nil {
+				return err
+			}
+		}
+	}
+	if err := p("\nspan alignment: %d matched, %d entered, %d left (matched delta %+.6g s, %d keys)\n",
+		c.Alignment.Matched, c.Alignment.CandOnly, c.Alignment.BaseOnly,
+		c.Alignment.MatchedDelta, c.Alignment.TotalGroups); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,341 @@
+package analysis_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"codesign/internal/analysis"
+	"codesign/internal/core"
+	"codesign/internal/fault"
+	"codesign/internal/model"
+	"codesign/internal/sim"
+	"codesign/internal/trace"
+)
+
+// checkInvariants asserts the delta-attribution invariant on a
+// comparison: stored per-phase deltas are bit-identical to recomputing
+// them from the stored class seconds, the in-order sums reproduce
+// AttributedDelta / ResourceAttributedDelta bit-exactly, and the
+// residual against the raw makespan delta is ulp-scale.
+func checkInvariants(t *testing.T, c *analysis.Comparison) {
+	t.Helper()
+	for _, pd := range c.Phases {
+		busy, wait, idle, contrib := pd.Recompute()
+		if busy != pd.BusyDelta || wait != pd.WaitDelta || idle != pd.IdleDelta || contrib != pd.Contribution {
+			t.Fatalf("phase %q: stored deltas diverge from recomputation: %+v", pd.Phase, pd)
+		}
+	}
+	if got := c.AttributedSum(); got != c.AttributedDelta {
+		t.Fatalf("phase contributions sum to %.17g, stored AttributedDelta %.17g", got, c.AttributedDelta)
+	}
+	if got := c.ResourceAttributedSum(); got != c.ResourceAttributedDelta {
+		t.Fatalf("resource contributions sum to %.17g, stored %.17g", got, c.ResourceAttributedDelta)
+	}
+	scale := math.Max(1, math.Max(math.Abs(c.BaseMakespan), math.Abs(c.CandMakespan)))
+	if math.Abs(c.Residual) > 1e-9*scale {
+		t.Fatalf("residual %.17g too large for makespans %g/%g", c.Residual, c.BaseMakespan, c.CandMakespan)
+	}
+	if c.MakespanDelta-c.AttributedDelta != c.Residual {
+		t.Fatalf("residual inconsistent: %.17g vs %.17g", c.MakespanDelta-c.AttributedDelta, c.Residual)
+	}
+}
+
+// checkPartition asserts one side's attributed phase totals partition
+// the makespan (no double counting, no gaps) to float tolerance.
+func checkPartition(t *testing.T, c *analysis.Comparison) {
+	t.Helper()
+	var base, cand float64
+	for _, pd := range c.Phases {
+		base += pd.Base.Total()
+		cand += pd.Cand.Total()
+	}
+	scale := math.Max(1, math.Max(c.BaseMakespan, c.CandMakespan))
+	if math.Abs(base-c.BaseMakespan) > 1e-9*scale {
+		t.Fatalf("base phase totals %.17g do not partition makespan %.17g", base, c.BaseMakespan)
+	}
+	if math.Abs(cand-c.CandMakespan) > 1e-9*scale {
+		t.Fatalf("cand phase totals %.17g do not partition makespan %.17g", cand, c.CandMakespan)
+	}
+}
+
+func TestCompareSimpleAttribution(t *testing.T) {
+	base := analysis.Run{
+		Label:    "base",
+		Makespan: 2,
+		Spans: []sim.SpanEvent{
+			{Category: sim.CatCompute, Device: sim.DeviceFPGA, Proc: "fpga0", Resource: "fpga0", Phase: "panel", Start: 0, End: 1},
+		},
+	}
+	cand := analysis.Run{
+		Label:    "cand",
+		Makespan: 3,
+		Spans: []sim.SpanEvent{
+			{Category: sim.CatCompute, Device: sim.DeviceFPGA, Proc: "fpga0", Resource: "fpga0", Phase: "panel", Start: 0, End: 2.5},
+		},
+	}
+	c := analysis.Compare(base, cand)
+	checkInvariants(t, c)
+	checkPartition(t, c)
+	if c.MakespanDelta != 1 {
+		t.Fatalf("MakespanDelta = %g, want 1", c.MakespanDelta)
+	}
+	// panel grew 1.5s of Tf; idle (phase "") shrank 0.5s.
+	var panel, unlabeled *analysis.PhaseDelta
+	for i := range c.Phases {
+		switch c.Phases[i].Phase {
+		case "panel":
+			panel = &c.Phases[i]
+		case "":
+			unlabeled = &c.Phases[i]
+		}
+	}
+	if panel == nil || unlabeled == nil {
+		t.Fatalf("phases = %+v", c.Phases)
+	}
+	if panel.Contribution != 1.5 || panel.BusyDelta != 1.5 || panel.Cand.Tf != 2.5 {
+		t.Fatalf("panel delta = %+v", panel)
+	}
+	if unlabeled.Contribution != -0.5 || unlabeled.IdleDelta != -0.5 {
+		t.Fatalf("unlabeled delta = %+v", unlabeled)
+	}
+}
+
+// Overlapping spans must resolve to one owner by class priority: FPGA
+// compute (Tf) outranks processor compute (Tp), so the overlap interval
+// is attributed to the Tf span's phase, never both.
+func TestComparePriorityAttribution(t *testing.T) {
+	spans := []sim.SpanEvent{
+		{Category: sim.CatCompute, Device: sim.DeviceFPGA, Proc: "fpga0", Resource: "fpga0", Phase: "x", Start: 0, End: 2},
+		{Category: sim.CatCompute, Device: sim.DeviceCPU, Proc: "cpu0", Resource: "cpu0", Phase: "y", Start: 1, End: 3},
+	}
+	c := analysis.Compare(
+		analysis.Run{Makespan: 3, Spans: nil},
+		analysis.Run{Makespan: 3, Spans: spans},
+	)
+	checkInvariants(t, c)
+	var x, y analysis.PhaseDelta
+	for _, pd := range c.Phases {
+		switch pd.Phase {
+		case "x":
+			x = pd
+		case "y":
+			y = pd
+		}
+	}
+	if x.Cand.Tf != 2 || x.Cand.Tp != 0 {
+		t.Fatalf("phase x attribution = %+v", x.Cand)
+	}
+	if y.Cand.Tp != 1 || y.Cand.Tf != 0 {
+		t.Fatalf("phase y attribution = %+v (want only the non-overlapped 1s)", y.Cand)
+	}
+}
+
+// The exact-sum invariant must hold for arbitrary span soups, and the
+// JSON output must be byte-deterministic and survive a round-trip with
+// the invariant intact.
+func TestCompareExactSumProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	phases := []string{"", "panel", "opmm", "broadcast", "update", "pivot"}
+	resources := []string{"", "cpu0", "cpu1", "fpga0", "dram0", "link0"}
+	cats := []sim.Category{sim.CatCompute, sim.CatDMA, sim.CatNetwork, sim.CatSync}
+	devs := []sim.Device{sim.DeviceUnknown, sim.DeviceCPU, sim.DeviceFPGA, sim.DeviceDRAM, sim.DeviceLink}
+	randomRun := func(n int) analysis.Run {
+		spans := make([]sim.SpanEvent, n)
+		var max float64
+		for i := range spans {
+			start := rng.Float64() * 900
+			dur := rng.Float64() * 90
+			spans[i] = sim.SpanEvent{
+				Category: cats[rng.Intn(len(cats))],
+				Device:   devs[rng.Intn(len(devs))],
+				Proc:     resources[rng.Intn(len(resources))],
+				Resource: resources[rng.Intn(len(resources))],
+				Phase:    phases[rng.Intn(len(phases))],
+				Bytes:    int64(rng.Intn(1 << 20)),
+				Start:    start,
+				End:      start + dur,
+			}
+			if spans[i].End > max {
+				max = spans[i].End
+			}
+		}
+		return analysis.Run{Makespan: max + rng.Float64()*10, Spans: spans}
+	}
+	for trial := 0; trial < 40; trial++ {
+		base := randomRun(1 + rng.Intn(120))
+		cand := randomRun(1 + rng.Intn(120))
+		c := analysis.Compare(base, cand)
+		checkInvariants(t, c)
+		checkPartition(t, c)
+
+		var a, b bytes.Buffer
+		if err := c.WriteJSON(&a); err != nil {
+			t.Fatal(err)
+		}
+		if err := analysis.Compare(base, cand).WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatal("Comparison JSON is not byte-deterministic")
+		}
+
+		var rt analysis.Comparison
+		if err := json.Unmarshal(a.Bytes(), &rt); err != nil {
+			t.Fatal(err)
+		}
+		checkInvariants(t, &rt)
+	}
+}
+
+// A real nominal-vs-faulted LU pair: the attribution must explain the
+// whole dilation, the fault window must show up as positive phase
+// contributions, and Resilience.AttributeOverhead must agree.
+func TestCompareRealFaultedLU(t *testing.T) {
+	runLU := func(inj *fault.Injector) (analysis.Run, *core.LUResult) {
+		rec := trace.NewRecorder()
+		res, err := core.RunLU(core.LUConfig{
+			N: 30000, B: 3000, BF: -1, L: -1, Mode: core.Hybrid,
+			Observer: rec, Faults: inj,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return analysis.Run{Makespan: res.Seconds, Spans: rec.Spans()}, res
+	}
+	nominal, nomRes := runLU(nil)
+	nominal.Label = "nominal"
+
+	spec := &fault.Spec{
+		Window: 50,
+		Events: []fault.Event{
+			{Kind: fault.CPUSlow, Node: 2, Start: 100, Duration: 400, Factor: 0.5},
+		},
+	}
+	inj, err := fault.New(spec, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted, faultRes := runLU(inj)
+	faulted.Label = "faulted"
+
+	if faultRes.Seconds <= nomRes.Seconds {
+		t.Fatalf("fault did not dilate the run: %g <= %g", faultRes.Seconds, nomRes.Seconds)
+	}
+	c := analysis.Compare(nominal, faulted)
+	checkInvariants(t, c)
+	checkPartition(t, c)
+	if c.MakespanDelta <= 0 {
+		t.Fatalf("MakespanDelta = %g, want > 0", c.MakespanDelta)
+	}
+	// 100% of the delta is attributed: the residual is float noise only.
+	if math.Abs(c.Residual) > 1e-9*c.CandMakespan {
+		t.Fatalf("attribution left %g s unexplained", c.Residual)
+	}
+	var maxContribution float64
+	for _, pd := range c.Phases {
+		if pd.Contribution > maxContribution {
+			maxContribution = pd.Contribution
+		}
+	}
+	if maxContribution <= 0 {
+		t.Fatal("no phase absorbed the dilation")
+	}
+
+	r := &analysis.Resilience{BaselineSeconds: nomRes.Seconds, FaultedSeconds: faultRes.Seconds, FaultEvents: 1}
+	r.AttributeOverhead(nominal, faulted)
+	if len(r.Overheads) == 0 {
+		t.Fatal("AttributeOverhead produced no phases")
+	}
+	var sum float64
+	for _, o := range r.Overheads {
+		sum += o.Overhead
+	}
+	if sum != c.AttributedDelta {
+		t.Fatalf("overheads sum %.17g != AttributedDelta %.17g", sum, c.AttributedDelta)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fault overhead by phase") {
+		t.Fatalf("resilience report missing overhead table:\n%s", buf.String())
+	}
+
+	// The human report renders and mentions the moving parts.
+	buf.Reset()
+	if err := c.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"differential analysis: nominal -> faulted", "phase contributions", "critical path", "bottleneck transitions"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("report missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// Critical-path diffing: activities only on one side land in Entered /
+// Left; shared activities with moved seconds land in Changed.
+func TestCompareCritPathAndBindings(t *testing.T) {
+	base := analysis.Run{
+		Makespan: 4,
+		Spans: []sim.SpanEvent{
+			{Category: sim.CatCompute, Device: sim.DeviceCPU, Proc: "cpu0", Resource: "cpu0", Phase: "a", Start: 0, End: 2},
+			{Category: sim.CatNetwork, Device: sim.DeviceLink, Proc: "cpu0", Resource: "link0", Phase: "b", Start: 2, End: 4},
+		},
+		Expected: map[string]model.Binding{"a": model.BindOpFp},
+	}
+	cand := analysis.Run{
+		Makespan: 5,
+		Spans: []sim.SpanEvent{
+			{Category: sim.CatCompute, Device: sim.DeviceCPU, Proc: "cpu0", Resource: "cpu0", Phase: "a", Start: 0, End: 2},
+			{Category: sim.CatDMA, Device: sim.DeviceDRAM, Proc: "cpu0", Resource: "dram0", Phase: "c", Start: 2, End: 5},
+		},
+		Expected: map[string]model.Binding{"a": model.BindOpFp},
+	}
+	c := analysis.Compare(base, cand)
+	checkInvariants(t, c)
+	find := func(entries []analysis.PathEntry, phase string) bool {
+		for _, e := range entries {
+			if e.Phase == phase {
+				return true
+			}
+		}
+		return false
+	}
+	if !find(c.CritPath.Entered, "c") {
+		t.Fatalf("phase c should have entered the critical path: %+v", c.CritPath)
+	}
+	if !find(c.CritPath.Left, "b") {
+		t.Fatalf("phase b should have left the critical path: %+v", c.CritPath)
+	}
+	var shifts []string
+	for _, b := range c.Bindings {
+		if b.Shifted {
+			shifts = append(shifts, b.Phase)
+		}
+	}
+	// b left, c entered; a stayed put.
+	for _, want := range []string{"b", "c"} {
+		found := false
+		for _, s := range shifts {
+			if s == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("phase %q should be a shifted binding: %+v", want, c.Bindings)
+		}
+	}
+	for _, b := range c.Bindings {
+		if b.Phase == "a" && b.Shifted {
+			t.Fatalf("phase a should not have shifted: %+v", b)
+		}
+		if b.Phase == "a" && (b.BaseExpected != "Op*Fp" && b.BaseExpected == "") {
+			t.Fatalf("phase a expected binding missing: %+v", b)
+		}
+	}
+}

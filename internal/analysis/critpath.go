@@ -12,13 +12,20 @@ import (
 // gaps where no recorded span was running — scheduling slack the
 // instrumentation did not cover.
 type Hop struct {
-	Proc     string
+	// Proc is the span's process (logical actor) name.
+	Proc string
+	// Resource is the contended resource the span held.
 	Resource string
-	Phase    string
+	// Phase is the algorithm phase the span belongs to.
+	Phase string
+	// Category is the span's activity class (compute, memory, ...).
 	Category sim.Category
-	Device   sim.Device
-	Start    float64
-	End      float64
+	// Device is the hardware side that executed the span.
+	Device sim.Device
+	// Start and End bound the hop's interval in virtual seconds.
+	Start float64
+	// End is the hop's exclusive upper bound in virtual seconds.
+	End float64
 }
 
 // Duration returns End - Start.

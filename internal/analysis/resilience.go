@@ -26,6 +26,47 @@ type Resilience struct {
 	DeadNodes []int
 	// FaultEvents is the number of expanded fault events injected.
 	FaultEvents int
+	// Overheads attributes the fault-induced dilation to phases: which
+	// parts of the algorithm absorbed the slowdown. Filled by
+	// AttributeOverhead when both runs recorded spans; empty otherwise.
+	Overheads []PhaseOverhead
+}
+
+// PhaseOverhead is one phase's share of the fault-induced dilation,
+// from the same single-owner timeline attribution as Compare.
+type PhaseOverhead struct {
+	// Phase is the span phase label ("" for unlabeled activity and
+	// idle slack).
+	Phase string
+	// NominalSeconds and FaultedSeconds are the phase's attributed
+	// exposed time in each run.
+	NominalSeconds float64
+	// FaultedSeconds is the faulted run's attributed exposed time.
+	FaultedSeconds float64
+	// Overhead is the phase's contribution to the dilation
+	// (FaultedSeconds - NominalSeconds in Compare's summation order);
+	// over all phases the overheads sum to the makespan delta.
+	Overhead float64
+}
+
+// AttributeOverhead fills Overheads by running the differential phase
+// attribution (see Compare) over the nominal and faulted span streams.
+// Phases with no attributed time on either side are dropped.
+func (r *Resilience) AttributeOverhead(nominal, faulted Run) {
+	cmp := Compare(nominal, faulted)
+	r.Overheads = r.Overheads[:0]
+	for _, pd := range cmp.Phases {
+		o := PhaseOverhead{
+			Phase:          pd.Phase,
+			NominalSeconds: pd.Base.Total(),
+			FaultedSeconds: pd.Cand.Total(),
+			Overhead:       pd.Contribution,
+		}
+		if o.NominalSeconds == 0 && o.FaultedSeconds == 0 {
+			continue
+		}
+		r.Overheads = append(r.Overheads, o)
+	}
 }
 
 // Repartitions returns how many times the faulted run re-solved its
@@ -98,6 +139,17 @@ func (r *Resilience) WriteReport(w io.Writer) error {
 	if len(r.DeadNodes) > 0 {
 		if err := p("  %-22s %v\n", "dead nodes", r.DeadNodes); err != nil {
 			return err
+		}
+	}
+	if len(r.Overheads) > 0 {
+		if err := p("  fault overhead by phase (faulted - nominal)\n"); err != nil {
+			return err
+		}
+		for _, o := range r.Overheads {
+			if err := p("    %-20s %+12.6g s  (%.6g -> %.6g)\n",
+				phaseLabel(o.Phase), o.Overhead, o.NominalSeconds, o.FaultedSeconds); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

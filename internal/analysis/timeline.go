@@ -14,7 +14,9 @@ const OccupancyDeciles = 10
 // ResourceTimeline is one resource's activity over the run, binned over
 // virtual time [0, makespan].
 type ResourceTimeline struct {
-	Name   string
+	// Name is the resource's name as recorded in its spans.
+	Name string
+	// Device is the hardware side the resource belongs to.
 	Device sim.Device
 
 	// Busy is union busy time in seconds: instants where at least one

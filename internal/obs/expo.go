@@ -81,6 +81,32 @@ func (v Float) MarshalJSON() ([]byte, error) {
 	return []byte(formatValue(f)), nil
 }
 
+// UnmarshalJSON parses both forms MarshalJSON produces: plain numbers
+// and the quoted non-finite spellings.
+func (v *Float) UnmarshalJSON(b []byte) error {
+	s := string(b)
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		switch s[1 : len(s)-1] {
+		case "+Inf":
+			*v = Float(math.Inf(1))
+			return nil
+		case "-Inf":
+			*v = Float(math.Inf(-1))
+			return nil
+		case "NaN":
+			*v = Float(math.NaN())
+			return nil
+		}
+		return fmt.Errorf("obs: invalid Float %s", s)
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return fmt.Errorf("obs: invalid Float %s", s)
+	}
+	*v = Float(f)
+	return nil
+}
+
 // WriteJSON writes the snapshot as an indented JSON array of samples.
 // Series order is the snapshot's stable (family, name) order — never
 // map iteration order — so identical registry state yields

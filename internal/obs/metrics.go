@@ -86,6 +86,52 @@ func (h *Histogram) Sum() float64 { return h.sum.Value() }
 // bucket). The caller must not modify the returned slice.
 func (h *Histogram) Bounds() []float64 { return h.bounds }
 
+// Quantile estimates the q-th quantile (clamped to [0, 1]) of the
+// observed distribution from the bucket counts: the rank q*count is
+// located in the cumulative counts and mapped by linear interpolation
+// across the containing bucket's bound range. The first bucket's lower
+// edge is taken as 0 (every histogram here records non-negative
+// durations or sizes); a rank landing in the +Inf bucket reports the
+// last finite bound, since the histogram cannot resolve beyond it.
+// Returns NaN when the histogram is empty or was built with no finite
+// bounds.
+func (h *Histogram) Quantile(q float64) float64 {
+	if len(h.bounds) == 0 {
+		return math.NaN()
+	}
+	counts := make([]float64, len(h.counts))
+	var total float64
+	for i := range h.counts {
+		counts[i] = float64(h.counts[i].Load())
+		total += counts[i]
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * total
+	var cum float64
+	for i, c := range counts {
+		cum += c
+		if c == 0 || rank > cum {
+			continue
+		}
+		if i == len(h.bounds) { // the +Inf bucket
+			break
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = h.bounds[i-1]
+		}
+		return lower + (h.bounds[i]-lower)*(rank-(cum-c))/c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // ExpBuckets returns n bucket bounds starting at start and growing by
 // factor: start, start*factor, start*factor^2, ... The boundaries are
 // computed by repeated multiplication, which is deterministic across

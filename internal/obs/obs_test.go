@@ -49,6 +49,80 @@ func TestHistogramLeSemantics(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantile(t *testing.T) {
+	// One observation per bucket of 1..10: the rank interpolates
+	// linearly, so quantiles land exactly on the bucket geometry.
+	h := newHistogram(LinearBuckets(1, 1, 10))
+	for i := 0; i < 10; i++ {
+		h.Observe(float64(i) + 0.5)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0, 0}, {0.1, 1}, {0.5, 5}, {0.95, 9.5}, {1, 10},
+		{-3, 0}, {7, 10}, // clamped
+	} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Quantile(%g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+
+	// A rank interpolates within its bucket: 3 of 4 observations in
+	// [0, 1], so p50 sits 2/3 of the way through that bucket.
+	h2 := newHistogram([]float64{1, 2})
+	for _, v := range []float64{0.1, 0.2, 0.3, 1.5} {
+		h2.Observe(v)
+	}
+	if got := h2.Quantile(0.5); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("interpolated p50 = %g, want 2/3", got)
+	}
+	// Mass in the +Inf bucket cannot be resolved past the last finite
+	// bound.
+	h3 := newHistogram([]float64{1, 2})
+	h3.Observe(100)
+	if got := h3.Quantile(0.5); got != 2 {
+		t.Errorf("+Inf-bucket p50 = %g, want last finite bound 2", got)
+	}
+
+	// Degenerate histograms report NaN rather than inventing a value.
+	if got := newHistogram([]float64{1}).Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("empty histogram p50 = %g, want NaN", got)
+	}
+	noBounds := newHistogram(nil)
+	noBounds.Observe(3)
+	if got := noBounds.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("boundless histogram p50 = %g, want NaN", got)
+	}
+}
+
+func TestSnapshotQuantiles(t *testing.T) {
+	// Histograms with observations carry quantiles in the snapshot;
+	// empty ones and scalar series omit them.
+	r := NewRegistry()
+	r.Histogram("empty_seconds", "", []float64{1})
+	r.Counter("c_total", "").Inc()
+	h := r.Histogram("busy_seconds", "", LinearBuckets(1, 1, 10))
+	for i := 0; i < 10; i++ {
+		h.Observe(float64(i) + 0.5)
+	}
+	for _, s := range r.Snapshot() {
+		switch s.Name {
+		case "busy_seconds":
+			if s.Quantiles == nil {
+				t.Fatal("busy_seconds snapshot missing quantiles")
+			}
+			if got := float64(s.Quantiles.P50); math.Abs(got-5) > 1e-12 {
+				t.Errorf("snapshot p50 = %g, want 5", got)
+			}
+			if float64(s.Quantiles.P90) != 9 || float64(s.Quantiles.P99) != 9.9 {
+				t.Errorf("snapshot p90/p99 = %v/%v, want 9/9.9", s.Quantiles.P90, s.Quantiles.P99)
+			}
+		default:
+			if s.Quantiles != nil {
+				t.Errorf("%s unexpectedly carries quantiles", s.Name)
+			}
+		}
+	}
+}
+
 func TestBucketBoundaryDeterminism(t *testing.T) {
 	// Boundaries are built by repeated multiplication/addition, so two
 	// independent constructions must be bit-identical element-wise —

@@ -169,6 +169,22 @@ type Sample struct {
 	// Buckets are a histogram's cumulative buckets (the final entry is
 	// the +Inf bucket and equals Count).
 	Buckets []Bucket `json:"buckets,omitempty"`
+	// Quantiles are a histogram's estimated percentiles, present when
+	// it has observations. The Prometheus text format is unchanged by
+	// them — they appear only in the JSON exposition and /statusz.
+	Quantiles *SampleQuantiles `json:"quantiles,omitempty"`
+}
+
+// SampleQuantiles carries a histogram's estimated percentiles in a
+// snapshot, interpolated from the fixed bucket bounds (see
+// Histogram.Quantile).
+type SampleQuantiles struct {
+	// P50 is the estimated median.
+	P50 Float `json:"p50"`
+	// P90 is the estimated 90th percentile.
+	P90 Float `json:"p90"`
+	// P99 is the estimated 99th percentile.
+	P99 Float `json:"p99"`
 }
 
 // Snapshot captures every series, stable-sorted by (family, name) so
@@ -215,6 +231,13 @@ func (r *Registry) Snapshot() []Sample {
 					le = h.bounds[i]
 				}
 				s.Buckets[i] = Bucket{UpperBound: Float(le), Count: cum}
+			}
+			if cum > 0 {
+				s.Quantiles = &SampleQuantiles{
+					P50: Float(h.Quantile(0.50)),
+					P90: Float(h.Quantile(0.90)),
+					P99: Float(h.Quantile(0.99)),
+				}
 			}
 		}
 		out = append(out, s)

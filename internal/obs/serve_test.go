@@ -26,6 +26,10 @@ func get(t *testing.T, addr, path string) (int, string) {
 func TestServeEndpoints(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("demo_events_total", "events seen").Add(7)
+	h := r.Histogram("demo_seconds", "latency", LinearBuckets(1, 1, 4))
+	for _, v := range []float64{0.5, 1.5, 2.5, 3.5} {
+		h.Observe(v)
+	}
 	srv, err := Serve("127.0.0.1:0", r)
 	if err != nil {
 		t.Fatal(err)
@@ -54,8 +58,11 @@ func TestServeEndpoints(t *testing.T) {
 	if err := json.Unmarshal([]byte(body), &samples); err != nil {
 		t.Fatalf("/metrics.json not valid JSON: %v\n%s", err, body)
 	}
-	if len(samples) != 1 || samples[0].Name != "demo_events_total" || samples[0].Value != 7 {
+	if len(samples) != 2 || samples[0].Name != "demo_events_total" || samples[0].Value != 7 {
 		t.Errorf("unexpected /metrics.json samples: %+v", samples)
+	}
+	if samples[1].Name != "demo_seconds" || samples[1].Quantiles == nil || samples[1].Quantiles.P50 != 2 {
+		t.Errorf("/metrics.json histogram missing quantiles: %+v", samples[1])
 	}
 
 	code, body = get(t, srv.Addr, "/statusz")
@@ -66,8 +73,11 @@ func TestServeEndpoints(t *testing.T) {
 	if err := json.Unmarshal([]byte(body), &st); err != nil {
 		t.Fatalf("/statusz not valid JSON: %v\n%s", err, body)
 	}
-	if st.PID <= 0 || st.Go == "" || len(st.Metrics) != 1 {
+	if st.PID <= 0 || st.Go == "" || len(st.Metrics) != 2 {
 		t.Errorf("unexpected /statusz: %+v", st)
+	}
+	if len(st.Metrics) == 2 && (st.Metrics[1].Quantiles == nil || st.Metrics[1].Quantiles.P90 != 3.6) {
+		t.Errorf("/statusz histogram missing quantiles: %+v", st.Metrics[1])
 	}
 
 	if code, _ := get(t, srv.Addr, "/debug/pprof/"); code != 200 {

@@ -44,6 +44,27 @@ func (c Category) String() string {
 	}
 }
 
+// ParseCategory is the inverse of Category.String: it maps a category
+// name ("compute", "dma", "network", "sync", "idle") back to the typed
+// constant. Persisted span streams carry category names, so readers use
+// it to rebuild typed spans.
+func ParseCategory(s string) (Category, error) {
+	switch s {
+	case "compute":
+		return CatCompute, nil
+	case "dma":
+		return CatDMA, nil
+	case "network":
+		return CatNetwork, nil
+	case "sync":
+		return CatSync, nil
+	case "idle":
+		return CatIdle, nil
+	default:
+		return 0, fmt.Errorf("unknown span category %q", s)
+	}
+}
+
 // Device identifies the kind of hardware a span occupied, independent
 // of the resource's name. Spans carry it so consumers classify activity
 // (FPGA compute vs processor compute, DRAM vs network traffic) without
@@ -80,6 +101,26 @@ func (d Device) String() string {
 		return "link"
 	default:
 		return fmt.Sprintf("device(%d)", int(d))
+	}
+}
+
+// ParseDevice is the inverse of Device.String. The empty string maps to
+// DeviceUnknown, matching persisted streams that omit the device tag
+// (older CSV dumps have no device column at all).
+func ParseDevice(s string) (Device, error) {
+	switch s {
+	case "", "unknown":
+		return DeviceUnknown, nil
+	case "cpu":
+		return DeviceCPU, nil
+	case "fpga":
+		return DeviceFPGA, nil
+	case "dram":
+		return DeviceDRAM, nil
+	case "link":
+		return DeviceLink, nil
+	default:
+		return 0, fmt.Errorf("unknown span device %q", s)
 	}
 }
 

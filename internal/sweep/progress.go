@@ -83,17 +83,22 @@ type progressTracker struct {
 	// times is a ring of the most recent completion timestamps.
 	times [rateWindowSize]time.Time
 	n     int
+	// now is the tracker's clock; tests inject a fake to pin the
+	// rate/ETA arithmetic at the ring boundary.
+	now func() time.Time
 }
 
 func newProgressTracker(total, workers int) *progressTracker {
-	return &progressTracker{total: total, start: time.Now(), busy: make([]time.Duration, workers)}
+	pt := &progressTracker{total: total, busy: make([]time.Duration, workers), now: time.Now}
+	pt.start = pt.now()
+	return pt
 }
 
 // completed folds one finished point into the tracker and returns the
 // snapshot to publish. worker is the index of the evaluating worker,
 // d its wall-clock evaluation time.
 func (pt *progressTracker) completed(out *Outcome, stats Stats, worker int, d time.Duration) Progress {
-	now := time.Now()
+	now := pt.now()
 	pt.done++
 	if !out.OK {
 		if strings.HasPrefix(out.Err, "panic:") {

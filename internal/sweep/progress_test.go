@@ -118,6 +118,72 @@ func TestProgressClassifiesPanicsAsErrored(t *testing.T) {
 	}
 }
 
+func TestProgressRateWindowWrap(t *testing.T) {
+	// A fake clock completing one point per second makes the windowed
+	// rate exactly 1 point/s at every step; the assertion holds through
+	// the ring's wrap at rateWindowSize completions only if the oldest
+	// retained timestamp is picked correctly on both sides of the seam.
+	const total = rateWindowSize + 8
+	pt := newProgressTracker(total, 1)
+	base := time.Unix(1000, 0)
+	pt.start = base
+	step := 0
+	pt.now = func() time.Time { return base.Add(time.Duration(step) * time.Second) }
+
+	for i := 1; i <= total; i++ {
+		step = i
+		p := pt.completed(&Outcome{OK: true}, Stats{}, 0, time.Second)
+		switch {
+		case i == 1:
+			// One completion is not a rate; the ETA must signal "no
+			// estimate", not extrapolate from nothing.
+			if p.Rate != 0 {
+				t.Fatalf("first completion: rate %g, want 0", p.Rate)
+			}
+			if p.ETA >= 0 {
+				t.Fatalf("first completion: ETA %v, want negative sentinel", p.ETA)
+			}
+		case i == total:
+			if p.ETA != 0 {
+				t.Fatalf("final completion: ETA %v, want 0", p.ETA)
+			}
+		default:
+			if p.Rate != 1 {
+				t.Fatalf("completion %d: rate %g, want exactly 1 across the ring seam", i, p.Rate)
+			}
+			if want := time.Duration(total-i) * time.Second; p.ETA != want {
+				t.Fatalf("completion %d: ETA %v, want %v", i, p.ETA, want)
+			}
+			if p.Elapsed != time.Duration(i)*time.Second {
+				t.Fatalf("completion %d: elapsed %v", i, p.Elapsed)
+			}
+		}
+	}
+}
+
+func TestProgressETAWithoutRate(t *testing.T) {
+	// A frozen clock never yields a positive rate: every mid-run
+	// snapshot must keep the negative no-estimate sentinel, and only
+	// the final snapshot may report 0.
+	pt := newProgressTracker(3, 1)
+	frozen := time.Unix(500, 0)
+	pt.start = frozen
+	pt.now = func() time.Time { return frozen }
+	for i := 1; i <= 3; i++ {
+		p := pt.completed(&Outcome{OK: true}, Stats{}, 0, 0)
+		if i < 3 {
+			if p.Rate != 0 {
+				t.Errorf("completion %d: rate %g from a frozen clock", i, p.Rate)
+			}
+			if p.ETA >= 0 {
+				t.Errorf("completion %d: ETA %v published without a rate", i, p.ETA)
+			}
+		} else if p.ETA != 0 {
+			t.Errorf("final ETA %v, want 0 at completion", p.ETA)
+		}
+	}
+}
+
 func TestProgressDeterminismUnaffected(t *testing.T) {
 	// Attaching OnProgress must not change the Result bytes.
 	plain := runJSON(t, bigGrid(), 4)

@@ -139,7 +139,7 @@ func TestWriteSpansCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := b.String()
-	if !strings.HasPrefix(out, "start_s,end_s,category,process,resource,phase,bytes\n") {
+	if !strings.HasPrefix(out, "start_s,end_s,category,device,process,resource,phase,bytes\n") {
 		t.Fatalf("missing header: %q", out)
 	}
 	if !strings.Contains(out, `"p,0"`) {

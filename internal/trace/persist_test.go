@@ -1,0 +1,226 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"codesign/internal/sim"
+)
+
+func sampleSpans() []sim.SpanEvent {
+	return []sim.SpanEvent{
+		{Category: sim.CatCompute, Device: sim.DeviceFPGA, Proc: "fpga0", Resource: "fpga0-pe", Phase: "panel", Start: 0, End: 1.5},
+		{Category: sim.CatDMA, Device: sim.DeviceDRAM, Proc: "fpga0", Resource: "dram0", Phase: "panel", Bytes: 4096, Start: 0.25, End: 0.75},
+		{Category: sim.CatNetwork, Device: sim.DeviceLink, Proc: "cpu1", Resource: "link1", Phase: "broadcast", Bytes: 1 << 20, Start: 1.5, End: 2.25},
+		{Category: sim.CatSync, Proc: "cpu2", Resource: "dram1", Start: 2, End: 2.5},
+		{Category: sim.CatCompute, Device: sim.DeviceCPU, Proc: "cpu,2", Phase: "up,date", Start: 2.5, End: 3},
+	}
+}
+
+// The span schema has one definition: SpanRecord's JSON tags. The CSV
+// header must be exactly that list, and every Perfetto arg key except
+// the "name" thread metadata must appear in it.
+func TestSpanSchemaUnified(t *testing.T) {
+	names := SpanFieldNames()
+	want := []string{"start_s", "end_s", "category", "device", "process", "resource", "phase", "bytes"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("SpanFieldNames = %v, want %v", names, want)
+	}
+
+	r := NewRecorder()
+	for _, sp := range sampleSpans() {
+		r.Span(sp)
+	}
+	var csvOut strings.Builder
+	if err := r.WriteSpansCSV(&csvOut); err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(csvOut.String(), "\n", 2)[0]
+	if header != strings.Join(names, ",") {
+		t.Fatalf("CSV header %q does not match schema %v", header, names)
+	}
+
+	schema := map[string]bool{}
+	for _, n := range names {
+		schema[n] = true
+	}
+	at := reflect.TypeOf(perfettoArgs{})
+	for i := 0; i < at.NumField(); i++ {
+		key := strings.SplitN(at.Field(i).Tag.Get("json"), ",", 2)[0]
+		if key == "name" {
+			continue // thread-track metadata, not a span field
+		}
+		if !schema[key] {
+			t.Errorf("perfetto arg key %q is not a span schema field", key)
+		}
+	}
+}
+
+func TestWriteReadSpansRoundTrip(t *testing.T) {
+	spans := sampleSpans()
+	meta := Meta{App: "lu", Machine: "xd1", Label: "nominal", Makespan: 3}
+
+	var a, b bytes.Buffer
+	if err := WriteSpans(&a, meta, spans); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSpans(&b, meta, spans); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("WriteSpans is not byte-deterministic")
+	}
+
+	gotMeta, gotSpans, err := ReadSpans(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMeta := meta
+	wantMeta.Schema = SpanSchemaVersion
+	wantMeta.Spans = len(spans)
+	if gotMeta != wantMeta {
+		t.Fatalf("meta = %+v, want %+v", gotMeta, wantMeta)
+	}
+	if !reflect.DeepEqual(gotSpans, spans) {
+		t.Fatalf("spans round-trip mismatch:\ngot  %+v\nwant %+v", gotSpans, spans)
+	}
+}
+
+func TestReadSpansFillsMakespan(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSpans(&buf, Meta{}, sampleSpans()); err != nil {
+		t.Fatal(err)
+	}
+	meta, _, err := ReadSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Makespan != 3 {
+		t.Fatalf("makespan = %v, want 3 (latest span end)", meta.Makespan)
+	}
+}
+
+func TestReadSpansErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":            "",
+		"future schema":    `{"schema":99,"makespan_s":1,"spans":0}` + "\n",
+		"unknown field":    `{"schema":1,"makespan_s":1,"spans":0,"bogus":true}` + "\n",
+		"truncated stream": `{"schema":1,"makespan_s":1,"spans":2}` + "\n" + `{"start_s":0,"end_s":1,"category":"compute","process":"p"}` + "\n",
+		"bad category":     `{"schema":1,"makespan_s":1,"spans":1}` + "\n" + `{"start_s":0,"end_s":1,"category":"warp","process":"p"}` + "\n",
+		"bad device":       `{"schema":1,"makespan_s":1,"spans":1}` + "\n" + `{"start_s":0,"end_s":1,"category":"compute","device":"tpu","process":"p"}` + "\n",
+	}
+	for name, in := range cases {
+		if _, _, err := ReadSpans(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ReadSpans accepted malformed input", name)
+		}
+	}
+}
+
+func TestReadSpansCSVRoundTrip(t *testing.T) {
+	spans := sampleSpans()
+	r := NewRecorder()
+	for _, sp := range spans {
+		r.Span(sp)
+	}
+	var buf strings.Builder
+	if err := r.WriteSpansCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSpansCSV(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, spans) {
+		t.Fatalf("CSV round-trip mismatch:\ngot  %+v\nwant %+v", got, spans)
+	}
+}
+
+// Old -spans-out dumps predate the device column; they must still read
+// back, with DeviceUnknown filled in (trace.Classify then falls back to
+// its resource-name heuristic).
+func TestReadSpansCSVLegacyHeader(t *testing.T) {
+	legacy := "start_s,end_s,category,process,resource,phase,bytes\n" +
+		"0.000000000,1.500000000,compute,fpga0,fpga0-pe,panel,0\n" +
+		"0.250000000,0.750000000,dma,fpga0,dram0,panel,4096\n"
+	spans, err := ReadSpansCSV(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	for _, sp := range spans {
+		if sp.Device != sim.DeviceUnknown {
+			t.Fatalf("legacy CSV span has device %v, want DeviceUnknown", sp.Device)
+		}
+	}
+	if spans[1].Bytes != 4096 || spans[1].Category != sim.CatDMA || spans[1].Phase != "panel" {
+		t.Fatalf("legacy span fields wrong: %+v", spans[1])
+	}
+}
+
+func TestReadSpansFileSniffsFormat(t *testing.T) {
+	spans := sampleSpans()
+	dir := t.TempDir()
+
+	jsonl := dir + "/run.spans"
+	f, err := os.Create(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSpans(f, Meta{App: "lu", Makespan: 3}, spans); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	csvPath := dir + "/run.csv"
+	g, err := os.Create(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRecorder()
+	for _, sp := range spans {
+		r.Span(sp)
+	}
+	if err := r.WriteSpansCSV(g); err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+
+	for _, path := range []string{jsonl, csvPath} {
+		meta, got, err := ReadSpansFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if !reflect.DeepEqual(got, spans) {
+			t.Fatalf("%s: spans mismatch", path)
+		}
+		if meta.Makespan != 3 {
+			t.Fatalf("%s: makespan = %v, want 3", path, meta.Makespan)
+		}
+	}
+}
+
+func TestParseCategoryDeviceRoundTrip(t *testing.T) {
+	for _, c := range []sim.Category{sim.CatCompute, sim.CatDMA, sim.CatNetwork, sim.CatSync, sim.CatIdle} {
+		got, err := sim.ParseCategory(c.String())
+		if err != nil || got != c {
+			t.Errorf("ParseCategory(%q) = %v, %v", c.String(), got, err)
+		}
+	}
+	for _, d := range []sim.Device{sim.DeviceUnknown, sim.DeviceCPU, sim.DeviceFPGA, sim.DeviceDRAM, sim.DeviceLink} {
+		got, err := sim.ParseDevice(d.String())
+		if err != nil || got != d {
+			t.Errorf("ParseDevice(%q) = %v, %v", d.String(), got, err)
+		}
+	}
+	if _, err := sim.ParseCategory("nope"); err == nil {
+		t.Error("ParseCategory accepted garbage")
+	}
+	if _, err := sim.ParseDevice("nope"); err == nil {
+		t.Error("ParseDevice accepted garbage")
+	}
+}

@@ -130,8 +130,12 @@ func (r *Recorder) Summarize(makespan float64) *Summary {
 
 // perfetto trace_event structures. Fields are structs (never maps) so
 // JSON field order — and therefore the exported bytes — is fixed.
+// The arg keys (except "name", which is thread metadata) are drawn
+// from the span schema (SpanRecord); a test pins them to
+// SpanFieldNames so the formats cannot drift.
 type perfettoArgs struct {
 	Name     string `json:"name,omitempty"`
+	Device   string `json:"device,omitempty"`
 	Resource string `json:"resource,omitempty"`
 	Phase    string `json:"phase,omitempty"`
 	Bytes    int64  `json:"bytes,omitempty"`
@@ -181,8 +185,11 @@ func (r *Recorder) WritePerfetto(w io.Writer) error {
 			Pid:  0,
 			Tid:  tids[sp.Proc],
 		}
-		if sp.Resource != "" || sp.Phase != "" || sp.Bytes != 0 {
+		if sp.Resource != "" || sp.Phase != "" || sp.Bytes != 0 || sp.Device != sim.DeviceUnknown {
 			ev.Args = &perfettoArgs{Resource: sp.Resource, Phase: sp.Phase, Bytes: sp.Bytes}
+			if sp.Device != sim.DeviceUnknown {
+				ev.Args.Device = sp.Device.String()
+			}
 		}
 		events = append(events, ev)
 	}
@@ -207,22 +214,28 @@ func (r *Recorder) WritePerfetto(w io.Writer) error {
 	return err
 }
 
-// WriteSpansCSV exports the spans as RFC-4180 CSV with header
-// "start_s,end_s,category,process,resource,phase,bytes".
+// WriteSpansCSV exports the spans as RFC-4180 CSV. The header is the
+// span schema's canonical field list (SpanFieldNames), currently
+// "start_s,end_s,category,device,process,resource,phase,bytes"; the
+// device column is empty for spans whose emitter declared no device.
+// ReadSpansCSV reads this format back (and the older header without
+// the device column).
 func (r *Recorder) WriteSpansCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"start_s", "end_s", "category", "process", "resource", "phase", "bytes"}); err != nil {
+	if err := cw.Write(SpanFieldNames()); err != nil {
 		return err
 	}
 	for _, sp := range r.spans {
+		rec := RecordOf(sp)
 		row := []string{
-			strconv.FormatFloat(sp.Start, 'f', 9, 64),
-			strconv.FormatFloat(sp.End, 'f', 9, 64),
-			sp.Category.String(),
-			sp.Proc,
-			sp.Resource,
-			sp.Phase,
-			strconv.FormatInt(sp.Bytes, 10),
+			strconv.FormatFloat(rec.Start, 'f', 9, 64),
+			strconv.FormatFloat(rec.End, 'f', 9, 64),
+			rec.Category,
+			rec.Device,
+			rec.Proc,
+			rec.Resource,
+			rec.Phase,
+			strconv.FormatInt(rec.Bytes, 10),
 		}
 		if err := cw.Write(row); err != nil {
 			return err
