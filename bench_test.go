@@ -452,6 +452,49 @@ func BenchmarkExtensionCG(b *testing.B) {
 	b.ReportMetric(g, "sim_GFLOPS")
 }
 
+// BenchmarkSolveCached measures the serve layer's solve path on both
+// sides of the cache (DESIGN.md §12): "hit" re-asks one canonical
+// query every iteration, so each solve is an LRU hit in the
+// read-through cache; "miss" asks a never-before-seen partition every
+// iteration, so each solve runs a full model evaluation and inserts
+// the outcome. The gap between the two is what the cache buys a
+// duplicate-heavy serving workload.
+func BenchmarkSolveCached(b *testing.B) {
+	b.Run("hit", func(b *testing.B) {
+		svc := NewServeService(ServeConfig{}, NewObsRegistry())
+		defer svc.Close()
+		req := SolveRequest{App: "lu"}
+		if _, err := svc.Solve(context.Background(), req); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := svc.Solve(context.Background(), req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.Source != "cache" {
+				b.Fatalf("source = %q, want cache", resp.Source)
+			}
+		}
+	})
+	b.Run("miss", func(b *testing.B) {
+		svc := NewServeService(ServeConfig{CacheBound: -1}, NewObsRegistry())
+		defer svc.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bf, l := 1+i%3000, 1+i/3000
+			resp, err := svc.Solve(context.Background(), SolveRequest{App: "lu", BF: &bf, L: &l})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.Source != "computed" {
+				b.Fatalf("source = %q, want computed", resp.Source)
+			}
+		}
+	})
+}
+
 // BenchmarkDesignSpaceSweep exercises the parallel sweep engine under
 // both evaluation methods and reports the headline of the best design
 // each grid finds.

@@ -1,0 +1,168 @@
+// Command codesignd serves the co-design model as a service: an
+// HTTP/JSON API over the paper's partition solver (Equations 1-6) and
+// the design-space sweep engine, with a bounded LRU solve cache,
+// request coalescing for duplicate queries, admission control that
+// sheds overload with 429, and the full observability surface
+// (/metrics, /statusz, pprof) on the same port.
+//
+// Usage:
+//
+//	codesignd                              # serve on 127.0.0.1:8080
+//	codesignd -addr :9000 -cache 16384     # bigger solve cache
+//	codesignd -max-inflight 8 -max-queue 16
+//	curl -s localhost:8080/v1/solve -d '{"app":"lu"}'
+//	curl -s localhost:8080/metrics | grep codesignd_
+//
+// Endpoints: POST /v1/solve (one point, cached), POST /v1/design
+// (synchronous best-design search), POST /v1/sweep + GET
+// /v1/sweep/{id} (asynchronous sweep jobs). OPERATIONS.md documents
+// the API, error codes, tuning flags and every exported metric
+// family. SIGINT/SIGTERM drain gracefully: in-flight requests finish
+// (up to -drain), background sweep jobs are cancelled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"codesign/internal/cli"
+	"codesign/internal/obs"
+	"codesign/internal/serve"
+)
+
+func main() {
+	var o options
+	flag.StringVar(&o.Addr, "addr", "127.0.0.1:8080", "listen `address` (host:port; :0 = ephemeral)")
+	flag.IntVar(&o.CacheBound, "cache", 4096, "solve cache bound in entries (< 0 = unbounded)")
+	flag.IntVar(&o.MemoBound, "memo", 65536, "evaluator memo cache bound per cache (< 0 = unbounded)")
+	flag.IntVar(&o.MaxInFlight, "max-inflight", 32, "max concurrently evaluating compute requests")
+	flag.IntVar(&o.MaxQueue, "max-queue", 256, "max requests queued for a slot before shedding with 429")
+	flag.DurationVar(&o.RequestTimeout, "request-timeout", 30*time.Second, "per-request deadline (and ?timeout_ms= upper bound)")
+	flag.IntVar(&o.MaxDesignPoints, "max-design-points", 10000, "largest grid /v1/design evaluates synchronously")
+	flag.IntVar(&o.MaxSweepPoints, "max-sweep-points", 100000, "largest grid /v1/sweep accepts")
+	flag.IntVar(&o.MaxRunningJobs, "max-running-jobs", 2, "max concurrently running sweep jobs")
+	flag.IntVar(&o.MaxJobs, "max-jobs", 64, "max retained sweep job records")
+	flag.IntVar(&o.SweepWorkers, "sweep-workers", 0, "worker pool per sweep job (0 = GOMAXPROCS)")
+	flag.DurationVar(&o.Drain, "drain", 10*time.Second, "graceful shutdown deadline for in-flight requests")
+	flag.BoolVar(&o.Quiet, "q", false, "quiet: log errors only")
+	flag.BoolVar(&o.Verbose, "v", false, "verbose: also log debug detail")
+	flag.Parse()
+
+	o.Log = cli.NewLogger("codesignd", os.Stderr)
+	if err := run(o, os.Stdout); err != nil {
+		o.Log.Errorf("%v", err)
+		os.Exit(1)
+	}
+}
+
+// options bundles every CLI knob run needs; tests construct it
+// directly.
+type options struct {
+	Addr            string
+	CacheBound      int
+	MemoBound       int
+	MaxInFlight     int
+	MaxQueue        int
+	RequestTimeout  time.Duration
+	MaxDesignPoints int
+	MaxSweepPoints  int
+	MaxRunningJobs  int
+	MaxJobs         int
+	SweepWorkers    int
+	Drain           time.Duration
+	Quiet           bool
+	Verbose         bool
+	Log             *cli.Logger
+	// ready, when non-nil, receives the bound listen address before
+	// serving (tests use it with ":0").
+	ready func(addr string)
+	// stop, when non-nil, triggers shutdown like a signal would
+	// (tests close it instead of sending SIGTERM).
+	stop <-chan struct{}
+}
+
+// config converts the flag values to a serve.Config.
+func (o options) config() serve.Config {
+	return serve.Config{
+		CacheBound:      o.CacheBound,
+		MemoBound:       o.MemoBound,
+		MaxInFlight:     o.MaxInFlight,
+		MaxQueue:        o.MaxQueue,
+		RequestTimeout:  o.RequestTimeout,
+		MaxDesignPoints: o.MaxDesignPoints,
+		MaxSweepPoints:  o.MaxSweepPoints,
+		MaxRunningJobs:  o.MaxRunningJobs,
+		MaxJobs:         o.MaxJobs,
+		SweepWorkers:    o.SweepWorkers,
+	}
+}
+
+func run(o options, stdout io.Writer) error {
+	log := o.Log
+	if log == nil {
+		log = cli.NewLogger("codesignd", os.Stderr)
+	}
+	switch {
+	case o.Quiet:
+		log.SetLevel(slog.LevelError)
+	case o.Verbose:
+		log.SetLevel(slog.LevelDebug)
+	}
+
+	reg := obs.NewRegistry()
+	srv := serve.New(o.config(), reg)
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", o.Addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	log.Infof("serving co-design API on http://%s/v1/solve (metrics on /metrics)", ln.Addr())
+	if o.ready != nil {
+		o.ready(ln.Addr().String())
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	case <-stopChan(o.stop):
+	}
+
+	log.Infof("shutting down: draining in-flight requests (up to %v)", o.Drain)
+	drainCtx, drainCancel := context.WithTimeout(context.Background(), o.Drain)
+	defer drainCancel()
+	if err := hs.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	// Serve has returned http.ErrServerClosed by now; drain the channel
+	// so the goroutine is done.
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Infof("bye")
+	return nil
+}
+
+// stopChan adapts the optional test stop channel: nil means "never".
+func stopChan(ch <-chan struct{}) <-chan struct{} {
+	if ch != nil {
+		return ch
+	}
+	return make(chan struct{})
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startDaemon runs the daemon on an ephemeral port and returns its
+// base URL and a stop func that waits for a clean exit.
+func startDaemon(t *testing.T, o options) (string, func()) {
+	t.Helper()
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	o.Addr = "127.0.0.1:0"
+	o.Quiet = true
+	o.Drain = 5 * time.Second
+	o.ready = func(addr string) { ready <- addr }
+	o.stop = stop
+	go func() { done <- run(o, io.Discard) }()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, func() {
+			close(stop)
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Errorf("run returned %v", err)
+				}
+			case <-time.After(10 * time.Second):
+				t.Error("daemon did not shut down")
+			}
+		}
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	return "", nil
+}
+
+// TestServeSolveAndShutdown boots the daemon, solves a point, scrapes
+// metrics, and shuts down gracefully.
+func TestServeSolveAndShutdown(t *testing.T) {
+	url, stop := startDaemon(t, options{})
+	defer stop()
+
+	resp, err := http.Post(url+"/v1/solve", "application/json",
+		strings.NewReader(`{"app":"lu","pes":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: %d\n%s", resp.StatusCode, body)
+	}
+	var sr struct {
+		Outcome struct {
+			OK     bool    `json:"ok"`
+			GFLOPS float64 `json:"gflops"`
+		} `json:"outcome"`
+		Source string `json:"source"`
+	}
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Outcome.OK || sr.Outcome.GFLOPS <= 0 || sr.Source != "computed" {
+		t.Fatalf("solve response = %+v", sr)
+	}
+
+	resp, err = http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Contains(metrics, []byte("codesignd_solve_cache_misses_total 1")) {
+		t.Fatalf("/metrics missing solve traffic:\n%s", metrics)
+	}
+}
+
+// TestConfigPlumbing asserts the flag values reach serve.Config.
+func TestConfigPlumbing(t *testing.T) {
+	o := options{CacheBound: 7, MaxInFlight: 3, MaxQueue: 9, RequestTimeout: time.Minute}
+	cfg := o.config()
+	if cfg.CacheBound != 7 || cfg.MaxInFlight != 3 || cfg.MaxQueue != 9 || cfg.RequestTimeout != time.Minute {
+		t.Fatalf("config = %+v", cfg)
+	}
+}

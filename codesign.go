@@ -37,11 +37,14 @@ import (
 	"io"
 
 	"codesign/internal/analysis"
+	"codesign/internal/cache"
 	"codesign/internal/core"
 	"codesign/internal/exper"
 	"codesign/internal/fault"
 	"codesign/internal/machine"
 	"codesign/internal/model"
+	"codesign/internal/obs"
+	"codesign/internal/serve"
 	"codesign/internal/sim"
 	"codesign/internal/sweep"
 	"codesign/internal/trace"
@@ -452,4 +455,94 @@ func ReadSpansFile(path string) (SpanMeta, []SpanEvent, error) { return trace.Re
 // returning the files written.
 func ArchiveFrontierSpans(res *SweepResult, dir string) ([]string, error) {
 	return sweep.ArchiveFrontierSpans(res, dir)
+}
+
+// Co-design as a service (internal/serve, cmd/codesignd, DESIGN.md
+// §12). The serve layer puts an HTTP/JSON API in front of the
+// Equation (1)-(6) partition solvers and the sweep engine: POST
+// /v1/solve answers one design query through a bounded LRU cache with
+// request coalescing, POST /v1/design ranks a small grid
+// synchronously, POST /v1/sweep + GET /v1/sweep/{id} run large grids
+// as asynchronous jobs, and the live observability surface (/metrics,
+// /statusz, pprof) is mounted on the same port. OPERATIONS.md is the
+// operator reference (API schemas, error codes, tuning flags, metrics
+// dictionary); cmd/loadgen is the matching load-generation harness.
+type (
+	// ServeConfig tunes the serve layer: cache and memo bounds,
+	// admission limits, deadlines, grid caps. The zero value takes the
+	// documented defaults.
+	ServeConfig = serve.Config
+	// ServeService is the transport-independent core of codesignd:
+	// shared memoized evaluator, canonical-key solve cache with
+	// coalescing, and the asynchronous sweep job store.
+	ServeService = serve.Service
+	// ServeServer is the HTTP front end: routing, admission control,
+	// per-request deadlines and the error envelope around a
+	// ServeService.
+	ServeServer = serve.Server
+	// ServeError is the typed API failure: HTTP status, machine-
+	// readable code and human-readable message.
+	ServeError = serve.Error
+	// SolveRequest is one design-space query (POST /v1/solve); the
+	// zero request is the paper's headline LU configuration.
+	SolveRequest = serve.SolveRequest
+	// SolveResponse is a solve answer: the normalized point, its
+	// outcome, and how the lookup was satisfied.
+	SolveResponse = serve.SolveResponse
+	// DesignRequest asks for the best designs on a small grid
+	// (POST /v1/design).
+	DesignRequest = serve.DesignRequest
+	// DesignResponse ranks the feasible designs by GFLOPS descending.
+	DesignResponse = serve.DesignResponse
+	// SweepJobRequest submits an asynchronous sweep job
+	// (POST /v1/sweep).
+	SweepJobRequest = serve.SweepRequest
+	// SweepJobResponse is a job snapshot: id, status, and the full
+	// sweep result once done.
+	SweepJobResponse = serve.JobResponse
+	// ObsRegistry is the process-wide metrics registry the serve layer
+	// exports on /metrics (counters, gauges, histograms; distinct from
+	// the per-run virtual-time Metrics).
+	ObsRegistry = obs.Registry
+)
+
+// Memoization substrate (internal/cache): the generic bounded LRU,
+// single-flight group and read-through loading cache behind both the
+// sweep evaluator's memos and the serve layer's solve cache. The
+// generic containers themselves stay internal; the observable pieces
+// are re-exported.
+type (
+	// CacheStats counts a cache's lookups, hits, misses and evictions;
+	// its HitRate method folds them to a ratio.
+	CacheStats = cache.Stats
+	// CacheSource says how a read-through lookup was satisfied.
+	CacheSource = cache.Source
+)
+
+// Cache lookup sources (CacheSource values).
+const (
+	// CacheSourceHit is an LRU hit: the value was already cached.
+	CacheSourceHit = cache.SourceHit
+	// CacheSourceShared joined a concurrent identical computation.
+	CacheSourceShared = cache.SourceShared
+	// CacheSourceComputed ran the computation itself.
+	CacheSourceComputed = cache.SourceComputed
+)
+
+// NewObsRegistry returns a fresh live-metrics registry to pass to
+// NewServeService or NewServeServer; export it over HTTP with
+// internal/obs-style mounts or let ServeServer mount it for you.
+func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
+
+// NewServeService builds the transport-independent serve core with
+// its metric families registered on reg. Callers embed it directly
+// (Solve/Design/SubmitSweep/Job); Close cancels background jobs.
+func NewServeService(cfg ServeConfig, reg *ObsRegistry) *ServeService {
+	return serve.NewService(cfg, reg)
+}
+
+// NewServeServer builds the full codesignd HTTP server; serve its
+// Handler() with net/http. See cmd/codesignd for the CLI wrapper.
+func NewServeServer(cfg ServeConfig, reg *ObsRegistry) *ServeServer {
+	return serve.New(cfg, reg)
 }

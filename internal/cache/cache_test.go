@@ -1,0 +1,270 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLRUEvictionBoundAndOrder(t *testing.T) {
+	c := NewLRU[int, string](3)
+	for i := 1; i <= 3; i++ {
+		c.Put(i, fmt.Sprint(i))
+	}
+	// Touch 1 so 2 becomes the LRU victim.
+	if v, ok := c.Get(1); !ok || v != "1" {
+		t.Fatalf("Get(1) = %q, %v", v, ok)
+	}
+	c.Put(4, "4")
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d after eviction, want 3", c.Len())
+	}
+	if _, ok := c.Get(2); ok {
+		t.Fatal("2 should have been evicted (least recently used)")
+	}
+	for _, k := range []int{1, 3, 4} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("key %d missing after eviction of 2", k)
+		}
+	}
+	if s := c.Stats(); s.Evictions != 1 {
+		t.Fatalf("Evictions = %d, want 1", s.Evictions)
+	}
+}
+
+func TestLRUBoundNeverExceeded(t *testing.T) {
+	const bound = 8
+	c := NewLRU[int, int](bound)
+	for i := 0; i < 1000; i++ {
+		c.Put(i, i)
+		if c.Len() > bound {
+			t.Fatalf("Len = %d exceeds bound %d", c.Len(), bound)
+		}
+	}
+	if c.Len() != bound {
+		t.Fatalf("Len = %d, want %d", c.Len(), bound)
+	}
+	s := c.Stats()
+	if s.Evictions != 1000-bound {
+		t.Fatalf("Evictions = %d, want %d", s.Evictions, 1000-bound)
+	}
+}
+
+func TestLRUUnbounded(t *testing.T) {
+	c := NewLRU[int, int](0)
+	for i := 0; i < 10000; i++ {
+		c.Put(i, i)
+	}
+	if c.Len() != 10000 {
+		t.Fatalf("Len = %d, want 10000 (unbounded)", c.Len())
+	}
+	if s := c.Stats(); s.Evictions != 0 {
+		t.Fatalf("Evictions = %d on unbounded cache", s.Evictions)
+	}
+}
+
+func TestLRUPutReplaces(t *testing.T) {
+	c := NewLRU[string, int](2)
+	c.Put("a", 1)
+	c.Put("a", 2)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after replacing put, want 1", c.Len())
+	}
+	if v, _ := c.Get("a"); v != 2 {
+		t.Fatalf("Get(a) = %d, want 2", v)
+	}
+}
+
+// TestGetOrComputeExactlyOnce hammers one cache from many goroutines
+// and asserts each distinct key's loader ran exactly once — the
+// memoizer contract the sweep relies on. Run with -race.
+func TestGetOrComputeExactlyOnce(t *testing.T) {
+	const keys, workers, rounds = 17, 8, 200
+	c := NewLRU[int, int](0)
+	var loads [keys]atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				k := (i + w) % keys
+				v, _ := c.GetOrCompute(k, func() int {
+					loads[k].Add(1)
+					return k * 10
+				})
+				if v != k*10 {
+					t.Errorf("GetOrCompute(%d) = %d", k, v)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for k := range loads {
+		if n := loads[k].Load(); n != 1 {
+			t.Errorf("key %d loaded %d times, want exactly 1", k, n)
+		}
+	}
+	s := c.Stats()
+	if s.Misses != keys || s.Lookups != workers*rounds {
+		t.Errorf("stats = %+v, want %d misses over %d lookups", s, keys, workers*rounds)
+	}
+	if got := s.HitRate(); got <= 0.9 {
+		t.Errorf("HitRate = %.3f, want > 0.9 on a duplicate-heavy load", got)
+	}
+}
+
+func TestFlightCoalescesConcurrentLoads(t *testing.T) {
+	f := NewFlight[string, int]()
+	release := make(chan struct{})
+	var loads atomic.Int64
+
+	const followers = 15
+	var wg sync.WaitGroup
+	var sharedCount atomic.Int64
+	results := make([]int, followers+1)
+	for i := 0; i <= followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, shared, err := f.Do(context.Background(), "k", func() (int, error) {
+				loads.Add(1)
+				<-release
+				return 42, nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Let everyone pile onto the call, then release the leader.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if n := loads.Load(); n != 1 {
+		t.Fatalf("load ran %d times, want 1", n)
+	}
+	if n := sharedCount.Load(); n != followers {
+		t.Fatalf("%d callers shared, want %d", n, followers)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Fatalf("caller %d got %d", i, v)
+		}
+	}
+}
+
+func TestFlightFollowerHonorsContext(t *testing.T) {
+	f := NewFlight[string, int]()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+
+	go f.Do(context.Background(), "k", func() (int, error) {
+		close(started)
+		<-release
+		return 1, nil
+	})
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, shared, err := f.Do(ctx, "k", func() (int, error) { return 2, nil })
+	if !shared {
+		t.Fatal("follower should report shared")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+func TestLoadingSources(t *testing.T) {
+	l := NewLoading[string, int](4)
+	var loads atomic.Int64
+	load := func() (int, error) { loads.Add(1); return 7, nil }
+
+	v, src, err := l.Do(context.Background(), "k", load)
+	if v != 7 || src != SourceComputed || err != nil {
+		t.Fatalf("first Do = %d, %v, %v; want 7, computed, nil", v, src, err)
+	}
+	v, src, err = l.Do(context.Background(), "k", load)
+	if v != 7 || src != SourceHit || err != nil {
+		t.Fatalf("second Do = %d, %v, %v; want 7, cache, nil", v, src, err)
+	}
+	if loads.Load() != 1 {
+		t.Fatalf("load ran %d times, want 1", loads.Load())
+	}
+	if got := src.String(); got != "cache" {
+		t.Fatalf("SourceHit.String() = %q", got)
+	}
+}
+
+func TestLoadingDoesNotCacheErrors(t *testing.T) {
+	l := NewLoading[string, int](4)
+	boom := errors.New("boom")
+	calls := 0
+	_, _, err := l.Do(context.Background(), "k", func() (int, error) { calls++; return 0, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	v, src, err := l.Do(context.Background(), "k", func() (int, error) { calls++; return 9, nil })
+	if v != 9 || src != SourceComputed || err != nil {
+		t.Fatalf("retry = %d, %v, %v; want fresh compute", v, src, err)
+	}
+	if calls != 2 {
+		t.Fatalf("load ran %d times, want 2 (errors not cached)", calls)
+	}
+}
+
+// TestLoadingCoalescedHammer checks that under heavy duplicate load
+// the number of loads stays bounded by the number of distinct keys
+// (not callers), with every caller seeing the right value. Run with
+// -race.
+func TestLoadingCoalescedHammer(t *testing.T) {
+	l := NewLoading[int, int](64)
+	var loads atomic.Int64
+	const workers, rounds, keys = 16, 100, 5
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				k := (w + i) % keys
+				v, _, err := l.Do(context.Background(), k, func() (int, error) {
+					loads.Add(1)
+					time.Sleep(time.Millisecond) // widen the coalescing window
+					return k + 100, nil
+				})
+				if err != nil || v != k+100 {
+					t.Errorf("Do(%d) = %d, %v", k, v, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := loads.Load(); n != keys {
+		t.Fatalf("loads = %d, want exactly %d (one per key: cache + coalescing)", n, keys)
+	}
+}
+
+func TestStatsHitRateZeroSafe(t *testing.T) {
+	if r := (Stats{}).HitRate(); r != 0 {
+		t.Fatalf("zero Stats HitRate = %v", r)
+	}
+	s := Stats{Lookups: 4, Hits: 3, Misses: 1}
+	if r := s.HitRate(); r != 0.75 {
+		t.Fatalf("HitRate = %v, want 0.75", r)
+	}
+}

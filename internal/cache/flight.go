@@ -1,0 +1,134 @@
+package cache
+
+import (
+	"context"
+	"sync"
+)
+
+// call is one in-flight load shared by a leader and any followers.
+type call[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Flight deduplicates concurrent loads: while one goroutine (the
+// leader) computes the value for a key, other goroutines asking for
+// the same key (followers) wait for the leader's result instead of
+// computing their own. The zero value is not usable; construct with
+// NewFlight. Unlike golang.org/x/sync/singleflight, waiting is
+// context-aware: a follower whose context expires stops waiting and
+// returns the context error while the leader's compute continues for
+// any remaining waiters.
+type Flight[K comparable, V any] struct {
+	mu    sync.Mutex
+	calls map[K]*call[V]
+}
+
+// NewFlight returns an empty single-flight group.
+func NewFlight[K comparable, V any]() *Flight[K, V] {
+	return &Flight[K, V]{calls: make(map[K]*call[V])}
+}
+
+// Do returns the result of load for k, coalescing concurrent calls:
+// exactly one load runs per key at a time, and every caller that
+// stayed until it finished gets its result. The second result reports
+// whether this caller was a follower (shared someone else's load).
+// The leader always runs load to completion regardless of ctx — the
+// loads cached here are not cancellable mid-solve — but followers
+// honor ctx while waiting.
+func (f *Flight[K, V]) Do(ctx context.Context, k K, load func() (V, error)) (V, bool, error) {
+	f.mu.Lock()
+	if c, ok := f.calls[k]; ok {
+		f.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, true, c.err
+		case <-ctx.Done():
+			var zero V
+			return zero, true, ctx.Err()
+		}
+	}
+	c := &call[V]{done: make(chan struct{})}
+	f.calls[k] = c
+	f.mu.Unlock()
+
+	c.val, c.err = load()
+	f.mu.Lock()
+	delete(f.calls, k)
+	f.mu.Unlock()
+	close(c.done)
+	return c.val, false, c.err
+}
+
+// Source says how a Loading lookup was satisfied.
+type Source int
+
+// The lookup sources, ordered from cheapest to most expensive.
+const (
+	// SourceHit means the value was already cached.
+	SourceHit Source = iota
+	// SourceShared means the caller coalesced onto another caller's
+	// in-flight load.
+	SourceShared
+	// SourceComputed means this caller ran the load itself.
+	SourceComputed
+)
+
+// String names the source ("cache", "coalesced", "computed").
+func (s Source) String() string {
+	switch s {
+	case SourceHit:
+		return "cache"
+	case SourceShared:
+		return "coalesced"
+	default:
+		return "computed"
+	}
+}
+
+// Loading composes an LRU with a Flight: the read-through solve cache
+// of the serve layer. Lookups hit the LRU first; misses coalesce onto
+// a single load per key, and successful loads populate the cache.
+// Distinct keys load in parallel (the LRU lock is never held during a
+// load). Failed loads are not cached.
+type Loading[K comparable, V any] struct {
+	lru    *LRU[K, V]
+	flight *Flight[K, V]
+}
+
+// NewLoading returns a read-through cache bounded to bound entries
+// (bound <= 0 = unbounded).
+func NewLoading[K comparable, V any](bound int) *Loading[K, V] {
+	return &Loading[K, V]{lru: NewLRU[K, V](bound), flight: NewFlight[K, V]()}
+}
+
+// Do returns the value for k, loading it at most once across
+// concurrent callers. The Source reports whether the value came from
+// the cache, from a coalesced in-flight load, or from a load this
+// caller ran. ctx bounds a follower's wait (the leader's load itself
+// is not cancellable).
+func (l *Loading[K, V]) Do(ctx context.Context, k K, load func() (V, error)) (V, Source, error) {
+	if v, ok := l.lru.Get(k); ok {
+		return v, SourceHit, nil
+	}
+	v, shared, err := l.flight.Do(ctx, k, func() (V, error) {
+		v, err := load()
+		if err == nil {
+			l.lru.Put(k, v)
+		}
+		return v, err
+	})
+	if shared {
+		return v, SourceShared, err
+	}
+	return v, SourceComputed, err
+}
+
+// Len returns the number of cached entries.
+func (l *Loading[K, V]) Len() int { return l.lru.Len() }
+
+// Stats returns the underlying LRU's counters. A SourceShared lookup
+// counts as one miss (the initial Get) — the coalesced load is the
+// flight's business, not the cache's.
+func (l *Loading[K, V]) Stats() Stats { return l.lru.Stats() }

@@ -52,12 +52,20 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			lastFamily = fam
 		}
 		if s.Kind == "histogram" {
+			// A histogram registered with a label block (e.g.
+			// codesignd_request_seconds{endpoint="solve"}) keeps those
+			// labels on every derived _bucket/_sum/_count series, so
+			// per-label histograms of one family stay distinct.
+			labels := ""
+			if i := strings.IndexByte(s.Name, '{'); i >= 0 {
+				labels = s.Name[i:]
+			}
 			for _, b := range s.Buckets {
 				fmt.Fprintf(bw, "%s %d\n",
-					seriesName(fam+"_bucket", "le", formatValue(float64(b.UpperBound))), b.Count)
+					seriesName(fam+"_bucket"+labels, "le", formatValue(float64(b.UpperBound))), b.Count)
 			}
-			fmt.Fprintf(bw, "%s_sum %s\n", fam, formatValue(float64(s.Sum)))
-			fmt.Fprintf(bw, "%s_count %d\n", fam, s.Count)
+			fmt.Fprintf(bw, "%s_sum%s %s\n", fam, labels, formatValue(float64(s.Sum)))
+			fmt.Fprintf(bw, "%s_count%s %d\n", fam, labels, s.Count)
 			continue
 		}
 		fmt.Fprintf(bw, "%s %s\n", s.Name, formatValue(float64(s.Value)))

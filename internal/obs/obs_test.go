@@ -199,6 +199,34 @@ func TestJSONGolden(t *testing.T) {
 	checkGolden(t, "metrics.json", buf.Bytes())
 }
 
+func TestLabeledHistogramExposition(t *testing.T) {
+	// Histograms registered with a label block keep those labels on
+	// every derived _bucket/_sum/_count series, so several labeled
+	// histograms of one family stay distinct in the text exposition
+	// (codesignd's per-endpoint latency histograms rely on this).
+	r := NewRegistry()
+	r.Histogram(`req_seconds{endpoint="solve"}`, "latency", []float64{0.5}).Observe(0.25)
+	r.Histogram(`req_seconds{endpoint="design"}`, "latency", []float64{0.5}).Observe(2)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP req_seconds latency
+# TYPE req_seconds histogram
+req_seconds_bucket{endpoint="design",le="0.5"} 0
+req_seconds_bucket{endpoint="design",le="+Inf"} 1
+req_seconds_sum{endpoint="design"} 2
+req_seconds_count{endpoint="design"} 1
+req_seconds_bucket{endpoint="solve",le="0.5"} 1
+req_seconds_bucket{endpoint="solve",le="+Inf"} 1
+req_seconds_sum{endpoint="solve"} 0.25
+req_seconds_count{endpoint="solve"} 1
+`
+	if got := buf.String(); got != want {
+		t.Errorf("labeled histogram exposition:\n%s\nwant:\n%s", got, want)
+	}
+}
+
 func TestSnapshotOrderIndependentOfRegistration(t *testing.T) {
 	// Build the same logical registry in reverse registration order;
 	// the serialized output must be byte-identical (stable sort, not

@@ -1,0 +1,36 @@
+// Package serve implements co-design-as-a-service: an HTTP/JSON layer
+// over the paper's design model (Equations 1-6) and the internal/sweep
+// evaluator, served by cmd/codesignd.
+//
+// Three endpoints cover the query spectrum:
+//
+//	POST /v1/solve       one design point: resolve the partition
+//	                     (Eq. 4/5 for LU, Eq. 6 for FW, Eq. 1 for MM)
+//	                     and predict throughput, cached and coalesced
+//	POST /v1/design      synchronous best-design search over a small
+//	                     grid, ranked by predicted GFLOPS
+//	POST /v1/sweep       asynchronous sweep job; poll
+//	GET  /v1/sweep/{id}  for status and the full sweep result
+//
+// The layer is built for duplicate-heavy query mixes: solves go
+// through a bounded LRU read-through cache (internal/cache.Loading)
+// keyed on the canonicalized request, concurrent identical misses
+// coalesce onto one evaluation, and all endpoints share one
+// sweep.Evaluator so place-and-route and partition solves memoize
+// across queries, designs and sweeps alike.
+//
+// Overload is handled by admission control, not queue collapse: at
+// most Config.MaxInFlight compute requests run at once, at most
+// Config.MaxQueue wait for a slot, and everything beyond that is shed
+// immediately with 429 and a Retry-After header. Every request runs
+// under a deadline (Config.RequestTimeout, tightened per-request with
+// ?timeout_ms=); exceeding it returns 504 while any in-flight solve
+// completes in the background and still populates the cache.
+//
+// All traffic is observable through internal/obs: the serve mux mounts
+// the standard /metrics, /metrics.json, /healthz, /statusz and
+// /debug/pprof/ surface next to the API, with codesignd_* families for
+// per-endpoint request counts and latency histograms, cache hit/miss/
+// coalesce counters, in-flight and queue depth gauges, and shed
+// counts. OPERATIONS.md documents every family and endpoint.
+package serve

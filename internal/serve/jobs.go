@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+
+	"codesign/internal/sweep"
+)
+
+// job is one sweep job's mutable record.
+type job struct {
+	id     string
+	status string
+	points int
+	err    string
+	result *sweep.Result
+}
+
+// jobStore is the bounded in-memory sweep-job registry: sequential
+// ids, a running-jobs admission cap, and eviction of the oldest
+// finished records beyond maxJobs so a long-lived server's memory
+// stays bounded. Results live only here — a poll after eviction is a
+// 404, which OPERATIONS.md tells operators to treat as "fetch sooner
+// or raise -max-jobs".
+type jobStore struct {
+	mu         sync.Mutex
+	seq        int
+	jobs       map[string]*job
+	order      []string // ids in submission order, for eviction
+	maxJobs    int
+	maxRunning int
+	running    int
+}
+
+// newJobStore builds an empty store with the given bounds (both >= 1;
+// maxJobs > maxRunning so a finished record always has room).
+func newJobStore(maxJobs, maxRunning int) *jobStore {
+	return &jobStore{jobs: make(map[string]*job), maxJobs: maxJobs, maxRunning: maxRunning}
+}
+
+// submit registers a new running job, or rejects with a 429 Error
+// when maxRunning jobs are already running.
+func (st *jobStore) submit(g sweep.Grid) (*JobResponse, *Error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.running >= st.maxRunning {
+		return nil, &Error{
+			Status: http.StatusTooManyRequests, Code: CodeOverloaded,
+			Message: fmt.Sprintf("%d sweep jobs already running (limit %d); retry later", st.running, st.maxRunning),
+		}
+	}
+	st.seq++
+	j := &job{id: fmt.Sprintf("j%d", st.seq), status: JobRunning, points: g.NumPoints()}
+	st.jobs[j.id] = j
+	st.order = append(st.order, j.id)
+	st.running++
+	st.evictLocked()
+	return snapshot(j), nil
+}
+
+// finish records a job's terminal state.
+func (st *jobStore) finish(id string, res *sweep.Result, err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	if !ok || j.status != JobRunning {
+		return
+	}
+	st.running--
+	if err != nil {
+		j.status, j.err = JobFailed, err.Error()
+		return
+	}
+	j.status, j.result = JobDone, res
+}
+
+// get returns a job's snapshot.
+func (st *jobStore) get(id string) (*JobResponse, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return snapshot(j), true
+}
+
+// evictLocked drops the oldest finished jobs while the store exceeds
+// maxJobs. Running jobs are never evicted; the running cap keeps
+// them below maxJobs.
+func (st *jobStore) evictLocked() {
+	for len(st.jobs) > st.maxJobs {
+		evicted := false
+		for i, id := range st.order {
+			if j := st.jobs[id]; j != nil && j.status != JobRunning {
+				delete(st.jobs, id)
+				st.order = append(st.order[:i], st.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return
+		}
+	}
+}
+
+// snapshot copies a job into its wire form. The *sweep.Result pointer
+// is shared — results are immutable once finish stores them.
+func snapshot(j *job) *JobResponse {
+	return &JobResponse{Job: j.id, Status: j.status, Points: j.points, Error: j.err, Result: j.result}
+}

@@ -1,0 +1,245 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"codesign/internal/obs"
+)
+
+// maxBodyBytes bounds request bodies; grids are small JSON documents.
+const maxBodyBytes = 1 << 20
+
+// Server is the HTTP front of a Service: the /v1 API plus the
+// standard observability surface (/metrics, /metrics.json, /healthz,
+// /statusz, /debug/pprof/) on one mux. Construct with New; serve
+// Handler() on any net/http server.
+type Server struct {
+	cfg Config
+	svc *Service
+	mux *http.ServeMux
+
+	// tokens holds one slot per allowed in-flight compute request;
+	// queued counts requests waiting for a slot.
+	tokens chan struct{}
+	queued atomic.Int64
+}
+
+// New builds a server (and its Service) with metric families
+// registered on reg, which must be non-nil.
+func New(cfg Config, reg *obs.Registry) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		svc:    NewService(cfg, reg),
+		tokens: make(chan struct{}, cfg.MaxInFlight),
+	}
+	reg.Func("codesignd_inflight", "compute requests currently evaluating",
+		func() float64 { return float64(len(s.tokens)) })
+	reg.Func("codesignd_queued", "compute requests waiting for an in-flight slot",
+		func() float64 { return float64(s.queued.Load()) })
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/solve", s.route("solve", http.MethodPost, true, s.handleSolve))
+	mux.HandleFunc("/v1/design", s.route("design", http.MethodPost, true, s.handleDesign))
+	mux.HandleFunc("/v1/sweep", s.route("sweep", http.MethodPost, false, s.handleSweepSubmit))
+	mux.HandleFunc("/v1/sweep/{id}", s.route("sweep_status", http.MethodGet, false, s.handleSweepStatus))
+	mux.HandleFunc("/v1/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, &Error{Status: http.StatusNotFound, Code: CodeNotFound, Message: "unknown API path " + r.URL.Path})
+	})
+	mux.Handle("/", obs.NewMux(reg))
+	s.mux = mux
+	return s
+}
+
+// Handler returns the server's mux, ready for http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Service returns the underlying service (for embedders that mix
+// direct calls with HTTP traffic).
+func (s *Server) Service() *Service { return s.svc }
+
+// Close cancels background sweep jobs; in-flight requests complete.
+func (s *Server) Close() { s.svc.Close() }
+
+// route wraps an endpoint handler with the shared per-request
+// machinery: method check, deadline context, admission control for
+// gated (compute) endpoints, and request metrics. Handlers return the
+// status code they wrote.
+func (s *Server) route(name, method string, gated bool, h func(http.ResponseWriter, *http.Request) int) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		code := http.StatusOK
+		defer func() { s.svc.m.request(name, code, time.Since(start)) }()
+		if r.Method != method {
+			w.Header().Set("Allow", method)
+			code = writeError(w, &Error{
+				Status: http.StatusMethodNotAllowed, Code: CodeMethodNotAllowed,
+				Message: fmt.Sprintf("%s requires %s", r.URL.Path, method),
+			})
+			return
+		}
+		ctx, cancel := s.requestContext(r)
+		defer cancel()
+		r = r.WithContext(ctx)
+		if gated {
+			release, errCode := s.admit(w, r)
+			if release == nil {
+				code = errCode
+				return
+			}
+			defer release()
+		}
+		code = h(w, r)
+	}
+}
+
+// requestContext derives the request's deadline: Config.RequestTimeout
+// by default, tightened (never extended) by a positive ?timeout_ms=
+// query parameter.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	d := s.cfg.RequestTimeout
+	if v := r.URL.Query().Get("timeout_ms"); v != "" {
+		if ms, err := strconv.Atoi(v); err == nil && ms > 0 {
+			if t := time.Duration(ms) * time.Millisecond; t < d {
+				d = t
+			}
+		}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// admit acquires an in-flight slot, queueing up to Config.MaxQueue
+// waiters. It returns the release func, or (nil, code) after writing
+// a 429 (queue full: shed, with Retry-After) or 504 (deadline expired
+// while queued) response.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (func(), int) {
+	select {
+	case s.tokens <- struct{}{}:
+		return func() { <-s.tokens }, 0
+	default:
+	}
+	if int(s.queued.Add(1)) > s.cfg.MaxQueue {
+		s.queued.Add(-1)
+		s.svc.m.shed.Inc()
+		return nil, writeError(w, &Error{
+			Status: http.StatusTooManyRequests, Code: CodeOverloaded,
+			Message: fmt.Sprintf("server at capacity (%d in flight, %d queued); retry later",
+				s.cfg.MaxInFlight, s.cfg.MaxQueue),
+		})
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.tokens <- struct{}{}:
+		return func() { <-s.tokens }, 0
+	case <-r.Context().Done():
+		s.svc.m.deadline.Inc()
+		return nil, writeError(w, &Error{
+			Status: http.StatusGatewayTimeout, Code: CodeDeadlineExceeded,
+			Message: "deadline expired while queued for an in-flight slot",
+		})
+	}
+}
+
+// handleSolve serves POST /v1/solve.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) int {
+	var req SolveRequest
+	if code := decode(w, r, &req); code != 0 {
+		return code
+	}
+	resp, err := s.svc.Solve(r.Context(), req)
+	if err != nil {
+		return s.fail(w, err)
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+// handleDesign serves POST /v1/design.
+func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) int {
+	var req DesignRequest
+	if code := decode(w, r, &req); code != 0 {
+		return code
+	}
+	resp, err := s.svc.Design(r.Context(), req)
+	if err != nil {
+		return s.fail(w, err)
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSweepSubmit serves POST /v1/sweep with a 202 on acceptance.
+func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) int {
+	var req SweepRequest
+	if code := decode(w, r, &req); code != 0 {
+		return code
+	}
+	job, err := s.svc.SubmitSweep(req)
+	if err != nil {
+		return s.fail(w, err)
+	}
+	return writeJSON(w, http.StatusAccepted, job)
+}
+
+// handleSweepStatus serves GET /v1/sweep/{id}.
+func (s *Server) handleSweepStatus(w http.ResponseWriter, r *http.Request) int {
+	job, err := s.svc.Job(r.PathValue("id"))
+	if err != nil {
+		return s.fail(w, err)
+	}
+	return writeJSON(w, http.StatusOK, job)
+}
+
+// fail maps a Service error onto the wire: typed *Error as-is,
+// context expiry as 504, anything else as 500.
+func (s *Server) fail(w http.ResponseWriter, err error) int {
+	var ae *Error
+	if errors.As(err, &ae) {
+		return writeError(w, ae)
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		s.svc.m.deadline.Inc()
+		return writeError(w, &Error{
+			Status: http.StatusGatewayTimeout, Code: CodeDeadlineExceeded,
+			Message: "request deadline exceeded; the evaluation continues and will populate the cache",
+		})
+	}
+	return writeError(w, &Error{Status: http.StatusInternalServerError, Code: CodeInternal, Message: err.Error()})
+}
+
+// decode strictly parses a JSON request body (unknown fields are
+// rejected, size capped at maxBodyBytes), writing a 400 envelope and
+// returning its code on failure; 0 means the body parsed.
+func decode(w http.ResponseWriter, r *http.Request, v any) int {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return writeError(w, badRequest("invalid request body: %v", err))
+	}
+	return 0
+}
+
+// writeJSON writes v with the given status and returns the status.
+func writeJSON(w http.ResponseWriter, status int, v any) int {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+	return status
+}
+
+// writeError writes the error envelope (with Retry-After on 429) and
+// returns its status.
+func writeError(w http.ResponseWriter, e *Error) int {
+	if e.Status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	return writeJSON(w, e.Status, ErrorResponse{Error: e})
+}

@@ -28,7 +28,7 @@ func ArchiveFrontierSpans(res *Result, dir string) ([]string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	ev := newEvaluator()
+	ev := newEvaluator(0)
 	var paths []string
 	var firstErr error
 	for _, idx := range res.ParetoIndices {

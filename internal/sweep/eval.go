@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"codesign/internal/analysis"
+	"codesign/internal/cache"
 	"codesign/internal/core"
 	"codesign/internal/cpu"
 	"codesign/internal/fpga"
@@ -133,12 +134,16 @@ type partVal struct {
 	a, b int
 }
 
-// evaluator carries the per-sweep memo caches. All caches are scoped
-// to one Run call so sweeps stay independent and deterministic.
+// evaluator carries the memo caches behind one or more sweeps. Run
+// builds a fresh unbounded one per call unless Options.Evaluator
+// shares a long-lived instance (the codesignd serving path); either
+// way each distinct placement or partition is solved exactly once per
+// evaluator, so results stay deterministic.
 type evaluator struct {
+	place *cache.LRU[placeKey, placeVal]
+	part  *cache.LRU[partKey, partVal]
+
 	mu    sync.Mutex
-	place map[placeKey]placeVal
-	part  map[partKey]partVal
 	stats Stats
 
 	// recs recycles span recorders across MethodSim grid points so
@@ -147,10 +152,29 @@ type evaluator struct {
 	recs sync.Pool
 }
 
-func newEvaluator() *evaluator {
-	ev := &evaluator{place: make(map[placeKey]placeVal), part: make(map[partKey]partVal)}
+// newEvaluator builds an evaluator whose memo caches hold at most
+// bound entries each (0 = unbounded, the per-sweep mode).
+func newEvaluator(bound int) *evaluator {
+	ev := &evaluator{
+		place: cache.NewLRU[placeKey, placeVal](bound),
+		part:  cache.NewLRU[partKey, partVal](bound),
+	}
 	ev.recs.New = func() any { return trace.NewRecorder() }
 	return ev
+}
+
+// statsDelta returns the evaluator's cumulative stats minus a prior
+// snapshot — the traffic attributable to one run when the evaluator
+// is shared.
+func (ev *evaluator) statsDelta(before Stats) Stats {
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	s := ev.stats
+	s.PlaceLookups -= before.PlaceLookups
+	s.PlaceSolves -= before.PlaceSolves
+	s.PartitionLookups -= before.PartitionLookups
+	s.PartitionSolves -= before.PartitionSolves
+	return s
 }
 
 // recorder checks out a reset span recorder from the pool.
@@ -161,46 +185,44 @@ func (ev *evaluator) recorder() *trace.Recorder {
 }
 
 // placed returns the memoized pseudo place-and-route solution for the
-// design on the device. The compute happens under the cache lock, so
-// each distinct placement is solved exactly once per sweep no matter
-// how many workers race for it.
+// design on the device. The compute happens under the cache lock
+// (cache.LRU.GetOrCompute), so each distinct placement is solved
+// exactly once per evaluator no matter how many workers race for it.
 func (ev *evaluator) placed(d fpga.Design, dev fpga.Device) (placeVal, error) {
 	key := placeKey{design: d.Name(), k: d.PEs(), device: dev.Name}
-	ev.mu.Lock()
-	defer ev.mu.Unlock()
-	ev.stats.PlaceLookups++
-	if v, ok := ev.place[key]; ok {
-		if v.err != "" {
-			return v, fmt.Errorf("%s", v.err)
+	v, computed := ev.place.GetOrCompute(key, func() placeVal {
+		p, err := fpga.Place(d, dev)
+		if err != nil {
+			return placeVal{err: err.Error()}
 		}
-		return v, nil
+		return placeVal{usage: d.Resources(), freqHz: p.FreqHz}
+	})
+	ev.mu.Lock()
+	ev.stats.PlaceLookups++
+	if computed {
+		ev.stats.PlaceSolves++
 	}
-	ev.stats.PlaceSolves++
-	p, err := fpga.Place(d, dev)
-	var v placeVal
-	if err != nil {
-		v = placeVal{err: err.Error()}
-		ev.place[key] = v
-		return v, err
+	ev.mu.Unlock()
+	if v.err != "" {
+		return v, fmt.Errorf("%s", v.err)
 	}
-	v = placeVal{usage: d.Resources(), freqHz: p.FreqHz}
-	ev.place[key] = v
 	return v, nil
 }
 
 // partition returns the memoized solution of one closed-form solve,
 // computing it via solve under the cache lock on first use.
 func (ev *evaluator) partition(key partKey, solve func() (int, int)) (int, int) {
+	v, computed := ev.part.GetOrCompute(key, func() partVal {
+		a, b := solve()
+		return partVal{a: a, b: b}
+	})
 	ev.mu.Lock()
-	defer ev.mu.Unlock()
 	ev.stats.PartitionLookups++
-	if v, ok := ev.part[key]; ok {
-		return v.a, v.b
+	if computed {
+		ev.stats.PartitionSolves++
 	}
-	ev.stats.PartitionSolves++
-	a, b := solve()
-	ev.part[key] = partVal{a: a, b: b}
-	return a, b
+	ev.mu.Unlock()
+	return v.a, v.b
 }
 
 // paper-default problem sizes per app (Section 6.1).

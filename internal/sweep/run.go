@@ -29,6 +29,14 @@ type Options struct {
 	// ETA == 0. The callback runs on a worker goroutine, so a slow
 	// callback slows the sweep.
 	OnProgress func(Progress)
+	// Evaluator, when non-nil, supplies a shared memoization engine so
+	// repeated sweeps (and the serve layer's point queries) reuse
+	// place-and-route and partition solves across runs. Nil gives the
+	// run a fresh unbounded evaluator, the classic per-sweep memo. The
+	// run's Result.Stats always reports only this run's traffic, but
+	// when concurrent runs share one evaluator a "solve" may be
+	// attributed to whichever run reached the key first.
+	Evaluator *Evaluator
 }
 
 // safeEvaluate runs one point's evaluation, converting a panic from a
@@ -100,7 +108,11 @@ func Run(ctx context.Context, g Grid, opts Options) (*Result, error) {
 		workers = len(points)
 	}
 
-	ev := newEvaluator()
+	ev := newEvaluator(0)
+	if opts.Evaluator != nil {
+		ev = opts.Evaluator.ev
+	}
+	before := ev.statsDelta(Stats{})
 	outcomes := make([]Outcome, len(points))
 	jobs := make(chan int, len(points))
 	for i := range points {
@@ -135,10 +147,7 @@ func Run(ctx context.Context, g Grid, opts Options) (*Result, error) {
 						opts.OnResult(points[i], outcomes[i])
 					}
 					if tracker != nil {
-						ev.mu.Lock()
-						stats := ev.stats
-						ev.mu.Unlock()
-						opts.OnProgress(tracker.completed(&outcomes[i], stats, worker, elapsed))
+						opts.OnProgress(tracker.completed(&outcomes[i], ev.statsDelta(before), worker, elapsed))
 					}
 					notifyMu.Unlock()
 				}
@@ -150,9 +159,7 @@ func Run(ctx context.Context, g Grid, opts Options) (*Result, error) {
 		return nil, err
 	}
 
-	ev.mu.Lock()
-	stats := ev.stats
-	ev.mu.Unlock()
+	stats := ev.statsDelta(before)
 	stats.Points = len(points)
 	for i := range outcomes {
 		if !outcomes[i].OK {
