@@ -537,3 +537,93 @@ func BenchmarkDesignSpaceSweep(b *testing.B) {
 		})
 	})
 }
+
+// screenedSweepGrid builds the reference grid for BenchmarkScreenedSweep:
+// a dense 12040-point matrix-multiplication design space (5 problem
+// sizes x 4 PE counts x 602 row splits) evaluated with the sim method.
+// The mm task split has no fixed panel term, so the closed-form model
+// varies strictly with every bf step — the model can rank the whole
+// axis, which is the regime two-stage screening is built for: thousands
+// of interior points ranked by a microsecond model pass instead of a
+// millisecond discrete-event simulation each. (LU grids plateau across
+// bf at panel-dominated sizes and screening degrades to refining the
+// plateau; see DESIGN.md §13.)
+func screenedSweepGrid() SweepGrid {
+	bf := make([]int, 0, 602)
+	bf = append(bf, -1)
+	for v := 0; v <= 600; v++ {
+		bf = append(bf, v)
+	}
+	return SweepGrid{
+		Apps:   []string{"mm"},
+		N:      []int{480, 600, 720, 840, 960},
+		PEs:    []int{2, 4, 6, 8},
+		BF:     bf,
+		L:      []int{-1},
+		Method: "sim",
+	}
+}
+
+// BenchmarkScreenedSweep prices two-stage screening against a full
+// simulation sweep of the same >=10k-point grid (DESIGN.md §13). The
+// "full" variant simulates every feasible point; the "screened" variant
+// model-screens the grid and simulates only the surviving candidates
+// (frontier + margin band + axis neighbors). Both ns/op figures are
+// recorded in BENCH_speed.json: their ratio is the wall-clock reduction
+// the pipeline buys, and CI's sweep-scale job separately proves the
+// screened frontier matches the full-sim frontier on this grid's
+// reference subgrid.
+func BenchmarkScreenedSweep(b *testing.B) {
+	g := screenedSweepGrid()
+	if n := g.NumPoints(); n < 10000 {
+		b.Fatalf("reference grid has %d points, want >= 10000", n)
+	}
+	frontier := func(res *SweepResult) map[int]bool {
+		set := make(map[int]bool, len(res.ParetoIndices))
+		for _, i := range res.ParetoIndices {
+			set[res.Points[i].Index] = true
+		}
+		return set
+	}
+	var fullFrontier map[int]bool
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := RunSweep(context.Background(), g, SweepOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			fullFrontier = frontier(res)
+		}
+		b.ReportMetric(float64(g.NumPoints()), "points")
+		b.ReportMetric(float64(len(fullFrontier)), "frontier")
+	})
+	b.Run("screened", func(b *testing.B) {
+		var sc SweepScreenSummary
+		var got map[int]bool
+		for i := 0; i < b.N; i++ {
+			res, err := RunScreenedSweep(context.Background(), g, SweepScreenOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sc = *res.Screen
+			got = frontier(res)
+		}
+		if sc.Candidates*5 > sc.Points {
+			b.Fatalf("screening refined %d of %d points — pruning too weak for a 5x win", sc.Candidates, sc.Points)
+		}
+		// When the full variant ran first (the default), the speedup must
+		// not have cost frontier fidelity.
+		if fullFrontier != nil {
+			if len(got) != len(fullFrontier) {
+				b.Fatalf("screened frontier has %d points, full has %d", len(got), len(fullFrontier))
+			}
+			for idx := range fullFrontier {
+				if !got[idx] {
+					b.Fatalf("full-sim frontier point index=%d missing from screened frontier", idx)
+				}
+			}
+		}
+		b.ReportMetric(float64(sc.Points), "points")
+		b.ReportMetric(float64(sc.Candidates), "sim_candidates")
+	})
+}

@@ -10,6 +10,7 @@
 //	codesignd                              # serve on 127.0.0.1:8080
 //	codesignd -addr :9000 -cache 16384     # bigger solve cache
 //	codesignd -max-inflight 8 -max-queue 16
+//	codesignd -cache-file codesignd.cache  # warm restarts: seed on boot, save on drain
 //	curl -s localhost:8080/v1/solve -d '{"app":"lu"}'
 //	curl -s localhost:8080/metrics | grep codesignd_
 //
@@ -52,6 +53,7 @@ func main() {
 	flag.IntVar(&o.MaxRunningJobs, "max-running-jobs", 2, "max concurrently running sweep jobs")
 	flag.IntVar(&o.MaxJobs, "max-jobs", 64, "max retained sweep job records")
 	flag.IntVar(&o.SweepWorkers, "sweep-workers", 0, "worker pool per sweep job (0 = GOMAXPROCS)")
+	flag.StringVar(&o.CacheFile, "cache-file", "", "persist the solve cache: seed from this JSON snapshot `file` on boot, save it on drain")
 	flag.DurationVar(&o.Drain, "drain", 10*time.Second, "graceful shutdown deadline for in-flight requests")
 	flag.BoolVar(&o.Quiet, "q", false, "quiet: log errors only")
 	flag.BoolVar(&o.Verbose, "v", false, "verbose: also log debug detail")
@@ -78,10 +80,14 @@ type options struct {
 	MaxRunningJobs  int
 	MaxJobs         int
 	SweepWorkers    int
-	Drain           time.Duration
-	Quiet           bool
-	Verbose         bool
-	Log             *cli.Logger
+	// CacheFile, when set, persists the solve cache across restarts:
+	// seeded on boot if the file exists, snapshotted on graceful
+	// shutdown.
+	CacheFile string
+	Drain     time.Duration
+	Quiet     bool
+	Verbose   bool
+	Log       *cli.Logger
 	// ready, when non-nil, receives the bound listen address before
 	// serving (tests use it with ":0").
 	ready func(addr string)
@@ -122,6 +128,20 @@ func run(o options, stdout io.Writer) error {
 	srv := serve.New(o.config(), reg)
 	defer srv.Close()
 
+	if o.CacheFile != "" {
+		n, err := loadCacheFile(srv.Service(), o.CacheFile)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			log.Infof("cache-file %s not found; starting cold", o.CacheFile)
+		case err != nil:
+			// A bad snapshot must not block serving: the cache is an
+			// optimization, the daemon works (slower) without it.
+			log.Errorf("cache-file %s: %v; starting cold", o.CacheFile, err)
+		default:
+			log.Infof("seeded solve cache with %d entries from %s", n, o.CacheFile)
+		}
+	}
+
 	ln, err := net.Listen("tcp", o.Addr)
 	if err != nil {
 		return err
@@ -155,8 +175,45 @@ func run(o options, stdout io.Writer) error {
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
+	if o.CacheFile != "" {
+		n, err := saveCacheFile(srv.Service(), o.CacheFile)
+		if err != nil {
+			log.Errorf("cache-file %s: %v", o.CacheFile, err)
+		} else {
+			log.Infof("saved %d solve cache entries to %s", n, o.CacheFile)
+		}
+	}
 	log.Infof("bye")
 	return nil
+}
+
+// loadCacheFile seeds the service's solve cache from a snapshot file.
+func loadCacheFile(svc *serve.Service, path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return svc.LoadCache(f)
+}
+
+// saveCacheFile snapshots the solve cache via a temp file + rename, so
+// a crash mid-write never truncates the previous snapshot.
+func saveCacheFile(svc *serve.Service, path string) (int, error) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, err
+	}
+	n, err := svc.SaveCache(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	return n, os.Rename(tmp, path)
 }
 
 // stopChan adapts the optional test stop channel: nil means "never".

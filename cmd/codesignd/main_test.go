@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -91,5 +93,66 @@ func TestConfigPlumbing(t *testing.T) {
 	cfg := o.config()
 	if cfg.CacheBound != 7 || cfg.MaxInFlight != 3 || cfg.MaxQueue != 9 || cfg.RequestTimeout != time.Minute {
 		t.Fatalf("config = %+v", cfg)
+	}
+}
+
+// TestCacheFilePersistence boots with -cache-file, solves a point,
+// drains (snapshotting the cache), then boots a second daemon from the
+// snapshot and asserts the same solve is served from cache.
+func TestCacheFilePersistence(t *testing.T) {
+	cacheFile := filepath.Join(t.TempDir(), "solve.cache")
+	solve := func(url string) string {
+		t.Helper()
+		resp, err := http.Post(url+"/v1/solve", "application/json",
+			strings.NewReader(`{"app":"lu","pes":4}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve: %d\n%s", resp.StatusCode, body)
+		}
+		var sr struct {
+			Source string `json:"source"`
+		}
+		if err := json.Unmarshal(body, &sr); err != nil {
+			t.Fatal(err)
+		}
+		return sr.Source
+	}
+
+	url, stop := startDaemon(t, options{CacheFile: cacheFile})
+	if got := solve(url); got != "computed" {
+		t.Fatalf("first-boot solve source = %q, want computed", got)
+	}
+	stop()
+	if _, err := os.Stat(cacheFile); err != nil {
+		t.Fatalf("no snapshot written on drain: %v", err)
+	}
+
+	url, stop = startDaemon(t, options{CacheFile: cacheFile})
+	defer stop()
+	if got := solve(url); got != "cache" {
+		t.Fatalf("warm-boot solve source = %q, want cache", got)
+	}
+}
+
+// TestCacheFileBadSnapshotStartsCold asserts a corrupt snapshot is
+// logged and skipped, never fatal.
+func TestCacheFileBadSnapshotStartsCold(t *testing.T) {
+	cacheFile := filepath.Join(t.TempDir(), "solve.cache")
+	if err := os.WriteFile(cacheFile, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	url, stop := startDaemon(t, options{CacheFile: cacheFile})
+	defer stop()
+	resp, err := http.Post(url+"/v1/solve", "application/json", strings.NewReader(`{"app":"lu"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve after bad snapshot: %d", resp.StatusCode)
 	}
 }

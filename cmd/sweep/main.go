@@ -14,6 +14,7 @@
 //	sweep -apps mm -n 3072,6144,12288 -method sim # simulate, don't model
 //	sweep -grid grid.json -progress               # live stderr ticker with ETA
 //	sweep -grid grid.json -obs 127.0.0.1:9469     # serve /metrics + pprof while sweeping
+//	sweep -grid grid.json -method sim -screen     # model-screen the grid, sim only frontier candidates
 //
 // The JSON/CSV output is deterministic: identical grids produce
 // byte-identical files regardless of -workers; neither -progress nor
@@ -50,7 +51,9 @@ func main() {
 	flag.StringVar(&o.BF, "bf", "-1", "comma list of LU/MM FPGA row shares (-1 = solve Eq. 4 / Eq. 1)")
 	flag.StringVar(&o.L, "l", "-1", "comma list of LU pipeline depths / FW l1 (-1 = solve Eq. 5 / Eq. 6)")
 	flag.StringVar(&o.Method, "method", sweep.MethodModel, "evaluator: model (closed-form, fast) or sim (full simulation)")
-	flag.IntVar(&o.Workers, "workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	flag.BoolVar(&o.Screen, "screen", false, "two-stage sweep: model-screen the full grid, then evaluate only Pareto candidates with -method")
+	flag.Float64Var(&o.RefineMargin, "refine-margin", 0, "screening dominance margin (0 = default 0.1); larger keeps more candidates")
+	flag.IntVar(&o.Workers, "workers", 0, "worker pool size (omit for GOMAXPROCS)")
 	flag.StringVar(&o.JSONOut, "out", "", "write full results as JSON to `file` (\"-\" = stdout)")
 	flag.StringVar(&o.CSVOut, "csv", "", "write per-point results as CSV to `file` (\"-\" = stdout)")
 	flag.StringVar(&o.ArchiveSpans, "archive-spans", "", "re-simulate the Pareto frontier and persist each point's spans as JSONL under `dir` (tracediff inputs)")
@@ -60,6 +63,14 @@ func main() {
 	flag.StringVar(&o.Obs, "obs", "", "serve /metrics, /statusz and pprof on `addr` while sweeping")
 	flag.DurationVar(&o.ObsHold, "obs-hold", 0, "keep the -obs server up this long after the sweep completes")
 	flag.Parse()
+	// The unset flag's 0 means "auto-size to GOMAXPROCS"; an explicit
+	// -workers must name a real pool size.
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "workers" && o.Workers <= 0 {
+			fmt.Fprintf(os.Stderr, "sweep: -workers must be a positive pool size, got %d (omit the flag to auto-size)\n", o.Workers)
+			os.Exit(2)
+		}
+	})
 
 	o.Log = cli.NewLogger("sweep", os.Stderr)
 	if err := run(o, os.Stdout); err != nil {
@@ -82,9 +93,13 @@ type options struct {
 	BF       string
 	L        string
 	Method   string
-	Workers  int
-	JSONOut  string
-	CSVOut   string
+	// Screen enables the two-stage pipeline; RefineMargin is its
+	// dominance band (0 = sweep.DefaultRefineMargin).
+	Screen       bool
+	RefineMargin float64
+	Workers      int
+	JSONOut      string
+	CSVOut       string
 	// ArchiveSpans persists the frontier's span streams under a
 	// directory for later differential analysis.
 	ArchiveSpans string
@@ -148,6 +163,12 @@ func run(o options, stdout io.Writer) error {
 		log.SetLevel(slog.LevelDebug)
 	}
 
+	if o.Workers < 0 {
+		return fmt.Errorf("-workers must be a positive pool size, got %d (omit the flag to auto-size)", o.Workers)
+	}
+	if o.RefineMargin != 0 && !o.Screen {
+		return fmt.Errorf("-refine-margin only applies with -screen")
+	}
 	g, err := o.grid()
 	if err != nil {
 		return err
@@ -193,7 +214,13 @@ func run(o options, stdout io.Writer) error {
 		}
 	}
 
-	res, err := sweep.Run(context.Background(), g, opts)
+	var res *sweep.Result
+	if o.Screen {
+		res, err = sweep.RunScreened(context.Background(), g,
+			sweep.ScreenOptions{Options: opts, RefineMargin: o.RefineMargin})
+	} else {
+		res, err = sweep.Run(context.Background(), g, opts)
+	}
 	if err != nil {
 		return err
 	}
@@ -218,8 +245,15 @@ func run(o options, stdout io.Writer) error {
 		return nil
 	}
 	s := res.Stats
+	if sc := res.Screen; sc != nil {
+		fmt.Fprintf(stdout, "screened %d points (%d infeasible): %d frontier + %d band + %d neighbors = %d candidates (margin %.2f)\n",
+			sc.Points, sc.Infeasible, sc.Frontier, sc.Band, sc.Neighbors, sc.Candidates, sc.Margin)
+	}
 	fmt.Fprintf(stdout, "swept %d points (%d infeasible) with method=%s\n",
 		s.Points, s.Errors, res.Grid.Method)
+	for _, line := range infeasibleByAxis(res) {
+		fmt.Fprintf(stdout, "  infeasible by %s\n", line)
+	}
 	fmt.Fprintf(stdout, "memoization: %d/%d placements solved, %d/%d partition solves\n",
 		s.PlaceSolves, s.PlaceLookups, s.PartitionSolves, s.PartitionLookups)
 	fmt.Fprintf(stdout, "\npareto frontier (%d points):\n", len(res.ParetoIndices))
@@ -240,6 +274,26 @@ func run(o options, stdout io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// infeasibleByAxis formats per-axis-value infeasibility counts from
+// the sensitivity tables, one "axis: value=count ..." line per axis
+// that both varies and has infeasible values. It surfaces in the text
+// summary what was previously visible only in the JSON output.
+func infeasibleByAxis(res *sweep.Result) []string {
+	var lines []string
+	for _, tab := range res.Sensitivity {
+		var parts []string
+		for _, row := range tab.Rows {
+			if bad := row.Count - row.OK; bad > 0 {
+				parts = append(parts, fmt.Sprintf("%s=%d", row.Value, bad))
+			}
+		}
+		if len(parts) > 0 {
+			lines = append(lines, fmt.Sprintf("%s: %s", tab.Param, strings.Join(parts, " ")))
+		}
+	}
+	return lines
 }
 
 // writeTo streams write into path, with "-" meaning stdout.

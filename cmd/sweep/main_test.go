@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"net/http"
 	"os"
@@ -179,5 +180,113 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run(options{Apps: "qr", PEs: "0", Method: "model"}, &bytes.Buffer{}); err == nil {
 		t.Error("unknown app accepted")
+	}
+}
+
+func TestRunRejectsNegativeWorkers(t *testing.T) {
+	err := run(options{Apps: "lu", PEs: "2", Method: "model", Workers: -1, Quiet: true}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-workers") {
+		t.Fatalf("negative -workers: err=%v, want a -workers error", err)
+	}
+}
+
+func TestRunRejectsMarginWithoutScreen(t *testing.T) {
+	err := run(options{Apps: "lu", PEs: "2", Method: "model", RefineMargin: 0.2, Quiet: true}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-screen") {
+		t.Fatalf("-refine-margin without -screen: err=%v, want a -screen error", err)
+	}
+}
+
+func TestRunScreenedSummaryOutput(t *testing.T) {
+	var stdout bytes.Buffer
+	err := run(options{
+		Apps: "lu", Machines: "xd1", Modes: "hybrid",
+		Nodes: "0", N: "0", B: "0", PEs: "2,4,6,8,10,12", BF: "-1", L: "-1,2,4",
+		Method: "model", Screen: true,
+	}, &stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "screened 18 points") {
+		t.Errorf("summary missing screening line:\n%s", out)
+	}
+	if !strings.Contains(out, "candidates") {
+		t.Errorf("summary missing candidate count:\n%s", out)
+	}
+}
+
+func TestRunSummaryInfeasibleByAxis(t *testing.T) {
+	var stdout bytes.Buffer
+	err := run(options{
+		Apps: "lu", Machines: "xd1", Modes: "hybrid",
+		Nodes: "0", N: "0", B: "0", PEs: "2,4,10,12", BF: "-1", L: "-1",
+		Method: "model",
+	}, &stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PEs 10 and 12 exceed the XC2VP50: the per-axis infeasibility
+	// breakdown must surface them in text, not only in JSON.
+	if !strings.Contains(stdout.String(), "infeasible by pes: 10=1 12=1") {
+		t.Errorf("summary missing per-axis infeasibility:\n%s", stdout.String())
+	}
+}
+
+func TestScreenedMatchesFullFrontierJSON(t *testing.T) {
+	dir := t.TempDir()
+	base := options{
+		Apps: "lu", Machines: "xd1", Modes: "hybrid",
+		Nodes: "0", N: "120", B: "40", PEs: "2,4,6,8", BF: "-1", L: "-1,2,4",
+		Method: "sim", Quiet: true,
+	}
+	full := base
+	full.JSONOut = filepath.Join(dir, "full.json")
+	if err := run(full, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	scr := base
+	scr.Screen = true
+	scr.JSONOut = filepath.Join(dir, "screened.json")
+	if err := run(scr, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	frontier := func(path string) map[int]bool {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res struct {
+			Results []struct {
+				Point struct {
+					Index int `json:"index"`
+				} `json:"point"`
+				Outcome struct {
+					Pareto bool `json:"pareto"`
+				} `json:"outcome"`
+			} `json:"results"`
+		}
+		if err := json.Unmarshal(raw, &res); err != nil {
+			t.Fatal(err)
+		}
+		set := map[int]bool{}
+		for _, r := range res.Results {
+			if r.Outcome.Pareto {
+				set[r.Point.Index] = true
+			}
+		}
+		return set
+	}
+	want, got := frontier(full.JSONOut), frontier(scr.JSONOut)
+	if len(want) == 0 {
+		t.Fatal("full sweep frontier empty")
+	}
+	if len(want) != len(got) {
+		t.Fatalf("frontier sizes differ: full=%v screened=%v", want, got)
+	}
+	for idx := range want {
+		if !got[idx] {
+			t.Errorf("frontier index %d missing from screened output", idx)
+		}
 	}
 }

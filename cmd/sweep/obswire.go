@@ -14,7 +14,9 @@ import (
 // grid size (known before the run starts, so /metrics shows the
 // denominator from the first scrape).
 func obsProgressSink(reg *obs.Registry, total int) func(sweep.Progress) {
-	reg.Gauge("sweep_points_total", "design points in the grid").Set(float64(total))
+	totalG := reg.Gauge("sweep_points_total", "design points in the current pass")
+	totalG.Set(float64(total))
+	phaseG := reg.Gauge("sweep_phase", "active sweep pass: 0 single-stage, 1 screen, 2 refine")
 	done := reg.Gauge("sweep_points_done", "design points evaluated so far")
 	infeasible := reg.Gauge("sweep_points_infeasible", "completed points found infeasible")
 	errored := reg.Gauge("sweep_points_errored", "completed points whose evaluation panicked")
@@ -26,6 +28,17 @@ func obsProgressSink(reg *obs.Registry, total int) func(sweep.Progress) {
 	pointSec := reg.Histogram("sweep_point_seconds", "per-point evaluation latency",
 		obs.ExpBuckets(1e-4, 10, 7))
 	return func(p sweep.Progress) {
+		// Two-stage runs reset the denominator at the phase boundary:
+		// each pass is its own run over its own point set.
+		totalG.Set(float64(p.Total))
+		switch p.Phase {
+		case "screen":
+			phaseG.Set(1)
+		case "refine":
+			phaseG.Set(2)
+		default:
+			phaseG.Set(0)
+		}
 		done.Set(float64(p.Done))
 		infeasible.Set(float64(p.Infeasible))
 		errored.Set(float64(p.Errored))
@@ -43,9 +56,12 @@ func obsProgressSink(reg *obs.Registry, total int) func(sweep.Progress) {
 }
 
 // progressTicker returns an OnProgress callback that logs a one-line
-// status at most once per interval (and always on the final point):
+// status at most once per interval (and always on the final point of
+// each pass). Two-stage runs prefix the pass name, and the counters
+// restart at the screen/refine boundary:
 //
 //	sweep: 84/126 (66.7%) infeasible=9 rate=31.2/s eta=1s place-hit=99% part-hit=84%
+//	sweep: refine 12/40 (30.0%) infeasible=0 rate=3.1/s eta=9s place-hit=99% part-hit=97%
 func progressTicker(log *cli.Logger, interval time.Duration) func(sweep.Progress) {
 	var last time.Time
 	return func(p sweep.Progress) {
@@ -58,8 +74,12 @@ func progressTicker(log *cli.Logger, interval time.Duration) func(sweep.Progress
 		if p.ETA >= 0 {
 			etaStr = p.ETA.Round(time.Second).String()
 		}
-		log.Infof("%d/%d (%.1f%%) infeasible=%d errored=%d rate=%.1f/s eta=%s place-hit=%.0f%% part-hit=%.0f%%",
-			p.Done, p.Total, p.Percent(), p.Infeasible, p.Errored,
+		phase := ""
+		if p.Phase != "" {
+			phase = p.Phase + " "
+		}
+		log.Infof("%s%d/%d (%.1f%%) infeasible=%d errored=%d rate=%.1f/s eta=%s place-hit=%.0f%% part-hit=%.0f%%",
+			phase, p.Done, p.Total, p.Percent(), p.Infeasible, p.Errored,
 			p.Rate, etaStr, 100*p.Stats.PlaceHitRate(), 100*p.Stats.PartitionHitRate())
 	}
 }

@@ -324,6 +324,11 @@ type (
 	// SweepSensitivityTable aggregates throughput per value of one
 	// grid axis.
 	SweepSensitivityTable = sweep.SensitivityTable
+	// SweepScreenOptions tunes a two-stage RunScreenedSweep (worker
+	// count plus the screening dominance margin).
+	SweepScreenOptions = sweep.ScreenOptions
+	// SweepScreenSummary reports what a screening pass kept and why.
+	SweepScreenSummary = sweep.ScreenSummary
 )
 
 // Sweep evaluation methods.
@@ -340,6 +345,19 @@ const (
 func RunSweep(ctx context.Context, g SweepGrid, opts SweepOptions) (*SweepResult, error) {
 	return sweep.Run(ctx, g, opts)
 }
+
+// RunScreenedSweep evaluates the grid in two stages: a closed-form
+// model screen over the full grid, then refinement of only the
+// Pareto-candidate subset (model frontier, dominance-margin band,
+// axis neighbors) under the grid's own method. The result covers the
+// refined subset and carries a SweepScreenSummary.
+func RunScreenedSweep(ctx context.Context, g SweepGrid, opts SweepScreenOptions) (*SweepResult, error) {
+	return sweep.RunScreened(ctx, g, opts)
+}
+
+// SweepDefaultRefineMargin is the screening dominance margin used when
+// SweepScreenOptions.RefineMargin is zero.
+const SweepDefaultRefineMargin = sweep.DefaultRefineMargin
 
 // MachinePreset returns a fresh copy of a named machine preset
 // ("xd1", "xt3", "src6", "rasc").

@@ -268,3 +268,80 @@ func TestStatsHitRateZeroSafe(t *testing.T) {
 		t.Fatalf("HitRate = %v, want 0.75", r)
 	}
 }
+
+func TestDumpSeedRoundtrip(t *testing.T) {
+	c := NewLRU[string, int](0)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3)
+	c.Get("a") // recency now a, c, b
+
+	dump := c.Dump()
+	want := []Entry[string, int]{{"a", 1}, {"c", 3}, {"b", 2}}
+	if len(dump) != len(want) {
+		t.Fatalf("Dump = %v, want %v", dump, want)
+	}
+	for i := range want {
+		if dump[i] != want[i] {
+			t.Fatalf("Dump = %v, want %v (MRU first)", dump, want)
+		}
+	}
+
+	// Restoring into a fresh cache reproduces contents and recency.
+	restored := NewLRU[string, int](0)
+	restored.Seed(dump)
+	redump := restored.Dump()
+	for i := range want {
+		if redump[i] != want[i] {
+			t.Fatalf("re-Dump = %v, want %v", redump, want)
+		}
+	}
+	// Dump/Seed must not perturb lookup stats.
+	if st := restored.Stats(); st.Lookups != 0 || st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("Seed touched lookup stats: %+v", st)
+	}
+
+	// A snapshot larger than the bound keeps the most recently used
+	// entries.
+	small := NewLRU[string, int](2)
+	small.Seed(dump)
+	if small.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", small.Len())
+	}
+	if _, ok := small.Get("a"); !ok {
+		t.Error("MRU entry a evicted by bounded seed")
+	}
+	if _, ok := small.Get("c"); !ok {
+		t.Error("entry c evicted by bounded seed")
+	}
+	if _, ok := small.Get("b"); ok {
+		t.Error("LRU entry b survived bounded seed")
+	}
+}
+
+func TestSeedOverwritesExisting(t *testing.T) {
+	c := NewLRU[string, int](0)
+	c.Put("a", 1)
+	c.Seed([]Entry[string, int]{{"a", 42}, {"b", 2}})
+	if v, _ := c.Get("a"); v != 42 {
+		t.Fatalf("a = %d after seed, want 42", v)
+	}
+	// Seeded recency: a (first in snapshot) is most recent.
+	if d := c.Dump(); d[0].Key != "a" {
+		t.Fatalf("Dump head = %q, want a", d[0].Key)
+	}
+}
+
+func TestLoadingDumpSeed(t *testing.T) {
+	l := NewLoading[string, int](0)
+	ctx := context.Background()
+	l.Do(ctx, "x", func() (int, error) { return 7, nil })
+
+	l2 := NewLoading[string, int](0)
+	l2.Seed(l.Dump())
+	calls := 0
+	v, src, err := l2.Do(ctx, "x", func() (int, error) { calls++; return 0, nil })
+	if err != nil || v != 7 || src != SourceHit || calls != 0 {
+		t.Fatalf("seeded lookup: v=%d src=%v calls=%d err=%v, want 7/hit/0/nil", v, src, calls, err)
+	}
+}

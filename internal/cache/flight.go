@@ -128,6 +128,14 @@ func (l *Loading[K, V]) Do(ctx context.Context, k K, load func() (V, error)) (V,
 // Len returns the number of cached entries.
 func (l *Loading[K, V]) Len() int { return l.lru.Len() }
 
+// Dump snapshots the underlying LRU (most recently used first); see
+// LRU.Dump.
+func (l *Loading[K, V]) Dump() []Entry[K, V] { return l.lru.Dump() }
+
+// Seed restores a Dump-format snapshot into the underlying LRU; see
+// LRU.Seed. In-flight loads are unaffected.
+func (l *Loading[K, V]) Seed(entries []Entry[K, V]) { l.lru.Seed(entries) }
+
 // Stats returns the underlying LRU's counters. A SourceShared lookup
 // counts as one miss (the initial Get) — the coalesced load is the
 // flight's business, not the cache's.

@@ -154,6 +154,47 @@ func (c *LRU[K, V]) GetOrCompute(k K, load func() V) (V, bool) {
 	return v, true
 }
 
+// Entry is one key/value pair of a cache snapshot.
+type Entry[K comparable, V any] struct {
+	// Key is the cache key.
+	Key K `json:"key"`
+	// Val is the cached value.
+	Val V `json:"val"`
+}
+
+// Dump returns a snapshot of the cache contents in recency order, most
+// recently used first. Dumping does not touch recency or stats. The
+// snapshot is a copy; mutating it does not affect the cache.
+func (c *LRU[K, V]) Dump() []Entry[K, V] {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Entry[K, V], 0, len(c.m))
+	for n := c.head; n != nil; n = n.next {
+		out = append(out, Entry[K, V]{Key: n.key, Val: n.val})
+	}
+	return out
+}
+
+// Seed inserts a Dump-format snapshot, oldest entry first, so a dump
+// restored into an equally-bounded cache reproduces the original
+// recency order (and, when the snapshot exceeds the bound, keeps the
+// most recently used entries). Existing keys are overwritten. Seeding
+// counts toward Evictions when the bound trims it, but not toward
+// lookup stats.
+func (c *LRU[K, V]) Seed(entries []Entry[K, V]) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := len(entries) - 1; i >= 0; i-- {
+		e := entries[i]
+		if n, ok := c.m[e.Key]; ok {
+			n.val = e.Val
+			c.touch(n)
+			continue
+		}
+		c.insert(e.Key, e.Val)
+	}
+}
+
 // Len returns the number of cached entries.
 func (c *LRU[K, V]) Len() int {
 	c.mu.Lock()

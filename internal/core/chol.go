@@ -353,15 +353,19 @@ func (cr *cholRun) runCompute(pr *sim.Proc, node *machine.Node, me, t int) {
 				a.Compute(fp, ch.fpgaCycles)
 			})
 		}
+		// The three CPU charges fuse into one engine park (ChargeCPUSeq).
+		var seq [3]sim.Charge
+		cs := seq[:0]
 		if ch.cpuRecv > 0 {
-			node.ChargeCPU(pr, sim.CatNetwork, 0, ch.cpuRecv)
+			cs = append(cs, sim.Charge{Cat: sim.CatNetwork, Dt: ch.cpuRecv})
 		}
 		if ch.cpuDMA > 0 {
-			node.ChargeCPU(pr, sim.CatDMA, ch.dmaBytes, ch.cpuDMA)
+			cs = append(cs, sim.Charge{Cat: sim.CatDMA, Bytes: ch.dmaBytes, Dt: ch.cpuDMA})
 		}
 		if ch.cpuGemm > 0 {
-			node.ChargeCPU(pr, sim.CatCompute, 0, ch.cpuGemm)
+			cs = append(cs, sim.Charge{Cat: sim.CatCompute, Dt: ch.cpuGemm})
 		}
+		node.ChargeCPUSeq(pr, cs)
 		if j.e != nil {
 			// Functional off-diagonal update slice:
 			// E[:, cols] = L_u,t · (L_v,t)ᵀ[:, cols].
@@ -402,8 +406,10 @@ func (cr *cholRun) forwardResult(pr *sim.Proc, me, t int, j *cholJob) {
 			unpack /= 2
 			sub /= 2
 		}
-		ownerNode.ChargeCPU(mp, sim.CatNetwork, 0, unpack)
-		ownerNode.ComputeCPU(mp, cpu.Subtract, sub)
+		ownerNode.ChargeCPUSeq(mp, []sim.Charge{
+			{Cat: sim.CatNetwork, Dt: unpack},
+			{Cat: sim.CatCompute, Dt: ownerNode.Proc.Time(cpu.Subtract, sub)},
+		})
 		if cr.a != nil {
 			if j.u == j.v {
 				// Diagonal: symmetric rank-b update, lower only.

@@ -391,6 +391,8 @@ func (fr *fwRun) runOps(pr *sim.Proc, node *machine.Node, t, ph int, ops []fwOp,
 	fpgaOps := ops[len(ops)-nFPGA:]
 
 	var done *sim.Signal
+	var seq [2]sim.Charge
+	cs := seq[:0]
 	if len(fpgaOps) > 0 {
 		a := node.Accel
 		cycles := float64(len(fpgaOps)) * fr.blockCycles
@@ -404,11 +406,14 @@ func (fr *fwRun) runOps(pr *sim.Proc, node *machine.Node, t, ph int, ops []fwOp,
 		// charges l2·Tmem to the processor side): 2b² words per block.
 		b := fr.cfg.B
 		dmaBytes := int64(len(fpgaOps)) * int64(2*b*b) * machine.WordBytes
-		node.ChargeCPU(pr, sim.CatDMA, dmaBytes, float64(len(fpgaOps))*fr.tmem)
+		cs = append(cs, sim.Charge{Cat: sim.CatDMA, Bytes: dmaBytes, Dt: float64(len(fpgaOps)) * fr.tmem})
 	}
 	if len(cpuOps) > 0 {
-		node.ComputeCPU(pr, cpu.FWKernel, float64(len(cpuOps))*cpu.FWBlockFlops(fr.cfg.B))
+		cs = append(cs, sim.Charge{Cat: sim.CatCompute,
+			Dt: node.Proc.Time(cpu.FWKernel, float64(len(cpuOps))*cpu.FWBlockFlops(fr.cfg.B))})
 	}
+	// DMA staging and the CPU kernel fuse into one engine park.
+	node.ChargeCPUSeq(pr, cs)
 	if fr.d != nil {
 		for _, op := range ops {
 			fr.apply(op, t)

@@ -734,15 +734,19 @@ func (lr *luRun) runCompute(pr *sim.Proc, node *machine.Node, me, t int, it *luI
 		// operands to it, then run the software half of the multiply.
 		// Unpack carries no bytes (the wire span already counted the
 		// payload); the DMA charge carries the FPGA's operand volume.
+		// The three charges fuse into one engine park (ChargeCPUSeq).
+		var seq [3]sim.Charge
+		cs := seq[:0]
 		if ch.cpuRecv > 0 {
-			node.ChargeCPU(pr, sim.CatNetwork, 0, ch.cpuRecv)
+			cs = append(cs, sim.Charge{Cat: sim.CatNetwork, Dt: ch.cpuRecv})
 		}
 		if ch.cpuDMA > 0 {
-			node.ChargeCPU(pr, sim.CatDMA, ch.dmaBytes, ch.cpuDMA)
+			cs = append(cs, sim.Charge{Cat: sim.CatDMA, Bytes: ch.dmaBytes, Dt: ch.cpuDMA})
 		}
 		if ch.cpuGemm > 0 {
-			node.ChargeCPU(pr, sim.CatCompute, 0, ch.cpuGemm)
+			cs = append(cs, sim.Charge{Cat: sim.CatCompute, Dt: ch.cpuGemm})
 		}
+		node.ChargeCPUSeq(pr, cs)
 		if j.e != nil {
 			// Functional: this node produces its column slice of
 			// E = L10_u × U01_v (both the CPU's bp rows and the
@@ -784,8 +788,10 @@ func (lr *luRun) forwardResult(pr *sim.Proc, me, t int, j *luJob, it *luIter) {
 	lr.sys.Eng.Go(sim.Name("lu.opms", t, j.u, j.v), func(mp *sim.Proc) {
 		mp.SetPhase("opms")
 		unpack := float64(lr.cfg.B*lr.cfg.B*machine.WordBytes) / lr.lp.Bn
-		ownerNode.ChargeCPU(mp, sim.CatNetwork, 0, unpack)
-		ownerNode.ComputeCPU(mp, cpu.Subtract, cpu.SubtractFlops(b))
+		ownerNode.ChargeCPUSeq(mp, []sim.Charge{
+			{Cat: sim.CatNetwork, Dt: unpack},
+			{Cat: sim.CatCompute, Dt: ownerNode.Proc.Time(cpu.Subtract, cpu.SubtractFlops(b))},
+		})
 		if j.e != nil {
 			lr.blk(j.u, j.v).Sub(j.e)
 		}

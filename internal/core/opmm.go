@@ -116,16 +116,27 @@ func RunOpMM(mc machine.Config, b, pes, bf int) (*OpMMResult, error) {
 			pr.SetPhase("stripe")
 			for s := 0; s < stripes; s++ {
 				inbox[me].Get(pr)
-				// Unpack; the multicast wire span carried the bytes.
-				node.ChargeCPU(pr, sim.CatNetwork, 0, tcomm)
+				// Unpack (the multicast wire span carried the bytes),
+				// then the FPGA operand stream or the software share.
+				// Consecutive charges fuse into one engine park; the
+				// FPGA queue Put is a side effect at the DMA charge's
+				// end, so the software share joins the fused sequence
+				// only when there is no FPGA share ahead of it.
 				if bf > 0 {
-					// Stream operands to the FPGA.
-					node.ChargeCPU(pr, sim.CatDMA, stripeDMABytes, tmem)
+					node.ChargeCPUSeq(pr, []sim.Charge{
+						{Cat: sim.CatNetwork, Dt: tcomm},
+						{Cat: sim.CatDMA, Bytes: stripeDMABytes, Dt: tmem},
+					})
 					fpgaQ[me].Put(s)
-				}
-				if bf < b {
-					// Software share of the stripe.
-					node.ChargeCPU(pr, sim.CatCompute, 0, tp)
+					if bf < b {
+						// Software share of the stripe.
+						node.ChargeCPU(pr, sim.CatCompute, 0, tp)
+					}
+				} else {
+					node.ChargeCPUSeq(pr, []sim.Charge{
+						{Cat: sim.CatNetwork, Dt: tcomm},
+						{Cat: sim.CatCompute, Dt: tp},
+					})
 				}
 			}
 			if fpgaDone != nil {

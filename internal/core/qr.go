@@ -218,12 +218,16 @@ func RunQR(cfg QRConfig) (*QRResult, error) {
 							acc.Compute(fp, ch.fpgaCycles)
 						})
 					}
+					// The CPU charges fuse into one engine park.
+					var seq [2]sim.Charge
+					cs := seq[:0]
 					if ch.cpuDMA > 0 {
-						node.ChargeCPU(pr, sim.CatDMA, ch.dmaBytes, ch.cpuDMA)
+						cs = append(cs, sim.Charge{Cat: sim.CatDMA, Bytes: ch.dmaBytes, Dt: ch.cpuDMA})
 					}
 					if ch.cpuGemm > 0 {
-						node.ChargeCPU(pr, sim.CatCompute, 0, ch.cpuGemm)
+						cs = append(cs, sim.Charge{Cat: sim.CatCompute, Dt: ch.cpuGemm})
 					}
+					node.ChargeCPUSeq(pr, cs)
 					if a != nil {
 						applyPanelSlice(a, tau, t, b, j*b+ci*w, w)
 					}

@@ -197,6 +197,24 @@ func (n *Node) ChargeCPU(p *sim.Proc, cat sim.Category, bytes int64, dt float64)
 	n.CPUBusy.UseCat(p, cat, bytes, dt)
 }
 
+// ChargeCPUSeq charges a sequence of consecutive processor intervals —
+// e.g. unpack, DMA staging, then a GEMM — exactly like calling
+// ChargeCPU once per charge, but through the engine's fused path so
+// the process parks once for the whole sequence (see sim.Resource.
+// UseSeq). With a fault-dilation hook installed it falls back to the
+// per-charge loop, because each charge's degraded duration depends on
+// its own start time; faulted runs therefore stay byte-identical to
+// releases that predate fusing.
+func (n *Node) ChargeCPUSeq(p *sim.Proc, charges []sim.Charge) {
+	if n.dilate != nil {
+		for _, c := range charges {
+			n.ChargeCPU(p, c.Cat, c.Bytes, c.Dt)
+		}
+		return
+	}
+	n.CPUBusy.UseSeq(p, charges)
+}
+
 // Accelerator is a placed design installed on a node's FPGA, with its
 // effective DRAM streaming channel and coordination counters.
 type Accelerator struct {

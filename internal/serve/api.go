@@ -192,6 +192,15 @@ type DesignRequest struct {
 	Top int `json:"top,omitempty"`
 	// Workers bounds the evaluation pool (0 = one per CPU).
 	Workers int `json:"workers,omitempty"`
+	// Screen enables the two-stage pipeline: model-screen the full
+	// grid, then evaluate only Pareto candidates under the grid's
+	// method. The ranking then covers the refined subset — the designs
+	// top-k search cares about — at a fraction of a sim-mode grid's
+	// cost.
+	Screen bool `json:"screen,omitempty"`
+	// RefineMargin is the screening dominance band (0 with Screen =
+	// sweep.DefaultRefineMargin; invalid without Screen).
+	RefineMargin float64 `json:"refine_margin,omitempty"`
 }
 
 // RankedPoint is one entry of a design search's ranking.
@@ -211,6 +220,9 @@ type DesignResponse struct {
 	Points int `json:"points"`
 	// Feasible counts the points that evaluated OK.
 	Feasible int `json:"feasible"`
+	// Screen summarizes the screening pass of a Screen=true search
+	// (nil otherwise); Points then counts the refined subset.
+	Screen *sweep.ScreenSummary `json:"screen,omitempty"`
 	// Best ranks the top feasible designs by GFLOPS descending; empty
 	// when the whole grid is infeasible.
 	Best []RankedPoint `json:"best"`
@@ -226,6 +238,13 @@ type SweepRequest struct {
 	Grid sweep.Grid `json:"grid"`
 	// Workers bounds the evaluation pool (0 = one per CPU).
 	Workers int `json:"workers,omitempty"`
+	// Screen enables the two-stage pipeline (see
+	// DesignRequest.Screen); the job's Result then covers the refined
+	// subset and carries a ScreenSummary.
+	Screen bool `json:"screen,omitempty"`
+	// RefineMargin is the screening dominance band (0 with Screen =
+	// sweep.DefaultRefineMargin; invalid without Screen).
+	RefineMargin float64 `json:"refine_margin,omitempty"`
 }
 
 // Job status values reported by JobResponse.Status.

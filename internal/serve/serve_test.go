@@ -547,3 +547,124 @@ func ExampleService_Solve() {
 	fmt.Println(resp.Source, resp.Outcome.OK)
 	// Output: computed true
 }
+
+func TestCacheSnapshotRoundtrip(t *testing.T) {
+	s := newTestServer(t, Config{})
+	s.post(t, "/v1/solve", SolveRequest{App: "lu", PEs: 4})
+	s.post(t, "/v1/solve", SolveRequest{App: "lu", PEs: 8})
+
+	var snap bytes.Buffer
+	n, err := s.svc.SaveCache(&snap)
+	if err != nil || n != 2 {
+		t.Fatalf("SaveCache: n=%d err=%v, want 2 entries", n, err)
+	}
+
+	// A fresh service seeded from the snapshot serves the same
+	// requests straight from cache.
+	s2 := newTestServer(t, Config{})
+	if n, err := s2.svc.LoadCache(bytes.NewReader(snap.Bytes())); err != nil || n != 2 {
+		t.Fatalf("LoadCache: n=%d err=%v", n, err)
+	}
+	code, body := s2.post(t, "/v1/solve", SolveRequest{App: "lu", PEs: 4})
+	if code != http.StatusOK {
+		t.Fatalf("seeded solve: %d\n%s", code, body)
+	}
+	if r := decodeSolve(t, body); r.Source != "cache" {
+		t.Fatalf("seeded solve source = %q, want cache", r.Source)
+	}
+	if st := s2.svc.CacheStats(); st.Misses != 0 {
+		t.Fatalf("seeded cache stats = %+v, want zero misses", st)
+	}
+}
+
+func TestLoadCacheRejectsBadSnapshot(t *testing.T) {
+	s := newTestServer(t, Config{})
+	if _, err := s.svc.LoadCache(strings.NewReader("not json")); err == nil {
+		t.Error("garbage snapshot accepted")
+	}
+	if _, err := s.svc.LoadCache(strings.NewReader(`{"version":99,"entries":[]}`)); err == nil {
+		t.Error("future snapshot version accepted")
+	}
+}
+
+func TestDesignScreened(t *testing.T) {
+	s := newTestServer(t, Config{})
+	grid := sweep.Grid{Apps: []string{"lu"}, PEs: []int{2, 4, 6, 8}, L: []int{-1, 2, 4}}
+	code, body := s.post(t, "/v1/design", DesignRequest{Grid: grid, Top: 3, Screen: true})
+	if code != http.StatusOK {
+		t.Fatalf("screened design: %d\n%s", code, body)
+	}
+	var r DesignResponse
+	if err := json.Unmarshal(body, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Screen == nil {
+		t.Fatal("screened design response has no screen summary")
+	}
+	if r.Screen.Points != 12 || r.Screen.Candidates != r.Points {
+		t.Fatalf("screen summary = %+v with %d points", r.Screen, r.Points)
+	}
+	if len(r.Best) == 0 || r.Best[0].Outcome.GFLOPS <= 0 {
+		t.Fatalf("no ranked designs: %+v", r.Best)
+	}
+
+	// The screened top-1 must agree with the unscreened top-1: the
+	// best design is on the frontier, which screening always refines.
+	code, body = s.post(t, "/v1/design", DesignRequest{Grid: grid, Top: 1})
+	if code != http.StatusOK {
+		t.Fatalf("full design: %d", code)
+	}
+	var full DesignResponse
+	if err := json.Unmarshal(body, &full); err != nil {
+		t.Fatal(err)
+	}
+	if full.Best[0].Point.Index != r.Best[0].Point.Index {
+		t.Fatalf("screened best index %d != full best index %d",
+			r.Best[0].Point.Index, full.Best[0].Point.Index)
+	}
+}
+
+func TestScreenValidation(t *testing.T) {
+	s := newTestServer(t, Config{})
+	grid := sweep.Grid{Apps: []string{"lu"}, PEs: []int{2, 4}}
+	code, body := s.post(t, "/v1/design", DesignRequest{Grid: grid, RefineMargin: 0.2})
+	if code != http.StatusBadRequest {
+		t.Fatalf("margin without screen: %d\n%s", code, body)
+	}
+	code, body = s.post(t, "/v1/sweep", SweepRequest{Grid: grid, Screen: true, RefineMargin: -1})
+	if code != http.StatusBadRequest {
+		t.Fatalf("negative margin: %d\n%s", code, body)
+	}
+}
+
+func TestSweepJobScreened(t *testing.T) {
+	s := newTestServer(t, Config{})
+	code, body := s.post(t, "/v1/sweep", SweepRequest{
+		Grid:   sweep.Grid{Apps: []string{"lu"}, PEs: []int{2, 4, 6, 8}},
+		Screen: true,
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d\n%s", code, body)
+	}
+	var job JobResponse
+	if err := json.Unmarshal(body, &job); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for job.Status == JobRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("screened job never finished")
+		}
+		time.Sleep(10 * time.Millisecond)
+		_, body = s.get(t, "/v1/sweep/"+job.Job)
+		if err := json.Unmarshal(body, &job); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if job.Status != JobDone || job.Result == nil || job.Result.Screen == nil {
+		t.Fatalf("finished screened job = %+v", job)
+	}
+	if job.Result.Screen.Points != 4 {
+		t.Fatalf("screen summary = %+v, want 4 screened points", job.Result.Screen)
+	}
+}

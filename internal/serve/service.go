@@ -2,6 +2,9 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
+	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"time"
@@ -99,10 +102,12 @@ type Service struct {
 	jobs   *jobStore
 	m      *metrics
 
-	// evalFn is the point evaluator and runSweep the sweep runner,
-	// both swappable by tests to simulate slow or blocking work.
-	evalFn   func(sweep.Point, string) sweep.Outcome
-	runSweep func(context.Context, sweep.Grid, sweep.Options) (*sweep.Result, error)
+	// evalFn is the point evaluator and runSweep/runScreened the sweep
+	// runners, all swappable by tests to simulate slow or blocking
+	// work.
+	evalFn      func(sweep.Point, string) sweep.Outcome
+	runSweep    func(context.Context, sweep.Grid, sweep.Options) (*sweep.Result, error)
+	runScreened func(context.Context, sweep.Grid, sweep.ScreenOptions) (*sweep.Result, error)
 
 	// baseCtx outlives requests and parents background sweep jobs;
 	// Close cancels it.
@@ -123,6 +128,7 @@ func NewService(cfg Config, reg *obs.Registry) *Service {
 	}
 	s.evalFn = s.eval.Evaluate
 	s.runSweep = sweep.Run
+	s.runScreened = sweep.RunScreened
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
 	s.m = newMetrics(reg, s)
 	return s
@@ -138,6 +144,49 @@ func (s *Service) Evaluator() *sweep.Evaluator { return s.eval }
 
 // CacheStats returns the solve cache's counters.
 func (s *Service) CacheStats() cache.Stats { return s.solves.Stats() }
+
+// cacheSnapshotVersion guards the SaveCache wire format; LoadCache
+// rejects snapshots written by an incompatible future format instead
+// of silently seeding garbage.
+const cacheSnapshotVersion = 1
+
+// cacheSnapshot is the JSON envelope SaveCache writes and LoadCache
+// reads: a version plus the solve cache entries in recency order.
+type cacheSnapshot struct {
+	Version int                                  `json:"version"`
+	Entries []cache.Entry[string, sweep.Outcome] `json:"entries"`
+}
+
+// SaveCache writes a JSON snapshot of the solve cache to w (most
+// recently used entry first) and returns the entry count. Restoring
+// it with LoadCache on the next boot makes a restarted daemon serve
+// its working set from cache instead of re-solving it — the
+// cold-restart latency cliff measured in the ROADMAP. Concurrent
+// solves during the dump land in the snapshot or not depending on
+// timing; either way the snapshot is consistent.
+func (s *Service) SaveCache(w io.Writer) (int, error) {
+	snap := cacheSnapshot{Version: cacheSnapshotVersion, Entries: s.solves.Dump()}
+	if err := json.NewEncoder(w).Encode(snap); err != nil {
+		return 0, err
+	}
+	return len(snap.Entries), nil
+}
+
+// LoadCache seeds the solve cache from a SaveCache snapshot and
+// returns the number of entries read. Recency order is preserved, so
+// a snapshot larger than the cache bound keeps the most recently used
+// entries. Entries whose keys are already cached are overwritten.
+func (s *Service) LoadCache(r io.Reader) (int, error) {
+	var snap cacheSnapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return 0, fmt.Errorf("decoding cache snapshot: %w", err)
+	}
+	if snap.Version != cacheSnapshotVersion {
+		return 0, fmt.Errorf("unsupported cache snapshot version %d (want %d)", snap.Version, cacheSnapshotVersion)
+	}
+	s.solves.Seed(snap.Entries)
+	return len(snap.Entries), nil
+}
 
 // Solve evaluates one design point through the solve cache: an LRU
 // hit returns immediately, a miss coalesces with any concurrent
@@ -195,6 +244,9 @@ func (s *Service) Design(ctx context.Context, req DesignRequest) (*DesignRespons
 		return nil, badRequest("grid has %d points, /v1/design allows %d; submit large grids to /v1/sweep",
 			n, s.cfg.MaxDesignPoints)
 	}
+	if err := validateScreen(req.Screen, req.RefineMargin); err != nil {
+		return nil, err
+	}
 	top := req.Top
 	if top <= 0 {
 		top = 1
@@ -202,7 +254,14 @@ func (s *Service) Design(ctx context.Context, req DesignRequest) (*DesignRespons
 	if top > 100 {
 		top = 100
 	}
-	res, err := sweep.Run(ctx, req.Grid, sweep.Options{Workers: req.Workers, Evaluator: s.eval})
+	opts := sweep.Options{Workers: req.Workers, Evaluator: s.eval}
+	var res *sweep.Result
+	var err error
+	if req.Screen {
+		res, err = s.runScreened(ctx, req.Grid, sweep.ScreenOptions{Options: opts, RefineMargin: req.RefineMargin})
+	} else {
+		res, err = sweep.Run(ctx, req.Grid, opts)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -219,7 +278,7 @@ func (s *Service) Design(ctx context.Context, req DesignRequest) (*DesignRespons
 		}
 		return feasible[a] < feasible[b]
 	})
-	resp := &DesignResponse{Points: len(res.Points), Feasible: len(feasible), Stats: res.Stats}
+	resp := &DesignResponse{Points: len(res.Points), Feasible: len(feasible), Screen: res.Screen, Stats: res.Stats}
 	if top > len(feasible) {
 		top = len(feasible)
 	}
@@ -240,6 +299,9 @@ func (s *Service) SubmitSweep(req SweepRequest) (*JobResponse, error) {
 	if err := req.Grid.Validate(); err != nil {
 		return nil, badRequest("%v", err)
 	}
+	if err := validateScreen(req.Screen, req.RefineMargin); err != nil {
+		return nil, err
+	}
 	if n := req.Grid.NumPoints(); n > s.cfg.MaxSweepPoints {
 		return nil, badRequest("grid has %d points, /v1/sweep allows %d", n, s.cfg.MaxSweepPoints)
 	}
@@ -253,10 +315,29 @@ func (s *Service) SubmitSweep(req SweepRequest) (*JobResponse, error) {
 		if workers <= 0 {
 			workers = s.cfg.SweepWorkers
 		}
-		res, err := s.runSweep(s.baseCtx, req.Grid, sweep.Options{Workers: workers, Evaluator: s.eval})
+		opts := sweep.Options{Workers: workers, Evaluator: s.eval}
+		var res *sweep.Result
+		var err error
+		if req.Screen {
+			res, err = s.runScreened(s.baseCtx, req.Grid, sweep.ScreenOptions{Options: opts, RefineMargin: req.RefineMargin})
+		} else {
+			res, err = s.runSweep(s.baseCtx, req.Grid, opts)
+		}
 		s.jobs.finish(job.Job, res, err)
 	}()
 	return job, nil
+}
+
+// validateScreen rejects screening parameters that cannot mean
+// anything: a margin without screening, or a negative margin.
+func validateScreen(screen bool, margin float64) *Error {
+	if margin != 0 && !screen {
+		return badRequest("refine_margin only applies with screen=true")
+	}
+	if margin < 0 {
+		return badRequest("refine_margin must be >= 0, got %g", margin)
+	}
+	return nil
 }
 
 // Job returns a job's current snapshot, or a 404 *Error for an

@@ -33,25 +33,48 @@ func BenchmarkEventLoopSelf(b *testing.B) {
 	b.ReportMetric(1000*float64(b.N)/b.Elapsed().Seconds(), "events/s")
 }
 
-// BenchmarkEventLoopHandoff measures the baton handoff: eight processes
-// with interleaved timers force a goroutine switch on almost every
-// event.
+// BenchmarkEventLoopHandoff measures the baton handoff under the two
+// charging styles. "raw" issues 1000 independent timed waits per
+// process across eight interleaved processes, forcing a goroutine
+// switch on almost every event — the ~2.25 µs/event ceiling the
+// ROADMAP measured. "fused" issues the same 1000 charges per process
+// as 250 four-charge WaitSeq sequences: intermediate boundaries
+// advance in scheduler context without waking the process, so only
+// every fourth event pays a handoff. Identical event count, identical
+// simulated time; the gap between the two variants is the engine's
+// handoff-batching win, gated in BENCH_speed.json.
 func BenchmarkEventLoopHandoff(b *testing.B) {
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		e := sim.New()
-		for j := 0; j < 8; j++ {
-			e.Go("p", func(p *sim.Proc) {
-				for k := 0; k < 1000; k++ {
-					p.Wait(1)
-				}
-			})
+	loop := func(b *testing.B, body func(p *sim.Proc)) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e := sim.New()
+			for j := 0; j < 8; j++ {
+				e.Go("p", body)
+			}
+			if err := e.Run(0); err != nil {
+				b.Fatal(err)
+			}
 		}
-		if err := e.Run(0); err != nil {
-			b.Fatal(err)
-		}
+		b.ReportMetric(8000*float64(b.N)/b.Elapsed().Seconds(), "events/s")
 	}
-	b.ReportMetric(8000*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+	b.Run("raw", func(b *testing.B) {
+		loop(b, func(p *sim.Proc) {
+			for k := 0; k < 1000; k++ {
+				p.Wait(1)
+			}
+		})
+	})
+	b.Run("fused", func(b *testing.B) {
+		charges := []sim.Charge{
+			{Cat: sim.CatCompute, Dt: 1}, {Cat: sim.CatCompute, Dt: 1},
+			{Cat: sim.CatCompute, Dt: 1}, {Cat: sim.CatCompute, Dt: 1},
+		}
+		loop(b, func(p *sim.Proc) {
+			for k := 0; k < 250; k++ {
+				p.WaitSeq(sim.DeviceCPU, "cpu", charges)
+			}
+		})
+	})
 }
 
 // BenchmarkResourceContention queues eight processes on a capacity-1

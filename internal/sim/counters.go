@@ -30,6 +30,11 @@ type Counters struct {
 	// SelfResumes counts self-resume fast-path hits: the parking
 	// process was the next runnable one, so no goroutine switched.
 	SelfResumes atomic.Int64
+	// FusedSteps counts intermediate fused-sequence boundaries the
+	// engine advanced in scheduler context (see Resource.UseSeq): each
+	// one replaced a park that would otherwise have been a handoff or
+	// self-resume.
+	FusedSteps atomic.Int64
 	// Spawns counts processes started.
 	Spawns atomic.Int64
 	// QueueRecycles counts event-queue backing arrays returned to the
@@ -54,6 +59,8 @@ type CounterSnapshot struct {
 	Handoffs int64
 	// SelfResumes mirrors Counters.SelfResumes.
 	SelfResumes int64
+	// FusedSteps mirrors Counters.FusedSteps.
+	FusedSteps int64
 	// Spawns mirrors Counters.Spawns.
 	Spawns int64
 	// QueueRecycles mirrors Counters.QueueRecycles.
@@ -73,6 +80,7 @@ func (c *Counters) Snapshot() CounterSnapshot {
 		Callbacks:     c.Callbacks.Load(),
 		Handoffs:      c.Handoffs.Load(),
 		SelfResumes:   c.SelfResumes.Load(),
+		FusedSteps:    c.FusedSteps.Load(),
 		Spawns:        c.Spawns.Load(),
 		QueueRecycles: c.QueueRecycles.Load(),
 		Compactions:   c.Compactions.Load(),

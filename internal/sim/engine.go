@@ -269,6 +269,21 @@ type Proc struct {
 	parkKind int
 	parkDur  float64
 	parkWhy  *parkReason
+
+	// Fused charge-sequence state (see chain.go): while chainLive, the
+	// process is parked once across several charges and the engine
+	// advances the boundaries in scheduler context. The buffer is
+	// inline so fusing allocates nothing.
+	chainBuf       [chainCap]Charge
+	chainLen       int
+	chainIdx       int
+	chainLive      bool
+	chainAcquiring bool
+	chainRes       *Resource
+	chainDev       Device
+	chainResName   string
+	chainStart     float64
+	chainSince     float64
 }
 
 // Name returns the process name given to Go.
@@ -380,6 +395,9 @@ func (e *Engine) dispatch(self *Proc) (resumedSelf bool) {
 		p := ev.p
 		if p.done {
 			continue
+		}
+		if p.chainLive && e.chainStep(p) {
+			continue // intermediate fused-sequence boundary, handled inline
 		}
 		if p.blocked {
 			p.blocked = false

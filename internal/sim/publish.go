@@ -18,6 +18,8 @@ func (c *Counters) Publish(r *obs.Registry) {
 		func() float64 { return float64(c.Handoffs.Load()) })
 	r.Func("sim_self_resumes_total", "self-resume fast-path hits (no goroutine switch)",
 		func() float64 { return float64(c.SelfResumes.Load()) })
+	r.Func("sim_fused_steps_total", "fused charge-sequence boundaries advanced without a park",
+		func() float64 { return float64(c.FusedSteps.Load()) })
 	r.Func("sim_spawns_total", "simulation processes started",
 		func() float64 { return float64(c.Spawns.Load()) })
 	r.Func("sim_queue_recycles_total", "event-queue arrays recycled through the pool",

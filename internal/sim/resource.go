@@ -75,22 +75,7 @@ func (r *Resource) Acquire(p *Proc) {
 		return
 	}
 	since := r.eng.now
-	if r.whead > 0 && len(r.waiters) == cap(r.waiters) {
-		// Compact instead of growing: under persistent contention the
-		// queue never drains, so the rewind in Release never fires and
-		// append would reallocate forever. Shift the live window to the
-		// front and clear the vacated tail so old entries are released.
-		n := copy(r.waiters, r.waiters[r.whead:])
-		for i := n; i < len(r.waiters); i++ {
-			r.waiters[i] = waiter{}
-		}
-		r.waiters = r.waiters[:n]
-		r.whead = 0
-		if r.eng.ctr != nil {
-			r.eng.ctr.Compactions.Add(1)
-		}
-	}
-	r.waiters = append(r.waiters, waiter{p: p, since: since})
+	r.enqueue(p)
 	p.park(parkOn, r.why, 0)
 	// The releaser handed us the unit directly; we resume at the
 	// current time with the unit already accounted as in use.
@@ -103,6 +88,27 @@ func (r *Resource) Acquire(p *Proc) {
 			Phase: p.phase, Start: since, End: r.eng.now,
 		})
 	}
+}
+
+// enqueue appends p to the waiter FIFO, compacting the backing array
+// when the live window would otherwise force a reallocation: under
+// persistent contention the queue never drains, so the rewind in
+// Release never fires and append would reallocate forever. Shifting
+// the live window to the front (and clearing the vacated tail so old
+// entries are released) keeps steady-state contention allocation-free.
+func (r *Resource) enqueue(p *Proc) {
+	if r.whead > 0 && len(r.waiters) == cap(r.waiters) {
+		n := copy(r.waiters, r.waiters[r.whead:])
+		for i := n; i < len(r.waiters); i++ {
+			r.waiters[i] = waiter{}
+		}
+		r.waiters = r.waiters[:n]
+		r.whead = 0
+		if r.eng.ctr != nil {
+			r.eng.ctr.Compactions.Add(1)
+		}
+	}
+	r.waiters = append(r.waiters, waiter{p: p, since: r.eng.now})
 }
 
 // TryAcquire obtains a unit without blocking; it reports success.

@@ -102,6 +102,13 @@ type Stats struct {
 	PartitionLookups int `json:"partition_lookups"`
 	// PartitionSolves counts distinct partition solves.
 	PartitionSolves int `json:"partition_solves"`
+	// ResolveLookups / ResolveSolves count largest-fitting-PE-array
+	// resolutions (the place-and-route search behind PEs=0 points):
+	// lookups - solves were reused across neighboring grid points.
+	ResolveLookups int `json:"resolve_lookups"`
+	// ResolveSolves counts distinct PE-array resolutions actually
+	// searched.
+	ResolveSolves int `json:"resolve_solves"`
 }
 
 // placeKey identifies one pseudo place-and-route problem.
@@ -134,6 +141,21 @@ type partVal struct {
 	a, b int
 }
 
+// resolveKey identifies one largest-fitting-PE-array search (the
+// PEs=0 sentinel resolution). Together with placeKey and partKey it
+// forms the structured per-stage key family behind incremental
+// evaluation: two grid points that differ in one axis share every
+// stage whose key does not mention that axis, so a neighbor is
+// delta-evaluated instead of re-derived. The key deliberately omits
+// every axis the search does not depend on — app family (not app:
+// lu and mm share the matmul array), device, and the block size only
+// for FW, whose array must divide the block.
+type resolveKey struct {
+	family string
+	device string
+	b      int
+}
+
 // evaluator carries the memo caches behind one or more sweeps. Run
 // builds a fresh unbounded one per call unless Options.Evaluator
 // shares a long-lived instance (the codesignd serving path); either
@@ -142,6 +164,7 @@ type partVal struct {
 type evaluator struct {
 	place *cache.LRU[placeKey, placeVal]
 	part  *cache.LRU[partKey, partVal]
+	maxk  *cache.LRU[resolveKey, int]
 
 	mu    sync.Mutex
 	stats Stats
@@ -158,6 +181,7 @@ func newEvaluator(bound int) *evaluator {
 	ev := &evaluator{
 		place: cache.NewLRU[placeKey, placeVal](bound),
 		part:  cache.NewLRU[partKey, partVal](bound),
+		maxk:  cache.NewLRU[resolveKey, int](bound),
 	}
 	ev.recs.New = func() any { return trace.NewRecorder() }
 	return ev
@@ -174,6 +198,8 @@ func (ev *evaluator) statsDelta(before Stats) Stats {
 	s.PlaceSolves -= before.PlaceSolves
 	s.PartitionLookups -= before.PartitionLookups
 	s.PartitionSolves -= before.PartitionSolves
+	s.ResolveLookups -= before.ResolveLookups
+	s.ResolveSolves -= before.ResolveSolves
 	return s
 }
 
@@ -286,14 +312,32 @@ func (ev *evaluator) resolve(pt Point) (resolved, error) {
 	}
 	r.k = pt.PEs
 	if r.k == 0 {
-		r.k = fpga.MaxPEs(mk, cfg.Device)
+		// Memoized by (family, device, b-for-FW): every grid point that
+		// leaves PEs unset shares the same search unless it changes one
+		// of those axes, so a million-point sweep pays for a handful of
+		// MaxPEs searches instead of one per point.
+		key := resolveKey{family: "matmul", device: cfg.Device.Name}
 		if pt.App == "fw" {
-			// Largest PE count dividing the block size (mkmachine's
-			// convention for non-power-of-two blocks).
-			for r.k > 1 && r.b%r.k != 0 {
-				r.k--
-			}
+			key.family, key.b = "fw", r.b
 		}
+		k, computed := ev.maxk.GetOrCompute(key, func() int {
+			k := fpga.MaxPEs(mk, cfg.Device)
+			if pt.App == "fw" {
+				// Largest PE count dividing the block size (mkmachine's
+				// convention for non-power-of-two blocks).
+				for k > 1 && r.b%k != 0 {
+					k--
+				}
+			}
+			return k
+		})
+		ev.mu.Lock()
+		ev.stats.ResolveLookups++
+		if computed {
+			ev.stats.ResolveSolves++
+		}
+		ev.mu.Unlock()
+		r.k = k
 	}
 	if r.k < 1 {
 		return r, fmt.Errorf("no %s PE array fits %s", pt.App, cfg.Device.Name)

@@ -10,6 +10,13 @@ import (
 // a progress line, an ETA display or a metrics exporter needs without
 // touching the sweep's internals.
 type Progress struct {
+	// Phase labels which pass of a two-stage RunScreened sweep this
+	// snapshot belongs to: "screen" while the full grid runs under the
+	// closed-form model, "refine" while the candidate subset runs under
+	// the grid's method. Empty for a plain Run. Total/Done/ETA reset at
+	// the phase boundary (each phase is its own run over its own point
+	// set).
+	Phase string
 	// Total is the grid size; Done the points completed so far
 	// (Done == Total on the final call).
 	Total, Done int
@@ -86,6 +93,8 @@ type progressTracker struct {
 	// now is the tracker's clock; tests inject a fake to pin the
 	// rate/ETA arithmetic at the ring boundary.
 	now func() time.Time
+	// phase is copied into every snapshot (see Progress.Phase).
+	phase string
 }
 
 func newProgressTracker(total, workers int) *progressTracker {
@@ -112,6 +121,7 @@ func (pt *progressTracker) completed(out *Outcome, stats Stats, worker int, d ti
 	pt.n++
 
 	p := Progress{
+		Phase: pt.phase,
 		Total: pt.total, Done: pt.done,
 		Infeasible: pt.infes, Errored: pt.errs,
 		Stats:        stats,

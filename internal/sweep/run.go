@@ -37,6 +37,10 @@ type Options struct {
 	// when concurrent runs share one evaluator a "solve" may be
 	// attributed to whichever run reached the key first.
 	Evaluator *Evaluator
+
+	// phase labels Progress snapshots ("screen", "refine"); only
+	// RunScreened sets it.
+	phase string
 }
 
 // safeEvaluate runs one point's evaluation, converting a panic from a
@@ -73,8 +77,13 @@ type Result struct {
 	// Sensitivity holds one table per grid axis with at least two
 	// distinct values.
 	Sensitivity []SensitivityTable `json:"sensitivity"`
-	// Stats reports evaluation and memoization counts.
+	// Stats reports evaluation and memoization counts. For a screened
+	// run it covers both phases (Points is the refined subset size;
+	// the full screened grid size is Screen.Points).
 	Stats Stats `json:"stats"`
+	// Screen summarizes the screening pass of a RunScreened result
+	// (nil for plain Run results).
+	Screen *ScreenSummary `json:"screen,omitempty"`
 }
 
 // Record pairs a point with its outcome for serialization.
@@ -100,6 +109,25 @@ func Run(ctx context.Context, g Grid, opts Options) (*Result, error) {
 	if len(points) == 0 {
 		return nil, fmt.Errorf("sweep: empty grid")
 	}
+	ev := newEvaluator(0)
+	if opts.Evaluator != nil {
+		ev = opts.Evaluator.ev
+	}
+	before := ev.statsDelta(Stats{})
+	outcomes, err := evaluatePoints(ctx, norm.Method, points, opts, ev, before)
+	if err != nil {
+		return nil, err
+	}
+	return reduce(norm, points, outcomes, ev.statsDelta(before)), nil
+}
+
+// evaluatePoints runs the bounded worker pool over an arbitrary point
+// subset under the given method. It is the engine under both Run (the
+// full grid) and RunScreened (the model screen, then the refined
+// candidate subset). before is the evaluator's stats snapshot at the
+// run's start, so live Progress reports the run's own memo traffic
+// even on a shared evaluator.
+func evaluatePoints(ctx context.Context, method string, points []Point, opts Options, ev *evaluator, before Stats) ([]Outcome, error) {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -107,12 +135,6 @@ func Run(ctx context.Context, g Grid, opts Options) (*Result, error) {
 	if workers > len(points) {
 		workers = len(points)
 	}
-
-	ev := newEvaluator(0)
-	if opts.Evaluator != nil {
-		ev = opts.Evaluator.ev
-	}
-	before := ev.statsDelta(Stats{})
 	outcomes := make([]Outcome, len(points))
 	jobs := make(chan int, len(points))
 	for i := range points {
@@ -127,6 +149,7 @@ func Run(ctx context.Context, g Grid, opts Options) (*Result, error) {
 	)
 	if opts.OnProgress != nil {
 		tracker = newProgressTracker(len(points), workers)
+		tracker.phase = opts.phase
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -138,7 +161,7 @@ func Run(ctx context.Context, g Grid, opts Options) (*Result, error) {
 				}
 				start := time.Now()
 				outcomes[i] = safeEvaluate(func() Outcome {
-					return ev.evaluate(points[i], norm.Method)
+					return ev.evaluate(points[i], method)
 				})
 				elapsed := time.Since(start)
 				if opts.OnResult != nil || tracker != nil {
@@ -155,18 +178,19 @@ func Run(ctx context.Context, g Grid, opts Options) (*Result, error) {
 		}(w)
 	}
 	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
+	return outcomes, ctx.Err()
+}
 
-	stats := ev.statsDelta(before)
+// reduce folds evaluated outcomes into a Result: error counts, the
+// Pareto frontier, sensitivity tables and serialized records. points
+// and outcomes are parallel; ParetoIndices index positions in them.
+func reduce(norm Grid, points []Point, outcomes []Outcome, stats Stats) *Result {
 	stats.Points = len(points)
 	for i := range outcomes {
 		if !outcomes[i].OK {
 			stats.Errors++
 		}
 	}
-
 	pareto := markPareto(outcomes)
 	res := &Result{
 		Grid:          norm,
@@ -180,7 +204,7 @@ func Run(ctx context.Context, g Grid, opts Options) (*Result, error) {
 	for i := range points {
 		res.Records[i] = Record{Point: points[i], Outcome: outcomes[i]}
 	}
-	return res, nil
+	return res
 }
 
 // Best returns the feasible point with the highest GFLOPS (ties break

@@ -1,0 +1,216 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+)
+
+// DefaultRefineMargin is the dominance margin RunScreened uses when
+// ScreenOptions.RefineMargin is zero: a screened point survives to the
+// refinement pass unless some other point beats it by more than 10% in
+// throughput while using no more FPGA area or DRAM bandwidth. The
+// closed-form model's throughput error against full simulation stays
+// well under half that on the calibration grids, so the band absorbs
+// model error with room to spare.
+const DefaultRefineMargin = 0.1
+
+// ScreenOptions tunes a two-stage RunScreened sweep. The embedded
+// Options applies to both passes; OnResult fires only for refined
+// (final) outcomes, never for the provisional model screen.
+type ScreenOptions struct {
+	Options
+	// RefineMargin is the relative throughput slack the screening pass
+	// grants before pruning a point: point i is discarded only if some
+	// point j uses no more slices and no more DRAM bandwidth and still
+	// delivers at least (1+RefineMargin)x i's modeled GFLOPS. Zero
+	// selects DefaultRefineMargin; negative is an error. Larger margins
+	// refine more points (slower, safer against model error); margin
+	// -> infinity degenerates to a full sweep.
+	RefineMargin float64
+}
+
+// ScreenSummary reports what the screening pass of a RunScreened sweep
+// kept and why, so a caller can judge how aggressive the pruning was.
+type ScreenSummary struct {
+	// Points is the full grid size the model screen evaluated.
+	Points int `json:"points"`
+	// Infeasible counts screened points that failed feasibility; they
+	// can never join the frontier and are always pruned.
+	Infeasible int `json:"infeasible"`
+	// Frontier counts points on the screening pass's model-mode Pareto
+	// frontier — always refined.
+	Frontier int `json:"frontier"`
+	// Band counts additional points kept by the dominance margin: not
+	// on the model frontier, but within Margin of it in throughput at
+	// no-worse cost.
+	Band int `json:"band"`
+	// Neighbors counts additional points kept because they sit one
+	// grid step (along any single axis) from a frontier point —
+	// insurance against the model misranking adjacent coordinates.
+	Neighbors int `json:"neighbors"`
+	// Candidates is the refined subset size: Frontier + Band +
+	// Neighbors.
+	Candidates int `json:"candidates"`
+	// Margin echoes the effective RefineMargin.
+	Margin float64 `json:"margin"`
+}
+
+// RunScreened evaluates the grid in two stages: a screening pass runs
+// every point under the closed-form model (cheap, microseconds per
+// point), then only the candidates that could plausibly reach the true
+// Pareto frontier — the model frontier, a configurable dominance-margin
+// band around it, and the frontier's single-step grid neighbors — are
+// re-evaluated under the grid's own method. For sim-mode grids this
+// typically cuts wall-clock time by an order of magnitude while
+// reproducing the full-sweep frontier exactly whenever the model's
+// ranking error stays inside the margin.
+//
+// The returned Result covers only the refined subset: Points keeps the
+// original full-grid Index values, but ParetoIndices and Best index
+// positions within the subset, and Sensitivity aggregates over the
+// subset only. Result.Screen summarizes the pruning. Both passes share
+// one evaluator, so placement and partition solves from the screen are
+// reused during refinement; Stats reports the combined traffic.
+//
+// For model-mode grids the refinement re-runs the candidates under the
+// same model — the result is then just the frontier neighborhood of a
+// plain Run, at full-grid screening cost.
+func RunScreened(ctx context.Context, g Grid, opts ScreenOptions) (*Result, error) {
+	if opts.RefineMargin < 0 {
+		return nil, fmt.Errorf("sweep: refine margin must be >= 0, got %g", opts.RefineMargin)
+	}
+	margin := opts.RefineMargin
+	if margin == 0 {
+		margin = DefaultRefineMargin
+	}
+	norm, err := g.normalized()
+	if err != nil {
+		return nil, err
+	}
+	points := norm.Points()
+	if len(points) == 0 {
+		return nil, fmt.Errorf("sweep: empty grid")
+	}
+	ev := newEvaluator(0)
+	if opts.Evaluator != nil {
+		ev = opts.Evaluator.ev
+	}
+	before := ev.statsDelta(Stats{})
+
+	// Stage 1: screen the full grid under the closed-form model. The
+	// provisional outcomes stay internal — OnResult only ever sees
+	// final, refined evaluations.
+	sopts := opts.Options
+	sopts.OnResult = nil
+	sopts.phase = "screen"
+	screened, err := evaluatePoints(ctx, MethodModel, points, sopts, ev, before)
+	if err != nil {
+		return nil, err
+	}
+	markPareto(screened)
+	cand, summary := selectCandidates(norm, screened, margin)
+
+	// Stage 2: refine the candidates under the grid's own method. The
+	// Pareto flags set on the refined outcomes replace the provisional
+	// screening verdicts.
+	sub := make([]Point, len(cand))
+	for i, idx := range cand {
+		sub[i] = points[idx]
+	}
+	ropts := opts.Options
+	ropts.phase = "refine"
+	refined, err := evaluatePoints(ctx, norm.Method, sub, ropts, ev, before)
+	if err != nil {
+		return nil, err
+	}
+	res := reduce(norm, sub, refined, ev.statsDelta(before))
+	res.Screen = &summary
+	return res, nil
+}
+
+// selectCandidates picks the screened indices worth refining: the model
+// frontier, every feasible point within the dominance margin of it, and
+// the frontier's single-step grid neighbors. Indices come back in ascending
+// (enumeration) order, so the refined subset preserves determinism.
+// markPareto must already have run on outcomes.
+func selectCandidates(norm Grid, outcomes []Outcome, margin float64) ([]int, ScreenSummary) {
+	sum := ScreenSummary{Points: len(outcomes), Margin: margin}
+	keep := make([]bool, len(outcomes))
+	var frontier []int
+	for i := range outcomes {
+		switch {
+		case !outcomes[i].OK:
+			sum.Infeasible++
+		case outcomes[i].Pareto:
+			keep[i] = true
+			frontier = append(frontier, i)
+			sum.Frontier++
+		}
+	}
+
+	// Margin band. A point is pruned only when some frontier point
+	// strongly dominates it: no more slices, no more bandwidth, and at
+	// least (1+margin)x its throughput. Checking frontier points alone
+	// is sufficient — any strong dominator is itself weakly dominated
+	// by a frontier point, which then also strongly dominates.
+	for i := range outcomes {
+		if keep[i] || !outcomes[i].OK {
+			continue
+		}
+		pruned := false
+		for _, f := range frontier {
+			if outcomes[f].Slices <= outcomes[i].Slices &&
+				outcomes[f].BdGBps <= outcomes[i].BdGBps &&
+				outcomes[f].GFLOPS >= outcomes[i].GFLOPS*(1+margin) {
+				pruned = true
+				break
+			}
+		}
+		if !pruned {
+			keep[i] = true
+			sum.Band++
+		}
+	}
+
+	// Single-step neighbors of every frontier point, along each axis of
+	// the enumeration. Strides follow the Points() nesting order (apps
+	// outermost ... l innermost), so index +/- stride moves exactly one
+	// step along one axis. Band points get no neighbor expansion: a
+	// band point's neighbor that the margin already pruned sits more
+	// than Margin below the frontier in modeled throughput, so even
+	// with full model error it cannot reach the true frontier.
+	dims := []int{
+		len(norm.Apps), len(norm.Machines), len(norm.Modes),
+		len(norm.Nodes), len(norm.N), len(norm.B),
+		len(norm.PEs), len(norm.BF), len(norm.L),
+	}
+	strides := make([]int, len(dims))
+	s := 1
+	for a := len(dims) - 1; a >= 0; a-- {
+		strides[a] = s
+		s *= dims[a]
+	}
+	for _, i := range frontier {
+		for a := range dims {
+			pos := (i / strides[a]) % dims[a]
+			for _, nb := range [2]int{i - strides[a], i + strides[a]} {
+				if nb < i && pos == 0 || nb > i && pos == dims[a]-1 {
+					continue // would wrap around the axis edge
+				}
+				if !keep[nb] && outcomes[nb].OK {
+					keep[nb] = true
+					sum.Neighbors++
+				}
+			}
+		}
+	}
+
+	cand := make([]int, 0, sum.Frontier+sum.Band+sum.Neighbors)
+	for i := range keep {
+		if keep[i] {
+			cand = append(cand, i)
+		}
+	}
+	sum.Candidates = len(cand)
+	return cand, sum
+}
