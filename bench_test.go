@@ -538,6 +538,43 @@ func BenchmarkDesignSpaceSweep(b *testing.B) {
 	})
 }
 
+// BenchmarkSpMVSweep runs the sparse extension's density axis through
+// full simulations: a spmv grid spanning the dense regime (all rows on
+// the processor, Op*Fp-bound) and the CSR regime (all rows streamed
+// through the FPGA, Bd-bound) across the three design variants. Each
+// point builds the operator, solves the Equation (1) row split, and
+// verifies the split apply bit for bit against matrix.CSR.Apply, so
+// the number tracks the sparse pipeline end to end. Tracked in
+// BENCH_speed.json next to the DesignSpaceSweep sim headline.
+func BenchmarkSpMVSweep(b *testing.B) {
+	g := SweepGrid{
+		Apps:    []string{"spmv"},
+		N:       []int{512},
+		Density: []float64{0, 0.02, 0.05, 0.1},
+		Modes:   []string{"hybrid", "processor-only", "fpga-only"},
+		Method:  "sim",
+	}
+	var dense, sparse float64
+	for i := 0; i < b.N; i++ {
+		res, err := RunSweep(context.Background(), g, SweepOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, o := range res.Outcomes {
+			if !o.OK || res.Points[j].Mode != "hybrid" {
+				continue
+			}
+			if res.Points[j].Density == 0 {
+				dense = o.GFLOPS
+			} else if res.Points[j].Density == 0.1 {
+				sparse = o.GFLOPS
+			}
+		}
+	}
+	b.ReportMetric(dense, "dense_GFLOPS")
+	b.ReportMetric(sparse, "sparse_GFLOPS")
+}
+
 // screenedSweepGrid builds the reference grid for BenchmarkScreenedSweep:
 // a dense 12040-point matrix-multiplication design space (5 problem
 // sizes x 4 PE counts x 602 row splits) evaluated with the sim method.

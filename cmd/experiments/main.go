@@ -52,6 +52,8 @@ var experiments = []struct {
 		func(bool) (*exper.Table, error) { return exper.Ablations() }},
 	{"extensions", "model applied to matmul and Cholesky",
 		func(bool) (*exper.Table, error) { return exper.Extensions() }},
+	{"sparse", "sparse vs dense partition regimes (spmv/spmm)",
+		func(bool) (*exper.Table, error) { return exper.SparseRegimes() }},
 	{"sensitivity", "LU partition/throughput vs system parameters",
 		func(bool) (*exper.Table, error) { return exper.Sensitivity() }},
 	{"designspace", "PE-array design-space sweep reproducing the paper's XD1 choice",

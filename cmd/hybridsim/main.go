@@ -9,6 +9,8 @@
 //	hybridsim -app lu -n 300 -b 60 -pes 4 -functional   # with real data
 //	hybridsim -app lu -analyze                          # critical path + bottlenecks
 //	hybridsim -app fw -machine xt3 -n 6144 -b 256 -pes 8
+//	hybridsim -app spmv -n 2048 -density 0.02           # sparse y = Ax, CSR streamed
+//	hybridsim -app spmv -n 2048 -density 0.02 -rhs 32   # SpMM: repeated applies, SRAM-resident
 //	hybridsim -app lu -faults faults.json -seed 7       # degraded-mode run + resilience report
 //	hybridsim -app lu -faults faults.json -obs :9469    # live /metrics + pprof during the run
 package main
@@ -36,7 +38,7 @@ var log = cli.NewLogger("hybridsim", os.Stderr)
 
 func main() {
 	var o options
-	flag.StringVar(&o.App, "app", "lu", "application: lu, fw, mm, chol, qr or cg")
+	flag.StringVar(&o.App, "app", "lu", "application: lu, fw, mm, spmv, chol, qr or cg")
 	flag.StringVar(&o.Machine, "machine", "xd1", "machine preset (xd1, xt3, src6, rasc) or a machine JSON `file`")
 	flag.IntVar(&o.N, "n", 30000, "problem size")
 	flag.IntVar(&o.B, "b", 3000, "block size")
@@ -45,9 +47,11 @@ func main() {
 	flag.IntVar(&o.BF, "bf", -1, "LU: FPGA row share per stripe (-1 = solve Eq. 4)")
 	flag.IntVar(&o.L, "l", -1, "LU: panel pipeline depth (-1 = solve Eq. 5)")
 	flag.IntVar(&o.L1, "l1", -1, "FW: processor ops per phase (-1 = solve Eq. 6)")
+	flag.Float64Var(&o.Density, "density", 0, "spmv: operator nonzero density in [0,1] (0 = dense operator)")
+	flag.IntVar(&o.RHS, "rhs", 0, "spmv: right-hand sides; >1 runs SpMM as repeated applies (0 = single apply)")
 	flag.BoolVar(&o.Functional, "functional", false, "carry real matrices and verify the result")
 	flag.Int64Var(&o.Seed, "seed", 1, "functional input seed, or the fault spec seed with -faults")
-	flag.StringVar(&o.Faults, "faults", "", "inject faults from spec JSON `file` (lu and fw) and print the resilience report")
+	flag.StringVar(&o.Faults, "faults", "", "inject faults from spec JSON `file` (lu, fw and spmv) and print the resilience report")
 	flag.BoolVar(&o.Timeline, "timeline", false, "print a per-process activity timeline (small runs only)")
 	flag.BoolVar(&o.Metrics, "metrics", false, "print per-run utilization and the Tp/Tf/Tmem/Tcomm overlap report")
 	flag.BoolVar(&o.Analyze, "analyze", false, "print the critical path, per-phase bottleneck attribution and resource timelines")
@@ -75,11 +79,15 @@ func main() {
 // options bundles every CLI knob run needs; tests construct it
 // directly.
 type options struct {
-	App        string
-	Machine    string
-	N, B, PEs  int
-	Mode       string
-	BF, L, L1  int
+	App       string
+	Machine   string
+	N, B, PEs int
+	Mode      string
+	BF, L, L1 int
+	// Density and RHS parameterize -app spmv: the operator's nonzero
+	// density and the number of repeated applies (SpMM).
+	Density    float64
+	RHS        int
 	Functional bool
 	Seed       int64
 	// SeedSet records whether -seed was passed explicitly; only then
@@ -135,8 +143,8 @@ func run(o options) error {
 	var spec *fault.Spec
 	var inj *fault.Injector
 	if o.Faults != "" {
-		if o.App != "lu" && o.App != "fw" {
-			return fmt.Errorf("-faults supports lu and fw, not %q", o.App)
+		if o.App != "lu" && o.App != "fw" && o.App != "spmv" {
+			return fmt.Errorf("-faults supports lu, fw and spmv, not %q", o.App)
 		}
 		spec, err = fault.Load(o.Faults)
 		if err != nil {
@@ -258,6 +266,27 @@ func run(o options) error {
 		res = &r.Result
 		bind, _ := r.Model.StripeBinding(r.BF)
 		expected = map[string]model.Binding{"stripe": bind}
+	case "spmv":
+		runner := core.RunSpMV
+		if o.RHS > 1 {
+			runner = core.RunSpMM
+		}
+		r, err := runner(core.SpMVConfig{
+			Machine: mc, N: o.N, Density: o.Density, RHS: o.RHS,
+			PEs: o.PEs, RowsFPGA: o.BF, Mode: md, Seed: o.Seed,
+			Observer: spanObs, Telemetry: telemetry, Faults: inj,
+		})
+		if err != nil {
+			return err
+		}
+		printSpMV(r)
+		res = &r.Result
+		bind, _ := r.Model.StripeBinding(r.RowsFPGA)
+		phase := "stream"
+		if r.Resident {
+			phase = "apply"
+		}
+		expected = map[string]model.Binding{phase: bind}
 	case "qr":
 		r, err := core.RunQR(core.QRConfig{
 			Machine: mc, N: o.N, B: o.B, PEs: o.PEs, BF: o.BF,
@@ -296,7 +325,7 @@ func run(o options) error {
 		bind, _ := r.Model.StripeBinding(r.BF)
 		expected = map[string]model.Binding{"opmm": bind}
 	default:
-		return fmt.Errorf("unknown app %q (want lu, fw, mm, chol, qr or cg)", o.App)
+		return fmt.Errorf("unknown app %q (want lu, fw, mm, spmv, chol, qr or cg)", o.App)
 	}
 
 	if inj != nil {
@@ -369,6 +398,19 @@ func run(o options) error {
 // run's spans).
 func printResilience(o options, mc machine.Config, md core.Mode, spec *fault.Spec, res *core.Result, rec *trace.Recorder, events int) error {
 	ref := func(in *fault.Injector, obs sim.Observer) (float64, error) {
+		if o.App == "spmv" {
+			runner := core.RunSpMV
+			if o.RHS > 1 {
+				runner = core.RunSpMM
+			}
+			r, err := runner(core.SpMVConfig{Machine: mc, N: o.N, Density: o.Density,
+				RHS: o.RHS, PEs: o.PEs, RowsFPGA: o.BF, Mode: md, Seed: o.Seed,
+				Faults: in, Observer: obs})
+			if err != nil {
+				return 0, err
+			}
+			return r.Seconds, nil
+		}
 		if o.App == "lu" {
 			r, err := core.RunLU(core.LUConfig{Machine: mc, N: o.N, B: o.B,
 				PEs: o.PEs, BF: o.BF, L: o.L, Mode: md, Faults: in, Observer: obs})
@@ -434,6 +476,25 @@ func printMM(r *core.MMResult) {
 	fmt.Println("application:       hybrid matrix multiplication (Eq. 1)")
 	printCommon(&r.Result)
 	fmt.Printf("partition:         bf=%d bp=%d result rows per stripe (k=%d PEs)\n", r.BF, r.BP, r.K)
+	fmt.Printf("model prediction:  %.3f GFLOPS (measured/predicted = %.1f%%)\n",
+		r.Prediction.GFLOPS, 100*r.GFLOPS/r.Prediction.GFLOPS)
+}
+
+func printSpMV(r *core.SpMVResult) {
+	if r.Applies > 1 {
+		fmt.Println("application:       sparse matrix-multi-vector product (SpMM, Eq. 1 per apply)")
+	} else {
+		fmt.Println("application:       sparse matrix-vector product (Eq. 1 row split)")
+	}
+	printCommon(&r.Result)
+	arrangement := "streamed per apply"
+	if r.Resident {
+		arrangement = fmt.Sprintf("SRAM-resident, load %.3gs", r.LoadSeconds)
+	}
+	fmt.Printf("operator:          n=%d nnz=%d (%.4g words/row CSR), %s\n",
+		r.N, r.NNZ, float64(r.Words)/float64(r.N), arrangement)
+	fmt.Printf("row split:         %d rows to FPGA, %d to processor (k=%d MACs), %d applies\n",
+		r.RowsFPGA, r.RowsCPU, r.K, r.Applies)
 	fmt.Printf("model prediction:  %.3f GFLOPS (measured/predicted = %.1f%%)\n",
 		r.Prediction.GFLOPS, 100*r.GFLOPS/r.Prediction.GFLOPS)
 }

@@ -41,11 +41,12 @@ import (
 func main() {
 	var o options
 	flag.StringVar(&o.GridFile, "grid", "", "JSON grid description `file` (\"-\" = stdin); overrides the axis flags")
-	flag.StringVar(&o.Apps, "apps", "lu", "comma list of applications: lu, fw, mm")
+	flag.StringVar(&o.Apps, "apps", "lu", "comma list of applications: lu, fw, mm, spmv")
 	flag.StringVar(&o.Machines, "machines", "xd1", "comma list of machine presets: xd1, xt3, src6, rasc")
 	flag.StringVar(&o.Modes, "modes", "hybrid", "comma list of designs: hybrid, processor-only, fpga-only")
 	flag.StringVar(&o.Nodes, "nodes", "0", "comma list of node counts (0 = preset default)")
 	flag.StringVar(&o.N, "n", "0", "comma list of problem sizes (0 = app paper size)")
+	flag.StringVar(&o.Density, "density", "0", "comma list of spmv operator densities in [0,1] (0 = dense operator)")
 	flag.StringVar(&o.B, "b", "0", "comma list of block sizes (0 = app paper size)")
 	flag.StringVar(&o.PEs, "pes", "0", "comma list of PE-array sizes (0 = largest that fits)")
 	flag.StringVar(&o.BF, "bf", "-1", "comma list of LU/MM FPGA row shares (-1 = solve Eq. 4 / Eq. 1)")
@@ -88,6 +89,7 @@ type options struct {
 	Modes    string
 	Nodes    string
 	N        string
+	Density  string
 	B        string
 	PEs      string
 	BF       string
@@ -147,6 +149,9 @@ func (o options) grid() (sweep.Grid, error) {
 		if *axis.dst, err = splitInts(axis.raw); err != nil {
 			return g, fmt.Errorf("-%s: %w", axis.flag, err)
 		}
+	}
+	if g.Density, err = splitFloats(o.Density); err != nil {
+		return g, fmt.Errorf("-density: %w", err)
 	}
 	return g, g.Validate()
 }
@@ -332,6 +337,19 @@ func splitInts(s string) ([]int, error) {
 			return nil, fmt.Errorf("bad integer %q", v)
 		}
 		out = append(out, n)
+	}
+	return out, nil
+}
+
+// splitFloats parses a comma list of floats (the -density axis).
+func splitFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, v := range splitList(s) {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad float %q", v)
+		}
+		out = append(out, f)
 	}
 	return out, nil
 }

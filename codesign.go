@@ -15,11 +15,13 @@
 //   - The co-designed applications with their baselines: the paper's
 //     distributed block LU decomposition and blocked Floyd-Warshall
 //     (Section 5), plus the extensions its conclusion calls for —
-//     hybrid matrix multiplication, Cholesky, Householder QR and
-//     conjugate gradient. All run timing-only at paper scale or carry
-//     real matrices (Functional) with results checked against
-//     sequential references. See RunLU / RunFW / RunOpMM / RunMM /
-//     RunCholesky / RunQR / RunCG.
+//     hybrid matrix multiplication, Cholesky, Householder QR,
+//     conjugate gradient and sparse matrix-vector products (SpMV and
+//     repeated-apply SpMM over CSR operators). All run timing-only at
+//     paper scale or carry real matrices (Functional) with results
+//     checked against sequential references. See RunLU / RunFW /
+//     RunOpMM / RunMM / RunCholesky / RunQR / RunCG / RunSpMV /
+//     RunSpMM.
 //
 // Quick start:
 //
@@ -90,6 +92,15 @@ type (
 	CGConfig = core.CGConfig
 	// CGRunResult is the outcome of a hybrid CG solve.
 	CGRunResult = core.CGRunResult
+	// SpMVConfig configures a hybrid sparse (or dense) matrix-vector
+	// product run; RHS > 1 turns it into repeated-apply SpMM.
+	SpMVConfig = core.SpMVConfig
+	// SpMVResult is the outcome of a hybrid SpMV/SpMM run.
+	SpMVResult = core.SpMVResult
+	// SpMVModel instantiates the design model for the Equation (1) row
+	// split of a CSR (or dense) operator apply, with nnz-proportional
+	// streaming or SRAM residency.
+	SpMVModel = model.SpMVParams
 	// MachineConfig describes a reconfigurable computing system.
 	MachineConfig = machine.Config
 	// LUModel instantiates the design model for block LU (Eqs. 4-5).
@@ -257,6 +268,18 @@ func RunQR(cfg QRConfig) (*QRResult, error) { return core.RunQR(cfg) }
 // SRAM; iterates are verified bit-exact against the sequential solver.
 func RunCG(cfg CGConfig) (*CGRunResult, error) { return core.RunCG(cfg) }
 
+// RunSpMV simulates one hybrid sparse matrix-vector product y = Ax: the
+// CSR operator's rows split between FPGA stream and processor per
+// Equation (1) with nnz-proportional memory terms, and the result is
+// verified against the sequential CSR apply. Density 0 runs the dense
+// operator, where the solved split collapses to the processor side.
+func RunSpMV(cfg SpMVConfig) (*SpMVResult, error) { return core.RunSpMV(cfg) }
+
+// RunSpMM simulates a sparse matrix-multi-vector product as repeated
+// applies (RHS chained power-iteration style); when the FPGA share fits
+// SRAM the operator is loaded once and applied from residency.
+func RunSpMM(cfg SpMVConfig) (*SpMVResult, error) { return core.RunSpMM(cfg) }
+
 // Machine presets (Section 3).
 var (
 	// MachineXD1 is one Cray XD1 chassis: the paper's testbed.
@@ -289,6 +312,9 @@ var (
 	ExperimentAblations = exper.Ablations
 	// ExperimentExtensions runs the matmul/Cholesky extension study.
 	ExperimentExtensions = exper.Extensions
+	// ExperimentSparseRegimes contrasts the sparse and dense partition
+	// regimes of the Equation (1) row split (spmv/spmm).
+	ExperimentSparseRegimes = exper.SparseRegimes
 	// ExperimentSensitivity sweeps system parameters through the model.
 	ExperimentSensitivity = exper.Sensitivity
 	// ExperimentDesignSpace regenerates the Section 4.5 design

@@ -9,6 +9,7 @@ import (
 	"codesign/internal/fpga"
 	"codesign/internal/machine"
 	"codesign/internal/matrix"
+	"codesign/internal/model"
 	"codesign/internal/sim"
 )
 
@@ -103,8 +104,10 @@ func RunCG(cfg CGConfig) (*CGRunResult, error) {
 	if cfg.Density > 0 {
 		sp := matrix.RandomSparseSPD(cfg.N, cfg.Density, rng)
 		op = sp
-		// CSR streams value+column index per non-zero (~1.5 words).
-		rowWords = func(lo, hi int) int { return sp.RangeNNZ(lo, hi) * 3 / 2 }
+		// CSR streams value+column index per non-zero (~1.5 words,
+		// rounded up so the SRAM clamp and DMA byte counts never
+		// under-charge odd nonzero counts).
+		rowWords = func(lo, hi int) int { return model.CSRStreamWords(sp.RangeNNZ(lo, hi)) }
 	} else {
 		a := matrix.RandomSPD(cfg.N, rng)
 		op = matrix.DenseOp{A: a}
@@ -116,18 +119,33 @@ func RunCG(cfg CGConfig) (*CGRunResult, error) {
 	}
 	ref := matrix.CG(op, b, cfg.Tol, cfg.MaxIter)
 
-	// Row split per Equation (1): the FPGA's per-iteration apply time
-	// (SRAM-stream/MAC bound) balances the processor's share plus the
-	// vector kernels it must also run.
+	// Row split per Equation (1), via the shared MV cost model in its
+	// resident arrangement: the FPGA's matrix share is loaded into SRAM
+	// once over Bd, so the per-apply balance has no Tmem term and the
+	// FPGA word rate is the slower of the MAC array and the SRAM port.
 	sramBW := cfg.Machine.SRAMBandwidth
 	if sramBW <= 0 {
 		sramBW = 9.6e9
 	}
 	totalWords := rowWords(0, cfg.N)
-	wordsPerRow := float64(totalWords) / float64(cfg.N)
-	fpgaPerWord := math.Max(1/(float64(k)*accel.Placed.FreqHz), machine.WordBytes/sramBW)
-	cpuPerWord := 2 / proc.Rate(cpu.DGEMV)
-	vecTime := proc.Time(cpu.VectorOp, 10*float64(cfg.N))
+	mvRate := proc.Rate(cpu.DGEMV)
+	if cfg.Density > 0 {
+		mvRate = proc.Rate(cpu.SpMV)
+	}
+	mvp := model.SpMVParams{
+		N: cfg.N, K: k, Words: totalWords,
+		Ff:        accel.Placed.FreqHz,
+		MVRate:    mvRate,
+		VecTime:   proc.Time(cpu.VectorOp, 10*float64(cfg.N)),
+		Bd:        machine.EffectiveBd(cfg.Machine.RawFPGADRAMBandwidth, accel.Placed.FreqHz),
+		Bs:        sramBW,
+		Bw:        machine.WordBytes,
+		SRAMBytes: sys.Nodes[0].SRAM.TotalBytes(),
+		Resident:  true,
+		Applies:   cfg.MaxIter,
+	}
+	fpgaPerWord := mvp.FPGAPerWord()
+	cpuPerWord := mvp.CPUPerWord()
 
 	rf := cfg.RowsFPGA
 	switch cfg.Mode {
@@ -137,10 +155,7 @@ func RunCG(cfg CGConfig) (*CGRunResult, error) {
 		rf = cfg.N
 	default:
 		if rf < 0 {
-			// rf·w·tf = (n-rf)·w·tc + vec  =>  rf = (n·w·tc + vec) / (w·(tf+tc))
-			w := wordsPerRow
-			rfF := (float64(cfg.N)*w*cpuPerWord + vecTime) / (w * (fpgaPerWord + cpuPerWord))
-			rf = int(rfF)
+			rf, _ = mvp.SolvePartition()
 		}
 	}
 	if rf < 0 || rf > cfg.N {
@@ -206,7 +221,13 @@ func RunCG(cfg CGConfig) (*CGRunResult, error) {
 			}
 			// Vector kernels on the processor.
 			node.ComputeCPU(pr, cpu.VectorOp, 10*float64(cfg.N))
-			alpha := rr / matrix.Dot(pv, q)
+			pq := matrix.Dot(pv, q)
+			if pq <= 0 {
+				// Breakdown on a non-positive curvature; matrix.CG stops
+				// at the same point, keeping the runs in lockstep.
+				break
+			}
+			alpha := rr / pq
 			matrix.Axpy(alpha, pv, x)
 			matrix.Axpy(-alpha, q, r)
 			rrNew := matrix.Dot(r, r)

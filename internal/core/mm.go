@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"codesign/internal/cpu"
+	"codesign/internal/fault"
 	"codesign/internal/fpga"
 	"codesign/internal/machine"
 	"codesign/internal/matrix"
@@ -40,6 +41,11 @@ type MMConfig struct {
 	// Telemetry attaches a span digest — utilization, bytes moved, and
 	// the Tp/Tf/Tmem/Tcomm overlap decomposition — to the result.
 	Telemetry bool
+	// Faults, when non-nil, is installed into every charging path of
+	// the machine (see machine.System.InstallFaults); incompatible with
+	// Functional. MM has no degraded mode: faults dilate the charges
+	// but the partition stays fixed.
+	Faults *fault.Injector
 }
 
 // MMResult extends Result with the multiply-specific configuration.
@@ -70,6 +76,17 @@ func RunMM(cfg MMConfig) (*MMResult, error) {
 	}
 	if err := sys.InstallDesign(fpga.NewMatMul(k)); err != nil {
 		return nil, err
+	}
+	if cfg.Faults != nil {
+		if cfg.Functional {
+			return nil, fmt.Errorf("core: functional checking cannot run under fault injection")
+		}
+		if cfg.Faults.HasDeaths() {
+			return nil, fmt.Errorf("core: mm has no surviving owner for a dead node's result columns")
+		}
+		if err := sys.InstallFaults(cfg.Faults); err != nil {
+			return nil, err
+		}
 	}
 	accel := sys.Nodes[0].Accel
 	proc := sys.Nodes[0].Proc

@@ -1,0 +1,327 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"codesign/internal/cpu"
+	"codesign/internal/fault"
+	"codesign/internal/fpga"
+	"codesign/internal/machine"
+	"codesign/internal/matrix"
+	"codesign/internal/model"
+	"codesign/internal/sim"
+)
+
+// SpMVConfig configures a hybrid sparse matrix-vector multiply — the
+// sparse workload family the ROADMAP names after Soltaniyeh & Martin's
+// CPU/FPGA split for sparse linear algebra. The operator's rows are
+// partitioned between processor and FPGA per Equation (1); the FPGA
+// share streams through the accelerator in CSR form (value + column
+// index, ~1.5 words per nonzero), so the DRAM path Bd — not compute —
+// is the term that usually binds. Single node, like the CG extension.
+type SpMVConfig struct {
+	// Machine is the system; zero value means one Cray XD1 chassis
+	// (only node 0 is used).
+	Machine machine.Config
+	// N is the operator dimension.
+	N int
+	// Density selects the operator: 0 means a dense matrix (the DGEMV
+	// regime); otherwise a CSR matrix with the given off-diagonal
+	// density.
+	Density float64
+	// RHS is the number of repeated applies for RunSpMM; RunSpMV
+	// ignores it. 0 means 32.
+	RHS int
+	// PEs is the MV design size; 0 means the largest that fits.
+	PEs int
+	// RowsFPGA is the FPGA's row share; -1 solves the Equation (1)
+	// balance.
+	RowsFPGA int
+	// Mode selects hybrid or a baseline.
+	Mode Mode
+	// Seed drives input generation. SpMV is always functional: every
+	// apply is verified against matrix.CSR.Apply (or the dense MatVec).
+	Seed int64
+	// Observer, when non-nil, receives the structured telemetry stream
+	// (raw events and typed spans; see internal/trace.Recorder).
+	Observer sim.Observer
+	// Telemetry attaches a span digest — utilization, bytes moved, and
+	// the Tp/Tf/Tmem/Tcomm overlap decomposition — to the result.
+	Telemetry bool
+	// Faults, when non-nil, is installed into every charging path of
+	// the machine (see machine.System.InstallFaults). SpMV has no
+	// mid-run repartitioning and its arithmetic is timing-independent,
+	// so functional verification stays on; node kills are rejected
+	// because the workload runs on a single node.
+	Faults *fault.Injector
+}
+
+// SpMVResult reports a hybrid SpMV/SpMM run.
+type SpMVResult struct {
+	Result
+	// RowsFPGA and RowsCPU are the solved (or forced) row split; K is
+	// the MV design's MAC lane count.
+	RowsFPGA, RowsCPU, K int
+	// NNZ is the operator's stored entry count (n² for dense).
+	NNZ int
+	// Words is the operator's total stream footprint in 64-bit words.
+	Words int
+	// Applies is the number of operator applications performed.
+	Applies int
+	// Resident reports the arrangement: true when the FPGA share was
+	// loaded into SRAM once (repeated applies that fit), false when it
+	// re-streamed from DRAM on every apply.
+	Resident bool
+	// Model is the cost-model instance behind the partition.
+	Model model.SpMVParams
+	// Prediction is the Section 4.5 closed-form forecast at the split.
+	Prediction model.Prediction
+	// LoadSeconds is the one-time SRAM staging cost (resident only).
+	LoadSeconds float64
+}
+
+// RunSpMV builds the machine, solves the row split, and simulates one
+// streamed operator apply, verifying the result against the sequential
+// reference apply.
+func RunSpMV(cfg SpMVConfig) (*SpMVResult, error) {
+	return runMV(cfg, 1)
+}
+
+// RunSpMM repeatedly applies the operator (cfg.RHS right-hand sides,
+// default 32) as iterative solvers and block methods do. When the FPGA
+// share fits in on-board SRAM it is loaded once and re-used across
+// applies (the CG arrangement); otherwise every apply re-streams the
+// share from DRAM.
+func RunSpMM(cfg SpMVConfig) (*SpMVResult, error) {
+	applies := cfg.RHS
+	if applies <= 0 {
+		applies = 32
+	}
+	return runMV(cfg, applies)
+}
+
+func runMV(cfg SpMVConfig, applies int) (*SpMVResult, error) {
+	if cfg.Machine.Nodes == 0 {
+		cfg.Machine = machine.XD1()
+	}
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("core: spmv needs n > 0")
+	}
+	if cfg.Density < 0 || cfg.Density > 1 {
+		return nil, fmt.Errorf("core: density %g out of [0,1]", cfg.Density)
+	}
+	sys, err := machine.New(cfg.Machine)
+	if err != nil {
+		return nil, err
+	}
+	rec := setupTelemetry(sys.Eng, cfg.Telemetry, cfg.Observer)
+	k := cfg.PEs
+	if k == 0 {
+		k = fpga.MaxPEs(func(k int) fpga.Design { return fpga.NewMV(k) }, cfg.Machine.Device)
+	}
+	if err := sys.InstallDesign(fpga.NewMV(k)); err != nil {
+		return nil, err
+	}
+	if cfg.Faults != nil {
+		if cfg.Faults.HasDeaths() {
+			return nil, fmt.Errorf("core: spmv runs on a single node and cannot survive node kills")
+		}
+		if err := sys.InstallFaults(cfg.Faults); err != nil {
+			return nil, err
+		}
+	}
+	node := sys.Nodes[0]
+	accel := node.Accel
+	proc := node.Proc
+
+	// Build the operator.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var op matrix.MulVec
+	var rowWords func(lo, hi int) int
+	var nnz int
+	if cfg.Density > 0 {
+		sp := matrix.RandomSparse(cfg.N, cfg.Density, rng)
+		op = sp
+		nnz = sp.NNZ()
+		rowWords = func(lo, hi int) int { return model.CSRStreamWords(sp.RangeNNZ(lo, hi)) }
+	} else {
+		a := matrix.Random(cfg.N, cfg.N, rng)
+		op = matrix.DenseOp{A: a}
+		nnz = cfg.N * cfg.N
+		rowWords = func(lo, hi int) int { return (hi - lo) * cfg.N }
+	}
+	totalWords := rowWords(0, cfg.N)
+	capWords := int(float64(node.SRAM.TotalBytes()) / machine.WordBytes)
+	resident := applies > 1 && totalWords <= capWords
+
+	sramBW := cfg.Machine.SRAMBandwidth
+	if sramBW <= 0 {
+		sramBW = 9.6e9
+	}
+	mvRate := proc.Rate(cpu.DGEMV)
+	if cfg.Density > 0 {
+		mvRate = proc.Rate(cpu.SpMV)
+	}
+	flops := float64(applies) * 2 * float64(nnz)
+	mvp := model.SpMVParams{
+		N: cfg.N, K: k, Words: totalWords,
+		Ff:        accel.Placed.FreqHz,
+		MVRate:    mvRate,
+		Bd:        accel.DRAM.BandwidthBytes,
+		Bs:        sramBW,
+		Bw:        machine.WordBytes,
+		SRAMBytes: node.SRAM.TotalBytes(),
+		Resident:  resident,
+		Applies:   applies,
+		Flops:     flops,
+	}
+	if err := mvp.Validate(); err != nil {
+		return nil, err
+	}
+
+	rf := cfg.RowsFPGA
+	switch cfg.Mode {
+	case ProcessorOnly:
+		rf = 0
+	case FPGAOnly:
+		rf = cfg.N
+	default:
+		if rf < 0 {
+			rf, _ = mvp.SolvePartition()
+		}
+	}
+	if rf < 0 || rf > cfg.N {
+		return nil, fmt.Errorf("core: rowsFPGA=%d out of [0,%d]", rf, cfg.N)
+	}
+	if resident {
+		// SRAM capacity clamp on the resident share, exact per row.
+		for rf > 0 && rowWords(0, rf) > capWords {
+			rf--
+		}
+	}
+
+	fpgaWords := rowWords(0, rf)
+	fpgaPerWord := mvp.FPGAPerWord()
+	cpuPerWord := mvp.CPUPerWord()
+	streamPerWord := mvp.StreamPerWord()
+
+	// Pipeline granularity for the streamed arrangement: the share
+	// moves in row chunks so DMA and MAC-array compute overlap.
+	chunkRows := 64 * k
+	phase := "stream"
+	if resident {
+		phase = "apply"
+	}
+
+	// Functional state: a repeated-apply (power) chain, normalized each
+	// step, run identically through the split kernels and the reference.
+	x := make([]float64, cfg.N)
+	for i := range x {
+		x[i] = 2*rng.Float64() - 1
+	}
+	y := make([]float64, cfg.N)
+	yRef := make([]float64, cfg.N)
+
+	res := &SpMVResult{RowsFPGA: rf, RowsCPU: cfg.N - rf, K: k,
+		NNZ: nnz, Words: totalWords, Applies: applies, Resident: resident}
+	var maxDiff, loadDone float64
+	sys.Eng.Go("spmv.cpu", func(pr *sim.Proc) {
+		if resident && rf > 0 {
+			pr.SetPhase("load")
+			accel.Run(pr, "spmv.load", func(fp *sim.Proc) {
+				fp.SetPhase("load")
+				accel.Stream(fp, fpgaWords*machine.WordBytes)
+			})
+			pr.SetPhase("")
+			loadDone = pr.Now()
+		}
+		for a := 0; a < applies; a++ {
+			var done *sim.Signal
+			if rf > 0 {
+				if resident {
+					done = accel.Launch(fmt.Sprintf("spmv.mv.%d", a), func(fp *sim.Proc) {
+						fp.SetPhase(phase)
+						accel.Compute(fp, float64(fpgaWords)*fpgaPerWord*accel.Placed.FreqHz)
+					})
+				} else {
+					fq := sim.NewMailbox(sys.Eng, fmt.Sprintf("spmv.fq.%d", a))
+					done = accel.Launch(fmt.Sprintf("spmv.mv.%d", a), func(fp *sim.Proc) {
+						fp.SetPhase(phase)
+						for lo := 0; lo < rf; lo += chunkRows {
+							hi := lo + chunkRows
+							if hi > rf {
+								hi = rf
+							}
+							fq.Get(fp)
+							accel.Compute(fp, float64(rowWords(lo, hi))/float64(k))
+						}
+					})
+					pr.SetPhase(phase)
+					for lo := 0; lo < rf; lo += chunkRows {
+						hi := lo + chunkRows
+						if hi > rf {
+							hi = rf
+						}
+						words := rowWords(lo, hi)
+						node.ChargeCPU(pr, sim.CatDMA, int64(words)*machine.WordBytes,
+							float64(words)*streamPerWord)
+						fq.Put(lo)
+					}
+					pr.SetPhase("")
+				}
+			}
+			if rf < cfg.N {
+				pr.SetPhase(phase)
+				node.ChargeCPU(pr, sim.CatCompute, 0, float64(rowWords(rf, cfg.N))*cpuPerWord)
+				pr.SetPhase("")
+			}
+			applyOpSplit(op, x, y, rf)
+			op.Apply(x, yRef)
+			for i := range y {
+				if d := math.Abs(y[i] - yRef[i]); d > maxDiff {
+					maxDiff = d
+				}
+			}
+			if done != nil {
+				accel.AwaitDone(pr, done)
+			}
+			if a+1 < applies {
+				// Next right-hand side: the normalized image, so the
+				// chain stays bounded and every apply sees fresh data.
+				if n2 := matrix.Norm2(y); n2 > 0 {
+					for i := range x {
+						x[i] = y[i] / n2
+					}
+				} else {
+					copy(x, y)
+				}
+			}
+		}
+	})
+
+	end, err := sys.Run()
+	if err != nil {
+		return nil, fmt.Errorf("core: spmv simulation: %w", err)
+	}
+
+	app := "spmv"
+	if applies > 1 {
+		app = "spmm"
+	}
+	res.Result = Result{
+		App: app, Mode: cfg.Mode, N: cfg.N, B: k,
+		Seconds: end, Flops: flops, GFLOPS: flops / end / 1e9,
+		NetworkBytes:  sys.Fab.Bytes(),
+		Coordinations: collectCoordinations(sys),
+		MaxResidual:   maxDiff,
+		Checked:       true,
+	}
+	res.CPUBusy, res.FPGABusy = collectBusy(sys)
+	res.Model = mvp
+	res.Prediction = mvp.PredictSpMV(rf)
+	res.LoadSeconds = loadDone
+	summarizeTelemetry(rec, end, &res.Result)
+	return res, nil
+}

@@ -25,6 +25,10 @@ const (
 	// DGEMV is dense matrix-vector multiplication (memory-bandwidth
 	// bound; the software half of the CG extension's operator apply).
 	DGEMV Routine = "dgemv"
+	// SpMV is CSR sparse matrix-vector multiplication. The column-index
+	// gather defeats hardware prefetch, so the sustained rate sits far
+	// below dgemv — memory-latency bound rather than bandwidth bound.
+	SpMV Routine = "spmv"
 	// VectorOp covers the O(n) CG vector kernels (dot, axpy).
 	VectorOp Routine = "vecop"
 )
@@ -68,6 +72,10 @@ func Opteron22() *Processor {
 			// dgemv streams the matrix once per call: ~1.2 GFLOPS on
 			// DDR-era Opterons.
 			DGEMV: 1.2e9,
+			// CSR spmv pays an indirect gather per nonzero; unblocked
+			// kernels of the OSKI era sustain ~3-7% of peak on this
+			// part, ~150 MFLOPS.
+			SpMV: 150e6,
 			// dot/axpy touch two or three vectors per flop pair.
 			VectorOp: 800e6,
 		},

@@ -12,11 +12,16 @@ import (
 
 // Table is one regenerated result set.
 type Table struct {
-	ID     string
-	Title  string
+	// ID is the short name used to select the experiment on the CLI.
+	ID string
+	// Title is the human-readable headline printed above the table.
+	Title string
+	// Header labels the columns.
 	Header []string
-	Rows   [][]string
-	Notes  []string
+	// Rows holds the formatted cells, one slice per table row.
+	Rows [][]string
+	// Notes are free-form footnotes printed after the rows.
+	Notes []string
 }
 
 // Write renders the table as aligned text.
@@ -301,7 +306,7 @@ func All() ([]*Table, error) {
 		Table1, Fig5, Fig6, Fig7, Fig8,
 		func() (*Table, error) { return Fig9(false) },
 		func() (*Table, error) { return Prediction(false) },
-		Ablations, Extensions, Sensitivity, DesignSpace,
+		Ablations, Extensions, SparseRegimes, Sensitivity, DesignSpace,
 	} {
 		t, err := f()
 		if err != nil {

@@ -2,7 +2,9 @@ package matrix
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"sort"
 )
 
 // CSR is a compressed sparse row matrix, the format the FPGA-augmented
@@ -84,10 +86,118 @@ func (s *CSR) ApplyRange(x, y []float64, lo, hi int) {
 }
 
 // RowNNZ returns the non-zero count of row i.
-func (s *CSR) RowNNZ(i int) int { return s.rowPtr[i+1] - s.rowPtr[i] }
+func (s *CSR) RowNNZ(i int) int {
+	if i < 0 || i >= s.rows {
+		panic(fmt.Sprintf("matrix: nnz of row %d of %d rows", i, s.rows))
+	}
+	return s.rowPtr[i+1] - s.rowPtr[i]
+}
 
 // RangeNNZ returns the non-zeros stored in rows [lo, hi).
-func (s *CSR) RangeNNZ(lo, hi int) int { return s.rowPtr[hi] - s.rowPtr[lo] }
+func (s *CSR) RangeNNZ(lo, hi int) int {
+	if lo < 0 || hi > s.rows || lo > hi {
+		panic(fmt.Sprintf("matrix: nnz range [%d,%d) of %d rows", lo, hi, s.rows))
+	}
+	return s.rowPtr[hi] - s.rowPtr[lo]
+}
+
+// NewCSR builds a CSR matrix from raw arrays, validating the structure
+// so downstream kernels can index without further checks: rowPtr must
+// have rows+1 entries starting at 0, be non-decreasing, and end at the
+// common length of colIdx and vals; every column index must lie in
+// [0, cols). The slices are adopted, not copied.
+func NewCSR(rows, cols int, rowPtr, colIdx []int, vals []float64) (*CSR, error) {
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("matrix: negative CSR dims %dx%d", rows, cols)
+	}
+	if len(rowPtr) != rows+1 {
+		return nil, fmt.Errorf("matrix: CSR rowPtr has %d entries, want %d", len(rowPtr), rows+1)
+	}
+	if rowPtr[0] != 0 {
+		return nil, fmt.Errorf("matrix: CSR rowPtr must start at 0, got %d", rowPtr[0])
+	}
+	for i := 0; i < rows; i++ {
+		if rowPtr[i+1] < rowPtr[i] {
+			return nil, fmt.Errorf("matrix: CSR rowPtr decreases at row %d: %d -> %d", i, rowPtr[i], rowPtr[i+1])
+		}
+	}
+	if len(colIdx) != len(vals) {
+		return nil, fmt.Errorf("matrix: CSR has %d column indices but %d values", len(colIdx), len(vals))
+	}
+	if rowPtr[rows] != len(vals) {
+		return nil, fmt.Errorf("matrix: CSR rowPtr ends at %d but %d values stored", rowPtr[rows], len(vals))
+	}
+	for k, j := range colIdx {
+		if j < 0 || j >= cols {
+			return nil, fmt.Errorf("matrix: CSR column index %d out of [0,%d) at entry %d", j, cols, k)
+		}
+	}
+	return &CSR{rows: rows, cols: cols, rowPtr: rowPtr, colIdx: colIdx, vals: vals}, nil
+}
+
+// RandomSparse returns an n×n CSR matrix with approximately the given
+// off-diagonal density and a dominance-boosted diagonal, built row by
+// row in O(nnz) memory — unlike RandomSparseSPD it never materializes a
+// dense intermediate, so it scales to the operator sizes the sweep and
+// hybridsim use. Each row holds the diagonal plus round(density·(n-1))
+// distinct off-diagonal entries at rng-chosen columns; the result is
+// deterministic for a given seed.
+func RandomSparse(n int, density float64, rng *rand.Rand) *CSR {
+	if n < 1 {
+		panic(fmt.Sprintf("matrix: sparse operator needs n >= 1, got %d", n))
+	}
+	if density < 0 || density > 1 {
+		panic(fmt.Sprintf("matrix: density %g out of [0,1]", density))
+	}
+	perRow := int(density*float64(n-1) + 0.5)
+	rowPtr := make([]int, n+1)
+	colIdx := make([]int, 0, n*(perRow+1))
+	vals := make([]float64, 0, n*(perRow+1))
+	cols := make([]int, 0, perRow)
+	taken := make([]bool, n)
+	for i := 0; i < n; i++ {
+		cols = cols[:0]
+		taken[i] = true // reserve the diagonal
+		for len(cols) < perRow {
+			j := rng.Intn(n)
+			if !taken[j] {
+				taken[j] = true
+				cols = append(cols, j)
+			}
+		}
+		sort.Ints(cols)
+		var dom float64
+		k := len(vals)
+		diagAt := -1
+		for _, j := range cols {
+			for diagAt < 0 && j > i {
+				diagAt = len(vals)
+				colIdx = append(colIdx, i)
+				vals = append(vals, 0)
+			}
+			v := 2*rng.Float64() - 1
+			dom += math.Abs(v)
+			colIdx = append(colIdx, j)
+			vals = append(vals, v)
+		}
+		if diagAt < 0 {
+			diagAt = len(vals)
+			colIdx = append(colIdx, i)
+			vals = append(vals, 0)
+		}
+		vals[diagAt] = dom + 1
+		rowPtr[i+1] = len(vals)
+		taken[i] = false
+		for _, j := range colIdx[k:] {
+			taken[j] = false
+		}
+	}
+	s, err := NewCSR(n, n, rowPtr, colIdx, vals)
+	if err != nil {
+		panic("matrix: internal RandomSparse construction: " + err.Error())
+	}
+	return s
+}
 
 // RandomSparseSPD returns a sparse symmetric positive-definite matrix:
 // a symmetric pattern of the given off-diagonal density with a

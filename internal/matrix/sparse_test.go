@@ -1,0 +1,154 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewCSRValidates(t *testing.T) {
+	cases := []struct {
+		name   string
+		rows   int
+		cols   int
+		rowPtr []int
+		colIdx []int
+		vals   []float64
+	}{
+		{"negative dims", -1, 3, []int{0}, nil, nil},
+		{"short rowPtr", 2, 2, []int{0, 1}, []int{0}, []float64{1}},
+		{"rowPtr not starting at 0", 1, 2, []int{1, 1}, nil, nil},
+		{"decreasing rowPtr", 2, 2, []int{0, 2, 1}, []int{0, 1}, []float64{1, 2}},
+		{"colIdx/vals mismatch", 1, 2, []int{0, 1}, []int{0, 1}, []float64{1}},
+		{"rowPtr end mismatch", 1, 2, []int{0, 2}, []int{0}, []float64{1}},
+		{"column out of range", 1, 2, []int{0, 1}, []int{2}, []float64{1}},
+		{"negative column", 1, 2, []int{0, 1}, []int{-1}, []float64{1}},
+	}
+	for _, c := range cases {
+		if _, err := NewCSR(c.rows, c.cols, c.rowPtr, c.colIdx, c.vals); err == nil {
+			t.Errorf("%s: NewCSR accepted invalid input", c.name)
+		}
+	}
+	s, err := NewCSR(2, 3, []int{0, 1, 3}, []int{2, 0, 1}, []float64{5, 1, 2})
+	if err != nil {
+		t.Fatalf("valid CSR rejected: %v", err)
+	}
+	if s.NNZ() != 3 || s.RowNNZ(0) != 1 || s.RowNNZ(1) != 2 {
+		t.Fatalf("valid CSR miscounts: nnz=%d", s.NNZ())
+	}
+}
+
+func TestRowNNZBoundsPanics(t *testing.T) {
+	s := RandomSparse(4, 0.5, rand.New(rand.NewSource(1)))
+	for _, bad := range []int{-1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RowNNZ(%d) did not panic", bad)
+				}
+			}()
+			s.RowNNZ(bad)
+		}()
+	}
+}
+
+func TestRangeNNZBoundsPanics(t *testing.T) {
+	s := RandomSparse(4, 0.5, rand.New(rand.NewSource(1)))
+	for _, bad := range [][2]int{{-1, 2}, {0, 5}, {3, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RangeNNZ(%d,%d) did not panic", bad[0], bad[1])
+				}
+			}()
+			s.RangeNNZ(bad[0], bad[1])
+		}()
+	}
+}
+
+// TestRandomSparseApplyRangeProperty checks, across the density range
+// including the empty and dense extremes, that RandomSparse builds the
+// structure the cost model assumes (exactly round(density·(n-1))
+// off-diagonals plus a dominant diagonal per row) and that a row-split
+// apply reproduces the full apply bit for bit — the invariant RunSpMV's
+// functional check rests on.
+func TestRandomSparseApplyRangeProperty(t *testing.T) {
+	const n = 37
+	for _, density := range []float64{0, 0.05, 0.3, 1} {
+		rng := rand.New(rand.NewSource(600))
+		s := RandomSparse(n, density, rng)
+		perRow := int(density*float64(n-1) + 0.5)
+		if s.NNZ() != n*(perRow+1) {
+			t.Fatalf("density %g: nnz = %d, want %d", density, s.NNZ(), n*(perRow+1))
+		}
+		d := s.ToDense()
+		for i := 0; i < n; i++ {
+			var off float64
+			for j, v := range d.Row(i) {
+				if j != i {
+					off += math.Abs(v)
+				}
+			}
+			if d.At(i, i) <= off {
+				t.Fatalf("density %g: row %d not diagonally dominant", density, i)
+			}
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = 2*rng.Float64() - 1
+		}
+		full := make([]float64, n)
+		s.Apply(x, full)
+		for _, split := range []int{0, 1, n / 2, n - 1, n} {
+			got := make([]float64, n)
+			s.ApplyRange(x, got, 0, split)
+			s.ApplyRange(x, got, split, n)
+			for i := range full {
+				if got[i] != full[i] {
+					t.Fatalf("density %g split %d: row %d differs", density, split, i)
+				}
+			}
+		}
+	}
+}
+
+func TestRandomSparseDeterministic(t *testing.T) {
+	a := RandomSparse(50, 0.1, rand.New(rand.NewSource(7)))
+	b := RandomSparse(50, 0.1, rand.New(rand.NewSource(7)))
+	if !a.ToDense().Equal(b.ToDense()) {
+		t.Fatal("RandomSparse differs across identical seeds")
+	}
+	c := RandomSparse(50, 0.1, rand.New(rand.NewSource(8)))
+	if a.ToDense().Equal(c.ToDense()) {
+		t.Fatal("RandomSparse identical across different seeds")
+	}
+}
+
+func TestRandomSparseSPDDeterministic(t *testing.T) {
+	a := RandomSparseSPD(40, 0.15, rand.New(rand.NewSource(9)))
+	b := RandomSparseSPD(40, 0.15, rand.New(rand.NewSource(9)))
+	if !a.ToDense().Equal(b.ToDense()) {
+		t.Fatal("RandomSparseSPD differs across identical seeds")
+	}
+}
+
+// TestCGBreakdownStops pins the division-by-zero guard: on an
+// indefinite operator the curvature p·Ap hits zero and CG must stop
+// unconverged with finite iterates instead of polluting x with NaNs.
+func TestCGBreakdownStops(t *testing.T) {
+	d := New(2, 2)
+	d.Set(0, 0, 1)
+	d.Set(1, 1, -1)
+	res := CG(DenseOp{A: d}, []float64{1, 1}, 1e-12, 10)
+	if res.Converged {
+		t.Fatalf("CG claimed convergence on an indefinite system: %+v", res)
+	}
+	if res.Iterations != 0 {
+		t.Fatalf("breakdown at the first step should leave 0 iterations, got %d", res.Iterations)
+	}
+	for i, v := range res.X {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("x[%d] = %v not finite", i, v)
+		}
+	}
+}

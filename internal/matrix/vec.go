@@ -89,7 +89,10 @@ type MulVec interface {
 }
 
 // DenseOp adapts a Dense matrix to MulVec.
-type DenseOp struct{ A *Dense }
+type DenseOp struct {
+	// A is the wrapped dense matrix.
+	A *Dense
+}
 
 // Apply implements MulVec.
 func (d DenseOp) Apply(x, y []float64) { MatVec(d.A, x, y) }
@@ -120,7 +123,15 @@ func CG(op MulVec, b []float64, tol float64, maxIter int) CGResult {
 	res := CGResult{X: x}
 	for it := 0; it < maxIter; it++ {
 		op.Apply(p, q)
-		alpha := rr / Dot(p, q)
+		pq := Dot(p, q)
+		if pq <= 0 {
+			// Breakdown: the operator is not positive-definite along p
+			// (or p has collapsed). Continuing divides by a non-positive
+			// curvature and floods X and Residual with NaN/Inf; stop
+			// with the last finite iterate instead, unconverged.
+			break
+		}
+		alpha := rr / pq
 		Axpy(alpha, p, x)
 		Axpy(-alpha, q, r)
 		rrNew := Dot(r, r)

@@ -23,6 +23,8 @@ const (
 	BindBn
 )
 
+// String names the binding the way the paper's tables do ("Op*Fp",
+// "Bd", ...).
 func (b Binding) String() string {
 	switch b {
 	case BindNone:
@@ -96,5 +98,15 @@ func (fp FWParams) PhaseBinding(l1, l2 int) (Binding, float64) {
 // Tf = Tp + Tmem (no network term).
 func (mp MMParams) StripeBinding(bf int) (Binding, float64) {
 	tf, tp, tmem := mp.StripeTimes(bf)
+	return BindingFromTimes(tf, tp, tmem, 0)
+}
+
+// StripeBinding reports which parameter binds a hybrid SpMV apply at
+// row split rf, per the same Equation (1) balance Tf = Tp + Tmem. For
+// the resident arrangement Tmem is zero and the verdict falls between
+// the two compute sides; for the streamed arrangement the
+// nnz-proportional Tmem term is what drags sparse points to Bd.
+func (sp SpMVParams) StripeBinding(rf int) (Binding, float64) {
+	tf, tp, tmem := sp.StripeTimes(rf)
 	return BindingFromTimes(tf, tp, tmem, 0)
 }

@@ -1,0 +1,173 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// CSRWordsPerNNZ is the CSR stream cost per nonzero in 64-bit words: one
+// word for the value plus half a word for the 32-bit column index. Both
+// the cost model and the simulator charge streaming traffic with this
+// constant so the two layers cannot drift apart.
+const CSRWordsPerNNZ = 1.5
+
+// CSRStreamWords returns the number of 64-bit words needed to stream nnz
+// CSR nonzeros (value + column index), rounded up. The ceiling matters:
+// truncating admits operators past an SRAM capacity check and
+// undercounts DMA bytes for odd nonzero counts.
+func CSRStreamWords(nnz int) int {
+	return (3*nnz + 1) / 2
+}
+
+// SpMVParams instantiates the design model for sparse matrix-vector
+// multiplication, mirroring MMParams. The operator streams in CSR form
+// at CSRWordsPerNNZ words per nonzero, so Tmem is nnz-proportional
+// rather than n²-proportional — which is why the DRAM path Bd, not
+// compute, binds the FPGA share almost everywhere in the sparse regime
+// (cf. Soltaniyeh & Martin's CPU-preprocess / FPGA-stream split).
+//
+// Two arrangements are covered. Streamed (Resident=false) re-streams
+// the FPGA's row share from DRAM on every apply; the per-apply balance
+// is the pure Equation (1) case Tf = Tp + Tmem, with Tmem charged on
+// the processor side because the DMA cannot overlap the processor's own
+// rows. Resident (Resident=true) loads the share into on-chip SRAM once
+// — the arrangement RunCG uses — so per-apply Tmem is zero and the FPGA
+// word rate is limited by the slower of the MAC array and the SRAM
+// port.
+type SpMVParams struct {
+	// N is the row count; K the PE (MAC lane) count.
+	N, K int
+	// Words is the operator's total stream footprint in 64-bit words:
+	// CSRStreamWords(nnz) for a CSR operator, n² for a dense one.
+	Words int
+	// Ff is the FPGA mv design clock.
+	Ff float64
+	// MVRate is the processor's sustained FLOP/s on the operator apply
+	// (cpu.SpMV for CSR, cpu.DGEMV for a dense operator).
+	MVRate float64
+	// VecTime is per-apply processor-side vector work in seconds that
+	// cannot be offloaded (the CG axpy/dot tail); zero for a bare SpMV.
+	VecTime float64
+	// Bd is the effective FPGA<->DRAM bandwidth; Bs the FPGA<->SRAM
+	// bandwidth; Bw the word width in bytes.
+	Bd, Bs, Bw float64
+	// SRAMBytes caps the resident share (0 = unconstrained). The model
+	// solver ignores it — callers with exact per-row footprints (RunCG)
+	// apply their own clamp — but it is kept for reporting.
+	SRAMBytes int64
+	// Resident selects the one-time-SRAM-load arrangement over per-apply
+	// DRAM streaming.
+	Resident bool
+	// Applies is the number of operator applications (>= 1); iterative
+	// solvers amortize a resident load across all of them.
+	Applies int
+	// Flops is the total useful floating-point work over all applies.
+	Flops float64
+}
+
+// Validate checks the parameters.
+func (sp SpMVParams) Validate() error {
+	switch {
+	case sp.N < 1 || sp.K < 1:
+		return fmt.Errorf("model: bad spmv geometry n=%d k=%d", sp.N, sp.K)
+	case sp.Words < 1:
+		return fmt.Errorf("model: spmv needs a positive stream footprint, got %d words", sp.Words)
+	case sp.Ff <= 0 || sp.MVRate <= 0 || sp.Bd <= 0 || sp.Bw <= 0:
+		return fmt.Errorf("model: non-positive rate")
+	case sp.Resident && sp.Bs <= 0:
+		return fmt.Errorf("model: resident spmv needs SRAM bandwidth, got %g", sp.Bs)
+	case sp.Applies < 1:
+		return fmt.Errorf("model: spmv needs applies >= 1, got %d", sp.Applies)
+	case sp.VecTime < 0:
+		return fmt.Errorf("model: negative vector time %g", sp.VecTime)
+	}
+	return nil
+}
+
+// WordsPerRow returns the mean stream words per operator row.
+func (sp SpMVParams) WordsPerRow() float64 { return float64(sp.Words) / float64(sp.N) }
+
+// FPGAPerWord returns the FPGA's seconds per stream word: the k-lane MAC
+// array retires k words per cycle, and a resident share is additionally
+// paced by the SRAM port.
+func (sp SpMVParams) FPGAPerWord() float64 {
+	cf := 1 / (float64(sp.K) * sp.Ff)
+	if sp.Resident {
+		cf = math.Max(cf, sp.Bw/sp.Bs)
+	}
+	return cf
+}
+
+// CPUPerWord returns the processor's seconds per stream word, charging
+// two FLOPs (multiply + add) per word at the sustained apply rate.
+func (sp SpMVParams) CPUPerWord() float64 { return 2 / sp.MVRate }
+
+// StreamPerWord returns the DRAM cost per stream word for the streamed
+// arrangement, zero for resident (the share is already on chip).
+func (sp SpMVParams) StreamPerWord() float64 {
+	if sp.Resident {
+		return 0
+	}
+	return sp.Bw / sp.Bd
+}
+
+// StripeTimes returns the per-apply costs at FPGA row share rf: tf is
+// the array's compute time over its rf rows, tp the processor's time
+// over the remaining rows plus the un-offloadable vector work, and tmem
+// the CSR streaming of the FPGA share — charged on the processor side of
+// Equation (1) because the DMA cannot overlap the processor's rows.
+func (sp SpMVParams) StripeTimes(rf int) (tf, tp, tmem float64) {
+	w := sp.WordsPerRow()
+	tf = float64(rf) * w * sp.FPGAPerWord()
+	tp = float64(sp.N-rf)*w*sp.CPUPerWord() + sp.VecTime
+	tmem = float64(rf) * w * sp.StreamPerWord()
+	return tf, tp, tmem
+}
+
+// SolvePartition solves Equation (1) per apply — Tf = Tp + Tmem — for
+// the FPGA's row share rf, clamped to [0, n]. In the streamed
+// arrangement, when a word streams slower than the processor computes it
+// (Bw/Bd >= CPUPerWord) offloading any row raises both sides, so the
+// solver keeps everything on the processor; that guard is what flips a
+// dense-operator point back to rf=0 while a CSR point at the same
+// geometry clamps to rf=n and goes Bd-bound.
+func (sp SpMVParams) SolvePartition() (rf, rp int) {
+	w := sp.WordsPerRow()
+	cf := sp.FPGAPerWord()
+	cp := sp.CPUPerWord()
+	cm := sp.StreamPerWord()
+	if !sp.Resident && cm >= cp {
+		return 0, sp.N
+	}
+	// rf·w·cf = (n-rf)·w·cp + Vec + rf·w·cm
+	rfF := (float64(sp.N)*w*cp + sp.VecTime) / (w * (cf + cp - cm))
+	rf = int(rfF)
+	if rf < 0 {
+		rf = 0
+	}
+	if rf > sp.N {
+		rf = sp.N
+	}
+	return rf, sp.N - rf
+}
+
+// LoadSeconds returns the one-time cost of loading the FPGA's rf-row
+// share into SRAM over the DRAM path; zero for the streamed arrangement,
+// which has no up-front load.
+func (sp SpMVParams) LoadSeconds(rf int) float64 {
+	if !sp.Resident {
+		return 0
+	}
+	return float64(rf) * sp.WordsPerRow() * sp.Bw / sp.Bd
+}
+
+// PredictSpMV runs the Section 4.5 predictor at row share rf: Applies
+// repetitions of the per-apply costs, plus the one-time resident load,
+// which serializes before the first apply and therefore lands on both
+// sides.
+func (sp SpMVParams) PredictSpMV(rf int) Prediction {
+	tf, tp, tmem := sp.StripeTimes(rf)
+	a := float64(sp.Applies)
+	load := sp.LoadSeconds(rf)
+	return predict(load+a*(tp+tmem), load+a*tf, sp.Flops)
+}

@@ -1,0 +1,142 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCSRStreamWordsCeiling(t *testing.T) {
+	cases := []struct{ nnz, want int }{
+		{0, 0}, {1, 2}, {2, 3}, {3, 5}, {4, 6}, {100, 150},
+	}
+	for _, c := range cases {
+		if got := CSRStreamWords(c.nnz); got != c.want {
+			t.Errorf("CSRStreamWords(%d) = %d, want %d", c.nnz, got, c.want)
+		}
+	}
+	// The ceiling never under-charges against the real per-nnz rate.
+	for nnz := 0; nnz < 50; nnz++ {
+		if float64(CSRStreamWords(nnz)) < CSRWordsPerNNZ*float64(nnz) {
+			t.Fatalf("CSRStreamWords(%d) under-charges", nnz)
+		}
+	}
+}
+
+// xd1SpMV is a streamed SpMV coordinate with the XD1's effective rates:
+// a 7-MAC array at 180 MHz, the Opteron's spmv rate, and the
+// frequency-limited FPGA-DRAM bandwidth.
+func xd1SpMV(n, words int, mvRate float64) SpMVParams {
+	return SpMVParams{
+		N: n, K: 7, Words: words,
+		Ff: 180e6, MVRate: mvRate, VecTime: 0,
+		Bd: 8 * 180e6, Bw: 8,
+	}
+}
+
+// TestSolvePartitionRegimeFlip pins the tentpole behavior: a dense
+// operator's stream cost exceeds the processor's per-word DGEMV cost,
+// so Equation (1) sends every row to the processor; a CSR operator's
+// gather-bound processor rate flips the same solve to an all-FPGA,
+// Bd-bound split.
+func TestSolvePartitionRegimeFlip(t *testing.T) {
+	const n = 1024
+	dense := xd1SpMV(n, n*n, 1.2e9) // DGEMV sustains ~1.2 GFLOPS
+	if rf, rp := dense.SolvePartition(); rf != 0 || rp != n {
+		t.Fatalf("dense solve = %d/%d, want 0/%d", rf, rp, n)
+	}
+	sparse := xd1SpMV(n, CSRStreamWords(n*21), 150e6) // spmv sustains ~150 MFLOPS
+	rf, rp := sparse.SolvePartition()
+	if rf != n || rp != 0 {
+		t.Fatalf("sparse solve = %d/%d, want %d/0", rf, rp, n)
+	}
+	bind, _ := sparse.StripeBinding(rf)
+	if bind != BindBd {
+		t.Fatalf("sparse all-FPGA split binds %s, want %s", bind, BindBd)
+	}
+	if bindD, _ := dense.StripeBinding(0); bindD != BindOpFp {
+		t.Fatalf("dense all-CPU split binds %s, want %s", bindD, BindOpFp)
+	}
+}
+
+func TestSpMVStripeTimesPartition(t *testing.T) {
+	sp := xd1SpMV(100, 1000, 150e6)
+	tf, tp, tmem := sp.StripeTimes(40)
+	w := sp.WordsPerRow()
+	if got := 40 * w * sp.FPGAPerWord(); math.Abs(tf-got) > 1e-18 {
+		t.Fatalf("tf = %g want %g", tf, got)
+	}
+	if got := 60*w*sp.CPUPerWord() + sp.VecTime; math.Abs(tp-got) > 1e-18 {
+		t.Fatalf("tp = %g want %g", tp, got)
+	}
+	if got := 40 * w * sp.StreamPerWord(); math.Abs(tmem-got) > 1e-18 {
+		t.Fatalf("tmem = %g want %g", tmem, got)
+	}
+}
+
+// In the resident arrangement the stream term vanishes and the FPGA
+// word rate is the slower of the MAC array and the SRAM port, so the
+// solve lands in the interior instead of on a boundary.
+func TestSpMVResidentArrangement(t *testing.T) {
+	sp := xd1SpMV(1024, CSRStreamWords(1024*21), 150e6)
+	sp.Resident = true
+	sp.Bs = 9.6e9
+	sp.SRAMBytes = 1 << 30
+	sp.Applies = 32
+	if sp.StreamPerWord() != 0 {
+		t.Fatal("resident arrangement should not stream")
+	}
+	want := math.Max(1/(float64(sp.K)*sp.Ff), sp.Bw/sp.Bs)
+	if sp.FPGAPerWord() != want {
+		t.Fatalf("resident FPGAPerWord = %g want %g", sp.FPGAPerWord(), want)
+	}
+	rf, _ := sp.SolvePartition()
+	if rf <= 0 || rf >= sp.N {
+		t.Fatalf("resident solve should land interior, got rf=%d", rf)
+	}
+	if load := sp.LoadSeconds(rf); load <= 0 {
+		t.Fatalf("resident share must pay a load, got %g", load)
+	}
+}
+
+func TestSpMVValidate(t *testing.T) {
+	good := xd1SpMV(10, 100, 1e9)
+	good.Applies = 1
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	bad := []func(*SpMVParams){
+		func(p *SpMVParams) { p.N = 0 },
+		func(p *SpMVParams) { p.K = 0 },
+		func(p *SpMVParams) { p.Words = 0 },
+		func(p *SpMVParams) { p.Ff = 0 },
+		func(p *SpMVParams) { p.MVRate = 0 },
+		func(p *SpMVParams) { p.Bd = 0 },
+		func(p *SpMVParams) { p.Bw = 0 },
+		func(p *SpMVParams) { p.VecTime = -1 },
+		func(p *SpMVParams) { p.Applies = 0 },
+		func(p *SpMVParams) { p.Resident = true; p.Bs = 0 },
+	}
+	for i, mut := range bad {
+		p := good
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+}
+
+func TestSpMVPredictMatchesStripeTimes(t *testing.T) {
+	sp := xd1SpMV(256, CSRStreamWords(256*13), 150e6)
+	sp.Applies = 1
+	sp.Flops = 2 * 256 * 13
+	rf, _ := sp.SolvePartition()
+	pred := sp.PredictSpMV(rf)
+	tf, tp, tmem := sp.StripeTimes(rf)
+	want := math.Max(tf, tp+tmem)
+	if math.Abs(pred.Seconds-want) > 1e-15*want {
+		t.Fatalf("predicted %g s, stripe times give %g s", pred.Seconds, want)
+	}
+	if pred.GFLOPS <= 0 {
+		t.Fatalf("prediction has no throughput: %+v", pred)
+	}
+}

@@ -67,7 +67,7 @@ func badRequest(format string, args ...any) *Error {
 // "the preset or app default"; a null/absent BF or L means "solve the
 // model equation" (the -1 sentinel of internal/sweep).
 type SolveRequest struct {
-	// App is the application: "lu" (default), "fw" or "mm".
+	// App is the application: "lu" (default), "fw", "mm" or "spmv".
 	App string `json:"app,omitempty"`
 	// Machine is the machine preset: "xd1" (default), "xt3", "src6",
 	// "rasc".
@@ -79,6 +79,9 @@ type SolveRequest struct {
 	Nodes int `json:"nodes,omitempty"`
 	// N is the problem size (0 = the app's paper size).
 	N int `json:"n,omitempty"`
+	// Density is the spmv operator nonzero density in [0,1] (0 = dense
+	// operator; ignored by the dense apps).
+	Density float64 `json:"density,omitempty"`
 	// B is the block size (0 = the app's paper block size).
 	B int `json:"b,omitempty"`
 	// PEs is the FPGA PE-array size (0 = largest that fits).
@@ -136,7 +139,8 @@ func (q SolveRequest) normalized() (SolveRequest, *Error) {
 	q.BF, q.L = &bf, &l
 	// One-value grid validation covers app, machine, mode and method
 	// with internal/sweep's own error messages.
-	g := sweep.Grid{Apps: []string{q.App}, Machines: []string{q.Machine}, Modes: []string{q.Mode}, Method: q.Method}
+	g := sweep.Grid{Apps: []string{q.App}, Machines: []string{q.Machine}, Modes: []string{q.Mode},
+		Density: []float64{q.Density}, Method: q.Method}
 	if err := g.Validate(); err != nil {
 		return q, badRequest("%v", err)
 	}
@@ -150,8 +154,8 @@ func (q SolveRequest) normalized() (SolveRequest, *Error) {
 // both are deterministic, the second solve just costs one more cache
 // entry.
 func (q SolveRequest) key() string {
-	return fmt.Sprintf("%s|%s|%s|%s|%d|%d|%d|%d|%d|%d",
-		q.App, q.Machine, q.Mode, q.Method, q.Nodes, q.N, q.B, q.PEs, *q.BF, *q.L)
+	return fmt.Sprintf("%s|%s|%s|%s|%d|%d|%g|%d|%d|%d|%d",
+		q.App, q.Machine, q.Mode, q.Method, q.Nodes, q.N, q.Density, q.B, q.PEs, *q.BF, *q.L)
 }
 
 // point converts a normalized request to the sweep coordinate it
@@ -159,7 +163,7 @@ func (q SolveRequest) key() string {
 func (q SolveRequest) point() sweep.Point {
 	return sweep.Point{
 		App: q.App, Machine: q.Machine, Mode: q.Mode,
-		Nodes: q.Nodes, N: q.N, B: q.B, PEs: q.PEs, BF: *q.BF, L: *q.L,
+		Nodes: q.Nodes, N: q.N, Density: q.Density, B: q.B, PEs: q.PEs, BF: *q.BF, L: *q.L,
 	}
 }
 

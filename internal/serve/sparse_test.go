@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"codesign/internal/sweep"
+)
+
+// TestSolveSpMVDensity covers the sparse workload through the API: the
+// density field reaches the evaluator (the regime flip shows in the
+// outcome) and distinguishes cache keys.
+func TestSolveSpMVDensity(t *testing.T) {
+	s := newTestServer(t, Config{})
+	code, body := s.post(t, "/v1/solve", SolveRequest{App: "spmv", N: 1024, Density: 0.05})
+	if code != http.StatusOK {
+		t.Fatalf("sparse solve: %d\n%s", code, body)
+	}
+	sparse := decodeSolve(t, body)
+	if !sparse.Outcome.OK {
+		t.Fatalf("sparse outcome infeasible: %s", sparse.Outcome.Err)
+	}
+	if sparse.Point.Density != 0.05 {
+		t.Fatalf("echoed density = %g, want 0.05", sparse.Point.Density)
+	}
+	if sparse.Outcome.BF != 1024 || sparse.Outcome.Binding != "Bd" {
+		t.Fatalf("sparse outcome bf=%d binding=%s, want 1024/Bd",
+			sparse.Outcome.BF, sparse.Outcome.Binding)
+	}
+
+	// Same coordinate at density 0 is a different cache key and the
+	// opposite regime.
+	code, body = s.post(t, "/v1/solve", SolveRequest{App: "spmv", N: 1024})
+	if code != http.StatusOK {
+		t.Fatalf("dense solve: %d\n%s", code, body)
+	}
+	dense := decodeSolve(t, body)
+	if dense.Source != "computed" {
+		t.Fatalf("dense solve source = %q, want computed (distinct key)", dense.Source)
+	}
+	if dense.Outcome.BF != 0 || dense.Outcome.Binding != "Op*Fp" {
+		t.Fatalf("dense outcome bf=%d binding=%s, want 0/Op*Fp",
+			dense.Outcome.BF, dense.Outcome.Binding)
+	}
+}
+
+func TestSolveDensityValidation(t *testing.T) {
+	s := newTestServer(t, Config{})
+	code, body := s.post(t, "/v1/solve", SolveRequest{App: "spmv", Density: 1.5})
+	if code != http.StatusBadRequest {
+		t.Fatalf("density 1.5: %d\n%s", code, body)
+	}
+}
+
+// TestDesignDensityGrid runs a density axis through /v1/design and
+// checks the ranking sees both regimes.
+func TestDesignDensityGrid(t *testing.T) {
+	s := newTestServer(t, Config{})
+	code, body := s.post(t, "/v1/design", DesignRequest{
+		Grid: sweep.Grid{
+			Apps:    []string{"spmv"},
+			N:       []int{1024},
+			Density: []float64{0, 0.05},
+		},
+		Top: 2,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("design: %d\n%s", code, body)
+	}
+	var r DesignResponse
+	if err := json.Unmarshal(body, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Points != 2 || r.Feasible != 2 || len(r.Best) != 2 {
+		t.Fatalf("design response: points=%d feasible=%d best=%d", r.Points, r.Feasible, len(r.Best))
+	}
+	// Dense DGEMV outruns the Bd-bound sparse stream, so it ranks first.
+	if r.Best[0].Point.Density != 0 || r.Best[1].Point.Density != 0.05 {
+		t.Fatalf("ranking order: %g then %g, want 0 then 0.05",
+			r.Best[0].Point.Density, r.Best[1].Point.Density)
+	}
+}

@@ -251,13 +251,17 @@ func (ev *evaluator) partition(key partKey, solve func() (int, int)) (int, int) 
 	return v.a, v.b
 }
 
-// paper-default problem sizes per app (Section 6.1).
+// paper-default problem sizes per app (Section 6.1; spmv has no paper
+// size — its default keeps a dense-operator point affordable under
+// MethodSim).
 func appDefaults(app string) (n, b int) {
 	switch app {
 	case "lu":
 		return 30000, 3000
 	case "fw":
 		return 18432, 256
+	case "spmv":
+		return 2048, 0
 	default: // mm
 		return 6144, 0
 	}
@@ -307,8 +311,11 @@ func (ev *evaluator) resolve(pt Point) (resolved, error) {
 		r.b = db
 	}
 	mk := func(k int) fpga.Design { return fpga.NewMatMul(k) }
-	if pt.App == "fw" {
+	switch pt.App {
+	case "fw":
 		mk = func(k int) fpga.Design { return fpga.NewFW(k) }
+	case "spmv":
+		mk = func(k int) fpga.Design { return fpga.NewMV(k) }
 	}
 	r.k = pt.PEs
 	if r.k == 0 {
@@ -317,8 +324,11 @@ func (ev *evaluator) resolve(pt Point) (resolved, error) {
 		// of those axes, so a million-point sweep pays for a handful of
 		// MaxPEs searches instead of one per point.
 		key := resolveKey{family: "matmul", device: cfg.Device.Name}
-		if pt.App == "fw" {
+		switch pt.App {
+		case "fw":
 			key.family, key.b = "fw", r.b
+		case "spmv":
+			key.family = "mv"
 		}
 		k, computed := ev.maxk.GetOrCompute(key, func() int {
 			k := fpga.MaxPEs(mk, cfg.Device)
@@ -357,6 +367,8 @@ func (ev *evaluator) evaluate(pt Point, method string) Outcome {
 		return ev.evalLU(r, method)
 	case "fw":
 		return ev.evalFW(r, method)
+	case "spmv":
+		return ev.evalSpMV(r, method)
 	default:
 		return ev.evalMM(r, method)
 	}
@@ -593,6 +605,81 @@ func (ev *evaluator) evalMM(r resolved, method string) Outcome {
 	return ev.measured(out, &res.Result, res.Prediction, rec,
 		map[string]model.Binding{"stripe": expect},
 		func(o *Outcome) { o.BF, o.BP = res.BF, res.BP })
+}
+
+func (ev *evaluator) evalSpMV(r resolved, method string) Outcome {
+	cfg, n := r.cfg, r.n
+	out, bd, err := ev.design(r, fpga.NewMV(r.k))
+	if err != nil {
+		return fail(err)
+	}
+	proc := cfg.Processor()
+	// The operator's stream footprint mirrors matrix.RandomSparse
+	// exactly — round(density·(n-1)) off-diagonals plus the diagonal per
+	// row — so the model method prices the same operator the sim method
+	// materializes.
+	var words, nnz int
+	mvRate := proc.Rate(cpu.DGEMV)
+	if r.pt.Density > 0 {
+		perRow := int(r.pt.Density*float64(n-1) + 0.5)
+		nnz = n * (perRow + 1)
+		words = model.CSRStreamWords(nnz)
+		mvRate = proc.Rate(cpu.SpMV)
+	} else {
+		nnz = n * n
+		words = n * n
+	}
+	sp := model.SpMVParams{
+		N: n, K: r.k, Words: words,
+		Ff:        out.FfMHz * 1e6,
+		MVRate:    mvRate,
+		Bd:        bd,
+		Bs:        cfg.SRAMBandwidth,
+		Bw:        machine.WordBytes,
+		SRAMBytes: sramBytes(cfg),
+		Applies:   1,
+		Flops:     2 * float64(nnz),
+	}
+	if err := sp.Validate(); err != nil {
+		return fail(err)
+	}
+	rf := r.pt.BF
+	switch r.mode {
+	case core.ProcessorOnly:
+		rf = 0
+	case core.FPGAOnly:
+		rf = n
+	default:
+		if rf < 0 {
+			rf, _ = ev.partition(partKey{kind: "spmv.rf", params: sp}, sp.SolvePartition)
+		}
+	}
+	if rf < 0 || rf > n {
+		return fail(fmt.Errorf("rowsFPGA=%d out of [0,%d]", rf, n))
+	}
+	out.BF, out.BP = rf, n-rf
+
+	if method == MethodModel {
+		pred := sp.PredictSpMV(rf)
+		out.GFLOPS, out.Seconds, out.PredictedGFLOPS = pred.GFLOPS, pred.Seconds, pred.GFLOPS
+		bind, margin := sp.StripeBinding(rf)
+		out.Binding, out.Margin = bind.String(), margin
+		return out
+	}
+
+	rec := ev.recorder()
+	res, err := core.RunSpMV(core.SpMVConfig{
+		Machine: cfg, N: n, Density: r.pt.Density, PEs: r.k, RowsFPGA: r.pt.BF,
+		Mode: r.mode, Observer: rec,
+	})
+	if err != nil {
+		ev.recs.Put(rec)
+		return fail(err)
+	}
+	expect, _ := res.Model.StripeBinding(res.RowsFPGA)
+	return ev.measured(out, &res.Result, res.Prediction, rec,
+		map[string]model.Binding{"stream": expect},
+		func(o *Outcome) { o.BF, o.BP = res.RowsFPGA, res.RowsCPU })
 }
 
 // measured finishes a MethodSim outcome: measured throughput, the

@@ -1,6 +1,9 @@
 package sweep
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Evaluator is the memoized point-evaluation engine behind Run,
 // exported so long-running callers — chiefly the codesignd serve
@@ -35,7 +38,7 @@ func (e *Evaluator) Evaluate(pt Point, method string) Outcome {
 		return fail(fmt.Errorf("unknown method %q (want %q or %q)", method, MethodModel, MethodSim))
 	}
 	if !contains(knownApps, pt.App) {
-		return fail(fmt.Errorf("unknown app %q (want one of lu, fw, mm)", pt.App))
+		return fail(fmt.Errorf("unknown app %q (want one of %s)", pt.App, strings.Join(knownApps, ", ")))
 	}
 	if !contains(knownModes, pt.Mode) {
 		return fail(fmt.Errorf("unknown mode %q (want one of hybrid, processor-only, fpga-only)", pt.Mode))

@@ -23,7 +23,7 @@ const (
 )
 
 // Applications a grid can sweep.
-var knownApps = []string{"lu", "fw", "mm"}
+var knownApps = []string{"lu", "fw", "mm", "spmv"}
 
 // Modes a grid can sweep.
 var knownModes = []string{"hybrid", "processor-only", "fpga-only"}
@@ -46,6 +46,9 @@ type Grid struct {
 	Nodes []int `json:"nodes,omitempty"`
 	// N is the problem size axis (0 = the app's paper size).
 	N []int `json:"n,omitempty"`
+	// Density is the operator nonzero-density axis for spmv (0 = dense
+	// operator, the DGEMV regime; ignored by the dense apps).
+	Density []float64 `json:"density,omitempty"`
 	// B is the block size axis (0 = the app's paper block size;
 	// ignored by mm, which has no block structure).
 	B []int `json:"b,omitempty"`
@@ -83,6 +86,8 @@ type Point struct {
 	Nodes int `json:"nodes"`
 	// N is the problem size (0 = app default).
 	N int `json:"n"`
+	// Density is the spmv operator density (0 = dense operator).
+	Density float64 `json:"density"`
 	// B is the block size (0 = app default).
 	B int `json:"b"`
 	// PEs is the PE-array size (0 = largest that fits).
@@ -117,6 +122,14 @@ func (g Grid) normalized() (Grid, error) {
 	}
 	g.Nodes = def(g.Nodes, 0)
 	g.N = def(g.N, 0)
+	if len(g.Density) == 0 {
+		g.Density = []float64{0}
+	}
+	for _, d := range g.Density {
+		if d < 0 || d > 1 {
+			return g, fmt.Errorf("sweep: density %g out of [0,1]", d)
+		}
+	}
 	g.B = def(g.B, 0)
 	g.PEs = def(g.PEs, 0)
 	g.BF = def(g.BF, -1)
@@ -163,6 +176,9 @@ func (g Grid) NumPoints() int {
 			n *= len(axis)
 		}
 	}
+	if len(g.Density) > 0 {
+		n *= len(g.Density)
+	}
 	for _, axis := range [][]string{g.Apps, g.Machines, g.Modes} {
 		if len(axis) > 0 {
 			n *= len(axis)
@@ -172,8 +188,9 @@ func (g Grid) NumPoints() int {
 }
 
 // Points enumerates the cross product in deterministic order (apps
-// outermost, then machines, modes, nodes, n, b, pes, bf, l innermost).
-// The grid must already be normalized; Run does this for callers.
+// outermost, then machines, modes, nodes, n, density, b, pes, bf, l
+// innermost). The grid must already be normalized; Run does this for
+// callers.
 func (g Grid) Points() []Point {
 	norm, err := g.normalized()
 	if err != nil {
@@ -186,15 +203,17 @@ func (g Grid) Points() []Point {
 			for _, mode := range g.Modes {
 				for _, nodes := range g.Nodes {
 					for _, n := range g.N {
-						for _, b := range g.B {
-							for _, pes := range g.PEs {
-								for _, bf := range g.BF {
-									for _, l := range g.L {
-										pts = append(pts, Point{
-											Index: len(pts),
-											App:   app, Machine: mach, Mode: mode,
-											Nodes: nodes, N: n, B: b, PEs: pes, BF: bf, L: l,
-										})
+						for _, d := range g.Density {
+							for _, b := range g.B {
+								for _, pes := range g.PEs {
+									for _, bf := range g.BF {
+										for _, l := range g.L {
+											pts = append(pts, Point{
+												Index: len(pts),
+												App:   app, Machine: mach, Mode: mode,
+												Nodes: nodes, N: n, Density: d, B: b, PEs: pes, BF: bf, L: l,
+											})
+										}
 									}
 								}
 							}

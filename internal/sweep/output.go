@@ -20,7 +20,7 @@ func (r *Result) WriteJSON(w io.Writer) error {
 
 // csvHeader is the flat per-point column set of WriteCSV.
 var csvHeader = []string{
-	"index", "app", "machine", "mode", "nodes", "n", "b", "pes",
+	"index", "app", "machine", "mode", "nodes", "n", "density", "b", "pes",
 	"ok", "err", "k", "of", "ff_mhz", "slices", "brams", "mults", "bd_gbps",
 	"bf", "bp", "l", "l1", "l2",
 	"gflops", "seconds", "pred_gflops", "overlap_eff", "binding", "margin", "pareto",
@@ -39,7 +39,7 @@ func (r *Result) WriteCSV(w io.Writer) error {
 		pt, o := r.Points[i], r.Outcomes[i]
 		row := []string{
 			strconv.Itoa(pt.Index), pt.App, pt.Machine, pt.Mode,
-			strconv.Itoa(pt.Nodes), strconv.Itoa(pt.N), strconv.Itoa(pt.B), strconv.Itoa(pt.PEs),
+			strconv.Itoa(pt.Nodes), strconv.Itoa(pt.N), f(pt.Density), strconv.Itoa(pt.B), strconv.Itoa(pt.PEs),
 			strconv.FormatBool(o.OK), o.Err,
 			strconv.Itoa(o.K), strconv.Itoa(o.Of), f(o.FfMHz),
 			strconv.Itoa(o.Slices), strconv.Itoa(o.BlockRAMs), strconv.Itoa(o.Multipliers), f(o.BdGBps),

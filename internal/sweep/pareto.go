@@ -82,6 +82,7 @@ var axes = []struct {
 	{"mode", func(p Point) string { return p.Mode }},
 	{"nodes", func(p Point) string { return fmt.Sprint(p.Nodes) }},
 	{"n", func(p Point) string { return fmt.Sprint(p.N) }},
+	{"density", func(p Point) string { return fmt.Sprint(p.Density) }},
 	{"b", func(p Point) string { return fmt.Sprint(p.B) }},
 	{"pes", func(p Point) string { return fmt.Sprint(p.PEs) }},
 	{"bf", func(p Point) string { return fmt.Sprint(p.BF) }},

@@ -181,7 +181,7 @@ func selectCandidates(norm Grid, outcomes []Outcome, margin float64) ([]int, Scr
 	// with full model error it cannot reach the true frontier.
 	dims := []int{
 		len(norm.Apps), len(norm.Machines), len(norm.Modes),
-		len(norm.Nodes), len(norm.N), len(norm.B),
+		len(norm.Nodes), len(norm.N), len(norm.Density), len(norm.B),
 		len(norm.PEs), len(norm.BF), len(norm.L),
 	}
 	strides := make([]int, len(dims))
